@@ -1,0 +1,53 @@
+// Reproduces Figure 3(c,f) and the Section 3.2 feature-composition
+// statistics: feature counts, categorical fraction, and categorical
+// domain sizes.
+#include <cstdio>
+
+#include "bench/report_common.h"
+#include "core/pipeline_analysis.h"
+
+namespace mlprov {
+namespace {
+
+int Run(int argc, char** argv) {
+  bench::ReportContext ctx(argc, argv,
+                           "Figure 3(c,f) / Section 3.2: data complexity");
+  const core::DataComplexityStats stats =
+      core::ComputeDataComplexity(ctx.corpus);
+
+  using T = common::TextTable;
+  T summary({"metric", "paper", "measured"});
+  double le100 = 0;
+  for (double f : stats.feature_counts) le100 += f <= 100.0 ? 1.0 : 0.0;
+  summary.AddRow(
+      {"pipelines with <=100 features", "vast majority",
+       T::Pct(le100 / static_cast<double>(stats.feature_counts.size()))});
+  summary.AddRow({"max feature count", "tens of thousands",
+                  T::Num(common::Quantile(stats.feature_counts, 1.0), 0)});
+  summary.AddRow({"mean categorical fraction", "53%",
+                  T::Pct(stats.mean_categorical_fraction)});
+  summary.AddRow({"mean categorical domain", "10.6M",
+                  T::Num(stats.mean_domain_all / 1e6, 1) + "M"});
+  summary.AddRow({"mean domain (DNN pipelines)", "13.6M",
+                  T::Num(stats.mean_domain_dnn / 1e6, 1) + "M"});
+  summary.AddRow({"mean domain (Linear pipelines)", ">20M",
+                  T::Num(stats.mean_domain_linear / 1e6, 1) + "M"});
+  std::printf("%s\n", summary.Render().c_str());
+
+  common::Histogram features = common::Histogram::Log10(3, 30000, 10);
+  features.AddN(stats.feature_counts);
+  std::printf(
+      "%s\n",
+      features.Render("Fig 3(c): features per pipeline (log bins)").c_str());
+
+  common::Histogram cat = common::Histogram::Linear(0, 1, 10);
+  cat.AddN(stats.categorical_fractions);
+  std::printf("%s\n",
+              cat.Render("Fig 3(f): categorical feature fraction").c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace mlprov
+
+int main(int argc, char** argv) { return mlprov::Run(argc, argv); }

@@ -1,0 +1,44 @@
+// Reproduces Figure 4: analyzer usage in feature transformations, as
+// (top) the percentage of pipelines referencing each analyzer and
+// (bottom) the total usage across all traces.
+#include <cstdio>
+
+#include "bench/report_common.h"
+#include "core/pipeline_analysis.h"
+
+namespace mlprov {
+namespace {
+
+int Run(int argc, char** argv) {
+  bench::ReportContext ctx(argc, argv, "Figure 4: analyzer usage");
+  const core::AnalyzerUsageStats stats =
+      core::ComputeAnalyzerUsage(ctx.corpus);
+
+  double total_usage = 0;
+  for (double u : stats.total_usage) total_usage += u;
+
+  using T = common::TextTable;
+  T table({"analyzer", "% pipelines referencing", "% of total trace usage"});
+  for (int a = 0; a < metadata::kNumAnalyzerTypes; ++a) {
+    const auto idx = static_cast<size_t>(a);
+    table.AddRow(
+        {metadata::ToString(static_cast<metadata::AnalyzerType>(a)),
+         T::Pct(static_cast<double>(stats.pipelines_referencing[idx]) /
+                static_cast<double>(stats.num_pipelines)),
+         T::Pct(total_usage > 0 ? stats.total_usage[idx] / total_usage
+                                : 0.0)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "paper: vocabulary dominates both views (it runs once per\n"
+      "categorical feature over huge domains); custom analyzers appear in\n"
+      "several pipelines but contribute a much smaller share of the total\n"
+      "usage because they skew towards short-lived experimental "
+      "pipelines.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace mlprov
+
+int main(int argc, char** argv) { return mlprov::Run(argc, argv); }

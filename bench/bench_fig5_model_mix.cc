@@ -1,0 +1,33 @@
+// Reproduces Figure 5: percentage of Trainer runs with each model type.
+#include <cstdio>
+
+#include "bench/report_common.h"
+#include "core/pipeline_analysis.h"
+
+namespace mlprov {
+namespace {
+
+int Run(int argc, char** argv) {
+  bench::ReportContext ctx(argc, argv, "Figure 5: model diversity");
+  const core::ModelDiversityStats stats =
+      core::ComputeModelDiversity(ctx.corpus);
+
+  // Paper values read from Figure 5 (DNN and DNN+Linear quoted exactly).
+  const char* paper[] = {"64%", "~16%", "2%", "~10%", "~4%", "~4%"};
+  using T = common::TextTable;
+  T table({"model type", "paper (share of trainer runs)", "measured"});
+  for (int t = 0; t < metadata::kNumModelTypes; ++t) {
+    table.AddRow({metadata::ToString(static_cast<metadata::ModelType>(t)),
+                  paper[t],
+                  T::Pct(stats.Share(
+                      static_cast<metadata::ModelType>(t)))});
+  }
+  std::printf("%s\ntotal trainer runs: %zu\n", table.Render().c_str(),
+              stats.total_runs);
+  return 0;
+}
+
+}  // namespace
+}  // namespace mlprov
+
+int main(int argc, char** argv) { return mlprov::Run(argc, argv); }

@@ -1,0 +1,104 @@
+// Ablation for the Section 4.2.1 optimization opportunity: consecutive
+// graphlets share most of their input spans, so the first-stage analyzer
+// reductions (vocabulary, moments) can be maintained incrementally over
+// the rolling window instead of recomputed from scratch per trigger.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "dataspan/analyzers.h"
+
+namespace mlprov {
+namespace {
+
+std::vector<int64_t> TermStream(size_t n) {
+  common::Rng rng(5);
+  std::vector<int64_t> stream(n);
+  for (int64_t& t : stream) t = rng.Zipf(100000, 1.2);
+  return stream;
+}
+
+/// Recompute-from-scratch: every window slide rebuilds the vocabulary
+/// over all `window` terms.
+void BM_VocabularyRecompute(benchmark::State& state) {
+  const auto window = static_cast<size_t>(state.range(0));
+  const auto stream = TermStream(window * 4);
+  for (auto _ : state) {
+    for (size_t i = window; i < stream.size(); ++i) {
+      dataspan::VocabularyAnalyzer vocab(100);
+      for (size_t j = i - window; j < i; ++j) vocab.AddTerm(stream[j]);
+      benchmark::DoNotOptimize(vocab.TopK());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stream.size() - window));
+}
+BENCHMARK(BM_VocabularyRecompute)->Arg(1000)->Arg(10000);
+
+/// Incremental view maintenance: add the new term, retire the old one.
+void BM_VocabularyIncremental(benchmark::State& state) {
+  const auto window = static_cast<size_t>(state.range(0));
+  const auto stream = TermStream(window * 4);
+  for (auto _ : state) {
+    dataspan::VocabularyAnalyzer vocab(100);
+    for (size_t j = 0; j < window; ++j) vocab.AddTerm(stream[j]);
+    for (size_t i = window; i < stream.size(); ++i) {
+      vocab.AddTerm(stream[i]);
+      vocab.RetireTerm(stream[i - window]);
+      benchmark::DoNotOptimize(vocab.TopK());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stream.size() - window));
+}
+BENCHMARK(BM_VocabularyIncremental)->Arg(1000)->Arg(10000);
+
+void BM_MomentsRecompute(benchmark::State& state) {
+  common::Rng rng(9);
+  std::vector<double> samples(40000);
+  for (double& x : samples) x = rng.Normal();
+  const size_t window = 10000;
+  for (auto _ : state) {
+    for (size_t i = window; i < samples.size(); i += 100) {
+      dataspan::MomentsAnalyzer m;
+      for (size_t j = i - window; j < i; ++j) m.AddSample(samples[j]);
+      benchmark::DoNotOptimize(m.StdDev());
+    }
+  }
+}
+BENCHMARK(BM_MomentsRecompute);
+
+void BM_MomentsIncremental(benchmark::State& state) {
+  common::Rng rng(9);
+  std::vector<double> samples(40000);
+  for (double& x : samples) x = rng.Normal();
+  const size_t window = 10000;
+  for (auto _ : state) {
+    dataspan::MomentsAnalyzer m;
+    for (size_t j = 0; j < window; ++j) m.AddSample(samples[j]);
+    for (size_t i = window; i < samples.size(); ++i) {
+      m.AddSample(samples[i]);
+      m.RetireSample(samples[i - window]);
+      if (i % 100 == 0) benchmark::DoNotOptimize(m.StdDev());
+    }
+  }
+}
+BENCHMARK(BM_MomentsIncremental);
+
+void BM_QuantilesReservoir(benchmark::State& state) {
+  common::Rng rng(11);
+  std::vector<double> samples(20000);
+  for (double& x : samples) x = rng.Normal();
+  for (auto _ : state) {
+    dataspan::QuantilesAnalyzer q(1024);
+    for (double x : samples) q.AddSample(x);
+    benchmark::DoNotOptimize(q.Quantile(0.5));
+  }
+}
+BENCHMARK(BM_QuantilesReservoir);
+
+}  // namespace
+}  // namespace mlprov
+
+BENCHMARK_MAIN();

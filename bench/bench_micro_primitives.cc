@@ -1,0 +1,105 @@
+// Microbenchmarks for the similarity substrate: exact EMD vs the 1-D
+// closed form, LSH hashing, span-pair similarity (EMD vs positional), and
+// the Hungarian matcher.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "dataspan/span_stats.h"
+#include "similarity/emd.h"
+#include "similarity/feature_similarity.h"
+#include "similarity/span_similarity.h"
+
+namespace mlprov {
+namespace {
+
+std::vector<double> RandomDistribution(common::Rng& rng, size_t n) {
+  std::vector<double> d(n);
+  for (double& x : d) x = rng.NextDouble();
+  return d;
+}
+
+void BM_Emd1D(benchmark::State& state) {
+  common::Rng rng(1);
+  const auto p = RandomDistribution(rng, 10);
+  const auto q = RandomDistribution(rng, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(similarity::Emd1D(p, q));
+  }
+}
+BENCHMARK(BM_Emd1D);
+
+void BM_EmdExact(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  common::Rng rng(2);
+  const std::vector<double> supply(n, 1.0);
+  const std::vector<double> demand(n, 1.0);
+  std::vector<double> cost(n * n);
+  for (double& c : cost) c = rng.NextDouble();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(similarity::EarthMoversDistance(
+        supply, demand,
+        [&](size_t i, size_t j) { return cost[i * n + j]; }));
+  }
+}
+BENCHMARK(BM_EmdExact)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_Hungarian(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  common::Rng rng(3);
+  std::vector<double> weight(n * n);
+  for (double& w : weight) w = rng.NextDouble();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(similarity::MaxBipartiteMatchWeight(
+        n, n, [&](size_t i, size_t j) { return weight[i * n + j]; }));
+  }
+}
+BENCHMARK(BM_Hungarian)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_LshHash(benchmark::State& state) {
+  similarity::S2JsdLsh lsh(similarity::S2JsdLsh::Options{});
+  common::Rng rng(4);
+  const auto d = RandomDistribution(rng, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lsh.Hash(d));
+  }
+}
+BENCHMARK(BM_LshHash);
+
+dataspan::SpanStats MakeSpan(int features, uint64_t seed) {
+  dataspan::SchemaConfig config;
+  config.num_features = features;
+  dataspan::SpanStatsGenerator gen(config, common::Rng(seed));
+  return gen.NextSpan();
+}
+
+void BM_SpanPairEmd(benchmark::State& state) {
+  const auto a = MakeSpan(static_cast<int>(state.range(0)), 5);
+  const auto b = MakeSpan(static_cast<int>(state.range(0)), 6);
+  similarity::SpanSimilarityCalculator calc(
+      similarity::FeatureSimilarityOptions{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(calc.SpanPairSimilarity(a, b));
+  }
+}
+BENCHMARK(BM_SpanPairEmd)->Arg(16)->Arg(48);
+
+void BM_SpanPairPositionalCached(benchmark::State& state) {
+  const auto a = MakeSpan(static_cast<int>(state.range(0)), 5);
+  const auto b = MakeSpan(static_cast<int>(state.range(0)), 6);
+  similarity::FeatureSimilarityOptions options;
+  options.soft_hash = true;
+  options.lsh.num_hashes = 16;
+  similarity::SpanSimilarityCalculator calc(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(calc.PositionalSimilarityCached(1, a, 2, b));
+    state.PauseTiming();
+    calc.ClearCache();
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_SpanPairPositionalCached)->Arg(16)->Arg(48);
+
+}  // namespace
+}  // namespace mlprov
+
+BENCHMARK_MAIN();

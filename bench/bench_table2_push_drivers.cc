@@ -1,0 +1,42 @@
+// Reproduces Table 2: input-data similarity and code match vs the
+// immediately preceding graphlet, split by push outcome — the paper's
+// evidence that neither data drift nor code change alone explains
+// unpushed graphlets.
+#include <cstdio>
+
+#include "bench/report_common.h"
+
+namespace mlprov {
+namespace {
+
+int Run(int argc, char** argv) {
+  bench::ReportContext ctx(argc, argv, "Table 2: push vs drift and code",
+                           400);
+  const core::SegmentedCorpus segmented = core::SegmentCorpus(ctx.corpus);
+  const core::PushDriverStats stats =
+      core::ComputePushDrivers(ctx.corpus, segmented);
+
+  using T = common::TextTable;
+  T table({"", "mu_pushed", "mu_unpushed", "mu (all)"});
+  table.AddRow({"Input data similarity (paper)", "0.109", "0.099", "0.101"});
+  table.AddRow({"Input data similarity (measured)",
+                T::Num(stats.input_similarity_pushed, 3),
+                T::Num(stats.input_similarity_unpushed, 3),
+                T::Num(stats.input_similarity_all, 3)});
+  table.AddRow({"Code match (paper)", "0.838", "0.846", "0.845"});
+  table.AddRow({"Code match (measured)",
+                T::Num(stats.code_match_pushed, 3),
+                T::Num(stats.code_match_unpushed, 3),
+                T::Num(stats.code_match_all, 3)});
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "reproduced property: no large marginal difference between pushed\n"
+      "and unpushed graphlets on either signal — single-signal heuristics\n"
+      "cannot explain push outcomes (Section 4.3.2 hypotheses 3 and 4).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace mlprov
+
+int main(int argc, char** argv) { return mlprov::Run(argc, argv); }

@@ -1,0 +1,69 @@
+#ifndef MLPROV_BENCH_REPORT_COMMON_H_
+#define MLPROV_BENCH_REPORT_COMMON_H_
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "common/flags.h"
+#include "common/histogram.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/graphlet_analysis.h"
+#include "simulator/corpus_generator.h"
+
+namespace mlprov::bench {
+
+/// Shared setup for the per-figure report harnesses: parses the standard
+/// flags (--pipelines=, --seed=, --horizon_days=), generates the corpus,
+/// and reports wall-clock timings. Every report binary prints "paper"
+/// reference values next to the values measured on the simulated corpus;
+/// absolute agreement is not expected (the substrate is a simulator), the
+/// reproduced quantity is the *shape* (see EXPERIMENTS.md).
+struct ReportContext {
+  common::Flags flags;
+  sim::CorpusConfig config;
+  sim::Corpus corpus;
+  double generation_seconds = 0.0;
+
+  ReportContext(int argc, char** argv, const char* title,
+                int default_pipelines = 600)
+      : flags(argc, argv) {
+    config.num_pipelines =
+        static_cast<int>(flags.GetInt("pipelines", default_pipelines));
+    config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+    config.horizon_days = flags.GetDouble("horizon_days", 130.0);
+    std::printf("=== %s ===\n", title);
+    std::printf("corpus: %d pipelines, seed %llu, horizon %.0f days\n",
+                config.num_pipelines,
+                static_cast<unsigned long long>(config.seed),
+                config.horizon_days);
+    const auto start = std::chrono::steady_clock::now();
+    corpus = sim::GenerateCorpus(config);
+    generation_seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+    std::printf(
+        "generated %zu executions, %zu artifacts, %zu trainer runs "
+        "in %.1fs\n\n",
+        corpus.TotalExecutions(), corpus.TotalArtifacts(),
+        corpus.TotalTrainerRuns(), generation_seconds);
+  }
+};
+
+/// Renders a distribution row: mean / median / p90 / p99 / max.
+inline std::vector<std::string> DistRow(const std::string& name,
+                                        const std::vector<double>& values) {
+  using common::Quantile;
+  using T = common::TextTable;
+  return {name,
+          T::Num(common::Mean(values), 2),
+          T::Num(common::Quantile(values, 0.5), 2),
+          T::Num(Quantile(values, 0.9), 2),
+          T::Num(Quantile(values, 0.99), 2),
+          T::Num(Quantile(values, 1.0), 2)};
+}
+
+}  // namespace mlprov::bench
+
+#endif  // MLPROV_BENCH_REPORT_COMMON_H_

@@ -1,0 +1,58 @@
+// Drift monitor: watch a stream of data spans and flag distribution
+// drift using the Appendix B machinery — per-feature S2JSD-LSH hashes,
+// Eq. 2 feature similarity, and span-pair similarity. This is the
+// "data validation to safeguard against data errors and drift" use case
+// the paper motivates in Section 4.2.
+#include <cstdio>
+
+#include "common/flags.h"
+#include "common/rng.h"
+#include "dataspan/span_stats.h"
+#include "similarity/span_similarity.h"
+
+using namespace mlprov;  // NOLINT: example brevity
+
+int main(int argc, char** argv) {
+  common::Flags flags(argc, argv);
+  const int num_spans = static_cast<int>(flags.GetInt("spans", 30));
+
+  dataspan::SchemaConfig schema;
+  schema.num_features = static_cast<int>(flags.GetInt("features", 24));
+  dataspan::SpanStatsGenerator generator(
+      schema, common::Rng(static_cast<uint64_t>(flags.GetInt("seed", 3))));
+
+  // Soft-hash similarity reacts smoothly to drift magnitude.
+  similarity::FeatureSimilarityOptions options;
+  options.alpha = 0.8;
+  options.beta = 0.2;
+  options.soft_hash = true;
+  options.lsh.num_hashes = 16;
+  options.lsh.bucket_width = 0.1;
+  similarity::SpanSimilarityCalculator calc(options);
+
+  std::printf("monitoring %d spans of %d features; shocks injected at "
+              "spans 12 and 22\n\n",
+              num_spans, schema.num_features);
+  std::printf("%6s  %12s  %s\n", "span", "similarity", "assessment");
+
+  const double alert_threshold = 0.55;
+  dataspan::SpanStats previous = generator.NextSpan();
+  for (int t = 1; t < num_spans; ++t) {
+    if (t == 12) generator.Shock(1.2);  // upstream pipeline change
+    if (t == 22) generator.Shock(0.5);  // milder schema shift
+    dataspan::SpanStats current = generator.NextSpan();
+    const double sim =
+        calc.PositionalSimilarityCached(t - 1, previous, t, current);
+    const char* assessment = sim >= alert_threshold
+                                 ? "ok"
+                                 : "DRIFT ALERT - block downstream";
+    std::printf("%6d  %12.3f  %s\n", t, sim, assessment);
+    previous = std::move(current);
+  }
+
+  std::printf(
+      "\nthe two injected shocks surface as sharp similarity drops; the\n"
+      "paper's production pipelines would route such spans to the\n"
+      "ExampleValidator, blocking training on anomalous data.\n");
+  return 0;
+}

@@ -1,0 +1,32 @@
+#ifndef MLPROV_COMMON_FLAGS_H_
+#define MLPROV_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace mlprov::common {
+
+/// Tiny `--key=value` command-line parser used by example and bench
+/// binaries. Unrecognized positional arguments are ignored so that the
+/// binaries also run cleanly under harnesses that pass extra arguments.
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  /// Returns the flag's value or `def` if absent/unparsable.
+  int64_t GetInt(const std::string& name, int64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  std::string GetString(const std::string& name,
+                        const std::string& def) const;
+  bool GetBool(const std::string& name, bool def) const;
+
+  bool Has(const std::string& name) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace mlprov::common
+
+#endif  // MLPROV_COMMON_FLAGS_H_

@@ -1,0 +1,95 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace mlprov::common {
+
+Histogram Histogram::Linear(double lo, double hi, size_t buckets) {
+  assert(hi > lo && buckets >= 1);
+  return Histogram(lo, hi, buckets, /*log_scale=*/false);
+}
+
+Histogram Histogram::Log10(double lo, double hi, size_t buckets) {
+  assert(lo > 0.0 && hi > lo && buckets >= 1);
+  return Histogram(std::log10(lo), std::log10(hi), buckets,
+                   /*log_scale=*/true);
+}
+
+Histogram::Histogram(double lo, double hi, size_t buckets, bool log_scale)
+    : lo_(lo), hi_(hi), log_scale_(log_scale), counts_(buckets, 0) {}
+
+size_t Histogram::BucketIndex(double x) const {
+  double v = x;
+  if (log_scale_) {
+    v = x > 0.0 ? std::log10(x) : lo_;
+  }
+  if (v <= lo_) return 0;
+  if (v >= hi_) return counts_.size() - 1;
+  const double frac = (v - lo_) / (hi_ - lo_);
+  const auto idx = static_cast<size_t>(frac *
+                                       static_cast<double>(counts_.size()));
+  return std::min(idx, counts_.size() - 1);
+}
+
+double Histogram::EdgeAt(size_t i) const {
+  const double t = lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                             static_cast<double>(counts_.size());
+  return log_scale_ ? std::pow(10.0, t) : t;
+}
+
+void Histogram::Add(double x) {
+  ++counts_[BucketIndex(x)];
+  ++total_;
+}
+
+void Histogram::AddN(const std::vector<double>& xs) {
+  for (double x : xs) Add(x);
+}
+
+std::vector<HistogramBucket> Histogram::Buckets() const {
+  std::vector<HistogramBucket> out(counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    out[i].lo = EdgeAt(i);
+    out[i].hi = EdgeAt(i + 1);
+    out[i].count = counts_[i];
+    out[i].fraction =
+        total_ ? static_cast<double>(counts_[i]) / static_cast<double>(total_)
+               : 0.0;
+  }
+  return out;
+}
+
+std::vector<double> Histogram::Cdf() const {
+  std::vector<double> cdf(counts_.size(), 0.0);
+  size_t running = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    running += counts_[i];
+    cdf[i] = total_ ? static_cast<double>(running) /
+                          static_cast<double>(total_)
+                    : 0.0;
+  }
+  return cdf;
+}
+
+std::string Histogram::Render(const std::string& label, size_t width) const {
+  std::string out = label + " (n=" + std::to_string(total_) + ")\n";
+  size_t max_count = 1;
+  for (size_t c : counts_) max_count = std::max(max_count, c);
+  char buf[128];
+  for (const HistogramBucket& b : Buckets()) {
+    std::snprintf(buf, sizeof(buf), "  [%11.3f, %11.3f) %8zu %6.2f%% ",
+                  b.lo, b.hi, b.count, 100.0 * b.fraction);
+    out += buf;
+    const auto bar = static_cast<size_t>(
+        static_cast<double>(b.count) / static_cast<double>(max_count) *
+        static_cast<double>(width));
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace mlprov::common

@@ -1,0 +1,63 @@
+#ifndef MLPROV_COMMON_HISTOGRAM_H_
+#define MLPROV_COMMON_HISTOGRAM_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mlprov::common {
+
+/// A bucket of a rendered histogram: [lo, hi) with `count` samples.
+struct HistogramBucket {
+  double lo = 0.0;
+  double hi = 0.0;
+  size_t count = 0;
+  /// Fraction of total samples in this bucket.
+  double fraction = 0.0;
+};
+
+/// Fixed-bucket histogram over a linear or log-spaced domain. This is the
+/// workhorse for reproducing the paper's PDF/CDF figures: build one over the
+/// measured samples and render it as text.
+class Histogram {
+ public:
+  /// Linear buckets covering [lo, hi); values outside are clamped into the
+  /// first/last bucket. Requires hi > lo and buckets >= 1.
+  static Histogram Linear(double lo, double hi, size_t buckets);
+
+  /// Log10-spaced buckets covering [lo, hi); requires 0 < lo < hi.
+  /// Non-positive samples are clamped into the first bucket.
+  static Histogram Log10(double lo, double hi, size_t buckets);
+
+  void Add(double x);
+  void AddN(const std::vector<double>& xs);
+
+  size_t total_count() const { return total_; }
+  size_t num_buckets() const { return counts_.size(); }
+
+  /// Materializes the buckets with boundaries and fractions.
+  std::vector<HistogramBucket> Buckets() const;
+
+  /// Cumulative fraction at each bucket's upper edge.
+  std::vector<double> Cdf() const;
+
+  /// Renders an ASCII bar chart (one line per bucket) for reports.
+  /// `label` prefixes the chart; `width` is the max bar width in chars.
+  std::string Render(const std::string& label, size_t width = 50) const;
+
+ private:
+  Histogram(double lo, double hi, size_t buckets, bool log_scale);
+
+  size_t BucketIndex(double x) const;
+  double EdgeAt(size_t i) const;  // lower edge of bucket i
+
+  double lo_;
+  double hi_;
+  bool log_scale_;
+  std::vector<size_t> counts_;
+  size_t total_ = 0;
+};
+
+}  // namespace mlprov::common
+
+#endif  // MLPROV_COMMON_HISTOGRAM_H_

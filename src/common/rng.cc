@@ -1,0 +1,171 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace mlprov::common {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& si : s_) si = SplitMix64(sm);
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextUint64(uint64_t n) {
+  assert(n > 0);
+  // Lemire's nearly-divisionless bounded sampling with rejection.
+  uint64_t x = NextUint64();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto lo = static_cast<uint64_t>(m);
+  if (lo < n) {
+    const uint64_t threshold = -n % n;
+    while (lo < threshold) {
+      x = NextUint64();
+      m = static_cast<__uint128_t>(x) * n;
+      lo = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<int64_t>(NextUint64());  // full range
+  return lo + static_cast<int64_t>(NextUint64(range));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::Normal(double mean, double stddev) {
+  // Box-Muller; draws two uniforms per call (the second variate is
+  // discarded to keep the generator stateless beyond its core stream).
+  double u1 = NextDouble();
+  while (u1 <= 0.0) u1 = NextDouble();
+  const double u2 = NextDouble();
+  const double z = std::sqrt(-2.0 * std::log(u1)) *
+                   std::cos(2.0 * M_PI * u2);
+  return mean + stddev * z;
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  return std::exp(Normal(mu, sigma));
+}
+
+double Rng::Exponential(double lambda) {
+  assert(lambda > 0.0);
+  double u = NextDouble();
+  while (u <= 0.0) u = NextDouble();
+  return -std::log(u) / lambda;
+}
+
+double Rng::Pareto(double x_m, double alpha) {
+  assert(x_m > 0.0 && alpha > 0.0);
+  double u = NextDouble();
+  while (u <= 0.0) u = NextDouble();
+  return x_m / std::pow(u, 1.0 / alpha);
+}
+
+int64_t Rng::Poisson(double mean) {
+  assert(mean >= 0.0);
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth inversion.
+    const double limit = std::exp(-mean);
+    double product = NextDouble();
+    int64_t count = 0;
+    while (product > limit) {
+      ++count;
+      product *= NextDouble();
+    }
+    return count;
+  }
+  // Normal approximation with continuity correction; adequate for the
+  // workload-cadence use cases in this library.
+  const double value = Normal(mean, std::sqrt(mean));
+  return value < 0.0 ? 0 : static_cast<int64_t>(value + 0.5);
+}
+
+int64_t Rng::Zipf(int64_t n, double s) {
+  assert(n >= 1);
+  if (n == 1) return 1;
+  if (s <= 0.0) return UniformInt(1, n);
+  // Rejection-inversion sampling (Hormann & Derflinger 1996).
+  const double nd = static_cast<double>(n);
+  auto h = [s](double x) {
+    if (std::abs(s - 1.0) < 1e-12) return std::log(x);
+    return (std::pow(x, 1.0 - s) - 1.0) / (1.0 - s);
+  };
+  auto h_inv = [s](double y) {
+    if (std::abs(s - 1.0) < 1e-12) return std::exp(y);
+    return std::pow(1.0 + y * (1.0 - s), 1.0 / (1.0 - s));
+  };
+  const double hx0 = h(0.5) - 1.0;  // shifted integral lower bound
+  const double hn = h(nd + 0.5);
+  while (true) {
+    const double u = hx0 + NextDouble() * (hn - hx0);
+    const double x = h_inv(u);
+    const auto k = static_cast<int64_t>(x + 0.5);
+    if (k < 1) continue;
+    if (k > n) continue;
+    const double kd = static_cast<double>(k);
+    if (u >= h(kd + 0.5) - std::pow(kd, -s)) continue;
+    return k;
+  }
+}
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  assert(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    if (w > 0.0) total += w;
+  }
+  if (total <= 0.0) return static_cast<size_t>(NextUint64(weights.size()));
+  double target = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] <= 0.0) continue;
+    target -= weights[i];
+    if (target <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::Fork() { return Rng(NextUint64() ^ 0xD1B54A32D192ED03ull); }
+
+}  // namespace mlprov::common

@@ -1,0 +1,67 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace mlprov::common {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::Pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string TextTable::Render() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += ' ';
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+      line += " |";
+    }
+    return line + "\n";
+  };
+  std::string sep = "+";
+  for (size_t w : widths) {
+    sep.append(w + 2, '-');
+    sep += '+';
+  }
+  sep += '\n';
+
+  std::string out = sep + render_row(header_) + sep;
+  for (const auto& row : rows_) out += render_row(row);
+  out += sep;
+  return out;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace mlprov::common

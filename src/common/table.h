@@ -1,0 +1,37 @@
+#ifndef MLPROV_COMMON_TABLE_H_
+#define MLPROV_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace mlprov::common {
+
+/// Minimal aligned ASCII table writer for benchmark reports. All bench
+/// binaries render their "paper vs measured" rows through this class so the
+/// report format is uniform across experiments.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; short rows are padded with empty cells, long rows are
+  /// truncated to the header width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 3);
+  /// Formats a fraction as a percentage string, e.g. "57.3%".
+  static std::string Pct(double fraction, int precision = 1);
+
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Writes `content` to `path`; returns false on I/O failure.
+bool WriteFile(const std::string& path, const std::string& content);
+
+}  // namespace mlprov::common
+
+#endif  // MLPROV_COMMON_TABLE_H_

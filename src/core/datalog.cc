@@ -1,0 +1,178 @@
+#include "core/datalog.h"
+
+#include <algorithm>
+
+namespace mlprov::core {
+
+void Datalog::AddFact(const std::string& predicate,
+                      const std::vector<int64_t>& tuple) {
+  relations_[predicate].insert(tuple);
+}
+
+void Datalog::AddRule(Rule rule) { rules_.push_back(std::move(rule)); }
+
+bool Datalog::Unify(const Atom& atom, const Tuple& tuple,
+                    std::map<std::string, int64_t>& bindings) {
+  if (atom.terms.size() != tuple.size()) return false;
+  // Record added bindings so the caller can undo on failure via a copy;
+  // we instead work on a copy-on-write pattern: caller passes a copy.
+  for (size_t i = 0; i < atom.terms.size(); ++i) {
+    const Term& term = atom.terms[i];
+    if (term.is_constant) {
+      if (term.constant != tuple[i]) return false;
+    } else {
+      auto it = bindings.find(term.variable);
+      if (it == bindings.end()) {
+        bindings[term.variable] = tuple[i];
+      } else if (it->second != tuple[i]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void Datalog::MatchBody(const Rule& rule, size_t atom_index,
+                        size_t delta_atom_index,
+                        const std::map<std::string, Relation>& delta,
+                        std::map<std::string, int64_t>& bindings,
+                        Relation& out) const {
+  if (atom_index == rule.body.size()) {
+    // All atoms satisfied: emit the head tuple.
+    Tuple head_tuple;
+    head_tuple.reserve(rule.head.terms.size());
+    for (const Term& term : rule.head.terms) {
+      if (term.is_constant) {
+        head_tuple.push_back(term.constant);
+      } else {
+        head_tuple.push_back(bindings.at(term.variable));
+      }
+    }
+    out.insert(std::move(head_tuple));
+    return;
+  }
+  const Atom& atom = rule.body[atom_index];
+  if (atom.negated) {
+    // All variables must be bound by now (checked in Evaluate).
+    Tuple probe;
+    probe.reserve(atom.terms.size());
+    for (const Term& term : atom.terms) {
+      probe.push_back(term.is_constant ? term.constant
+                                       : bindings.at(term.variable));
+    }
+    auto it = relations_.find(atom.predicate);
+    const bool present = it != relations_.end() && it->second.count(probe);
+    if (!present) {
+      MatchBody(rule, atom_index + 1, delta_atom_index, delta, bindings,
+                out);
+    }
+    return;
+  }
+  const Relation* source = nullptr;
+  if (atom_index == delta_atom_index) {
+    auto it = delta.find(atom.predicate);
+    if (it == delta.end()) return;
+    source = &it->second;
+  } else {
+    auto it = relations_.find(atom.predicate);
+    if (it == relations_.end()) return;
+    source = &it->second;
+  }
+  for (const Tuple& tuple : *source) {
+    std::map<std::string, int64_t> extended = bindings;
+    if (Unify(atom, tuple, extended)) {
+      MatchBody(rule, atom_index + 1, delta_atom_index, delta, extended,
+                out);
+    }
+  }
+}
+
+void Datalog::EvaluateRule(const Rule& rule, size_t delta_atom_index,
+                           const std::map<std::string, Relation>& delta,
+                           Relation& out) const {
+  std::map<std::string, int64_t> bindings;
+  MatchBody(rule, 0, delta_atom_index, delta, bindings, out);
+}
+
+common::Status Datalog::Evaluate() {
+  // Safety checks: every head variable and every variable of a negated
+  // atom must appear in a preceding positive body atom.
+  for (const Rule& rule : rules_) {
+    std::set<std::string> bound;
+    for (const Atom& atom : rule.body) {
+      if (atom.negated) {
+        for (const Term& term : atom.terms) {
+          if (!term.is_constant && !bound.count(term.variable)) {
+            return common::Status::InvalidArgument(
+                "negated atom variable '" + term.variable +
+                "' not bound by a preceding positive atom");
+          }
+        }
+      } else {
+        for (const Term& term : atom.terms) {
+          if (!term.is_constant) bound.insert(term.variable);
+        }
+      }
+    }
+    for (const Term& term : rule.head.terms) {
+      if (!term.is_constant && !bound.count(term.variable)) {
+        return common::Status::InvalidArgument(
+            "unsafe rule: head variable '" + term.variable +
+            "' unbound");
+      }
+    }
+  }
+
+  // Naive first round: evaluate every rule against the full database.
+  std::map<std::string, Relation> delta;
+  for (const Rule& rule : rules_) {
+    Relation derived;
+    EvaluateRule(rule, static_cast<size_t>(-1), delta, derived);
+    for (const Tuple& tuple : derived) {
+      if (relations_[rule.head.predicate].insert(tuple).second) {
+        delta[rule.head.predicate].insert(tuple);
+      }
+    }
+  }
+
+  // Semi-naive rounds: each rule instantiation must use at least one
+  // delta atom.
+  while (!delta.empty()) {
+    std::map<std::string, Relation> next_delta;
+    for (const Rule& rule : rules_) {
+      for (size_t i = 0; i < rule.body.size(); ++i) {
+        if (rule.body[i].negated) continue;
+        if (!delta.count(rule.body[i].predicate)) continue;
+        Relation derived;
+        EvaluateRule(rule, i, delta, derived);
+        for (const Tuple& tuple : derived) {
+          if (relations_[rule.head.predicate].insert(tuple).second) {
+            next_delta[rule.head.predicate].insert(tuple);
+          }
+        }
+      }
+    }
+    delta = std::move(next_delta);
+  }
+  return common::Status::Ok();
+}
+
+std::vector<std::vector<int64_t>> Datalog::Tuples(
+    const std::string& predicate) const {
+  auto it = relations_.find(predicate);
+  if (it == relations_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+bool Datalog::Contains(const std::string& predicate,
+                       const std::vector<int64_t>& tuple) const {
+  auto it = relations_.find(predicate);
+  return it != relations_.end() && it->second.count(tuple) > 0;
+}
+
+size_t Datalog::NumFacts(const std::string& predicate) const {
+  auto it = relations_.find(predicate);
+  return it == relations_.end() ? 0 : it->second.size();
+}
+
+}  // namespace mlprov::core

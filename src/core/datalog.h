@@ -1,0 +1,109 @@
+#ifndef MLPROV_CORE_DATALOG_H_
+#define MLPROV_CORE_DATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mlprov::core {
+
+/// A tiny in-memory datalog engine, sufficient to express the graphlet
+/// segmentation queries of the paper's Appendix A (and small enough to
+/// audit). It supports:
+///  - extensional relations of arbitrary arity over int64 constants;
+///  - rules whose bodies are conjunctions of positive atoms plus optional
+///    negated atoms (negation is stratified: negated predicates must be
+///    fully derived before use, which holds for Appendix A where only the
+///    extensional `sc` predicate is negated);
+///  - semi-naive bottom-up evaluation to fixpoint.
+///
+/// Variables are written as strings in atoms; constants are bound via
+/// Atom::Constant.
+class Datalog {
+ public:
+  /// One term of an atom: either a variable name or a constant.
+  struct Term {
+    bool is_constant = false;
+    int64_t constant = 0;
+    std::string variable;
+
+    static Term Var(std::string name) {
+      Term t;
+      t.variable = std::move(name);
+      return t;
+    }
+    static Term Constant(int64_t value) {
+      Term t;
+      t.is_constant = true;
+      t.constant = value;
+      return t;
+    }
+  };
+
+  /// predicate(term, term, ...)
+  struct Atom {
+    std::string predicate;
+    std::vector<Term> terms;
+    bool negated = false;
+  };
+
+  /// head :- body[0], body[1], ... (negated atoms allowed in the body).
+  struct Rule {
+    Atom head;
+    std::vector<Atom> body;
+  };
+
+  /// Declares a relation and inserts facts. Arity is fixed by the first
+  /// insertion.
+  void AddFact(const std::string& predicate,
+               const std::vector<int64_t>& tuple);
+
+  void AddRule(Rule rule);
+
+  /// Runs semi-naive evaluation until no new facts are derived. Returns an
+  /// error for unsafe rules (head variable not bound by a positive body
+  /// atom) or arity mismatches discovered during evaluation.
+  common::Status Evaluate();
+
+  /// All derived + extensional tuples of a predicate (sorted).
+  std::vector<std::vector<int64_t>> Tuples(
+      const std::string& predicate) const;
+
+  /// Membership test for a fact.
+  bool Contains(const std::string& predicate,
+                const std::vector<int64_t>& tuple) const;
+
+  size_t NumFacts(const std::string& predicate) const;
+
+ private:
+  using Tuple = std::vector<int64_t>;
+  using Relation = std::set<Tuple>;
+
+  /// Attempts to bind `atom` against `tuple` under `bindings`; returns
+  /// false on mismatch. On success, extends `bindings`.
+  static bool Unify(const Atom& atom, const Tuple& tuple,
+                    std::map<std::string, int64_t>& bindings);
+
+  /// Evaluates one rule given that `delta_atom_index` must use the delta
+  /// relation; appends newly derived tuples to `out`.
+  void EvaluateRule(const Rule& rule, size_t delta_atom_index,
+                    const std::map<std::string, Relation>& delta,
+                    Relation& out) const;
+
+  void MatchBody(const Rule& rule, size_t atom_index,
+                 size_t delta_atom_index,
+                 const std::map<std::string, Relation>& delta,
+                 std::map<std::string, int64_t>& bindings,
+                 Relation& out) const;
+
+  std::map<std::string, Relation> relations_;
+  std::vector<Rule> rules_;
+};
+
+}  // namespace mlprov::core
+
+#endif  // MLPROV_CORE_DATALOG_H_

@@ -1,0 +1,281 @@
+#include "core/features.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+
+namespace mlprov::core {
+
+using metadata::ExecutionType;
+
+namespace {
+
+constexpr ExecutionType kPreTypes[] = {
+    ExecutionType::kExampleGen,     ExecutionType::kStatisticsGen,
+    ExecutionType::kSchemaGen,      ExecutionType::kExampleValidator,
+    ExecutionType::kTransform,      ExecutionType::kTuner,
+    ExecutionType::kCustom};
+constexpr ExecutionType kPostTypes[] = {ExecutionType::kEvaluator,
+                                        ExecutionType::kModelValidator,
+                                        ExecutionType::kInfraValidator};
+
+/// Shape statistics for one operator type within a graphlet.
+struct OpShape {
+  double count = 0.0;
+  double avg_in = 0.0;
+  double avg_out = 0.0;
+};
+
+OpShape ShapeOf(const metadata::MetadataStore& store,
+                const std::vector<metadata::ExecutionId>& executions,
+                ExecutionType type) {
+  OpShape shape;
+  double in_sum = 0.0, out_sum = 0.0;
+  for (metadata::ExecutionId id : executions) {
+    if (store.executions()[static_cast<size_t>(id) - 1].type != type) {
+      continue;
+    }
+    shape.count += 1.0;
+    in_sum += static_cast<double>(store.InputsOf(id).size());
+    out_sum += static_cast<double>(store.OutputsOf(id).size());
+  }
+  if (shape.count > 0.0) {
+    shape.avg_in = in_sum / shape.count;
+    shape.avg_out = out_sum / shape.count;
+  }
+  return shape;
+}
+
+double StageCost(const metadata::MetadataStore& store,
+                 const std::vector<metadata::ExecutionId>& executions,
+                 const std::vector<ExecutionType>& types) {
+  double total = 0.0;
+  for (metadata::ExecutionId id : executions) {
+    const auto& e = store.executions()[static_cast<size_t>(id) - 1];
+    for (ExecutionType t : types) {
+      if (e.type == t) {
+        total += e.compute_cost;
+        break;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+const char* ToString(FeatureGroup group) {
+  switch (group) {
+    case FeatureGroup::kModelInfo:
+      return "model-info";
+    case FeatureGroup::kInputData:
+      return "input-data";
+    case FeatureGroup::kCodeChange:
+      return "code-change";
+    case FeatureGroup::kShapePre:
+      return "shape-pre";
+    case FeatureGroup::kShapeTrainer:
+      return "shape-trainer";
+    case FeatureGroup::kShapePost:
+      return "shape-post";
+  }
+  return "unknown";
+}
+
+std::vector<size_t> WasteDataset::ColumnsFor(
+    const std::vector<FeatureGroup>& groups) const {
+  std::vector<size_t> columns;
+  for (FeatureGroup g : groups) {
+    const auto& cols = group_columns[static_cast<size_t>(g)];
+    columns.insert(columns.end(), cols.begin(), cols.end());
+  }
+  std::sort(columns.begin(), columns.end());
+  columns.erase(std::unique(columns.begin(), columns.end()),
+                columns.end());
+  return columns;
+}
+
+WasteDataset BuildWasteDataset(const sim::Corpus& corpus,
+                               const SegmentedCorpus& segmented,
+                               const FeatureOptions& options) {
+  WasteDataset out;
+  const int window = std::max(1, options.history_window);
+
+  // Assemble the schema: names + group-column registry.
+  std::vector<std::string> names;
+  auto add_column = [&](FeatureGroup group, const std::string& name) {
+    out.group_columns[static_cast<size_t>(group)].push_back(names.size());
+    names.push_back(name);
+  };
+  for (int t = 0; t < metadata::kNumModelTypes; ++t) {
+    add_column(FeatureGroup::kModelInfo,
+               std::string("model_type_") +
+                   metadata::ToString(static_cast<metadata::ModelType>(t)));
+  }
+  for (int a = 0; a < 5; ++a) {
+    add_column(FeatureGroup::kModelInfo,
+               "architecture_" + std::to_string(a));
+  }
+  for (int l = 1; l <= window; ++l) {
+    add_column(FeatureGroup::kInputData,
+               "jaccard_" + std::to_string(l));
+    add_column(FeatureGroup::kInputData,
+               "dataset_sim_" + std::to_string(l));
+  }
+  // Deviation of the lag-1 similarities from their trailing per-pipeline
+  // baseline: pipelines differ in their similarity *levels* (feature
+  // composition drives the hash-collision base rate), so the deviation
+  // is the portable signal.
+  add_column(FeatureGroup::kInputData, "jaccard_rel_1");
+  add_column(FeatureGroup::kInputData, "dataset_sim_rel_1");
+  // Hours since the previous trainer started: ~0 for parallel A/B
+  // siblings of the same trigger (whose inputs are identical by design),
+  // larger for genuine retrains. Metadata-only, available at ingestion.
+  add_column(FeatureGroup::kInputData, "prev_trainer_gap_hours");
+  for (int l = 1; l <= window; ++l) {
+    add_column(FeatureGroup::kCodeChange,
+               "code_match_" + std::to_string(l));
+  }
+  for (ExecutionType t : kPreTypes) {
+    const std::string base = metadata::ToString(t);
+    add_column(FeatureGroup::kShapePre, base + "_count");
+    add_column(FeatureGroup::kShapePre, base + "_avg_in");
+    add_column(FeatureGroup::kShapePre, base + "_avg_out");
+  }
+  add_column(FeatureGroup::kShapeTrainer, "Trainer_count");
+  add_column(FeatureGroup::kShapeTrainer, "Trainer_avg_in");
+  add_column(FeatureGroup::kShapeTrainer, "Trainer_avg_out");
+  for (ExecutionType t : kPostTypes) {
+    const std::string base = metadata::ToString(t);
+    add_column(FeatureGroup::kShapePost, base + "_count");
+    add_column(FeatureGroup::kShapePost, base + "_avg_in");
+    add_column(FeatureGroup::kShapePost, base + "_avg_out");
+  }
+  out.data = ml::Dataset(names);
+
+  const std::vector<ExecutionType> input_types = {
+      ExecutionType::kExampleGen, ExecutionType::kStatisticsGen,
+      ExecutionType::kSchemaGen, ExecutionType::kExampleValidator};
+  const std::vector<ExecutionType> pre_types = {ExecutionType::kTransform,
+                                                ExecutionType::kTuner,
+                                                ExecutionType::kCustom};
+  const std::vector<ExecutionType> post_types = {
+      ExecutionType::kEvaluator, ExecutionType::kModelValidator,
+      ExecutionType::kInfraValidator};
+
+  std::vector<double> row(names.size(), 0.0);
+  for (const SegmentedPipeline& sp : segmented.pipelines) {
+    const sim::PipelineTrace& trace = corpus.pipelines[sp.pipeline_index];
+    if (options.exclude_warmstart_pipelines && trace.config.warm_start) {
+      continue;
+    }
+    if (sp.graphlets.empty()) continue;
+    ++out.num_pipelines;
+    similarity::SpanSimilarityCalculator calc(
+        options.similarity.feature_options);
+    // Trailing means for the *_rel_1 features.
+    common::RunningStats jaccard_baseline, dsim_baseline;
+    for (size_t i = 0; i < sp.graphlets.size(); ++i) {
+      const Graphlet& g = sp.graphlets[i];
+      std::fill(row.begin(), row.end(), 0.0);
+      size_t col = 0;
+      // Model info one-hots.
+      for (int t = 0; t < metadata::kNumModelTypes; ++t) {
+        row[col++] =
+            static_cast<int>(g.model_type) == t ? 1.0 : 0.0;
+      }
+      for (int a = 0; a < 5; ++a) {
+        row[col++] = g.architecture == a ? 1.0 : 0.0;
+      }
+      // History features.
+      double jaccard_1 = 0.0, dsim_1 = 0.0;
+      for (int l = 1; l <= window; ++l) {
+        if (i >= static_cast<size_t>(l)) {
+          const Graphlet& prev = sp.graphlets[i - static_cast<size_t>(l)];
+          const double jaccard = GraphletJaccard(g, prev);
+          const double dsim = GraphletDatasetSimilarity(
+              trace, g, prev, calc,
+              options.similarity.positional_features);
+          row[col++] = jaccard;
+          row[col++] = dsim;
+          if (l == 1) {
+            jaccard_1 = jaccard;
+            dsim_1 = dsim;
+          }
+        } else {
+          row[col++] = 0.0;
+          row[col++] = 0.0;
+        }
+      }
+      row[col++] =
+          jaccard_baseline.count() ? jaccard_1 - jaccard_baseline.mean()
+                                   : 0.0;
+      row[col++] =
+          dsim_baseline.count() ? dsim_1 - dsim_baseline.mean() : 0.0;
+      row[col++] =
+          i >= 1 ? std::min(
+                       1000.0,
+                       static_cast<double>(
+                           g.trainer_start -
+                           sp.graphlets[i - 1].trainer_start) /
+                           3600.0)
+                 : 0.0;
+      if (i >= 1) {
+        jaccard_baseline.Add(jaccard_1);
+        dsim_baseline.Add(dsim_1);
+      }
+      for (int l = 1; l <= window; ++l) {
+        if (i >= static_cast<size_t>(l)) {
+          const Graphlet& prev = sp.graphlets[i - static_cast<size_t>(l)];
+          row[col++] = g.code_version == prev.code_version ? 1.0 : 0.0;
+        } else {
+          row[col++] = 1.0;
+        }
+      }
+      // Shape features.
+      for (ExecutionType t : kPreTypes) {
+        const OpShape shape = ShapeOf(trace.store, g.executions, t);
+        row[col++] = shape.count;
+        row[col++] = shape.avg_in;
+        row[col++] = shape.avg_out;
+      }
+      {
+        const OpShape shape =
+            ShapeOf(trace.store, g.executions, ExecutionType::kTrainer);
+        row[col++] = shape.count;
+        row[col++] = shape.avg_in;
+        row[col++] = shape.avg_out;
+      }
+      for (ExecutionType t : kPostTypes) {
+        const OpShape shape = ShapeOf(trace.store, g.executions, t);
+        row[col++] = shape.count;
+        row[col++] = shape.avg_in;
+        row[col++] = shape.avg_out;
+      }
+      out.data.AddRow(row, g.pushed ? 1 : 0,
+                      static_cast<int64_t>(sp.pipeline_index));
+      out.total_cost.push_back(g.TotalCost());
+      // Ingestion + data analysis run once per span and are shared by all
+      // graphlets touching the window; amortize them per graphlet so the
+      // Table 3 feature-cost column reflects the *incremental* cost of
+      // reaching each intervention point.
+      const double span_share =
+          1.0 / static_cast<double>(std::max<size_t>(1,
+                                                     g.input_spans.size()));
+      const double s0 =
+          StageCost(trace.store, g.executions, input_types) * span_share;
+      const double s1 =
+          s0 + StageCost(trace.store, g.executions, pre_types);
+      const double s2 = s1 + g.trainer_cost;
+      const double s3 =
+          s2 + StageCost(trace.store, g.executions, post_types);
+      out.stage_cost[0].push_back(s0);
+      out.stage_cost[1].push_back(s1);
+      out.stage_cost[2].push_back(s2);
+      out.stage_cost[3].push_back(s3);
+    }
+  }
+  return out;
+}
+
+}  // namespace mlprov::core

@@ -1,0 +1,76 @@
+#ifndef MLPROV_CORE_FEATURES_H_
+#define MLPROV_CORE_FEATURES_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/graphlet_analysis.h"
+#include "ml/dataset.h"
+
+namespace mlprov::core {
+
+/// Feature groups from Section 5.2.1. Group membership drives both the
+/// Table 3 variants (incrementally revealing shape groups) and the
+/// ablation study.
+enum class FeatureGroup {
+  kModelInfo = 0,   // model type + architecture one-hots
+  kInputData = 1,   // history-window Jaccard + dataset similarity
+  kCodeChange = 2,  // history-window code-version match indicators
+  kShapePre = 3,    // pre-trainer operator counts and avg I/O
+  kShapeTrainer = 4,  // trainer shape
+  kShapePost = 5,     // post-trainer validator shape (excl. Pusher!)
+};
+inline constexpr int kNumFeatureGroups = 6;
+const char* ToString(FeatureGroup group);
+
+struct FeatureOptions {
+  /// Number of immediately preceding graphlets used for history features
+  /// (Section 5.2.1 uses a small window; one feature per ordinal lag).
+  int history_window = 3;
+  /// Exclude graphlets from warm-starting pipelines (Section 5's corpus
+  /// filter: unpushed graphlets there are not necessarily waste).
+  bool exclude_warmstart_pipelines = true;
+  /// Similarity used for the history features. Defaults to a coarser LSH
+  /// than the Table 1 reporting metric: the predictive task benefits from
+  /// hash collisions that track gradual drift (collide under background
+  /// drift, separate after distribution shocks).
+  SimilarityOptions similarity = CoarseSimilarity();
+
+  static SimilarityOptions CoarseSimilarity() {
+    SimilarityOptions options;
+    options.feature_options.soft_hash = true;
+    options.feature_options.lsh.bucket_width = 0.10;
+    options.feature_options.lsh.num_hashes = 16;
+    options.positional_features = true;
+    return options;
+  }
+};
+
+/// The §5 learning problem: one row per graphlet, label = pushed.
+struct WasteDataset {
+  ml::Dataset data;
+  /// Column indices per feature group (for variant/ablation selection).
+  std::array<std::vector<size_t>, kNumFeatureGroups> group_columns;
+  /// Graphlet total cost per row (waste accounting in Fig 10).
+  std::vector<double> total_cost;
+  /// Cumulative pipeline cost incurred by the time each feature stage is
+  /// available, per row: [input, +pre-trainer, +trainer, +validation].
+  /// Used for Table 3's "feature cost" column.
+  std::array<std::vector<double>, 4> stage_cost;
+  /// Number of pipelines contributing rows.
+  size_t num_pipelines = 0;
+
+  /// Union of columns for a set of groups, sorted.
+  std::vector<size_t> ColumnsFor(
+      const std::vector<FeatureGroup>& groups) const;
+};
+
+/// Builds the waste-mitigation dataset from a segmented corpus.
+WasteDataset BuildWasteDataset(const sim::Corpus& corpus,
+                               const SegmentedCorpus& segmented,
+                               const FeatureOptions& options = {});
+
+}  // namespace mlprov::core
+
+#endif  // MLPROV_CORE_FEATURES_H_

@@ -1,0 +1,67 @@
+#ifndef MLPROV_CORE_GRAPHLET_H_
+#define MLPROV_CORE_GRAPHLET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "metadata/metadata_store.h"
+#include "metadata/types.h"
+
+namespace mlprov::core {
+
+/// A model graphlet (Section 4.1): the subgraph of a pipeline trace that
+/// captures one end-to-end (logical) pipeline run anchored at a single
+/// Trainer execution — its ancestor executions (rule a), the data-analysis
+/// and validation executions over its input spans (rule b), and its
+/// descendants up to the next pre-processing/training cut (rule c).
+struct Graphlet {
+  /// The anchoring Trainer execution.
+  metadata::ExecutionId trainer = metadata::kInvalidId;
+
+  /// All member executions (including the trainer), ascending id.
+  std::vector<metadata::ExecutionId> executions;
+  /// All member artifacts, ascending id.
+  std::vector<metadata::ArtifactId> artifacts;
+
+  /// Input data spans I(g) — Examples artifacts in the graphlet, ordered
+  /// by ingestion (span number / creation time). Basis of the Section 4.2
+  /// reuse and similarity analyses.
+  std::vector<metadata::ArtifactId> input_spans;
+
+  /// The produced model, or kInvalidId if the trainer failed.
+  metadata::ArtifactId model = metadata::kInvalidId;
+  /// Whether a successful Pusher execution deployed the model.
+  bool pushed = false;
+  bool trainer_succeeded = true;
+  /// Whether the trainer warm-started from a previous model.
+  bool warm_start = false;
+
+  metadata::Timestamp trainer_start = 0;
+  metadata::Timestamp trainer_end = 0;
+  /// Time extent over all member nodes (Fig 9(e)'s graphlet duration).
+  metadata::Timestamp start_time = 0;
+  metadata::Timestamp end_time = 0;
+
+  /// Compute cost split by position relative to the trainer
+  /// (pre-trainer = rules a+b minus the trainer; post = rule c).
+  double pre_trainer_cost = 0.0;
+  double trainer_cost = 0.0;
+  double post_trainer_cost = 0.0;
+
+  /// Trainer metadata properties (when present).
+  int64_t code_version = 0;
+  metadata::ModelType model_type = metadata::ModelType::kOther;
+  int architecture = 0;
+
+  double TotalCost() const {
+    return pre_trainer_cost + trainer_cost + post_trainer_cost;
+  }
+  metadata::Timestamp DurationSeconds() const {
+    return end_time - start_time;
+  }
+  size_t NumNodes() const { return executions.size() + artifacts.size(); }
+};
+
+}  // namespace mlprov::core
+
+#endif  // MLPROV_CORE_GRAPHLET_H_

@@ -1,0 +1,264 @@
+#include "core/graphlet_analysis.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+#include "metadata/types.h"
+
+namespace mlprov::core {
+
+using metadata::kSecondsPerHour;
+
+size_t SegmentedCorpus::TotalGraphlets() const {
+  size_t total = 0;
+  for (const SegmentedPipeline& p : pipelines) total += p.graphlets.size();
+  return total;
+}
+
+size_t SegmentedCorpus::TotalPushed() const {
+  size_t total = 0;
+  for (const SegmentedPipeline& p : pipelines) {
+    for (const Graphlet& g : p.graphlets) total += g.pushed ? 1 : 0;
+  }
+  return total;
+}
+
+SegmentedCorpus SegmentCorpus(const sim::Corpus& corpus,
+                              const SegmentationOptions& options) {
+  SegmentedCorpus segmented;
+  segmented.pipelines.reserve(corpus.pipelines.size());
+  for (size_t i = 0; i < corpus.pipelines.size(); ++i) {
+    SegmentedPipeline sp;
+    sp.pipeline_index = i;
+    sp.graphlets = SegmentTrace(corpus.pipelines[i].store, options);
+    segmented.pipelines.push_back(std::move(sp));
+  }
+  return segmented;
+}
+
+double GraphletJaccard(const Graphlet& a, const Graphlet& b) {
+  std::vector<int64_t> sa(a.input_spans.begin(), a.input_spans.end());
+  std::vector<int64_t> sb(b.input_spans.begin(), b.input_spans.end());
+  return similarity::JaccardSimilarity(std::move(sa), std::move(sb));
+}
+
+double GraphletDatasetSimilarity(
+    const sim::PipelineTrace& trace, const Graphlet& a, const Graphlet& b,
+    similarity::SpanSimilarityCalculator& calc, bool positional_features) {
+  std::vector<const dataspan::SpanStats*> spans_a, spans_b;
+  std::vector<int64_t> keys_a, keys_b;
+  for (metadata::ArtifactId id : a.input_spans) {
+    auto it = trace.span_stats.find(id);
+    if (it == trace.span_stats.end()) continue;
+    spans_a.push_back(&it->second);
+    keys_a.push_back(id);
+  }
+  for (metadata::ArtifactId id : b.input_spans) {
+    auto it = trace.span_stats.find(id);
+    if (it == trace.span_stats.end()) continue;
+    spans_b.push_back(&it->second);
+    keys_b.push_back(id);
+  }
+  return calc.SequenceSimilarity(spans_a, keys_a, spans_b, keys_b,
+                                 positional_features);
+}
+
+namespace {
+
+/// Index into the paper's four similarity ranges.
+size_t RangeBucket(double v) {
+  if (v <= 0.25) return 0;
+  if (v <= 0.5) return 1;
+  if (v <= 0.75) return 2;
+  return 3;
+}
+
+void NormalizeHist(std::array<double, 4>& hist) {
+  double total = 0.0;
+  for (double h : hist) total += h;
+  if (total <= 0.0) return;
+  for (double& h : hist) h /= total;
+}
+
+}  // namespace
+
+SimilarityTable ComputeSimilarityTable(const sim::Corpus& corpus,
+                                       const SegmentedCorpus& segmented,
+                                       const SimilarityOptions& options) {
+  SimilarityTable table;
+  common::RunningStats jaccard_stats, dataset_stats, avg_dataset_stats;
+  for (const SegmentedPipeline& sp : segmented.pipelines) {
+    const sim::PipelineTrace& trace = corpus.pipelines[sp.pipeline_index];
+    if (sp.graphlets.size() < 2) continue;
+    similarity::SpanSimilarityCalculator calc(options.feature_options);
+    size_t pairs = sp.graphlets.size() - 1;
+    if (options.max_pairs_per_pipeline > 0) {
+      pairs = std::min(pairs, options.max_pairs_per_pipeline);
+    }
+    common::RunningStats pipeline_dataset;
+    for (size_t i = 0; i < pairs; ++i) {
+      const Graphlet& g = sp.graphlets[i];
+      const Graphlet& next = sp.graphlets[i + 1];
+      const double jaccard = GraphletJaccard(g, next);
+      table.jaccard_hist[RangeBucket(jaccard)] += 1.0;
+      jaccard_stats.Add(jaccard);
+      const double dataset =
+          GraphletDatasetSimilarity(trace, g, next, calc);
+      table.dataset_hist[RangeBucket(dataset)] += 1.0;
+      dataset_stats.Add(dataset);
+      pipeline_dataset.Add(dataset);
+      ++table.num_pairs;
+    }
+    if (pipeline_dataset.count() > 0) {
+      const double avg = pipeline_dataset.mean();
+      table.avg_dataset_hist[RangeBucket(avg)] += 1.0;
+      avg_dataset_stats.Add(avg);
+    }
+  }
+  NormalizeHist(table.jaccard_hist);
+  NormalizeHist(table.dataset_hist);
+  NormalizeHist(table.avg_dataset_hist);
+  table.jaccard_mean = jaccard_stats.mean();
+  table.dataset_mean = dataset_stats.mean();
+  table.avg_dataset_mean = avg_dataset_stats.mean();
+  return table;
+}
+
+PushStats ComputePushStats(const SegmentedCorpus& segmented) {
+  PushStats stats;
+  std::array<size_t, metadata::kNumModelTypes> pushed_by_type = {};
+  for (const SegmentedPipeline& sp : segmented.pipelines) {
+    const auto& graphlets = sp.graphlets;
+    if (graphlets.empty()) continue;
+    common::RunningStats gap_all, gap_pushed;
+    metadata::Timestamp last_trainer_end = -1;
+    metadata::Timestamp last_pushed_end = -1;
+    int unpushed_since_push = 0;
+    bool seen_push = false;
+    for (const Graphlet& g : graphlets) {
+      ++stats.total_graphlets;
+      const auto type = static_cast<size_t>(g.model_type);
+      ++stats.graphlets_by_type[type];
+      stats.duration_hours.push_back(
+          static_cast<double>(g.DurationSeconds()) / kSecondsPerHour);
+      if (last_trainer_end >= 0) {
+        gap_all.Add(static_cast<double>(g.trainer_end - last_trainer_end) /
+                    kSecondsPerHour);
+      }
+      last_trainer_end = g.trainer_end;
+      if (g.pushed) {
+        ++stats.pushed_graphlets;
+        ++pushed_by_type[type];
+        stats.train_cost_pushed.push_back(g.trainer_cost);
+        if (last_pushed_end >= 0) {
+          gap_pushed.Add(
+              static_cast<double>(g.trainer_end - last_pushed_end) /
+              kSecondsPerHour);
+        }
+        last_pushed_end = g.trainer_end;
+        if (seen_push) {
+          stats.graphlets_between_pushes.push_back(
+              static_cast<double>(unpushed_since_push));
+        }
+        unpushed_since_push = 0;
+        seen_push = true;
+      } else {
+        stats.train_cost_unpushed.push_back(g.trainer_cost);
+        if (seen_push) ++unpushed_since_push;
+      }
+    }
+    if (gap_all.count() > 0) stats.gap_hours_all.push_back(gap_all.mean());
+    if (gap_pushed.count() > 0) {
+      stats.gap_hours_pushed.push_back(gap_pushed.mean());
+    }
+  }
+  for (size_t t = 0; t < stats.push_rate_by_type.size(); ++t) {
+    if (stats.graphlets_by_type[t] > 0) {
+      stats.push_rate_by_type[t] =
+          static_cast<double>(pushed_by_type[t]) /
+          static_cast<double>(stats.graphlets_by_type[t]);
+    }
+  }
+  return stats;
+}
+
+double PushStats::UnpushedFraction() const {
+  if (total_graphlets == 0) return 0.0;
+  return 1.0 - static_cast<double>(pushed_graphlets) /
+                   static_cast<double>(total_graphlets);
+}
+
+WasteEstimate EstimateWaste(const sim::Corpus& corpus,
+                            const SegmentedCorpus& segmented,
+                            double overlappable_cost_share) {
+  WasteEstimate estimate;
+  double total_cost = 0.0, unpushed_cost = 0.0;
+  size_t total = 0, unpushed = 0, warmstart = 0;
+  for (const SegmentedPipeline& sp : segmented.pipelines) {
+    const bool pipeline_warmstarts =
+        corpus.pipelines[sp.pipeline_index].config.warm_start;
+    for (const Graphlet& g : sp.graphlets) {
+      ++total;
+      total_cost += g.TotalCost();
+      if (pipeline_warmstarts) ++warmstart;
+      if (!g.pushed) {
+        ++unpushed;
+        if (!pipeline_warmstarts) unpushed_cost += g.TotalCost();
+      }
+    }
+  }
+  if (total == 0 || total_cost <= 0.0) return estimate;
+  estimate.unpushed_fraction =
+      static_cast<double>(unpushed) / static_cast<double>(total);
+  estimate.unpushed_cost_fraction = unpushed_cost / total_cost;
+  estimate.warmstart_graphlet_share =
+      static_cast<double>(warmstart) / static_cast<double>(total);
+  // Paper's discounting: remove warm-start pipelines' graphlets entirely
+  // and assume `overlappable_cost_share` of the remaining unpushed cost
+  // could be shared with other graphlets.
+  estimate.conservative_waste =
+      estimate.unpushed_cost_fraction * (1.0 - overlappable_cost_share);
+  return estimate;
+}
+
+PushDriverStats ComputePushDrivers(const sim::Corpus& corpus,
+                                   const SegmentedCorpus& segmented,
+                                   const SimilarityOptions& options) {
+  PushDriverStats stats;
+  common::RunningStats sim_pushed, sim_unpushed, sim_all;
+  common::RunningStats code_pushed, code_unpushed, code_all;
+  for (const SegmentedPipeline& sp : segmented.pipelines) {
+    if (sp.graphlets.size() < 2) continue;
+    const sim::PipelineTrace& trace = corpus.pipelines[sp.pipeline_index];
+    similarity::SpanSimilarityCalculator calc(options.feature_options);
+    size_t pairs = sp.graphlets.size() - 1;
+    if (options.max_pairs_per_pipeline > 0) {
+      pairs = std::min(pairs, options.max_pairs_per_pipeline);
+    }
+    for (size_t i = 0; i < pairs; ++i) {
+      const Graphlet& prev = sp.graphlets[i];
+      const Graphlet& g = sp.graphlets[i + 1];
+      const double sim = GraphletDatasetSimilarity(trace, g, prev, calc);
+      const double code_match =
+          g.code_version == prev.code_version ? 1.0 : 0.0;
+      sim_all.Add(sim);
+      code_all.Add(code_match);
+      if (g.pushed) {
+        sim_pushed.Add(sim);
+        code_pushed.Add(code_match);
+      } else {
+        sim_unpushed.Add(sim);
+        code_unpushed.Add(code_match);
+      }
+    }
+  }
+  stats.input_similarity_pushed = sim_pushed.mean();
+  stats.input_similarity_unpushed = sim_unpushed.mean();
+  stats.input_similarity_all = sim_all.mean();
+  stats.code_match_pushed = code_pushed.mean();
+  stats.code_match_unpushed = code_unpushed.mean();
+  stats.code_match_all = code_all.mean();
+  return stats;
+}
+
+}  // namespace mlprov::core

@@ -1,0 +1,127 @@
+#include "core/heuristics.h"
+
+#include <algorithm>
+#include <array>
+
+#include "ml/metrics.h"
+
+namespace mlprov::core {
+
+const char* ToString(HeuristicKind kind) {
+  switch (kind) {
+    case HeuristicKind::kModelType:
+      return "model-type";
+    case HeuristicKind::kInputOverlap:
+      return "input-overlap";
+    case HeuristicKind::kCodeMatch:
+      return "code-match";
+  }
+  return "unknown";
+}
+
+namespace {
+
+size_t ColumnByName(const ml::Dataset& data, const std::string& name) {
+  const auto& names = data.feature_names();
+  for (size_t c = 0; c < names.size(); ++c) {
+    if (names[c] == name) return c;
+  }
+  return names.size();
+}
+
+/// Scores rows for one heuristic. For model type, the score is the
+/// per-type push rate estimated on the train rows; for the others it is
+/// the feature value itself.
+std::vector<double> Score(const WasteDataset& dataset, HeuristicKind kind,
+                          const std::vector<size_t>& train_rows,
+                          const std::vector<size_t>& rows) {
+  const ml::Dataset& data = dataset.data;
+  std::vector<double> scores;
+  scores.reserve(rows.size());
+  switch (kind) {
+    case HeuristicKind::kModelType: {
+      // Per-type empirical push rate on the training split.
+      std::array<double, metadata::kNumModelTypes> pushed = {};
+      std::array<double, metadata::kNumModelTypes> total = {};
+      auto type_of = [&](size_t row) {
+        for (int t = 0; t < metadata::kNumModelTypes; ++t) {
+          const size_t col = ColumnByName(
+              data, std::string("model_type_") +
+                        metadata::ToString(
+                            static_cast<metadata::ModelType>(t)));
+          if (data.Feature(row, col) > 0.5) return t;
+        }
+        return 0;
+      };
+      for (size_t row : train_rows) {
+        const int t = type_of(row);
+        total[static_cast<size_t>(t)] += 1.0;
+        pushed[static_cast<size_t>(t)] +=
+            static_cast<double>(data.Label(row));
+      }
+      for (size_t row : rows) {
+        const auto t = static_cast<size_t>(type_of(row));
+        scores.push_back(total[t] > 0 ? pushed[t] / total[t] : 0.0);
+      }
+      break;
+    }
+    case HeuristicKind::kInputOverlap: {
+      const size_t col = ColumnByName(data, "jaccard_1");
+      for (size_t row : rows) scores.push_back(data.Feature(row, col));
+      break;
+    }
+    case HeuristicKind::kCodeMatch: {
+      const size_t col = ColumnByName(data, "code_match_1");
+      for (size_t row : rows) scores.push_back(data.Feature(row, col));
+      break;
+    }
+  }
+  return scores;
+}
+
+}  // namespace
+
+HeuristicResult EvaluateHeuristic(const WasteDataset& dataset,
+                                  HeuristicKind kind,
+                                  const std::vector<size_t>& train_rows,
+                                  const std::vector<size_t>& test_rows) {
+  HeuristicResult result;
+  result.kind = kind;
+  const std::vector<double> train_scores =
+      Score(dataset, kind, train_rows, train_rows);
+  std::vector<int> train_labels;
+  train_labels.reserve(train_rows.size());
+  for (size_t row : train_rows) {
+    train_labels.push_back(dataset.data.Label(row));
+  }
+  // Threshold: the train-split balanced-accuracy-maximizing cutoff over
+  // all distinct score values (scores may go either direction; we also
+  // consider the inverted decision).
+  std::vector<double> candidates = train_scores;
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  double best_ba = 0.0, best_threshold = 0.5;
+  for (double threshold : candidates) {
+    const double ba =
+        ml::BalancedAccuracy(train_scores, train_labels, threshold);
+    if (ba > best_ba) {
+      best_ba = ba;
+      best_threshold = threshold;
+    }
+  }
+  result.threshold = best_threshold;
+
+  const std::vector<double> test_scores =
+      Score(dataset, kind, train_rows, test_rows);
+  std::vector<int> test_labels;
+  test_labels.reserve(test_rows.size());
+  for (size_t row : test_rows) {
+    test_labels.push_back(dataset.data.Label(row));
+  }
+  result.balanced_accuracy =
+      ml::BalancedAccuracy(test_scores, test_labels, best_threshold);
+  return result;
+}
+
+}  // namespace mlprov::core

@@ -1,0 +1,36 @@
+#ifndef MLPROV_CORE_HEURISTICS_H_
+#define MLPROV_CORE_HEURISTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/features.h"
+
+namespace mlprov::core {
+
+/// Section 5.1's simple handcrafted heuristics: each scores a graphlet
+/// from a single signal; the decision threshold is chosen on the training
+/// rows to maximize balanced accuracy.
+enum class HeuristicKind {
+  kModelType = 0,     // per-type push rate from the training split
+  kInputOverlap = 1,  // lag-1 Jaccard similarity
+  kCodeMatch = 2,     // lag-1 code match
+};
+const char* ToString(HeuristicKind kind);
+
+struct HeuristicResult {
+  HeuristicKind kind = HeuristicKind::kModelType;
+  double balanced_accuracy = 0.0;
+  double threshold = 0.0;
+};
+
+/// Evaluates one heuristic: fits its score (and threshold) on the train
+/// rows, reports balanced accuracy on the test rows.
+HeuristicResult EvaluateHeuristic(const WasteDataset& dataset,
+                                  HeuristicKind kind,
+                                  const std::vector<size_t>& train_rows,
+                                  const std::vector<size_t>& test_rows);
+
+}  // namespace mlprov::core
+
+#endif  // MLPROV_CORE_HEURISTICS_H_

@@ -1,0 +1,210 @@
+#include "core/pipeline_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "metadata/trace.h"
+
+namespace mlprov::core {
+
+using metadata::ArtifactType;
+using metadata::ExecutionType;
+using metadata::ModelType;
+using metadata::kSecondsPerDay;
+
+ModelClass ClassOf(ModelType type) {
+  switch (type) {
+    case ModelType::kDnn:
+    case ModelType::kDnnLinear:
+      return ModelClass::kDnn;
+    case ModelType::kLinear:
+      return ModelClass::kLinear;
+    default:
+      return ModelClass::kRest;
+  }
+}
+
+const char* ToString(ModelClass c) {
+  switch (c) {
+    case ModelClass::kDnn:
+      return "DNN";
+    case ModelClass::kLinear:
+      return "Linear";
+    case ModelClass::kRest:
+      return "Rest";
+  }
+  return "Unknown";
+}
+
+ActivityStats ComputeActivity(const sim::Corpus& corpus) {
+  ActivityStats stats;
+  for (const sim::PipelineTrace& p : corpus.pipelines) {
+    metadata::TraceView view(&p.store);
+    const auto [lo, hi] = view.TimeExtent();
+    const double lifespan =
+        std::max(1.0, static_cast<double>(hi - lo) / kSecondsPerDay);
+    const double models = static_cast<double>(
+        p.store.ArtifactsOfType(ArtifactType::kModel).size());
+    if (models <= 0) continue;
+    const double cadence = models / lifespan;
+    stats.lifespan_days.push_back(lifespan);
+    stats.models_per_day.push_back(cadence);
+    const auto cls = static_cast<size_t>(ClassOf(p.config.model_type));
+    stats.lifespan_by_class[cls].push_back(lifespan);
+    stats.cadence_by_class[cls].push_back(cadence);
+    stats.max_trace_nodes = std::max(stats.max_trace_nodes, view.NumNodes());
+  }
+  return stats;
+}
+
+DataComplexityStats ComputeDataComplexity(const sim::Corpus& corpus) {
+  DataComplexityStats stats;
+  double domain_sum = 0.0, domain_dnn_sum = 0.0, domain_linear_sum = 0.0;
+  size_t domain_n = 0, domain_dnn_n = 0, domain_linear_n = 0;
+  double cat_sum = 0.0;
+  for (const sim::PipelineTrace& p : corpus.pipelines) {
+    // Use the recorded span metadata (not the config) so the analysis
+    // reads exactly what MLMD captured.
+    const auto spans = p.store.ArtifactsOfType(ArtifactType::kExamples);
+    if (spans.empty()) continue;
+    const auto artifact = p.store.GetArtifact(spans.front());
+    double features = 0.0, categorical = 0.0, log10_domain = 0.0;
+    if (auto it = artifact->properties.find("feature_count");
+        it != artifact->properties.end()) {
+      features = static_cast<double>(std::get<int64_t>(it->second));
+    }
+    if (auto it = artifact->properties.find("categorical_count");
+        it != artifact->properties.end()) {
+      categorical = static_cast<double>(std::get<int64_t>(it->second));
+    }
+    if (auto it = artifact->properties.find("log10_domain_mean");
+        it != artifact->properties.end()) {
+      log10_domain = std::get<double>(it->second);
+    }
+    if (features <= 0) continue;
+    stats.feature_counts.push_back(features);
+    const double cat_fraction = categorical / features;
+    stats.categorical_fractions.push_back(cat_fraction);
+    cat_sum += cat_fraction;
+    const double domain = std::pow(10.0, log10_domain);
+    stats.domain_sizes.push_back(domain);
+    domain_sum += domain;
+    ++domain_n;
+    const ModelClass cls = ClassOf(p.config.model_type);
+    if (cls == ModelClass::kDnn) {
+      domain_dnn_sum += domain;
+      ++domain_dnn_n;
+    } else if (cls == ModelClass::kLinear) {
+      domain_linear_sum += domain;
+      ++domain_linear_n;
+    }
+  }
+  if (domain_n) {
+    stats.mean_domain_all = domain_sum / static_cast<double>(domain_n);
+    stats.mean_categorical_fraction =
+        cat_sum / static_cast<double>(domain_n);
+  }
+  if (domain_dnn_n) {
+    stats.mean_domain_dnn =
+        domain_dnn_sum / static_cast<double>(domain_dnn_n);
+  }
+  if (domain_linear_n) {
+    stats.mean_domain_linear =
+        domain_linear_sum / static_cast<double>(domain_linear_n);
+  }
+  return stats;
+}
+
+AnalyzerUsageStats ComputeAnalyzerUsage(const sim::Corpus& corpus) {
+  AnalyzerUsageStats stats;
+  stats.num_pipelines = corpus.pipelines.size();
+  for (const sim::PipelineTrace& p : corpus.pipelines) {
+    std::array<bool, metadata::kNumAnalyzerTypes> present = {};
+    for (const metadata::Execution& e : p.store.executions()) {
+      if (e.type != ExecutionType::kTransform) continue;
+      for (int a = 0; a < metadata::kNumAnalyzerTypes; ++a) {
+        const auto key = std::string("an_") +
+                         metadata::ToString(
+                             static_cast<metadata::AnalyzerType>(a));
+        auto it = e.properties.find(key);
+        if (it == e.properties.end()) continue;
+        const auto uses = static_cast<size_t>(a);
+        present[uses] = true;
+        stats.total_usage[uses] +=
+            static_cast<double>(std::get<int64_t>(it->second));
+      }
+    }
+    for (int a = 0; a < metadata::kNumAnalyzerTypes; ++a) {
+      if (present[static_cast<size_t>(a)]) {
+        ++stats.pipelines_referencing[static_cast<size_t>(a)];
+      }
+    }
+  }
+  return stats;
+}
+
+ModelDiversityStats ComputeModelDiversity(const sim::Corpus& corpus) {
+  ModelDiversityStats stats;
+  for (const sim::PipelineTrace& p : corpus.pipelines) {
+    for (const metadata::Execution& e : p.store.executions()) {
+      if (e.type != ExecutionType::kTrainer) continue;
+      auto it = e.properties.find("model_type");
+      if (it == e.properties.end()) continue;
+      const auto type = static_cast<size_t>(std::get<int64_t>(it->second));
+      if (type < stats.trainer_runs.size()) {
+        ++stats.trainer_runs[type];
+        ++stats.total_runs;
+      }
+    }
+  }
+  return stats;
+}
+
+double ModelDiversityStats::Share(ModelType type) const {
+  if (total_runs == 0) return 0.0;
+  return static_cast<double>(trainer_runs[static_cast<size_t>(type)]) /
+         static_cast<double>(total_runs);
+}
+
+OperatorUsageStats ComputeOperatorUsage(const sim::Corpus& corpus) {
+  OperatorUsageStats stats;
+  stats.num_pipelines = corpus.pipelines.size();
+  for (const sim::PipelineTrace& p : corpus.pipelines) {
+    std::array<bool, metadata::kNumExecutionTypes> present = {};
+    for (const metadata::Execution& e : p.store.executions()) {
+      present[static_cast<size_t>(e.type)] = true;
+    }
+    for (int t = 0; t < metadata::kNumExecutionTypes; ++t) {
+      if (present[static_cast<size_t>(t)]) {
+        ++stats.pipelines_with[static_cast<size_t>(t)];
+      }
+    }
+  }
+  return stats;
+}
+
+double OperatorUsageStats::Fraction(ExecutionType type) const {
+  if (num_pipelines == 0) return 0.0;
+  return static_cast<double>(pipelines_with[static_cast<size_t>(type)]) /
+         static_cast<double>(num_pipelines);
+}
+
+ResourceCostStats ComputeResourceCost(const sim::Corpus& corpus) {
+  ResourceCostStats stats;
+  for (const sim::PipelineTrace& p : corpus.pipelines) {
+    for (const metadata::Execution& e : p.store.executions()) {
+      const auto group = static_cast<size_t>(metadata::GroupOf(e.type));
+      stats.cost[group] += e.compute_cost;
+      stats.total += e.compute_cost;
+      if (!e.succeeded) stats.failed_cost += e.compute_cost;
+    }
+  }
+  return stats;
+}
+
+double ResourceCostStats::Share(metadata::OperatorGroup group) const {
+  if (total <= 0.0) return 0.0;
+  return cost[static_cast<size_t>(group)] / total;
+}
+
+}  // namespace mlprov::core

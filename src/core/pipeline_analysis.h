@@ -1,0 +1,85 @@
+#ifndef MLPROV_CORE_PIPELINE_ANALYSIS_H_
+#define MLPROV_CORE_PIPELINE_ANALYSIS_H_
+
+#include <array>
+#include <vector>
+
+#include "metadata/types.h"
+#include "simulator/corpus.h"
+
+namespace mlprov::core {
+
+/// Coarse model classes used by Figures 3(d)/3(e): all deep models, all
+/// generalized linear models, and everything else.
+enum class ModelClass { kDnn = 0, kLinear = 1, kRest = 2 };
+inline constexpr int kNumModelClasses = 3;
+ModelClass ClassOf(metadata::ModelType type);
+const char* ToString(ModelClass c);
+
+/// Figure 3(a,b,d,e): pipeline lifespan and training cadence.
+struct ActivityStats {
+  /// Per-pipeline lifespan in days (newest minus oldest trace node).
+  std::vector<double> lifespan_days;
+  /// Per-pipeline average number of models trained per active day.
+  std::vector<double> models_per_day;
+  /// The same two metrics split by model class.
+  std::array<std::vector<double>, kNumModelClasses> lifespan_by_class;
+  std::array<std::vector<double>, kNumModelClasses> cadence_by_class;
+  /// Largest trace size observed (executions + artifacts).
+  size_t max_trace_nodes = 0;
+};
+ActivityStats ComputeActivity(const sim::Corpus& corpus);
+
+/// Figure 3(c,f) and the Section 3.2 feature-composition numbers.
+struct DataComplexityStats {
+  /// Per-pipeline input feature count (from span metadata).
+  std::vector<double> feature_counts;
+  /// Per-pipeline fraction of categorical features.
+  std::vector<double> categorical_fractions;
+  /// Per-pipeline mean categorical-domain size (unique values).
+  std::vector<double> domain_sizes;
+  /// Mean domain size restricted to DNN / Linear pipelines.
+  double mean_domain_dnn = 0.0;
+  double mean_domain_linear = 0.0;
+  double mean_domain_all = 0.0;
+  double mean_categorical_fraction = 0.0;
+};
+DataComplexityStats ComputeDataComplexity(const sim::Corpus& corpus);
+
+/// Figure 4: analyzer usage, as pipeline-presence and total trace usage.
+struct AnalyzerUsageStats {
+  std::array<size_t, metadata::kNumAnalyzerTypes> pipelines_referencing = {};
+  std::array<double, metadata::kNumAnalyzerTypes> total_usage = {};
+  size_t num_pipelines = 0;
+};
+AnalyzerUsageStats ComputeAnalyzerUsage(const sim::Corpus& corpus);
+
+/// Figure 5: share of Trainer runs per model architecture family.
+struct ModelDiversityStats {
+  std::array<size_t, metadata::kNumModelTypes> trainer_runs = {};
+  size_t total_runs = 0;
+  double Share(metadata::ModelType type) const;
+};
+ModelDiversityStats ComputeModelDiversity(const sim::Corpus& corpus);
+
+/// Figure 6: fraction of pipelines containing each operator type.
+struct OperatorUsageStats {
+  std::array<size_t, metadata::kNumExecutionTypes> pipelines_with = {};
+  size_t num_pipelines = 0;
+  double Fraction(metadata::ExecutionType type) const;
+};
+OperatorUsageStats ComputeOperatorUsage(const sim::Corpus& corpus);
+
+/// Figure 7: total compute cost share per operator group.
+struct ResourceCostStats {
+  std::array<double, metadata::kNumOperatorGroups> cost = {};
+  double total = 0.0;
+  /// Cost spent in executions that failed (Section 3.3's failure point).
+  double failed_cost = 0.0;
+  double Share(metadata::OperatorGroup group) const;
+};
+ResourceCostStats ComputeResourceCost(const sim::Corpus& corpus);
+
+}  // namespace mlprov::core
+
+#endif  // MLPROV_CORE_PIPELINE_ANALYSIS_H_

@@ -1,0 +1,40 @@
+#ifndef MLPROV_CORE_SEGMENTATION_H_
+#define MLPROV_CORE_SEGMENTATION_H_
+
+#include <vector>
+
+#include "core/graphlet.h"
+#include "metadata/metadata_store.h"
+
+namespace mlprov::core {
+
+/// Options for graphlet segmentation (Section 4.1 / Appendix A).
+struct SegmentationOptions {
+  /// Descendant traversal stops at (and excludes) these execution types —
+  /// the `sc` predicate of Appendix A: "either Transform or Trainer".
+  std::vector<metadata::ExecutionType> descendant_stop = {
+      metadata::ExecutionType::kTransform,
+      metadata::ExecutionType::kTrainer};
+  /// Ancestor traversal does not expand through other Trainer executions:
+  /// per Figure 8, a warm-start edge is a cut between graphlets (the
+  /// upstream model artifact is included, its producing trainer is not).
+  bool cut_ancestors_at_trainers = true;
+};
+
+/// Extracts all model graphlets of a trace, one per Trainer execution,
+/// ordered chronologically by trainer end time (the paper's notion of
+/// consecutive graphlets). Runs in time linear in the total size of the
+/// extracted subgraphs.
+std::vector<Graphlet> SegmentTrace(const metadata::MetadataStore& store,
+                                   const SegmentationOptions& options = {});
+
+/// Reference implementation of the Appendix A datalog queries on the
+/// Datalog engine; returns the same graphlet node sets as SegmentTrace.
+/// Exponentially slower on big traces — used for cross-checking only.
+std::vector<Graphlet> SegmentTraceDatalog(
+    const metadata::MetadataStore& store,
+    const SegmentationOptions& options = {});
+
+}  // namespace mlprov::core
+
+#endif  // MLPROV_CORE_SEGMENTATION_H_

@@ -1,0 +1,258 @@
+#include "core/waste_mitigation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/metrics.h"
+
+namespace mlprov::core {
+
+const char* ToString(Variant variant) {
+  switch (variant) {
+    case Variant::kInput:
+      return "RF:Input";
+    case Variant::kInputPre:
+      return "RF:Input+Pre";
+    case Variant::kInputPreTrainer:
+      return "RF:Input+Pre+Trainer";
+    case Variant::kValidation:
+      return "RF:Validation";
+    case Variant::kAblationInputOnly:
+      return "RF:Input (ablation)";
+    case Variant::kAblationHistory:
+      return "RF:History";
+    case Variant::kAblationShape:
+      return "RF:Shape";
+    case Variant::kAblationModelType:
+      return "RF:Model-Type";
+  }
+  return "unknown";
+}
+
+std::vector<FeatureGroup> GroupsFor(Variant variant) {
+  switch (variant) {
+    case Variant::kInput:
+      // "All of the features except the graphlet shape features."
+      return {FeatureGroup::kModelInfo, FeatureGroup::kInputData,
+              FeatureGroup::kCodeChange};
+    case Variant::kInputPre:
+      return {FeatureGroup::kModelInfo, FeatureGroup::kInputData,
+              FeatureGroup::kCodeChange, FeatureGroup::kShapePre};
+    case Variant::kInputPreTrainer:
+      return {FeatureGroup::kModelInfo, FeatureGroup::kInputData,
+              FeatureGroup::kCodeChange, FeatureGroup::kShapePre,
+              FeatureGroup::kShapeTrainer};
+    case Variant::kValidation:
+      return {FeatureGroup::kModelInfo, FeatureGroup::kInputData,
+              FeatureGroup::kCodeChange, FeatureGroup::kShapePre,
+              FeatureGroup::kShapeTrainer, FeatureGroup::kShapePost};
+    case Variant::kAblationInputOnly:
+      return {FeatureGroup::kInputData};
+    case Variant::kAblationHistory:
+      return {FeatureGroup::kInputData, FeatureGroup::kCodeChange};
+    case Variant::kAblationShape:
+      // "Counts for the operators excluding validators."
+      return {FeatureGroup::kShapePre, FeatureGroup::kShapeTrainer};
+    case Variant::kAblationModelType:
+      return {FeatureGroup::kModelInfo};
+  }
+  return {};
+}
+
+namespace {
+
+/// Index of the cumulative stage cost needed to obtain a variant's
+/// features: 0 input, 1 +pre-trainer, 2 +trainer, 3 +validators.
+/// Shared by the Table 3 feature-cost column and the policy replay.
+size_t StageOf(Variant variant) {
+  switch (variant) {
+    case Variant::kInput:
+    case Variant::kAblationInputOnly:
+      return 0;
+    case Variant::kInputPre:
+      return 1;
+    case Variant::kInputPreTrainer:
+      return 2;
+    case Variant::kValidation:
+      return 3;
+    // The paper reports cost 0.77 (the +Trainer stage) for the ablation
+    // rows other than input-only.
+    case Variant::kAblationHistory:
+    case Variant::kAblationShape:
+    case Variant::kAblationModelType:
+      return 2;
+  }
+  return 3;
+}
+
+}  // namespace
+
+WasteMitigation::WasteMitigation(const WasteDataset* dataset,
+                                 const MitigationOptions& options)
+    : dataset_(dataset), options_(options) {
+  common::Rng rng(options_.split_seed);
+  std::tie(train_rows_, test_rows_) =
+      dataset_->data.GroupSplit(options_.train_fraction, rng);
+}
+
+VariantResult WasteMitigation::Evaluate(Variant variant) const {
+  VariantResult result;
+  result.variant = variant;
+  const std::vector<size_t> columns =
+      dataset_->ColumnsFor(GroupsFor(variant));
+  const ml::Dataset projected = dataset_->data.SelectFeatures(columns);
+
+  ml::RandomForest forest(options_.forest);
+  forest.Fit(projected, train_rows_);
+
+  // Pick the decision threshold on the training split (the post-hoc
+  // thresholding of Section 5.1), then evaluate on the held-out
+  // pipelines.
+  std::vector<double> train_scores;
+  std::vector<int> train_labels;
+  train_scores.reserve(train_rows_.size());
+  train_labels.reserve(train_rows_.size());
+  for (size_t row : train_rows_) {
+    train_scores.push_back(forest.PredictProba(projected, row));
+    train_labels.push_back(projected.Label(row));
+  }
+  const auto roc = ml::RocCurve(train_scores, train_labels);
+  double best_ba = 0.0;
+  result.threshold = 0.5;
+  for (const ml::RocPoint& p : roc) {
+    const double ba = 0.5 * (p.tpr + (1.0 - p.fpr));
+    if (ba > best_ba && std::isfinite(p.threshold)) {
+      best_ba = ba;
+      result.threshold = p.threshold;
+    }
+  }
+
+  result.scores.reserve(test_rows_.size());
+  result.labels.reserve(test_rows_.size());
+  result.costs.reserve(test_rows_.size());
+  for (size_t row : test_rows_) {
+    result.scores.push_back(forest.PredictProba(projected, row));
+    result.labels.push_back(projected.Label(row));
+    result.costs.push_back(dataset_->total_cost[row]);
+  }
+  result.balanced_accuracy = ml::BalancedAccuracy(
+      result.scores, result.labels, result.threshold);
+
+  // Feature cost: mean cumulative stage cost over all rows, normalized by
+  // the full (validation-stage) cost.
+  const auto stage = StageOf(variant);
+  double stage_sum = 0.0, full_sum = 0.0;
+  for (size_t r = 0; r < dataset_->stage_cost[stage].size(); ++r) {
+    stage_sum += dataset_->stage_cost[stage][r];
+    full_sum += dataset_->stage_cost[3][r];
+  }
+  result.feature_cost = full_sum > 0.0 ? stage_sum / full_sum : 0.0;
+  return result;
+}
+
+std::vector<TradeoffPoint> ComputeTradeoffCurve(
+    const std::vector<double>& scores, const std::vector<int>& labels,
+    const std::vector<double>& costs) {
+  // Order rows by score; sweeping the threshold upward skips ever more
+  // graphlets. For each threshold we need: cost of skipped unpushed
+  // graphlets (waste eliminated) and count of still-run pushed graphlets
+  // (freshness).
+  std::vector<size_t> order(scores.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] < scores[b];
+  });
+  double total_unpushed_cost = 0.0;
+  size_t total_pushed = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (labels[i]) {
+      ++total_pushed;
+    } else {
+      total_unpushed_cost += costs[i];
+    }
+  }
+  std::vector<TradeoffPoint> curve;
+  curve.reserve(order.size() + 1);
+  double skipped_unpushed_cost = 0.0;
+  size_t skipped_pushed = 0;
+  auto emit = [&](double threshold) {
+    TradeoffPoint p;
+    p.threshold = threshold;
+    p.waste_eliminated = total_unpushed_cost > 0.0
+                             ? skipped_unpushed_cost / total_unpushed_cost
+                             : 0.0;
+    p.freshness =
+        total_pushed > 0
+            ? 1.0 - static_cast<double>(skipped_pushed) /
+                        static_cast<double>(total_pushed)
+            : 1.0;
+    curve.push_back(p);
+  };
+  emit(0.0);  // run everything
+  for (size_t k = 0; k < order.size();) {
+    const double s = scores[order[k]];
+    while (k < order.size() && scores[order[k]] == s) {
+      const size_t i = order[k];
+      if (labels[i]) {
+        ++skipped_pushed;
+      } else {
+        skipped_unpushed_cost += costs[i];
+      }
+      ++k;
+    }
+    emit(std::nextafter(s, 2.0));
+  }
+  return curve;
+}
+
+PolicyOutcome ReplayPolicy(const WasteDataset& dataset,
+                           const WasteMitigation& mitigation,
+                           const VariantResult& result, double threshold) {
+  PolicyOutcome outcome;
+  const size_t stage = StageOf(result.variant);
+  const auto& test_rows = mitigation.test_rows();
+  double baseline = 0.0, paid = 0.0;
+  size_t pushes = 0, preserved = 0;
+  for (size_t i = 0; i < test_rows.size(); ++i) {
+    const size_t row = test_rows[i];
+    // Amortized per-graphlet cost (stage 3 = the full run in the same
+    // accounting as the feature stages, so RF:Validation nets zero).
+    const double full = dataset.stage_cost[3][row];
+    const double feature_stage_cost = dataset.stage_cost[stage][row];
+    baseline += full;
+    if (result.scores[i] >= threshold) {
+      ++outcome.graphlets_run;
+      paid += full;
+      if (result.labels[i]) {
+        ++pushes;
+        ++preserved;
+      }
+    } else {
+      ++outcome.graphlets_skipped;
+      // The graphlet was executed up to the intervention point to obtain
+      // its features, then aborted.
+      paid += std::min(full, feature_stage_cost);
+      if (result.labels[i]) ++pushes;
+    }
+  }
+  outcome.net_cost_fraction = baseline > 0.0 ? paid / baseline : 1.0;
+  outcome.net_savings = 1.0 - outcome.net_cost_fraction;
+  outcome.freshness =
+      pushes > 0
+          ? static_cast<double>(preserved) / static_cast<double>(pushes)
+          : 1.0;
+  return outcome;
+}
+
+double MaxWasteAtFreshness(const std::vector<TradeoffPoint>& curve,
+                           double min_freshness) {
+  double best = 0.0;
+  for (const TradeoffPoint& p : curve) {
+    if (p.freshness >= min_freshness) {
+      best = std::max(best, p.waste_eliminated);
+    }
+  }
+  return best;
+}
+
+}  // namespace mlprov::core

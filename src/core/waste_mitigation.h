@@ -1,0 +1,121 @@
+#ifndef MLPROV_CORE_WASTE_MITIGATION_H_
+#define MLPROV_CORE_WASTE_MITIGATION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/features.h"
+#include "ml/random_forest.h"
+
+namespace mlprov::core {
+
+/// The Table 3 model variants: each incrementally reveals more of the
+/// graphlet's shape, corresponding to later intervention points in the
+/// pipeline execution.
+enum class Variant {
+  kInput = 0,            // RF:Input (all non-shape features)
+  kInputPre = 1,         // RF:Input+Pre
+  kInputPreTrainer = 2,  // RF:Input+Pre+Trainer
+  kValidation = 3,       // RF:Validation (oracular upper bound)
+  // Ablation variants (Section 5.3.3).
+  kAblationInputOnly = 4,  // input-data features only
+  kAblationHistory = 5,    // input-data + code-change
+  kAblationShape = 6,      // operator counts excluding validators
+  kAblationModelType = 7,  // model information only
+};
+inline constexpr int kNumVariants = 8;
+const char* ToString(Variant variant);
+
+/// Feature groups used by a variant.
+std::vector<FeatureGroup> GroupsFor(Variant variant);
+
+/// Result of training and evaluating one variant.
+struct VariantResult {
+  Variant variant = Variant::kInput;
+  double balanced_accuracy = 0.0;
+  /// Decision threshold chosen on the training split (max balanced
+  /// accuracy there), applied to the test split.
+  double threshold = 0.5;
+  /// Mean pipeline cost to obtain the variant's features, normalized so
+  /// RF:Validation = 1 (Table 3's "feature cost" column).
+  double feature_cost = 0.0;
+  /// Test-set scores/labels/costs for tradeoff curves (Fig 10).
+  std::vector<double> scores;
+  std::vector<int> labels;
+  std::vector<double> costs;
+};
+
+struct MitigationOptions {
+  double train_fraction = 0.8;  // grouped by pipeline (Section 5.2.2)
+  uint64_t split_seed = 7;
+  ml::RandomForest::Options forest;
+};
+
+/// Splits rows by pipeline, trains a Random Forest per variant on the
+/// selected feature columns, and evaluates on the held-out pipelines.
+class WasteMitigation {
+ public:
+  WasteMitigation(const WasteDataset* dataset,
+                  const MitigationOptions& options);
+
+  const std::vector<size_t>& train_rows() const { return train_rows_; }
+  const std::vector<size_t>& test_rows() const { return test_rows_; }
+
+  VariantResult Evaluate(Variant variant) const;
+
+ private:
+  const WasteDataset* dataset_;
+  MitigationOptions options_;
+  std::vector<size_t> train_rows_;
+  std::vector<size_t> test_rows_;
+};
+
+/// One point of the Figure 10 curve: a threshold mapped to (fraction of
+/// wasted computation eliminated, model freshness).
+struct TradeoffPoint {
+  double threshold = 0.0;
+  /// Cost-weighted fraction of unpushed-graphlet computation skipped.
+  double waste_eliminated = 0.0;
+  /// Fraction of pushed graphlets still run (true-positive rate).
+  double freshness = 0.0;
+};
+
+/// Sweeps the classifier threshold (graphlets with score below the
+/// threshold are skipped) and maps each to waste/freshness. Points are
+/// ordered by increasing waste_eliminated.
+std::vector<TradeoffPoint> ComputeTradeoffCurve(
+    const std::vector<double>& scores, const std::vector<int>& labels,
+    const std::vector<double>& costs);
+
+/// Maximum waste eliminable at a freshness floor (e.g. 1.0 for the
+/// paper's "50% waste at no freshness cost" headline).
+double MaxWasteAtFreshness(const std::vector<TradeoffPoint>& curve,
+                           double min_freshness);
+
+/// Outcome of replaying a skip policy over the held-out graphlets with
+/// full cost accounting: a skipped graphlet still pays the pipeline cost
+/// up to the variant's intervention point (its features must be
+/// computed), which is the Section 5.3.2 caveat that makes
+/// RF:Input+Pre+Trainer unattractive despite its accuracy.
+struct PolicyOutcome {
+  size_t graphlets_run = 0;
+  size_t graphlets_skipped = 0;
+  /// Fraction of the run-everything compute actually spent (features for
+  /// everything + full runs for admitted graphlets).
+  double net_cost_fraction = 1.0;
+  /// 1 - net_cost_fraction.
+  double net_savings = 0.0;
+  /// Fraction of would-be pushes preserved.
+  double freshness = 1.0;
+};
+
+/// Replays the skip-below-threshold policy for a variant's scores on the
+/// held-out rows. `mitigation` supplies the row split, `result` the
+/// scores/labels and variant identity (for the intervention stage).
+PolicyOutcome ReplayPolicy(const WasteDataset& dataset,
+                           const WasteMitigation& mitigation,
+                           const VariantResult& result, double threshold);
+
+}  // namespace mlprov::core
+
+#endif  // MLPROV_CORE_WASTE_MITIGATION_H_

@@ -1,0 +1,206 @@
+#include "dataspan/analyzers.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+
+namespace mlprov::dataspan {
+
+void MomentsAnalyzer::AddSample(double value) {
+  ++count_;
+  sum_ += value;
+  sum_squares_ += value * value;
+}
+
+void MomentsAnalyzer::RetireSample(double value) {
+  assert(count_ > 0);
+  --count_;
+  sum_ -= value;
+  sum_squares_ -= value * value;
+}
+
+void MomentsAnalyzer::Merge(const MomentsAnalyzer& other) {
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sum_squares_ += other.sum_squares_;
+}
+
+double MomentsAnalyzer::Mean() const {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double MomentsAnalyzer::Variance() const {
+  if (count_ == 0) return 0.0;
+  const double mean = Mean();
+  // Floating retirement can leave a tiny negative residue; clamp.
+  return std::max(0.0,
+                  sum_squares_ / static_cast<double>(count_) - mean * mean);
+}
+
+double MomentsAnalyzer::StdDev() const { return std::sqrt(Variance()); }
+
+size_t MinMaxAnalyzer::AddSpan(double span_min, double span_max) {
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i].live) {
+      slots_[i] = {span_min, span_max, true};
+      return i;
+    }
+  }
+  slots_.push_back({span_min, span_max, true});
+  return slots_.size() - 1;
+}
+
+void MinMaxAnalyzer::RetireSpan(size_t slot) {
+  assert(slot < slots_.size());
+  slots_[slot].live = false;
+}
+
+bool MinMaxAnalyzer::Empty() const {
+  for (const Slot& s : slots_) {
+    if (s.live) return false;
+  }
+  return true;
+}
+
+double MinMaxAnalyzer::Min() const {
+  double value = 0.0;
+  bool any = false;
+  for (const Slot& s : slots_) {
+    if (!s.live) continue;
+    value = any ? std::min(value, s.min) : s.min;
+    any = true;
+  }
+  return value;
+}
+
+double MinMaxAnalyzer::Max() const {
+  double value = 0.0;
+  bool any = false;
+  for (const Slot& s : slots_) {
+    if (!s.live) continue;
+    value = any ? std::max(value, s.max) : s.max;
+    any = true;
+  }
+  return value;
+}
+
+void VocabularyAnalyzer::AddTerm(int64_t term, int64_t count) {
+  assert(count >= 0);
+  counts_[term] += count;
+  total_ += count;
+}
+
+void VocabularyAnalyzer::RetireTerm(int64_t term, int64_t count) {
+  auto it = counts_.find(term);
+  assert(it != counts_.end() && it->second >= count);
+  it->second -= count;
+  total_ -= count;
+  if (it->second <= 0) counts_.erase(it);
+}
+
+void VocabularyAnalyzer::Merge(const VocabularyAnalyzer& other) {
+  for (const auto& [term, count] : other.counts_) {
+    counts_[term] += count;
+  }
+  total_ += other.total_;
+}
+
+size_t VocabularyAnalyzer::NumDistinctTerms() const {
+  return counts_.size();
+}
+
+int64_t VocabularyAnalyzer::TotalCount() const { return total_; }
+
+std::vector<std::pair<int64_t, int64_t>> VocabularyAnalyzer::TopK() const {
+  std::vector<std::pair<int64_t, int64_t>> terms(counts_.begin(),
+                                                 counts_.end());
+  // Partial selection of the k largest by (count desc, term asc).
+  auto better = [](const std::pair<int64_t, int64_t>& a,
+                   const std::pair<int64_t, int64_t>& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  };
+  const size_t k = std::min(k_, terms.size());
+  std::partial_sort(terms.begin(),
+                    terms.begin() + static_cast<ptrdiff_t>(k), terms.end(),
+                    better);
+  terms.resize(k);
+  return terms;
+}
+
+QuantilesAnalyzer::QuantilesAnalyzer(size_t reservoir_size)
+    : capacity_(std::max<size_t>(1, reservoir_size)),
+      state_(0x1234ABCDu) {
+  reservoir_.reserve(capacity_);
+}
+
+void QuantilesAnalyzer::AddSample(double value) {
+  ++count_;
+  if (reservoir_.size() < capacity_) {
+    reservoir_.push_back(value);
+    return;
+  }
+  // Deterministic splitmix-style replacement draw.
+  state_ += 0x9E3779B97F4A7C15ull;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  const uint64_t index = z % static_cast<uint64_t>(count_);
+  if (index < capacity_) {
+    reservoir_[static_cast<size_t>(index)] = value;
+  }
+}
+
+void QuantilesAnalyzer::Merge(const QuantilesAnalyzer& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    reservoir_ = other.reservoir_;
+    count_ = other.count_;
+    return;
+  }
+  // Weighted merge: rebuild the reservoir by drawing each slot from one
+  // side with probability proportional to that side's sample count, then
+  // uniformly within that side's reservoir. Deterministic via the
+  // internal splitmix state.
+  const double self_weight =
+      static_cast<double>(count_) /
+      static_cast<double>(count_ + other.count_);
+  std::vector<double> merged;
+  merged.reserve(capacity_);
+  const size_t target = std::min(
+      capacity_, reservoir_.size() + other.reservoir_.size());
+  auto next_u64 = [this]() {
+    state_ += 0x9E3779B97F4A7C15ull;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  };
+  for (size_t i = 0; i < target; ++i) {
+    const double u =
+        static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+    const std::vector<double>& source =
+        (u < self_weight && !reservoir_.empty()) || other.reservoir_.empty()
+            ? reservoir_
+            : other.reservoir_;
+    merged.push_back(
+        source[static_cast<size_t>(next_u64() % source.size())]);
+  }
+  reservoir_ = std::move(merged);
+  count_ += other.count_;
+}
+
+double QuantilesAnalyzer::Quantile(double q) const {
+  if (reservoir_.empty()) return 0.0;
+  std::vector<double> sorted = reservoir_;
+  std::sort(sorted.begin(), sorted.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace mlprov::dataspan

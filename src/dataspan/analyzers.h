@@ -1,0 +1,114 @@
+#ifndef MLPROV_DATASPAN_ANALYZERS_H_
+#define MLPROV_DATASPAN_ANALYZERS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mlprov::dataspan {
+
+/// Incremental implementations of the Figure 4 analyzer reductions — the
+/// first (expensive) stage of feature transformations. Section 4.2.1
+/// observes that consecutive graphlets share two thirds of their input
+/// spans and proposes incremental view maintenance for exactly these
+/// computations: each analyzer here maintains a mergeable per-span state
+/// so that a rolling window can be updated by adding the new span and
+/// (for the invertible analyzers) retiring the old one, instead of
+/// re-scanning the whole window.
+
+/// Numeric moments (count/sum/sum-of-squares): supports Add and Retire,
+/// giving mean/std updates in O(1) per retired or added sample.
+class MomentsAnalyzer {
+ public:
+  void AddSample(double value);
+  /// Removes a previously added sample (rolling-window retirement).
+  void RetireSample(double value);
+  void Merge(const MomentsAnalyzer& other);
+
+  int64_t count() const { return count_; }
+  double Mean() const;
+  double Variance() const;
+  double StdDev() const;
+
+ private:
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double sum_squares_ = 0.0;
+};
+
+/// Min/max over a rolling window of spans. Min/max are not invertible, so
+/// the analyzer keeps one summary per span and recomputes the window
+/// aggregate over the (few) span summaries — still far cheaper than
+/// re-scanning rows.
+class MinMaxAnalyzer {
+ public:
+  /// Adds a span's pre-aggregated min/max; returns the span slot id.
+  size_t AddSpan(double span_min, double span_max);
+  void RetireSpan(size_t slot);
+
+  bool Empty() const;
+  double Min() const;
+  double Max() const;
+
+ private:
+  struct Slot {
+    double min = 0.0;
+    double max = 0.0;
+    bool live = false;
+  };
+  std::vector<Slot> slots_;
+};
+
+/// Top-K vocabulary over categorical terms (the paper's dominant
+/// analyzer: "a top-K query over an aggregation of the data where K can
+/// be very large"). Counts are exact; Add/Retire are O(1) per term
+/// occurrence and TopK() is O(n log n) over distinct live terms.
+class VocabularyAnalyzer {
+ public:
+  explicit VocabularyAnalyzer(size_t k) : k_(k) {}
+
+  void AddTerm(int64_t term, int64_t count = 1);
+  /// Retires occurrences previously added (rolling-window semantics).
+  void RetireTerm(int64_t term, int64_t count = 1);
+  void Merge(const VocabularyAnalyzer& other);
+
+  size_t NumDistinctTerms() const;
+  int64_t TotalCount() const;
+
+  /// The top-K terms by count (descending count, ascending term id for
+  /// ties) and the vocabulary mapping term -> index in [0, K).
+  std::vector<std::pair<int64_t, int64_t>> TopK() const;
+
+  size_t k() const { return k_; }
+
+ private:
+  size_t k_;
+  std::unordered_map<int64_t, int64_t> counts_;
+  int64_t total_ = 0;
+};
+
+/// Approximate quantiles by uniform reservoir sampling; mergeable across
+/// spans. Deterministic given the insertion order (uses a fixed-seed
+/// internal hash for replacement decisions).
+class QuantilesAnalyzer {
+ public:
+  explicit QuantilesAnalyzer(size_t reservoir_size = 1024);
+
+  void AddSample(double value);
+  void Merge(const QuantilesAnalyzer& other);
+
+  int64_t count() const { return count_; }
+  /// q in [0,1]; returns 0 when empty.
+  double Quantile(double q) const;
+
+ private:
+  size_t capacity_;
+  int64_t count_ = 0;
+  uint64_t state_;
+  std::vector<double> reservoir_;
+};
+
+}  // namespace mlprov::dataspan
+
+#endif  // MLPROV_DATASPAN_ANALYZERS_H_

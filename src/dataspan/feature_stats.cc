@@ -1,0 +1,84 @@
+#include "dataspan/feature_stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mlprov::dataspan {
+
+namespace {
+
+/// Distributes `mass` that is uniform over [lo, hi) (within [0,1]) across
+/// `out` equal-width bins over [0,1], accumulating into `out`.
+void Spread(double lo, double hi, double mass, std::vector<double>& out) {
+  if (mass <= 0.0 || hi <= lo) return;
+  const int n = static_cast<int>(out.size());
+  const double width = hi - lo;
+  const double bin_w = 1.0 / n;
+  int first = std::clamp(static_cast<int>(lo / bin_w), 0, n - 1);
+  int last = std::clamp(static_cast<int>((hi - 1e-15) / bin_w), 0, n - 1);
+  for (int b = first; b <= last; ++b) {
+    const double b_lo = b * bin_w;
+    const double b_hi = b_lo + bin_w;
+    const double overlap =
+        std::max(0.0, std::min(hi, b_hi) - std::max(lo, b_lo));
+    out[b] += mass * overlap / width;
+  }
+}
+
+}  // namespace
+
+bool FeatureStats::Empty() const {
+  if (kind == FeatureKind::kNumerical) {
+    for (double b : bins) {
+      if (b > 0.0) return false;
+    }
+    return true;
+  }
+  return total_count <= 0;
+}
+
+std::vector<double> FeatureStats::ToDistribution(int out_bins) const {
+  assert(out_bins >= 1);
+  std::vector<double> out(static_cast<size_t>(out_bins), 0.0);
+  if (kind == FeatureKind::kNumerical) {
+    double total = 0.0;
+    for (double b : bins) total += std::max(0.0, b);
+    if (total <= 0.0) return out;
+    // Each recorded bin covers [i/10, (i+1)/10); re-spread into out_bins.
+    for (int i = 0; i < kNumericBins; ++i) {
+      Spread(static_cast<double>(i) / kNumericBins,
+             static_cast<double>(i + 1) / kNumericBins,
+             std::max(0.0, bins[static_cast<size_t>(i)]) / total, out);
+    }
+    return out;
+  }
+
+  // Categorical: Appendix B construction. Sorted normalized term
+  // frequencies over bins of width 1/N, remaining mass uniform over the
+  // N-10 non-top terms.
+  if (total_count <= 0 || unique_terms <= 0) return out;
+  const double n_terms = static_cast<double>(unique_terms);
+  std::array<double, kTopTerms> top = top_term_counts;
+  std::sort(top.begin(), top.end(), std::greater<>());
+  double top_mass = 0.0;
+  const int observed_top =
+      static_cast<int>(std::min<int64_t>(unique_terms, kTopTerms));
+  for (int i = 0; i < observed_top; ++i) {
+    top_mass += std::max(0.0, top[static_cast<size_t>(i)]);
+  }
+  const double total = static_cast<double>(total_count);
+  top_mass = std::min(top_mass, total);
+  for (int i = 0; i < observed_top; ++i) {
+    const double p = std::max(0.0, top[static_cast<size_t>(i)]) / total;
+    Spread(static_cast<double>(i) / n_terms,
+           static_cast<double>(i + 1) / n_terms, p, out);
+  }
+  if (unique_terms > kTopTerms) {
+    const double tail_mass = std::max(0.0, (total - top_mass) / total);
+    Spread(static_cast<double>(kTopTerms) / n_terms, 1.0, tail_mass, out);
+  }
+  return out;
+}
+
+}  // namespace mlprov::dataspan

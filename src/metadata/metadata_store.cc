@@ -1,0 +1,151 @@
+#include "metadata/metadata_store.h"
+
+#include <utility>
+
+namespace mlprov::metadata {
+
+namespace {
+// Returned by reference for unknown ids so accessors stay allocation-free.
+const std::vector<int64_t> kEmptyIdList;
+}  // namespace
+
+ArtifactId MetadataStore::PutArtifact(Artifact artifact) {
+  artifact.id = static_cast<ArtifactId>(artifacts_.size() + 1);
+  artifacts_.push_back(std::move(artifact));
+  artifact_producers_.emplace_back();
+  artifact_consumers_.emplace_back();
+  return artifacts_.back().id;
+}
+
+ExecutionId MetadataStore::PutExecution(Execution execution) {
+  execution.id = static_cast<ExecutionId>(executions_.size() + 1);
+  executions_.push_back(std::move(execution));
+  exec_inputs_.emplace_back();
+  exec_outputs_.emplace_back();
+  return executions_.back().id;
+}
+
+ContextId MetadataStore::PutContext(Context context) {
+  context.id = static_cast<ContextId>(contexts_.size() + 1);
+  contexts_.push_back(std::move(context));
+  return contexts_.back().id;
+}
+
+common::Status MetadataStore::PutEvent(const Event& event) {
+  if (!ValidExecution(event.execution)) {
+    return common::Status::NotFound("unknown execution in event");
+  }
+  if (!ValidArtifact(event.artifact)) {
+    return common::Status::NotFound("unknown artifact in event");
+  }
+  events_.push_back(event);
+  const size_t e = static_cast<size_t>(event.execution) - 1;
+  const size_t a = static_cast<size_t>(event.artifact) - 1;
+  if (event.kind == EventKind::kInput) {
+    exec_inputs_[e].push_back(event.artifact);
+    artifact_consumers_[a].push_back(event.execution);
+  } else {
+    exec_outputs_[e].push_back(event.artifact);
+    artifact_producers_[a].push_back(event.execution);
+  }
+  return common::Status::Ok();
+}
+
+common::Status MetadataStore::AddToContext(ContextId context,
+                                           ExecutionId execution) {
+  if (!ValidContext(context)) {
+    return common::Status::NotFound("unknown context");
+  }
+  if (!ValidExecution(execution)) {
+    return common::Status::NotFound("unknown execution");
+  }
+  contexts_[static_cast<size_t>(context) - 1].executions.push_back(execution);
+  return common::Status::Ok();
+}
+
+common::Status MetadataStore::AddArtifactToContext(ContextId context,
+                                                   ArtifactId artifact) {
+  if (!ValidContext(context)) {
+    return common::Status::NotFound("unknown context");
+  }
+  if (!ValidArtifact(artifact)) {
+    return common::Status::NotFound("unknown artifact");
+  }
+  contexts_[static_cast<size_t>(context) - 1].artifacts.push_back(artifact);
+  return common::Status::Ok();
+}
+
+common::StatusOr<Artifact> MetadataStore::GetArtifact(ArtifactId id) const {
+  if (!ValidArtifact(id)) {
+    return common::Status::NotFound("artifact " + std::to_string(id));
+  }
+  return artifacts_[static_cast<size_t>(id) - 1];
+}
+
+common::StatusOr<Execution> MetadataStore::GetExecution(
+    ExecutionId id) const {
+  if (!ValidExecution(id)) {
+    return common::Status::NotFound("execution " + std::to_string(id));
+  }
+  return executions_[static_cast<size_t>(id) - 1];
+}
+
+common::StatusOr<Context> MetadataStore::GetContext(ContextId id) const {
+  if (!ValidContext(id)) {
+    return common::Status::NotFound("context " + std::to_string(id));
+  }
+  return contexts_[static_cast<size_t>(id) - 1];
+}
+
+Artifact* MetadataStore::MutableArtifact(ArtifactId id) {
+  return ValidArtifact(id) ? &artifacts_[static_cast<size_t>(id) - 1]
+                           : nullptr;
+}
+
+Execution* MetadataStore::MutableExecution(ExecutionId id) {
+  return ValidExecution(id) ? &executions_[static_cast<size_t>(id) - 1]
+                            : nullptr;
+}
+
+const std::vector<ArtifactId>& MetadataStore::InputsOf(ExecutionId id) const {
+  if (!ValidExecution(id)) return kEmptyIdList;
+  return exec_inputs_[static_cast<size_t>(id) - 1];
+}
+
+const std::vector<ArtifactId>& MetadataStore::OutputsOf(
+    ExecutionId id) const {
+  if (!ValidExecution(id)) return kEmptyIdList;
+  return exec_outputs_[static_cast<size_t>(id) - 1];
+}
+
+const std::vector<ExecutionId>& MetadataStore::ProducersOf(
+    ArtifactId id) const {
+  if (!ValidArtifact(id)) return kEmptyIdList;
+  return artifact_producers_[static_cast<size_t>(id) - 1];
+}
+
+const std::vector<ExecutionId>& MetadataStore::ConsumersOf(
+    ArtifactId id) const {
+  if (!ValidArtifact(id)) return kEmptyIdList;
+  return artifact_consumers_[static_cast<size_t>(id) - 1];
+}
+
+std::vector<ExecutionId> MetadataStore::ExecutionsOfType(
+    ExecutionType type) const {
+  std::vector<ExecutionId> out;
+  for (const Execution& e : executions_) {
+    if (e.type == type) out.push_back(e.id);
+  }
+  return out;
+}
+
+std::vector<ArtifactId> MetadataStore::ArtifactsOfType(
+    ArtifactType type) const {
+  std::vector<ArtifactId> out;
+  for (const Artifact& a : artifacts_) {
+    if (a.type == type) out.push_back(a.id);
+  }
+  return out;
+}
+
+}  // namespace mlprov::metadata

@@ -1,0 +1,141 @@
+#ifndef MLPROV_METADATA_METADATA_STORE_H_
+#define MLPROV_METADATA_METADATA_STORE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "metadata/types.h"
+
+namespace mlprov::metadata {
+
+/// A pipeline artifact node: a data span, a model, a blessing, etc.
+/// Passive record; invariants (id validity, event consistency) are owned by
+/// MetadataStore.
+struct Artifact {
+  ArtifactId id = kInvalidId;
+  ArtifactType type = ArtifactType::kCustom;
+  /// Creation time (the paper orders trace nodes by this).
+  Timestamp create_time = 0;
+  std::map<std::string, PropertyValue> properties;
+};
+
+/// An operator execution node.
+struct Execution {
+  ExecutionId id = kInvalidId;
+  ExecutionType type = ExecutionType::kCustom;
+  Timestamp start_time = 0;
+  Timestamp end_time = 0;
+  /// Whether the execution completed successfully. Failed executions still
+  /// consume resources (Section 3.3's point about costly failures).
+  bool succeeded = true;
+  /// Modeled compute cost in machine-seconds.
+  double compute_cost = 0.0;
+  std::map<std::string, PropertyValue> properties;
+};
+
+/// An input or output edge between an execution and an artifact.
+struct Event {
+  ExecutionId execution = kInvalidId;
+  ArtifactId artifact = kInvalidId;
+  EventKind kind = EventKind::kInput;
+  Timestamp time = 0;
+};
+
+/// A grouping node (MLMD "Context"); in this library, one per pipeline.
+struct Context {
+  ContextId id = kInvalidId;
+  std::string name;
+  std::vector<ExecutionId> executions;
+  std::vector<ArtifactId> artifacts;
+};
+
+/// In-memory metadata and provenance store modeled after ML Metadata
+/// (MLMD): artifacts, executions, events, and contexts, with adjacency
+/// indexes for trace traversal. Node ids are 1-based and dense, assigned at
+/// insertion.
+class MetadataStore {
+ public:
+  MetadataStore() = default;
+
+  // Movable but not copyable: corpora hold many stores and accidental deep
+  // copies would be costly.
+  MetadataStore(MetadataStore&&) = default;
+  MetadataStore& operator=(MetadataStore&&) = default;
+  MetadataStore(const MetadataStore&) = delete;
+  MetadataStore& operator=(const MetadataStore&) = delete;
+
+  /// Inserts an artifact (id is assigned and returned in-place).
+  ArtifactId PutArtifact(Artifact artifact);
+  /// Inserts an execution (id is assigned and returned in-place).
+  ExecutionId PutExecution(Execution execution);
+  /// Inserts a context.
+  ContextId PutContext(Context context);
+
+  /// Records an input/output event. Fails if either endpoint is unknown.
+  common::Status PutEvent(const Event& event);
+
+  /// Associates nodes with a context. Fails on unknown ids.
+  common::Status AddToContext(ContextId context, ExecutionId execution);
+  common::Status AddArtifactToContext(ContextId context, ArtifactId artifact);
+
+  // Accessors. `Get*` with an out-of-range id returns NotFound.
+  common::StatusOr<Artifact> GetArtifact(ArtifactId id) const;
+  common::StatusOr<Execution> GetExecution(ExecutionId id) const;
+  common::StatusOr<Context> GetContext(ContextId id) const;
+
+  /// Mutable access for the simulator (e.g., to finalize end times).
+  Artifact* MutableArtifact(ArtifactId id);
+  Execution* MutableExecution(ExecutionId id);
+
+  size_t num_artifacts() const { return artifacts_.size(); }
+  size_t num_executions() const { return executions_.size(); }
+  size_t num_contexts() const { return contexts_.size(); }
+  size_t num_events() const { return events_.size(); }
+
+  const std::vector<Artifact>& artifacts() const { return artifacts_; }
+  const std::vector<Execution>& executions() const { return executions_; }
+  const std::vector<Event>& events() const { return events_; }
+  const std::vector<Context>& contexts() const { return contexts_; }
+
+  /// Input artifacts of an execution, in event order.
+  const std::vector<ArtifactId>& InputsOf(ExecutionId id) const;
+  /// Output artifacts of an execution, in event order.
+  const std::vector<ArtifactId>& OutputsOf(ExecutionId id) const;
+  /// Executions that produced this artifact (usually exactly one).
+  const std::vector<ExecutionId>& ProducersOf(ArtifactId id) const;
+  /// Executions that consumed this artifact.
+  const std::vector<ExecutionId>& ConsumersOf(ArtifactId id) const;
+
+  /// All executions of a given type, in id order.
+  std::vector<ExecutionId> ExecutionsOfType(ExecutionType type) const;
+  /// All artifacts of a given type, in id order.
+  std::vector<ArtifactId> ArtifactsOfType(ArtifactType type) const;
+
+ private:
+  bool ValidArtifact(ArtifactId id) const {
+    return id >= 1 && static_cast<size_t>(id) <= artifacts_.size();
+  }
+  bool ValidExecution(ExecutionId id) const {
+    return id >= 1 && static_cast<size_t>(id) <= executions_.size();
+  }
+  bool ValidContext(ContextId id) const {
+    return id >= 1 && static_cast<size_t>(id) <= contexts_.size();
+  }
+
+  std::vector<Artifact> artifacts_;
+  std::vector<Execution> executions_;
+  std::vector<Context> contexts_;
+  std::vector<Event> events_;
+
+  // Adjacency indexes, parallel to the node vectors (index = id - 1).
+  std::vector<std::vector<ArtifactId>> exec_inputs_;
+  std::vector<std::vector<ArtifactId>> exec_outputs_;
+  std::vector<std::vector<ExecutionId>> artifact_producers_;
+  std::vector<std::vector<ExecutionId>> artifact_consumers_;
+};
+
+}  // namespace mlprov::metadata
+
+#endif  // MLPROV_METADATA_METADATA_STORE_H_

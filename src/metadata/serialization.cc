@@ -1,0 +1,237 @@
+#include "metadata/serialization.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace mlprov::metadata {
+
+namespace {
+
+// Escapes whitespace and '%' so tokens stay single-word.
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case ' ':
+        out += "%20";
+        break;
+      case '\n':
+        out += "%0A";
+        break;
+      case '\t':
+        out += "%09";
+        break;
+      case '%':
+        out += "%25";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string Unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      const std::string hex = s.substr(i + 1, 2);
+      if (hex == "20") {
+        out += ' ';
+        i += 2;
+        continue;
+      }
+      if (hex == "0A") {
+        out += '\n';
+        i += 2;
+        continue;
+      }
+      if (hex == "09") {
+        out += '\t';
+        i += 2;
+        continue;
+      }
+      if (hex == "25") {
+        out += '%';
+        i += 2;
+        continue;
+      }
+    }
+    out += s[i];
+  }
+  return out;
+}
+
+void AppendProperties(const std::map<std::string, PropertyValue>& props,
+                      char owner, int64_t id, std::string& out) {
+  for (const auto& [key, value] : props) {
+    out += "P ";
+    out += owner;
+    out += ' ';
+    out += std::to_string(id);
+    out += ' ';
+    out += Escape(key);
+    if (std::holds_alternative<int64_t>(value)) {
+      out += " i " + std::to_string(std::get<int64_t>(value));
+    } else if (std::holds_alternative<double>(value)) {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), " d %.17g", std::get<double>(value));
+      out += buf;
+    } else {
+      out += " s " + Escape(std::get<std::string>(value));
+    }
+    out += '\n';
+  }
+}
+
+}  // namespace
+
+std::string SerializeStore(const MetadataStore& store) {
+  std::string out = "MLPROVSTORE v1\n";
+  for (const Artifact& a : store.artifacts()) {
+    out += "A " + std::to_string(static_cast<int>(a.type)) + ' ' +
+           std::to_string(a.create_time) + '\n';
+    AppendProperties(a.properties, 'a', a.id, out);
+  }
+  for (const Execution& e : store.executions()) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "E %d %lld %lld %d %.17g\n",
+                  static_cast<int>(e.type),
+                  static_cast<long long>(e.start_time),
+                  static_cast<long long>(e.end_time),
+                  e.succeeded ? 1 : 0, e.compute_cost);
+    out += buf;
+    AppendProperties(e.properties, 'e', e.id, out);
+  }
+  for (const Event& ev : store.events()) {
+    out += "V " + std::to_string(ev.execution) + ' ' +
+           std::to_string(ev.artifact) + ' ' +
+           std::to_string(static_cast<int>(ev.kind)) + ' ' +
+           std::to_string(ev.time) + '\n';
+  }
+  for (const Context& c : store.contexts()) {
+    out += "C " + Escape(c.name) + '\n';
+    for (ExecutionId e : c.executions) {
+      out += "CE " + std::to_string(c.id) + ' ' + std::to_string(e) + '\n';
+    }
+    for (ArtifactId a : c.artifacts) {
+      out += "CA " + std::to_string(c.id) + ' ' + std::to_string(a) + '\n';
+    }
+  }
+  return out;
+}
+
+common::StatusOr<MetadataStore> DeserializeStore(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "MLPROVSTORE v1") {
+    return common::Status::InvalidArgument("bad store header");
+  }
+  MetadataStore store;
+  auto fail = [&](const std::string& what) {
+    return common::Status::InvalidArgument("malformed line: " + what);
+  };
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "A") {
+      int type = 0;
+      long long t = 0;
+      if (!(ls >> type >> t)) return fail(line);
+      Artifact a;
+      a.type = static_cast<ArtifactType>(type);
+      a.create_time = t;
+      store.PutArtifact(std::move(a));
+    } else if (tag == "E") {
+      int type = 0, ok = 0;
+      long long start = 0, end = 0;
+      double cost = 0.0;
+      if (!(ls >> type >> start >> end >> ok >> cost)) return fail(line);
+      Execution e;
+      e.type = static_cast<ExecutionType>(type);
+      e.start_time = start;
+      e.end_time = end;
+      e.succeeded = ok != 0;
+      e.compute_cost = cost;
+      store.PutExecution(std::move(e));
+    } else if (tag == "P") {
+      char owner = 0;
+      int64_t id = 0;
+      std::string key, vtype, raw;
+      if (!(ls >> owner >> id >> key >> vtype >> raw)) return fail(line);
+      PropertyValue value;
+      if (vtype == "i") {
+        value = static_cast<int64_t>(std::stoll(raw));
+      } else if (vtype == "d") {
+        value = std::stod(raw);
+      } else if (vtype == "s") {
+        value = Unescape(raw);
+      } else {
+        return fail(line);
+      }
+      if (owner == 'a') {
+        Artifact* a = store.MutableArtifact(id);
+        if (a == nullptr) return fail(line);
+        a->properties[Unescape(key)] = std::move(value);
+      } else if (owner == 'e') {
+        Execution* e = store.MutableExecution(id);
+        if (e == nullptr) return fail(line);
+        e->properties[Unescape(key)] = std::move(value);
+      } else {
+        return fail(line);
+      }
+    } else if (tag == "V") {
+      Event ev;
+      int64_t exec = 0, artifact = 0;
+      int kind = 0;
+      long long t = 0;
+      if (!(ls >> exec >> artifact >> kind >> t)) return fail(line);
+      ev.execution = exec;
+      ev.artifact = artifact;
+      ev.kind = static_cast<EventKind>(kind);
+      ev.time = t;
+      MLPROV_RETURN_IF_ERROR(store.PutEvent(ev));
+    } else if (tag == "C") {
+      std::string name;
+      ls >> name;
+      Context c;
+      c.name = Unescape(name);
+      store.PutContext(std::move(c));
+    } else if (tag == "CE") {
+      int64_t ctx = 0, exec = 0;
+      if (!(ls >> ctx >> exec)) return fail(line);
+      MLPROV_RETURN_IF_ERROR(store.AddToContext(ctx, exec));
+    } else if (tag == "CA") {
+      int64_t ctx = 0, artifact = 0;
+      if (!(ls >> ctx >> artifact)) return fail(line);
+      MLPROV_RETURN_IF_ERROR(store.AddArtifactToContext(ctx, artifact));
+    } else {
+      return fail(line);
+    }
+  }
+  return store;
+}
+
+common::Status SaveStore(const MetadataStore& store,
+                         const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return common::Status::Internal("cannot open " + path);
+  out << SerializeStore(store);
+  if (!out) return common::Status::Internal("write failed: " + path);
+  return common::Status::Ok();
+}
+
+common::StatusOr<MetadataStore> LoadStore(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return common::Status::NotFound("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return DeserializeStore(buf.str());
+}
+
+}  // namespace mlprov::metadata

@@ -1,0 +1,29 @@
+#ifndef MLPROV_METADATA_SERIALIZATION_H_
+#define MLPROV_METADATA_SERIALIZATION_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "metadata/metadata_store.h"
+
+namespace mlprov::metadata {
+
+/// Serializes the store to a line-oriented text format (one node, event, or
+/// property per line). Ids are implicit in insertion order, so a round-trip
+/// preserves all ids. Intended for caching simulated corpora on disk and
+/// shipping small traces with bug reports.
+std::string SerializeStore(const MetadataStore& store);
+
+/// Parses a store previously produced by SerializeStore. Fails with
+/// InvalidArgument on malformed input; on failure the output store is
+/// left in an unspecified but valid state.
+common::StatusOr<MetadataStore> DeserializeStore(const std::string& text);
+
+/// File variants.
+common::Status SaveStore(const MetadataStore& store, const std::string& path);
+common::StatusOr<MetadataStore> LoadStore(const std::string& path);
+
+}  // namespace mlprov::metadata
+
+#endif  // MLPROV_METADATA_SERIALIZATION_H_

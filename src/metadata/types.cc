@@ -1,0 +1,150 @@
+#include "metadata/types.h"
+
+namespace mlprov::metadata {
+
+OperatorGroup GroupOf(ExecutionType type) {
+  switch (type) {
+    case ExecutionType::kExampleGen:
+      return OperatorGroup::kDataIngestion;
+    case ExecutionType::kStatisticsGen:
+    case ExecutionType::kSchemaGen:
+    case ExecutionType::kExampleValidator:
+      return OperatorGroup::kDataAnalysisValidation;
+    case ExecutionType::kTransform:
+      return OperatorGroup::kDataPreprocessing;
+    case ExecutionType::kTuner:
+    case ExecutionType::kTrainer:
+      return OperatorGroup::kTraining;
+    case ExecutionType::kEvaluator:
+    case ExecutionType::kModelValidator:
+    case ExecutionType::kInfraValidator:
+      return OperatorGroup::kModelAnalysisValidation;
+    case ExecutionType::kPusher:
+      return OperatorGroup::kModelDeployment;
+    case ExecutionType::kCustom:
+      return OperatorGroup::kCustom;
+  }
+  return OperatorGroup::kCustom;
+}
+
+const char* ToString(ArtifactType type) {
+  switch (type) {
+    case ArtifactType::kExamples:
+      return "Examples";
+    case ArtifactType::kExampleStatistics:
+      return "ExampleStatistics";
+    case ArtifactType::kSchema:
+      return "Schema";
+    case ArtifactType::kExampleAnomalies:
+      return "ExampleAnomalies";
+    case ArtifactType::kTransformGraph:
+      return "TransformGraph";
+    case ArtifactType::kTransformedExamples:
+      return "TransformedExamples";
+    case ArtifactType::kHyperparameters:
+      return "Hyperparameters";
+    case ArtifactType::kModel:
+      return "Model";
+    case ArtifactType::kModelEvaluation:
+      return "ModelEvaluation";
+    case ArtifactType::kModelBlessing:
+      return "ModelBlessing";
+    case ArtifactType::kInfraBlessing:
+      return "InfraBlessing";
+    case ArtifactType::kPushedModel:
+      return "PushedModel";
+    case ArtifactType::kCustom:
+      return "CustomArtifact";
+  }
+  return "UnknownArtifact";
+}
+
+const char* ToString(ExecutionType type) {
+  switch (type) {
+    case ExecutionType::kExampleGen:
+      return "ExampleGen";
+    case ExecutionType::kStatisticsGen:
+      return "StatisticsGen";
+    case ExecutionType::kSchemaGen:
+      return "SchemaGen";
+    case ExecutionType::kExampleValidator:
+      return "ExampleValidator";
+    case ExecutionType::kTransform:
+      return "Transform";
+    case ExecutionType::kTuner:
+      return "Tuner";
+    case ExecutionType::kTrainer:
+      return "Trainer";
+    case ExecutionType::kEvaluator:
+      return "Evaluator";
+    case ExecutionType::kModelValidator:
+      return "ModelValidator";
+    case ExecutionType::kInfraValidator:
+      return "InfraValidator";
+    case ExecutionType::kPusher:
+      return "Pusher";
+    case ExecutionType::kCustom:
+      return "CustomOp";
+  }
+  return "UnknownExecution";
+}
+
+const char* ToString(OperatorGroup group) {
+  switch (group) {
+    case OperatorGroup::kDataIngestion:
+      return "DataIngestion";
+    case OperatorGroup::kDataAnalysisValidation:
+      return "DataAnalysis+Validation";
+    case OperatorGroup::kDataPreprocessing:
+      return "DataPreprocessing";
+    case OperatorGroup::kTraining:
+      return "Training";
+    case OperatorGroup::kModelAnalysisValidation:
+      return "ModelAnalysis+Validation";
+    case OperatorGroup::kModelDeployment:
+      return "ModelDeployment";
+    case OperatorGroup::kCustom:
+      return "Custom";
+  }
+  return "UnknownGroup";
+}
+
+const char* ToString(ModelType type) {
+  switch (type) {
+    case ModelType::kDnn:
+      return "DNN";
+    case ModelType::kLinear:
+      return "Linear";
+    case ModelType::kDnnLinear:
+      return "DNN+Linear";
+    case ModelType::kTrees:
+      return "Trees";
+    case ModelType::kEnsemble:
+      return "Ensemble";
+    case ModelType::kOther:
+      return "Other";
+  }
+  return "UnknownModel";
+}
+
+const char* ToString(AnalyzerType type) {
+  switch (type) {
+    case AnalyzerType::kVocabulary:
+      return "vocabulary";
+    case AnalyzerType::kMin:
+      return "min";
+    case AnalyzerType::kMax:
+      return "max";
+    case AnalyzerType::kMean:
+      return "mean";
+    case AnalyzerType::kStd:
+      return "std";
+    case AnalyzerType::kQuantiles:
+      return "quantiles";
+    case AnalyzerType::kCustom:
+      return "custom";
+  }
+  return "unknown";
+}
+
+}  // namespace mlprov::metadata

@@ -1,0 +1,112 @@
+#ifndef MLPROV_METADATA_TYPES_H_
+#define MLPROV_METADATA_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace mlprov::metadata {
+
+/// Node identifiers are 1-based within a store; 0 is "invalid".
+using ArtifactId = int64_t;
+using ExecutionId = int64_t;
+using ContextId = int64_t;
+inline constexpr int64_t kInvalidId = 0;
+
+/// Simulated wall-clock time, in seconds since the corpus epoch.
+using Timestamp = int64_t;
+inline constexpr Timestamp kSecondsPerHour = 3600;
+inline constexpr Timestamp kSecondsPerDay = 24 * kSecondsPerHour;
+
+/// Artifact types mirroring the TFX/MLMD vocabulary used in the paper.
+enum class ArtifactType : uint8_t {
+  kExamples = 0,           // a data span emitted by ExampleGen
+  kExampleStatistics = 1,  // output of StatisticsGen
+  kSchema = 2,             // output of SchemaGen
+  kExampleAnomalies = 3,   // output of ExampleValidator
+  kTransformGraph = 4,     // output of Transform (the transform fn)
+  kTransformedExamples = 5,
+  kHyperparameters = 6,  // output of Tuner
+  kModel = 7,            // output of Trainer
+  kModelEvaluation = 8,  // output of Evaluator
+  kModelBlessing = 9,    // output of ModelValidator
+  kInfraBlessing = 10,   // output of InfraValidator
+  kPushedModel = 11,     // output of Pusher
+  kCustom = 12,
+};
+inline constexpr int kNumArtifactTypes = 13;
+
+/// Execution (operator) types from Figure 1(b) plus Custom.
+enum class ExecutionType : uint8_t {
+  kExampleGen = 0,
+  kStatisticsGen = 1,
+  kSchemaGen = 2,
+  kExampleValidator = 3,
+  kTransform = 4,
+  kTuner = 5,
+  kTrainer = 6,
+  kEvaluator = 7,
+  kModelValidator = 8,
+  kInfraValidator = 9,
+  kPusher = 10,
+  kCustom = 11,
+};
+inline constexpr int kNumExecutionTypes = 12;
+
+/// The high-level operator grouping used by Figures 6 and 7.
+enum class OperatorGroup : uint8_t {
+  kDataIngestion = 0,
+  kDataAnalysisValidation = 1,
+  kDataPreprocessing = 2,
+  kTraining = 3,
+  kModelAnalysisValidation = 4,
+  kModelDeployment = 5,
+  kCustom = 6,
+};
+inline constexpr int kNumOperatorGroups = 7;
+
+/// Model architectures from Figure 5.
+enum class ModelType : uint8_t {
+  kDnn = 0,
+  kLinear = 1,
+  kDnnLinear = 2,
+  kTrees = 3,
+  kEnsemble = 4,
+  kOther = 5,
+};
+inline constexpr int kNumModelTypes = 6;
+
+/// Feature-transformation analyzer kinds from Figure 4. The first stage of a
+/// Transform executes zero or more of these reductions over the data.
+enum class AnalyzerType : uint8_t {
+  kVocabulary = 0,
+  kMin = 1,
+  kMax = 2,
+  kMean = 3,
+  kStd = 4,
+  kQuantiles = 5,
+  kCustom = 6,
+};
+inline constexpr int kNumAnalyzerTypes = 7;
+
+/// Direction of an event linking an execution to an artifact.
+enum class EventKind : uint8_t {
+  kInput = 0,
+  kOutput = 1,
+};
+
+/// Property values attached to artifacts and executions.
+using PropertyValue = std::variant<int64_t, double, std::string>;
+
+/// Maps an execution type to its Figure 6/7 operator group.
+OperatorGroup GroupOf(ExecutionType type);
+
+const char* ToString(ArtifactType type);
+const char* ToString(ExecutionType type);
+const char* ToString(OperatorGroup group);
+const char* ToString(ModelType type);
+const char* ToString(AnalyzerType type);
+
+}  // namespace mlprov::metadata
+
+#endif  // MLPROV_METADATA_TYPES_H_

@@ -1,0 +1,93 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace mlprov::ml {
+
+Dataset::Dataset(std::vector<std::string> feature_names)
+    : feature_names_(std::move(feature_names)) {}
+
+void Dataset::AddRow(const std::vector<double>& features, int label,
+                     int64_t group, double weight) {
+  assert(features.size() == feature_names_.size());
+  data_.insert(data_.end(), features.begin(), features.end());
+  labels_.push_back(label ? 1 : 0);
+  groups_.push_back(group);
+  weights_.push_back(weight);
+}
+
+double Dataset::PositiveFraction() const {
+  if (labels_.empty()) return 0.0;
+  size_t positives = 0;
+  for (int y : labels_) positives += static_cast<size_t>(y);
+  return static_cast<double>(positives) /
+         static_cast<double>(labels_.size());
+}
+
+Dataset Dataset::Subset(const std::vector<size_t>& rows) const {
+  Dataset out(feature_names_);
+  out.data_.reserve(rows.size() * NumFeatures());
+  for (size_t r : rows) {
+    assert(r < NumRows());
+    const double* begin = &data_[r * NumFeatures()];
+    out.data_.insert(out.data_.end(), begin, begin + NumFeatures());
+    out.labels_.push_back(labels_[r]);
+    out.groups_.push_back(groups_[r]);
+    out.weights_.push_back(weights_[r]);
+  }
+  return out;
+}
+
+Dataset Dataset::SelectFeatures(const std::vector<size_t>& columns) const {
+  std::vector<std::string> names;
+  names.reserve(columns.size());
+  for (size_t c : columns) {
+    assert(c < NumFeatures());
+    names.push_back(feature_names_[c]);
+  }
+  Dataset out(std::move(names));
+  out.data_.reserve(NumRows() * columns.size());
+  for (size_t r = 0; r < NumRows(); ++r) {
+    for (size_t c : columns) out.data_.push_back(Feature(r, c));
+    out.labels_.push_back(labels_[r]);
+    out.groups_.push_back(groups_[r]);
+    out.weights_.push_back(weights_[r]);
+  }
+  return out;
+}
+
+std::pair<std::vector<size_t>, std::vector<size_t>> Dataset::GroupSplit(
+    double train_fraction, common::Rng& rng) const {
+  // Collect rows per group.
+  std::unordered_map<int64_t, std::vector<size_t>> by_group;
+  for (size_t r = 0; r < NumRows(); ++r) by_group[groups_[r]].push_back(r);
+  std::vector<int64_t> group_ids;
+  group_ids.reserve(by_group.size());
+  for (const auto& [g, rows] : by_group) group_ids.push_back(g);
+  std::sort(group_ids.begin(), group_ids.end());  // deterministic base order
+  // Fisher-Yates shuffle with our RNG.
+  for (size_t i = group_ids.size(); i > 1; --i) {
+    std::swap(group_ids[i - 1],
+              group_ids[static_cast<size_t>(rng.NextUint64(i))]);
+  }
+  const auto target =
+      static_cast<size_t>(train_fraction * static_cast<double>(NumRows()));
+  std::vector<size_t> train, test;
+  size_t train_count = 0;
+  for (int64_t g : group_ids) {
+    auto& rows = by_group[g];
+    if (train_count < target) {
+      train.insert(train.end(), rows.begin(), rows.end());
+      train_count += rows.size();
+    } else {
+      test.insert(test.end(), rows.begin(), rows.end());
+    }
+  }
+  std::sort(train.begin(), train.end());
+  std::sort(test.begin(), test.end());
+  return {std::move(train), std::move(test)};
+}
+
+}  // namespace mlprov::ml

@@ -1,0 +1,50 @@
+#ifndef MLPROV_ML_GBDT_H_
+#define MLPROV_ML_GBDT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/decision_tree.h"
+
+namespace mlprov::ml {
+
+/// Gradient-boosted decision trees for binary classification with
+/// logistic loss: each round fits a shallow regression tree to the
+/// negative gradient (residual y - p). One of the stronger model families
+/// the paper compared Random Forest against (Section 5.2.2).
+class Gbdt {
+ public:
+  struct Options {
+    int num_rounds = 80;
+    double learning_rate = 0.15;
+    int max_depth = 4;
+    size_t min_samples_leaf = 4;
+    /// Row subsample per round (stochastic gradient boosting); 1.0 = all.
+    double subsample = 0.8;
+    bool balance_classes = true;
+    uint64_t seed = 23;
+  };
+
+  explicit Gbdt(const Options& options) : options_(options) {}
+
+  void Fit(const Dataset& data);
+  void Fit(const Dataset& data, const std::vector<size_t>& rows);
+
+  double PredictProba(const Dataset& data, size_t row) const;
+  std::vector<double> PredictProba(const Dataset& data) const;
+
+  size_t NumTrees() const { return trees_.size(); }
+  bool IsFitted() const { return !trees_.empty() || base_score_ != 0.0; }
+
+ private:
+  double PredictMargin(const double* features) const;
+
+  Options options_;
+  std::vector<DecisionTree> trees_;
+  double base_score_ = 0.0;  // initial log-odds
+};
+
+}  // namespace mlprov::ml
+
+#endif  // MLPROV_ML_GBDT_H_

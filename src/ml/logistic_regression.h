@@ -1,0 +1,49 @@
+#ifndef MLPROV_ML_LOGISTIC_REGRESSION_H_
+#define MLPROV_ML_LOGISTIC_REGRESSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace mlprov::ml {
+
+/// L2-regularized logistic regression trained by full-batch gradient
+/// descent with momentum on standardized features. One of the
+/// "interpretable models" baselines of Section 5.2.2.
+class LogisticRegression {
+ public:
+  struct Options {
+    int max_iterations = 300;
+    double learning_rate = 0.5;
+    double momentum = 0.9;
+    double l2 = 1e-4;
+    /// Stop when the max absolute gradient falls below this.
+    double tolerance = 1e-6;
+    /// Reweight classes inversely to their frequency.
+    bool balance_classes = true;
+  };
+
+  explicit LogisticRegression(const Options& options) : options_(options) {}
+
+  void Fit(const Dataset& data);
+  void Fit(const Dataset& data, const std::vector<size_t>& rows);
+
+  double PredictProba(const Dataset& data, size_t row) const;
+  std::vector<double> PredictProba(const Dataset& data) const;
+
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+  bool IsFitted() const { return !weights_.empty(); }
+
+ private:
+  Options options_;
+  std::vector<double> weights_;  // in standardized feature space
+  double bias_ = 0.0;
+  std::vector<double> feature_mean_;
+  std::vector<double> feature_scale_;
+};
+
+}  // namespace mlprov::ml
+
+#endif  // MLPROV_ML_LOGISTIC_REGRESSION_H_

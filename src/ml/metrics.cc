@@ -1,0 +1,101 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace mlprov::ml {
+
+double Confusion::TruePositiveRate() const {
+  const size_t p = tp + fn;
+  return p ? static_cast<double>(tp) / static_cast<double>(p) : 0.0;
+}
+
+double Confusion::FalsePositiveRate() const {
+  const size_t n = fp + tn;
+  return n ? static_cast<double>(fp) / static_cast<double>(n) : 0.0;
+}
+
+double Confusion::TrueNegativeRate() const {
+  const size_t n = fp + tn;
+  return n ? static_cast<double>(tn) / static_cast<double>(n) : 0.0;
+}
+
+double Confusion::Accuracy() const {
+  const size_t total = tp + fp + tn + fn;
+  return total ? static_cast<double>(tp + tn) / static_cast<double>(total)
+               : 0.0;
+}
+
+double Confusion::BalancedAccuracy() const {
+  return 0.5 * (TruePositiveRate() + TrueNegativeRate());
+}
+
+Confusion ConfusionAt(const std::vector<double>& scores,
+                      const std::vector<int>& labels, double threshold) {
+  assert(scores.size() == labels.size());
+  Confusion c;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const bool predicted = scores[i] >= threshold;
+    if (labels[i]) {
+      predicted ? ++c.tp : ++c.fn;
+    } else {
+      predicted ? ++c.fp : ++c.tn;
+    }
+  }
+  return c;
+}
+
+double BalancedAccuracy(const std::vector<double>& scores,
+                        const std::vector<int>& labels, double threshold) {
+  return ConfusionAt(scores, labels, threshold).BalancedAccuracy();
+}
+
+std::vector<RocPoint> RocCurve(const std::vector<double>& scores,
+                               const std::vector<int>& labels) {
+  assert(scores.size() == labels.size());
+  size_t positives = 0, negatives = 0;
+  for (int y : labels) (y ? positives : negatives) += 1;
+  std::vector<size_t> order(scores.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] > scores[b];
+  });
+  std::vector<RocPoint> curve;
+  curve.push_back({std::numeric_limits<double>::infinity(), 0.0, 0.0});
+  size_t tp = 0, fp = 0;
+  for (size_t k = 0; k < order.size();) {
+    // Process ties together so the curve is well defined.
+    const double s = scores[order[k]];
+    while (k < order.size() && scores[order[k]] == s) {
+      (labels[order[k]] ? tp : fp) += 1;
+      ++k;
+    }
+    RocPoint p;
+    p.threshold = s;
+    p.tpr = positives ? static_cast<double>(tp) /
+                            static_cast<double>(positives)
+                      : 0.0;
+    p.fpr = negatives ? static_cast<double>(fp) /
+                            static_cast<double>(negatives)
+                      : 0.0;
+    curve.push_back(p);
+  }
+  return curve;
+}
+
+double AreaUnderRoc(const std::vector<double>& scores,
+                    const std::vector<int>& labels) {
+  const auto curve = RocCurve(scores, labels);
+  size_t positives = 0, negatives = 0;
+  for (int y : labels) (y ? positives : negatives) += 1;
+  if (positives == 0 || negatives == 0) return 0.5;
+  double area = 0.0;
+  for (size_t i = 1; i < curve.size(); ++i) {
+    const double dx = curve[i].fpr - curve[i - 1].fpr;
+    area += dx * 0.5 * (curve[i].tpr + curve[i - 1].tpr);
+  }
+  return area;
+}
+
+}  // namespace mlprov::ml

@@ -1,0 +1,52 @@
+#ifndef MLPROV_ML_METRICS_H_
+#define MLPROV_ML_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace mlprov::ml {
+
+/// Confusion-matrix counts at a fixed decision threshold.
+struct Confusion {
+  size_t tp = 0;
+  size_t fp = 0;
+  size_t tn = 0;
+  size_t fn = 0;
+
+  double TruePositiveRate() const;   // recall on positives
+  double FalsePositiveRate() const;  // 1 - recall on negatives
+  double TrueNegativeRate() const;
+  double Accuracy() const;
+  /// (TPR + TNR) / 2 — the paper's metric under 80/20 class imbalance.
+  double BalancedAccuracy() const;
+};
+
+/// Counts the confusion matrix of `scores >= threshold` against labels.
+Confusion ConfusionAt(const std::vector<double>& scores,
+                      const std::vector<int>& labels, double threshold);
+
+/// Balanced accuracy of thresholded scores.
+double BalancedAccuracy(const std::vector<double>& scores,
+                        const std::vector<int>& labels,
+                        double threshold = 0.5);
+
+/// One point of a threshold sweep.
+struct RocPoint {
+  double threshold = 0.0;
+  double tpr = 0.0;
+  double fpr = 0.0;
+};
+
+/// Full ROC curve over every distinct score (plus sentinels), sorted by
+/// increasing FPR.
+std::vector<RocPoint> RocCurve(const std::vector<double>& scores,
+                               const std::vector<int>& labels);
+
+/// Area under the ROC curve (probability a positive outranks a negative,
+/// ties counted half). 0.5 for degenerate label sets.
+double AreaUnderRoc(const std::vector<double>& scores,
+                    const std::vector<int>& labels);
+
+}  // namespace mlprov::ml
+
+#endif  // MLPROV_ML_METRICS_H_

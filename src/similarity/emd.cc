@@ -1,0 +1,243 @@
+#include "similarity/emd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mlprov::similarity {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kEps = 1e-12;
+
+std::vector<double> Normalized(const std::vector<double>& v) {
+  double total = 0.0;
+  for (double x : v) total += std::max(0.0, x);
+  std::vector<double> out(v.size(), 0.0);
+  if (total <= 0.0) return out;
+  for (size_t i = 0; i < v.size(); ++i) {
+    out[i] = std::max(0.0, v[i]) / total;
+  }
+  return out;
+}
+
+}  // namespace
+
+double EarthMoversDistance(
+    const std::vector<double>& supply, const std::vector<double>& demand,
+    const std::function<double(size_t, size_t)>& cost) {
+  std::vector<double> a = Normalized(supply);
+  std::vector<double> b = Normalized(demand);
+  const size_t n = a.size();
+  const size_t m = b.size();
+  double a_total = 0.0, b_total = 0.0;
+  for (double x : a) a_total += x;
+  for (double x : b) b_total += x;
+  if (a_total <= 0.0 || b_total <= 0.0) return 0.0;
+
+  // Successive shortest paths on the complete bipartite transport graph.
+  // Node layout: sources [0, n), sinks [n, n+m). A virtual super-source
+  // connects to sources with remaining supply at zero cost.
+  std::vector<double> cost_matrix(n * m);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      cost_matrix[i * m + j] = std::max(0.0, cost(i, j));
+    }
+  }
+  std::vector<double> flow(n * m, 0.0);
+  std::vector<double> remaining_supply = a;
+  std::vector<double> remaining_demand = b;
+  std::vector<double> potential(n + m, 0.0);
+  double total_cost = 0.0;
+  double mass_left = std::min(a_total, b_total);
+
+  while (mass_left > kEps) {
+    // Dijkstra over n+m nodes with reduced costs.
+    std::vector<double> dist(n + m, kInf);
+    std::vector<int> prev(n + m, -1);  // for sinks: the source used
+    std::vector<char> done(n + m, 0);
+    for (size_t i = 0; i < n; ++i) {
+      if (remaining_supply[i] > kEps) dist[i] = 0.0;
+    }
+    for (size_t it = 0; it < n + m; ++it) {
+      size_t u = n + m;
+      double best = kInf;
+      for (size_t v = 0; v < n + m; ++v) {
+        if (!done[v] && dist[v] < best) {
+          best = dist[v];
+          u = v;
+        }
+      }
+      if (u == n + m) break;
+      done[u] = 1;
+      if (u < n) {
+        // Forward edges u -> all sinks.
+        for (size_t j = 0; j < m; ++j) {
+          const double rc = cost_matrix[u * m + j] + potential[u] -
+                            potential[n + j];
+          if (dist[u] + rc < dist[n + j] - kEps) {
+            dist[n + j] = dist[u] + rc;
+            prev[n + j] = static_cast<int>(u);
+          }
+        }
+      } else {
+        // Backward edges sink -> sources with positive flow.
+        const size_t j = u - n;
+        for (size_t i = 0; i < n; ++i) {
+          if (flow[i * m + j] <= kEps) continue;
+          const double rc = -cost_matrix[i * m + j] + potential[u] -
+                            potential[i];
+          if (dist[u] + rc < dist[i] - kEps) {
+            dist[i] = dist[u] + rc;
+            prev[i] = static_cast<int>(u);
+          }
+        }
+      }
+    }
+    // Pick the reachable sink with remaining demand minimizing true dist.
+    size_t best_sink = n + m;
+    double best_dist = kInf;
+    for (size_t j = 0; j < m; ++j) {
+      if (remaining_demand[j] > kEps && dist[n + j] < best_dist) {
+        best_dist = dist[n + j];
+        best_sink = n + j;
+      }
+    }
+    if (best_sink == n + m) break;  // disconnected (cannot happen: complete)
+
+    // Trace path back to a source, find bottleneck.
+    double bottleneck = remaining_demand[best_sink - n];
+    {
+      size_t v = best_sink;
+      while (prev[v] != -1) {
+        const size_t u = static_cast<size_t>(prev[v]);
+        if (u < n && v >= n) {
+          // forward edge: unbounded capacity
+        } else {
+          bottleneck = std::min(bottleneck, flow[v * m + (u - n)]);
+        }
+        v = u;
+      }
+      bottleneck = std::min(bottleneck, remaining_supply[v]);
+    }
+    if (bottleneck <= kEps) break;
+
+    // Apply flow along the path.
+    {
+      size_t v = best_sink;
+      while (prev[v] != -1) {
+        const size_t u = static_cast<size_t>(prev[v]);
+        if (u < n && v >= n) {
+          flow[u * m + (v - n)] += bottleneck;
+          total_cost += bottleneck * cost_matrix[u * m + (v - n)];
+        } else {
+          flow[v * m + (u - n)] -= bottleneck;
+          total_cost -= bottleneck * cost_matrix[v * m + (u - n)];
+        }
+        v = u;
+      }
+      remaining_supply[v] -= bottleneck;
+    }
+    remaining_demand[best_sink - n] -= bottleneck;
+    mass_left -= bottleneck;
+
+    // Update potentials for reached nodes.
+    for (size_t v = 0; v < n + m; ++v) {
+      if (dist[v] < kInf) potential[v] += dist[v];
+    }
+  }
+  return total_cost;
+}
+
+double Emd1D(const std::vector<double>& p, const std::vector<double>& q) {
+  const size_t n = std::max(p.size(), q.size());
+  if (n == 0) return 0.0;
+  double p_total = 0.0, q_total = 0.0;
+  for (double x : p) p_total += std::max(0.0, x);
+  for (double x : q) q_total += std::max(0.0, x);
+  if (p_total <= 0.0 || q_total <= 0.0) return 0.0;
+  std::vector<double> pn = Normalized(p);
+  std::vector<double> qn = Normalized(q);
+  pn.resize(n, 0.0);
+  qn.resize(n, 0.0);
+  const double bin_width = 1.0 / static_cast<double>(n);
+  double cum = 0.0, emd = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    cum += pn[i] - qn[i];
+    emd += std::abs(cum) * bin_width;
+  }
+  return emd;
+}
+
+double MaxBipartiteMatchWeight(
+    size_t n, size_t m, const std::function<double(size_t, size_t)>& weight) {
+  if (n == 0 || m == 0) return 0.0;
+  const size_t k = std::max(n, m);
+  // Hungarian algorithm on a k x k min-cost matrix; costs are
+  // (max_weight - w) with zero-padding for virtual rows/columns.
+  double max_w = 0.0;
+  std::vector<double> w(k * k, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      w[i * k + j] = std::max(0.0, weight(i, j));
+      max_w = std::max(max_w, w[i * k + j]);
+    }
+  }
+  std::vector<double> cost(k * k);
+  for (size_t i = 0; i < k * k; ++i) cost[i] = max_w - w[i];
+
+  // Standard O(k^3) Hungarian with row/column potentials (1-based helpers).
+  std::vector<double> u(k + 1, 0.0), v(k + 1, 0.0);
+  std::vector<size_t> match(k + 1, 0);  // match[j] = row assigned to col j
+  std::vector<size_t> way(k + 1, 0);
+  for (size_t i = 1; i <= k; ++i) {
+    match[0] = i;
+    size_t j0 = 0;
+    std::vector<double> minv(k + 1, kInf);
+    std::vector<char> used(k + 1, 0);
+    do {
+      used[j0] = 1;
+      const size_t i0 = match[j0];
+      double delta = kInf;
+      size_t j1 = 0;
+      for (size_t j = 1; j <= k; ++j) {
+        if (used[j]) continue;
+        const double cur =
+            cost[(i0 - 1) * k + (j - 1)] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (size_t j = 0; j <= k; ++j) {
+        if (used[j]) {
+          u[match[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (match[j0] != 0);
+    do {
+      const size_t j1 = way[j0];
+      match[j0] = match[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+  double total = 0.0;
+  for (size_t j = 1; j <= k; ++j) {
+    const size_t i = match[j];
+    if (i >= 1 && i <= n && j >= 1 && j <= m) {
+      total += w[(i - 1) * k + (j - 1)];
+    }
+  }
+  return total;
+}
+
+}  // namespace mlprov::similarity

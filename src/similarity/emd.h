@@ -1,0 +1,38 @@
+#ifndef MLPROV_SIMILARITY_EMD_H_
+#define MLPROV_SIMILARITY_EMD_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace mlprov::similarity {
+
+/// Exact Earth Mover's Distance between two discrete mass distributions
+/// over arbitrary points, given a non-negative ground cost. `supply[i]` is
+/// the mass at source point i, `demand[j]` the mass at sink point j; the
+/// two sides are normalized internally so each sums to 1 (empty or zero
+/// sides yield 0). `cost(i, j)` returns the ground distance. Solved exactly
+/// via successive-shortest-path min-cost flow on the complete bipartite
+/// graph; complexity O((n+m) * n * m) in the worst case, which is fine for
+/// the feature-set sizes of this library (typically tens to hundreds).
+double EarthMoversDistance(
+    const std::vector<double>& supply, const std::vector<double>& demand,
+    const std::function<double(size_t, size_t)>& cost);
+
+/// Closed-form EMD between two 1-D histograms over the same equi-width
+/// bins of [0,1] (equal bin count required): the integral of |CDF_p - CDF_q|.
+/// Inputs are normalized internally. This is the fast path used for
+/// distribution-level comparisons and for cross-checking the exact solver.
+double Emd1D(const std::vector<double>& p, const std::vector<double>& q);
+
+/// Maximum-weight bipartite assignment value: pads to a square matrix with
+/// zero weights and runs the Hungarian algorithm (O(n^3)). `weight(i, j)`
+/// must be in [0, +inf). Returns the total weight of the optimal
+/// assignment of min(n, m) pairs. Used by the paper's alternative
+/// "maximum bipartite matching" span-set similarity.
+double MaxBipartiteMatchWeight(
+    size_t n, size_t m, const std::function<double(size_t, size_t)>& weight);
+
+}  // namespace mlprov::similarity
+
+#endif  // MLPROV_SIMILARITY_EMD_H_

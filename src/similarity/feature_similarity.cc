@@ -1,0 +1,48 @@
+#include "similarity/feature_similarity.h"
+
+namespace mlprov::similarity {
+
+FeatureSimilarity::FeatureSimilarity(const FeatureSimilarityOptions& options)
+    : options_(options), lsh_(options.lsh) {}
+
+int64_t FeatureSimilarity::Hash(const dataspan::FeatureStats& f) const {
+  return lsh_.Hash(f.ToDistribution(lsh_.options().dim));
+}
+
+std::vector<int64_t> FeatureSimilarity::HashVector(
+    const dataspan::FeatureStats& f) const {
+  return lsh_.HashVector(f.ToDistribution(lsh_.options().dim));
+}
+
+double FeatureSimilarity::SoftSimilarity(
+    const dataspan::FeatureStats& f1, const std::vector<int64_t>& hashes1,
+    const dataspan::FeatureStats& f2,
+    const std::vector<int64_t>& hashes2) const {
+  if (f1.kind != f2.kind) return 0.0;
+  const size_t n = std::min(hashes1.size(), hashes2.size());
+  double matches = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (hashes1[i] == hashes2[i]) matches += 1.0;
+  }
+  double s = n ? options_.alpha * matches / static_cast<double>(n) : 0.0;
+  if (f1.name == f2.name) s += options_.beta;
+  return s;
+}
+
+double FeatureSimilarity::Similarity(const dataspan::FeatureStats& f1,
+                                     int64_t hash1,
+                                     const dataspan::FeatureStats& f2,
+                                     int64_t hash2) const {
+  if (f1.kind != f2.kind) return 0.0;
+  double s = 0.0;
+  if (hash1 == hash2) s += options_.alpha;
+  if (f1.name == f2.name) s += options_.beta;
+  return s;
+}
+
+double FeatureSimilarity::Similarity(const dataspan::FeatureStats& f1,
+                                     const dataspan::FeatureStats& f2) const {
+  return Similarity(f1, Hash(f1), f2, Hash(f2));
+}
+
+}  // namespace mlprov::similarity

@@ -1,0 +1,84 @@
+#include "similarity/s2jsd_lsh.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace mlprov::similarity {
+
+namespace {
+
+std::vector<double> NormalizedPadded(const std::vector<double>& v,
+                                     size_t dim) {
+  std::vector<double> out(dim, 0.0);
+  double total = 0.0;
+  for (size_t i = 0; i < std::min(v.size(), dim); ++i) {
+    total += std::max(0.0, v[i]);
+  }
+  if (total <= 0.0) return out;
+  for (size_t i = 0; i < std::min(v.size(), dim); ++i) {
+    out[i] = std::max(0.0, v[i]) / total;
+  }
+  return out;
+}
+
+}  // namespace
+
+S2JsdLsh::S2JsdLsh(const Options& options) : options_(options) {
+  common::Rng rng(options_.seed);
+  const size_t total =
+      static_cast<size_t>(options_.num_hashes) *
+      static_cast<size_t>(options_.dim);
+  projections_.resize(total);
+  for (double& p : projections_) p = rng.Normal();
+  offsets_.resize(static_cast<size_t>(options_.num_hashes));
+  for (double& b : offsets_) b = rng.Uniform(0.0, options_.bucket_width);
+}
+
+std::vector<int64_t> S2JsdLsh::HashVector(
+    const std::vector<double>& distribution) const {
+  const auto dim = static_cast<size_t>(options_.dim);
+  const std::vector<double> p = NormalizedPadded(distribution, dim);
+  // Hellinger embedding: phi(P) = sqrt(P) elementwise.
+  std::vector<double> phi(dim);
+  for (size_t i = 0; i < dim; ++i) phi[i] = std::sqrt(p[i]);
+  std::vector<int64_t> buckets(static_cast<size_t>(options_.num_hashes));
+  for (int h = 0; h < options_.num_hashes; ++h) {
+    double dot = 0.0;
+    const double* a = &projections_[static_cast<size_t>(h) * dim];
+    for (size_t i = 0; i < dim; ++i) dot += a[i] * phi[i];
+    buckets[static_cast<size_t>(h)] = static_cast<int64_t>(
+        std::floor((dot + offsets_[static_cast<size_t>(h)]) /
+                   options_.bucket_width));
+  }
+  return buckets;
+}
+
+int64_t S2JsdLsh::Hash(const std::vector<double>& distribution) const {
+  // Combine the concatenated bucket indexes with an FNV-style mix.
+  uint64_t signature = 0xCBF29CE484222325ull;
+  for (int64_t bucket : HashVector(distribution)) {
+    signature ^= static_cast<uint64_t>(bucket) + 0x9E3779B97F4A7C15ull +
+                 (signature << 6) + (signature >> 2);
+  }
+  return static_cast<int64_t>(signature);
+}
+
+double S2JsdLsh::S2Jsd(const std::vector<double>& p,
+                       const std::vector<double>& q) {
+  const size_t dim = std::max(p.size(), q.size());
+  if (dim == 0) return 0.0;
+  const std::vector<double> a = NormalizedPadded(p, dim);
+  const std::vector<double> b = NormalizedPadded(q, dim);
+  double js = 0.0;
+  for (size_t i = 0; i < dim; ++i) {
+    const double m = 0.5 * (a[i] + b[i]);
+    if (a[i] > 0.0 && m > 0.0) js += 0.5 * a[i] * std::log2(a[i] / m);
+    if (b[i] > 0.0 && m > 0.0) js += 0.5 * b[i] * std::log2(b[i] / m);
+  }
+  js = std::max(0.0, js);
+  return std::sqrt(2.0 * js);
+}
+
+}  // namespace mlprov::similarity

@@ -1,0 +1,183 @@
+#include "similarity/span_similarity.h"
+
+#include <algorithm>
+
+#include "similarity/emd.h"
+
+namespace mlprov::similarity {
+
+double JaccardSimilarity(std::vector<int64_t> a, std::vector<int64_t> b) {
+  std::sort(a.begin(), a.end());
+  a.erase(std::unique(a.begin(), a.end()), a.end());
+  std::sort(b.begin(), b.end());
+  b.erase(std::unique(b.begin(), b.end()), b.end());
+  if (a.empty() && b.empty()) return 0.0;
+  size_t inter = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const size_t uni = a.size() + b.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+SpanSimilarityCalculator::SpanSimilarityCalculator(
+    const FeatureSimilarityOptions& options)
+    : feature_similarity_(options) {}
+
+void SpanSimilarityCalculator::ClearCache() {
+  hash_cache_.clear();
+  hash_vector_cache_.clear();
+  pair_cache_.clear();
+}
+
+const std::vector<int64_t>& SpanSimilarityCalculator::HashesFor(
+    int64_t key, const dataspan::SpanStats& span) {
+  auto it = hash_cache_.find(key);
+  if (it != hash_cache_.end()) return it->second;
+  std::vector<int64_t> hashes;
+  hashes.reserve(span.features.size());
+  for (const dataspan::FeatureStats& f : span.features) {
+    hashes.push_back(feature_similarity_.Hash(f));
+  }
+  return hash_cache_.emplace(key, std::move(hashes)).first->second;
+}
+
+double SpanSimilarityCalculator::SpanPairSimilarity(
+    const dataspan::SpanStats& a, const dataspan::SpanStats& b) const {
+  if (a.features.empty() || b.features.empty()) return 0.0;
+  std::vector<int64_t> ha, hb;
+  ha.reserve(a.features.size());
+  hb.reserve(b.features.size());
+  for (const auto& f : a.features) ha.push_back(feature_similarity_.Hash(f));
+  for (const auto& f : b.features) hb.push_back(feature_similarity_.Hash(f));
+  const std::vector<double> supply(a.features.size(), 1.0);
+  const std::vector<double> demand(b.features.size(), 1.0);
+  const double emd = EarthMoversDistance(
+      supply, demand, [&](size_t i, size_t j) {
+        return 1.0 - feature_similarity_.Similarity(a.features[i], ha[i],
+                                                    b.features[j], hb[j]);
+      });
+  return std::clamp(1.0 - emd, 0.0, 1.0);
+}
+
+double SpanSimilarityCalculator::SpanPairSimilarityCached(
+    int64_t key_a, const dataspan::SpanStats& a, int64_t key_b,
+    const dataspan::SpanStats& b) {
+  // Symmetric cache key: order the span keys.
+  const uint64_t lo = static_cast<uint64_t>(std::min(key_a, key_b));
+  const uint64_t hi = static_cast<uint64_t>(std::max(key_a, key_b));
+  const uint64_t cache_key = (hi << 32) ^ (lo * 0x9E3779B97F4A7C15ull);
+  auto it = pair_cache_.find(cache_key);
+  if (it != pair_cache_.end()) return it->second;
+
+  double value = 0.0;
+  if (!a.features.empty() && !b.features.empty()) {
+    const std::vector<int64_t>& ha = HashesFor(key_a, a);
+    const std::vector<int64_t>& hb = HashesFor(key_b, b);
+    const std::vector<double> supply(a.features.size(), 1.0);
+    const std::vector<double> demand(b.features.size(), 1.0);
+    const double emd = EarthMoversDistance(
+        supply, demand, [&](size_t i, size_t j) {
+          return 1.0 - feature_similarity_.Similarity(a.features[i], ha[i],
+                                                      b.features[j], hb[j]);
+        });
+    value = std::clamp(1.0 - emd, 0.0, 1.0);
+  }
+  pair_cache_.emplace(cache_key, value);
+  return value;
+}
+
+const std::vector<std::vector<int64_t>>&
+SpanSimilarityCalculator::HashVectorsFor(int64_t key,
+                                         const dataspan::SpanStats& span) {
+  auto it = hash_vector_cache_.find(key);
+  if (it != hash_vector_cache_.end()) return it->second;
+  std::vector<std::vector<int64_t>> hashes;
+  hashes.reserve(span.features.size());
+  for (const dataspan::FeatureStats& f : span.features) {
+    hashes.push_back(feature_similarity_.HashVector(f));
+  }
+  return hash_vector_cache_.emplace(key, std::move(hashes)).first->second;
+}
+
+double SpanSimilarityCalculator::PositionalSimilarityCached(
+    int64_t key_a, const dataspan::SpanStats& a, int64_t key_b,
+    const dataspan::SpanStats& b) {
+  const uint64_t lo = static_cast<uint64_t>(std::min(key_a, key_b));
+  const uint64_t hi = static_cast<uint64_t>(std::max(key_a, key_b));
+  // Distinct cache namespace from the EMD variant (top bit).
+  const uint64_t cache_key =
+      ((hi << 32) ^ (lo * 0x9E3779B97F4A7C15ull)) | (1ull << 63);
+  auto it = pair_cache_.find(cache_key);
+  if (it != pair_cache_.end()) return it->second;
+  double value = 0.0;
+  if (!a.features.empty() && !b.features.empty()) {
+    const size_t common = std::min(a.features.size(), b.features.size());
+    double total = 0.0;
+    if (feature_similarity_.options().soft_hash) {
+      const auto& ha = HashVectorsFor(key_a, a);
+      const auto& hb = HashVectorsFor(key_b, b);
+      for (size_t i = 0; i < common; ++i) {
+        total += feature_similarity_.SoftSimilarity(a.features[i], ha[i],
+                                                    b.features[i], hb[i]);
+      }
+    } else {
+      const std::vector<int64_t>& ha = HashesFor(key_a, a);
+      const std::vector<int64_t>& hb = HashesFor(key_b, b);
+      for (size_t i = 0; i < common; ++i) {
+        total += feature_similarity_.Similarity(a.features[i], ha[i],
+                                                b.features[i], hb[i]);
+      }
+    }
+    value = total / static_cast<double>(
+                        std::max(a.features.size(), b.features.size()));
+  }
+  pair_cache_.emplace(cache_key, value);
+  return value;
+}
+
+double SpanSimilarityCalculator::SequenceSimilarity(
+    const std::vector<const dataspan::SpanStats*>& a,
+    const std::vector<int64_t>& keys_a,
+    const std::vector<const dataspan::SpanStats*>& b,
+    const std::vector<int64_t>& keys_b, bool positional_features) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0 || m == 0) return 0.0;
+  const size_t common = std::min(n, m);
+  double total = 0.0;
+  for (size_t i = 0; i < common; ++i) {
+    total += positional_features
+                 ? PositionalSimilarityCached(keys_a[i], *a[i], keys_b[i],
+                                              *b[i])
+                 : SpanPairSimilarityCached(keys_a[i], *a[i], keys_b[i],
+                                            *b[i]);
+  }
+  return total / static_cast<double>(std::max(n, m));
+}
+
+double SpanSimilarityCalculator::BipartiteSimilarity(
+    const std::vector<const dataspan::SpanStats*>& a,
+    const std::vector<int64_t>& keys_a,
+    const std::vector<const dataspan::SpanStats*>& b,
+    const std::vector<int64_t>& keys_b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0 || m == 0) return 0.0;
+  const double total = MaxBipartiteMatchWeight(
+      n, m, [&](size_t i, size_t j) {
+        return SpanPairSimilarityCached(keys_a[i], *a[i], keys_b[j], *b[j]);
+      });
+  return total / static_cast<double>(std::max(n, m));
+}
+
+}  // namespace mlprov::similarity

@@ -1,0 +1,92 @@
+#ifndef MLPROV_SIMILARITY_SPAN_SIMILARITY_H_
+#define MLPROV_SIMILARITY_SPAN_SIMILARITY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dataspan/span_stats.h"
+#include "similarity/feature_similarity.h"
+
+namespace mlprov::similarity {
+
+/// Jaccard similarity |A ∩ B| / |A ∪ B| between two id sets (Section
+/// 4.2.1's data-span reuse metric). Inputs may be unsorted and may contain
+/// duplicates (deduplicated internally). Two empty sets have similarity 0.
+double JaccardSimilarity(std::vector<int64_t> a, std::vector<int64_t> b);
+
+/// Appendix B dataset similarity, layered over FeatureSimilarity:
+///  - span-pair similarity S(D1, D2): EMD over the feature sets with
+///    equal cluster weights and ground distance 1 - s(f_i, f_j), reported
+///    as a similarity (1 - EMD). S(D, D) = 1 when alpha + beta = 1 and
+///    S(empty, D) = 0.
+///  - sequence similarity (Eq. 3): spans aligned by ordinal position,
+///    sum of pairwise similarities / max(n, m).
+///  - bipartite alternative: max-weight matching of spans instead of
+///    ordinal alignment, normalized the same way.
+/// The calculator memoizes feature hashes and span-pair values by caller-
+/// provided span keys (artifact ids), which is what makes corpus-scale
+/// analysis tractable (rolling windows re-compare the same span pairs).
+class SpanSimilarityCalculator {
+ public:
+  explicit SpanSimilarityCalculator(const FeatureSimilarityOptions& options);
+
+  /// Span-pair similarity in [0,1] (uncached).
+  double SpanPairSimilarity(const dataspan::SpanStats& a,
+                            const dataspan::SpanStats& b) const;
+
+  /// Cached variant; `key_a`/`key_b` must uniquely identify the spans
+  /// (e.g. their artifact ids). The cache is symmetric.
+  double SpanPairSimilarityCached(int64_t key_a,
+                                  const dataspan::SpanStats& a,
+                                  int64_t key_b,
+                                  const dataspan::SpanStats& b);
+
+  /// Positional variant: features are matched by their index in the span
+  /// (spans of one pipeline share a stable schema order), avoiding the
+  /// EMD's cross-feature matches. Mean Eq.-2 similarity over the common
+  /// prefix, normalized by the longer feature list. Cached like the EMD
+  /// variant (separate cache namespace).
+  double PositionalSimilarityCached(int64_t key_a,
+                                    const dataspan::SpanStats& a,
+                                    int64_t key_b,
+                                    const dataspan::SpanStats& b);
+
+  /// Eq. 3 sequence similarity. Spans are compared positionally; the
+  /// `keys` vectors, parallel to the spans, enable caching. When
+  /// `positional_features` is true the span-pair metric matches features
+  /// by index instead of solving the EMD.
+  double SequenceSimilarity(const std::vector<const dataspan::SpanStats*>& a,
+                            const std::vector<int64_t>& keys_a,
+                            const std::vector<const dataspan::SpanStats*>& b,
+                            const std::vector<int64_t>& keys_b,
+                            bool positional_features = false);
+
+  /// Alternative metric: optimal bipartite matching of spans by pair
+  /// similarity, normalized by max(n, m).
+  double BipartiteSimilarity(const std::vector<const dataspan::SpanStats*>& a,
+                             const std::vector<int64_t>& keys_a,
+                             const std::vector<const dataspan::SpanStats*>& b,
+                             const std::vector<int64_t>& keys_b);
+
+  size_t cache_size() const { return pair_cache_.size(); }
+  void ClearCache();
+
+ private:
+  /// Per-feature hashes for a span, memoized by span key.
+  const std::vector<int64_t>& HashesFor(int64_t key,
+                                        const dataspan::SpanStats& span);
+  /// Per-feature hash vectors (soft mode), memoized by span key.
+  const std::vector<std::vector<int64_t>>& HashVectorsFor(
+      int64_t key, const dataspan::SpanStats& span);
+
+  FeatureSimilarity feature_similarity_;
+  std::unordered_map<int64_t, std::vector<int64_t>> hash_cache_;
+  std::unordered_map<int64_t, std::vector<std::vector<int64_t>>>
+      hash_vector_cache_;
+  std::unordered_map<uint64_t, double> pair_cache_;
+};
+
+}  // namespace mlprov::similarity
+
+#endif  // MLPROV_SIMILARITY_SPAN_SIMILARITY_H_

@@ -1,0 +1,26 @@
+#include "simulator/corpus.h"
+
+namespace mlprov::sim {
+
+size_t Corpus::TotalExecutions() const {
+  size_t total = 0;
+  for (const PipelineTrace& p : pipelines) total += p.store.num_executions();
+  return total;
+}
+
+size_t Corpus::TotalArtifacts() const {
+  size_t total = 0;
+  for (const PipelineTrace& p : pipelines) total += p.store.num_artifacts();
+  return total;
+}
+
+size_t Corpus::TotalTrainerRuns() const {
+  size_t total = 0;
+  for (const PipelineTrace& p : pipelines) {
+    total +=
+        p.store.ExecutionsOfType(metadata::ExecutionType::kTrainer).size();
+  }
+  return total;
+}
+
+}  // namespace mlprov::sim

@@ -1,0 +1,43 @@
+#ifndef MLPROV_SIMULATOR_CORPUS_H_
+#define MLPROV_SIMULATOR_CORPUS_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "dataspan/span_stats.h"
+#include "metadata/metadata_store.h"
+#include "simulator/pipeline_config.h"
+
+namespace mlprov::sim {
+
+/// One pipeline's simulated provenance: its configuration, MLMD trace, and
+/// the per-span summary statistics side table (keyed by the Examples
+/// artifact id, mirroring Section 2.2's "additional metadata per data
+/// span").
+struct PipelineTrace {
+  PipelineConfig config;
+  metadata::MetadataStore store;
+  std::unordered_map<metadata::ArtifactId, dataspan::SpanStats> span_stats;
+
+  PipelineTrace() = default;
+  PipelineTrace(PipelineTrace&&) = default;
+  PipelineTrace& operator=(PipelineTrace&&) = default;
+  PipelineTrace(const PipelineTrace&) = delete;
+  PipelineTrace& operator=(const PipelineTrace&) = delete;
+};
+
+/// The full simulated corpus: the stand-in for the paper's 3000-pipeline
+/// production dataset.
+struct Corpus {
+  CorpusConfig config;
+  std::vector<PipelineTrace> pipelines;
+
+  size_t TotalExecutions() const;
+  size_t TotalArtifacts() const;
+  /// Total Trainer executions (the paper's "models trained" count).
+  size_t TotalTrainerRuns() const;
+};
+
+}  // namespace mlprov::sim
+
+#endif  // MLPROV_SIMULATOR_CORPUS_H_

@@ -1,0 +1,45 @@
+#include "simulator/corpus_generator.h"
+
+#include "simulator/pipeline_simulator.h"
+
+namespace mlprov::sim {
+
+namespace {
+
+bool Qualifies(const PipelineTrace& trace) {
+  // Section 2.2: at least one trained model and one deployed model.
+  return !trace.store.ArtifactsOfType(metadata::ArtifactType::kModel)
+              .empty() &&
+         !trace.store.ArtifactsOfType(metadata::ArtifactType::kPushedModel)
+              .empty();
+}
+
+}  // namespace
+
+Corpus GenerateCorpus(const CorpusConfig& config) {
+  return GenerateCorpus(config, CostModel());
+}
+
+Corpus GenerateCorpus(const CorpusConfig& config,
+                      const CostModel& cost_model) {
+  Corpus corpus;
+  corpus.config = config;
+  corpus.pipelines.reserve(static_cast<size_t>(config.num_pipelines));
+  common::Rng rng(config.seed);
+  constexpr int kMaxAttempts = 8;
+  for (int64_t id = 0; id < config.num_pipelines; ++id) {
+    PipelineTrace trace;
+    for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+      const PipelineConfig pipeline_config =
+          SamplePipelineConfig(config, id, rng);
+      trace = SimulatePipeline(config, pipeline_config, cost_model);
+      if (Qualifies(trace)) break;
+    }
+    // After kMaxAttempts the trace is kept regardless: the population
+    // statistics stay unbiased and the corpus size is exact.
+    corpus.pipelines.push_back(std::move(trace));
+  }
+  return corpus;
+}
+
+}  // namespace mlprov::sim

@@ -1,0 +1,21 @@
+#ifndef MLPROV_SIMULATOR_CORPUS_GENERATOR_H_
+#define MLPROV_SIMULATOR_CORPUS_GENERATOR_H_
+
+#include "simulator/corpus.h"
+#include "simulator/cost_model.h"
+#include "simulator/pipeline_config.h"
+
+namespace mlprov::sim {
+
+/// Generates a full corpus of simulated production pipelines. Mirrors the
+/// paper's corpus-selection criteria (Section 2.2): only pipelines that
+/// trained at least one model and deployed at least one model are kept;
+/// non-qualifying samples are re-drawn (up to a bounded number of
+/// attempts per slot).
+Corpus GenerateCorpus(const CorpusConfig& config);
+Corpus GenerateCorpus(const CorpusConfig& config,
+                      const CostModel& cost_model);
+
+}  // namespace mlprov::sim
+
+#endif  // MLPROV_SIMULATOR_CORPUS_GENERATOR_H_

@@ -1,0 +1,80 @@
+#include "simulator/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mlprov::sim {
+
+using metadata::ExecutionType;
+using metadata::ModelType;
+
+double CostModel::Cost(ExecutionType type, const PipelineConfig& config,
+                       bool unhealthy, common::Rng& rng) const {
+  double base = 0.0;
+  switch (type) {
+    case ExecutionType::kExampleGen:
+      base = options_.example_gen;
+      break;
+    case ExecutionType::kStatisticsGen:
+      base = options_.statistics_gen;
+      break;
+    case ExecutionType::kSchemaGen:
+      base = options_.schema_gen;
+      break;
+    case ExecutionType::kExampleValidator:
+      base = options_.example_validator;
+      break;
+    case ExecutionType::kTransform: {
+      base = options_.transform;
+      // Vocabulary analyzers over huge categorical domains dominate the
+      // analysis stage (Section 3.2).
+      bool has_vocab = false;
+      for (metadata::AnalyzerType a : config.analyzers) {
+        if (a == metadata::AnalyzerType::kVocabulary) has_vocab = true;
+      }
+      if (has_vocab) {
+        base *= 1.0 + 0.15 * std::max(0.0, config.log10_domain_mean - 5.0);
+      }
+      break;
+    }
+    case ExecutionType::kTuner:
+      base = options_.tuner;
+      break;
+    case ExecutionType::kTrainer:
+      switch (config.model_type) {
+        case ModelType::kDnn:
+        case ModelType::kDnnLinear:
+          base = options_.trainer_dnn;
+          break;
+        case ModelType::kLinear:
+          base = options_.trainer_linear;
+          break;
+        default:
+          base = options_.trainer_other;
+      }
+      if (unhealthy) base *= options_.unhealthy_trainer_multiplier;
+      break;
+    case ExecutionType::kEvaluator:
+      base = options_.evaluator;
+      break;
+    case ExecutionType::kModelValidator:
+      base = options_.model_validator;
+      break;
+    case ExecutionType::kInfraValidator:
+      base = options_.infra_validator;
+      break;
+    case ExecutionType::kPusher:
+      base = options_.pusher;
+      break;
+    case ExecutionType::kCustom:
+      base = options_.custom;
+      break;
+  }
+  // Sub-linear scaling with feature count around the reference of 30.
+  const double scale =
+      std::pow(static_cast<double>(std::max(3, config.num_features)) / 30.0,
+               0.35);
+  return base * scale * rng.LogNormal(0.0, options_.jitter_sigma);
+}
+
+}  // namespace mlprov::sim

@@ -1,0 +1,56 @@
+#ifndef MLPROV_SIMULATOR_COST_MODEL_H_
+#define MLPROV_SIMULATOR_COST_MODEL_H_
+
+#include "common/rng.h"
+#include "metadata/types.h"
+#include "simulator/pipeline_config.h"
+
+namespace mlprov::sim {
+
+/// Compute-cost model for operator executions, in machine-hours. Costs
+/// scale with the pipeline's data shape (feature count, categorical domain
+/// sizes) and model family, and are calibrated so the corpus-level cost
+/// shares reproduce Figure 7 (training < 1/3 of total; ingestion ~22%;
+/// data/model analysis + validation ~35% combined).
+class CostModel {
+ public:
+  struct Options {
+    // Mean machine-hours per execution at the reference data scale.
+    double example_gen = 7.5;
+    double statistics_gen = 6.0;
+    double schema_gen = 0.4;
+    double example_validator = 2.0;
+    double transform = 5.6;
+    double tuner = 14.0;
+    double trainer_dnn = 5.5;
+    double trainer_linear = 2.2;
+    double trainer_other = 3.0;
+    double evaluator = 6.2;
+    double model_validator = 1.6;
+    double infra_validator = 2.2;
+    double pusher = 0.9;
+    double custom = 2.0;
+    /// Lognormal jitter sigma applied per execution.
+    double jitter_sigma = 0.35;
+    /// Multiplier on Trainer cost during unhealthy episodes (retries,
+    /// divergence) — drives Fig 9(d)'s "unpushed graphlets cost more".
+    double unhealthy_trainer_multiplier = 1.6;
+  };
+
+  CostModel() : CostModel(Options{}) {}
+  explicit CostModel(const Options& options) : options_(options) {}
+
+  /// Cost of one execution of `type` in pipeline `config`. `unhealthy`
+  /// marks executions inside an unhealthy pipeline episode.
+  double Cost(metadata::ExecutionType type, const PipelineConfig& config,
+              bool unhealthy, common::Rng& rng) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace mlprov::sim
+
+#endif  // MLPROV_SIMULATOR_COST_MODEL_H_

@@ -1,0 +1,160 @@
+#include "simulator/pipeline_config.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mlprov::sim {
+
+using metadata::AnalyzerType;
+using metadata::ModelType;
+
+dataspan::SchemaConfig PipelineConfig::Schema() const {
+  dataspan::SchemaConfig schema;
+  schema.num_features = std::min(num_features, max_recorded_features);
+  schema.categorical_fraction = categorical_fraction;
+  schema.log10_domain_mean = log10_domain_mean;
+  return schema;
+}
+
+PipelineConfig SamplePipelineConfig(const CorpusConfig& corpus, int64_t id,
+                                    common::Rng& rng) {
+  PipelineConfig config;
+  config.pipeline_id = id;
+  config.seed = rng.NextUint64();
+
+  // Model family and architecture.
+  config.model_type =
+      static_cast<ModelType>(rng.Categorical(corpus.model_mix));
+  config.architecture = static_cast<int>(rng.NextUint64(5));
+
+  // Lifespan: lognormal days, clamped to the horizon; Linear pipelines
+  // live longer and DNN pipelines shorter (Fig 3d).
+  double mu = corpus.lifespan_mu;
+  if (config.model_type == ModelType::kLinear) {
+    mu += corpus.lifespan_mu_linear_bonus;
+  } else if (config.model_type == ModelType::kDnn ||
+             config.model_type == ModelType::kDnnLinear) {
+    mu -= corpus.lifespan_mu_dnn_penalty;
+  }
+  config.lifespan_days = std::clamp(
+      rng.LogNormal(mu, corpus.lifespan_sigma), 1.0, corpus.horizon_days);
+
+  // Cadence: lognormal with median ~1/day; DNN has the widest spread
+  // (Fig 3e). LogNormal(0, 2) gives mean ~7.4/day and ~1.1% above 100.
+  const bool is_dnn = config.model_type == ModelType::kDnn ||
+                      config.model_type == ModelType::kDnnLinear;
+  const double sigma =
+      is_dnn ? corpus.rate_sigma_dnn : corpus.rate_sigma_other;
+  config.triggers_per_day =
+      std::clamp(rng.LogNormal(corpus.rate_mu, sigma), 1.0 / 45.0,
+                 corpus.max_triggers_per_day);
+
+  // Data shape.
+  double features = rng.LogNormal(corpus.features_ln_mu,
+                                  corpus.features_ln_sigma);
+  if (rng.Bernoulli(corpus.features_heavy_tail_prob)) {
+    features = rng.Pareto(300.0, 0.9);
+  }
+  config.num_features = static_cast<int>(
+      std::clamp(features, 3.0, static_cast<double>(corpus.max_features)));
+  config.categorical_fraction = std::clamp(
+      rng.Normal(corpus.categorical_mean, corpus.categorical_stddev), 0.05,
+      0.95);
+  switch (config.model_type) {
+    case ModelType::kDnn:
+    case ModelType::kDnnLinear:
+      config.log10_domain_mean = corpus.domain_log10_dnn;
+      break;
+    case ModelType::kLinear:
+      config.log10_domain_mean = corpus.domain_log10_linear;
+      break;
+    default:
+      config.log10_domain_mean = corpus.domain_log10_rest;
+  }
+  config.log10_domain_mean += rng.Normal(0.0, 0.15);
+
+  // Topology.
+  static constexpr int kWindowSizes[] = {1, 2, 3, 5, 8, 15, 30};
+  config.window_spans =
+      kWindowSizes[rng.Categorical(corpus.window_weights)];
+  config.spans_per_trigger = 1;
+  config.span_interval_hours =
+      std::clamp(rng.LogNormal(corpus.span_interval_ln_mu,
+                               corpus.span_interval_ln_sigma),
+                 0.5, 24.0);
+  config.retrain_same_data_prob = corpus.retrain_same_data_prob;
+  config.parallel_trainers =
+      1 + static_cast<int>(rng.Categorical(corpus.parallel_weights));
+  config.has_statistics_gen = rng.Bernoulli(corpus.p_statistics_gen);
+  config.has_schema_gen =
+      config.has_statistics_gen && rng.Bernoulli(corpus.p_schema_gen /
+                                                 corpus.p_statistics_gen);
+  config.has_example_validator =
+      config.has_statistics_gen && rng.Bernoulli(corpus.p_example_validator /
+                                                 corpus.p_statistics_gen);
+  config.has_transform = rng.Bernoulli(corpus.p_transform);
+  config.has_tuner = rng.Bernoulli(corpus.p_tuner);
+  config.has_evaluator = rng.Bernoulli(corpus.p_evaluator);
+  config.has_model_validator =
+      config.has_evaluator && rng.Bernoulli(corpus.p_model_validator /
+                                            corpus.p_evaluator);
+  config.has_infra_validator =
+      config.has_model_validator &&
+      rng.Bernoulli(corpus.p_infra_validator / corpus.p_model_validator);
+  config.has_custom_op = rng.Bernoulli(corpus.p_custom_op);
+  config.warm_start = rng.Bernoulli(corpus.warm_start_prob);
+
+  // Analyzers (only meaningful with a Transform). Custom analyzers skew
+  // towards short-lived experimental pipelines (Section 3.2).
+  if (config.has_transform) {
+    if (config.categorical_fraction > 0.1 &&
+        rng.Bernoulli(corpus.p_vocabulary)) {
+      config.analyzers.push_back(AnalyzerType::kVocabulary);
+    }
+    if (rng.Bernoulli(corpus.p_min_max)) {
+      config.analyzers.push_back(AnalyzerType::kMin);
+      config.analyzers.push_back(AnalyzerType::kMax);
+    }
+    if (rng.Bernoulli(corpus.p_mean_std)) {
+      config.analyzers.push_back(AnalyzerType::kMean);
+      config.analyzers.push_back(AnalyzerType::kStd);
+    }
+    if (rng.Bernoulli(corpus.p_quantiles)) {
+      config.analyzers.push_back(AnalyzerType::kQuantiles);
+    }
+    const double custom_boost =
+        config.lifespan_days < 20.0 ? 1.6 : 0.7;
+    if (rng.Bernoulli(
+            std::min(0.95, corpus.p_custom_analyzer * custom_boost))) {
+      config.analyzers.push_back(AnalyzerType::kCustom);
+    }
+  }
+
+  // Change processes.
+  config.code_change_prob = std::clamp(
+      rng.Normal(corpus.code_change_prob, 0.06), 0.01, 0.6);
+  config.shock_prob = std::clamp(rng.Normal(corpus.shock_prob, 0.02),
+                                 0.005, 0.2);
+
+  // Push gating.
+  const auto type_index = static_cast<size_t>(config.model_type);
+  const double type_offset =
+      type_index < corpus.push_type_offset.size()
+          ? corpus.push_type_offset[type_index]
+          : 0.0;
+  config.push_propensity = corpus.push_logit_base + type_offset +
+                           rng.Normal(0.0, corpus.push_pipeline_sigma);
+  // Regime episodes must outlast the rolling window for the window-mean
+  // movement (and hence the similarity features) to track them.
+  config.volatile_exit_prob =
+      std::min(corpus.volatile_exit_prob, 0.8 / config.window_spans);
+  config.volatile_enter_prob = config.volatile_exit_prob * 0.625;
+  if (rng.Bernoulli(corpus.throttle_prob)) {
+    const double mean_interval_hours = 24.0 / config.triggers_per_day;
+    config.min_push_interval_hours =
+        corpus.throttle_interval_multiplier * mean_interval_hours;
+  }
+  return config;
+}
+
+}  // namespace mlprov::sim

@@ -1,0 +1,228 @@
+#ifndef MLPROV_SIMULATOR_PIPELINE_CONFIG_H_
+#define MLPROV_SIMULATOR_PIPELINE_CONFIG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "dataspan/span_stats.h"
+#include "metadata/types.h"
+
+namespace mlprov::sim {
+
+/// Static configuration of one simulated production pipeline: its model
+/// family, operator set, data shape, cadence, and the latent parameters of
+/// its push-gating process. Sampled once per pipeline by SamplePipelineConfig
+/// from the population-level CorpusConfig.
+struct PipelineConfig {
+  int64_t pipeline_id = 0;
+  uint64_t seed = 0;
+
+  // --- Model family (Figure 5) ---
+  metadata::ModelType model_type = metadata::ModelType::kDnn;
+  /// Architecture variant within the family (one-hot §5.2.1 feature).
+  int architecture = 0;
+
+  // --- Activity (Figure 3a/b/d/e) ---
+  double lifespan_days = 36.0;
+  /// Pipeline trigger (graphlet-batch) rate per day.
+  double triggers_per_day = 1.0;
+
+  // --- Data shape (Figure 3c/f) ---
+  int num_features = 30;
+  double categorical_fraction = 0.53;
+  double log10_domain_mean = 6.4;
+  /// Cap on features with recorded per-span statistics (memory bound; the
+  /// true feature count is still recorded as an artifact property).
+  int max_recorded_features = 48;
+
+  // --- Topology ---
+  /// Spans read by each Trainer (rolling window).
+  int window_spans = 2;
+  /// New spans ingested per trigger (0 emulates retrain-on-same-data).
+  int spans_per_trigger = 1;
+  /// Minimum hours between successive data spans (data-arrival cadence).
+  double span_interval_hours = 8.0;
+  /// Probability that a trigger ingests no new data (author retrain).
+  double retrain_same_data_prob = 0.05;
+  /// Trainer executions per trigger (parallel A/B models).
+  int parallel_trainers = 1;
+  bool has_statistics_gen = true;
+  bool has_schema_gen = true;
+  bool has_example_validator = false;
+  bool has_transform = true;
+  bool has_tuner = false;
+  bool has_evaluator = true;
+  bool has_model_validator = false;
+  bool has_infra_validator = false;
+  bool has_custom_op = false;
+  bool warm_start = false;
+
+  /// Analyzer kinds referenced by this pipeline's Transform (Figure 4).
+  std::vector<metadata::AnalyzerType> analyzers;
+
+  // --- Change processes ---
+  /// Probability the Trainer code version changes between graphlets.
+  double code_change_prob = 0.115;
+  /// Probability of a data-distribution shock at a trigger.
+  double shock_prob = 0.04;
+
+  // --- Push gating latents (Section 4.3 / 5) ---
+  /// Per-pipeline quality offset (logit scale).
+  double push_propensity = 0.0;
+  /// Minimum hours between pushes (0 = no throttling).
+  double min_push_interval_hours = 0.0;
+  /// Probability of entering an unhealthy episode per trigger.
+  double unhealthy_enter_prob = 0.07;
+  /// Probability of leaving an unhealthy episode per trigger.
+  double unhealthy_exit_prob = 0.30;
+  /// Data-regime transition probabilities. Episodes last longer than the
+  /// rolling window so window-mean movement tracks the regime.
+  double volatile_enter_prob = 0.05;
+  double volatile_exit_prob = 0.08;
+
+  /// Derived data-source schema for the span-stats generator.
+  dataspan::SchemaConfig Schema() const;
+};
+
+/// Population-level knobs from which pipelines are sampled. Defaults are
+/// calibrated so the measured corpus reproduces the paper's Figures 3-9 and
+/// Tables 1-2 (see DESIGN.md "Calibration targets").
+struct CorpusConfig {
+  int num_pipelines = 1000;
+  /// Observation horizon (the paper's corpus spans ~130 days).
+  double horizon_days = 130.0;
+  uint64_t seed = 42;
+
+  /// Trainer-run model mix (Figure 5): DNN, Linear, DNN+Linear, Trees,
+  /// Ensemble, Other. Indexed by metadata::ModelType.
+  std::vector<double> model_mix = {0.64, 0.16, 0.02, 0.10, 0.04, 0.04};
+
+  /// Lifespan lognormal (days): ln-mean and ln-sigma, clamped to horizon.
+  double lifespan_mu = 3.15;
+  double lifespan_sigma = 0.85;
+  /// Per-model-type lifespan ln-mean adjustment (Linear > DNN, Fig 3d).
+  double lifespan_mu_linear_bonus = 0.45;
+  double lifespan_mu_dnn_penalty = 0.12;
+
+  /// Trigger-rate lognormal (per day): ln-mean 0 => median 1/day.
+  double rate_mu = 0.0;
+  /// DNN cadence is the most diverse (Fig 3e).
+  double rate_sigma_dnn = 1.9;
+  double rate_sigma_other = 1.35;
+  double max_triggers_per_day = 1000.0;
+  /// Cap on graphlets per pipeline (memory bound at corpus scale).
+  int max_graphlets_per_pipeline = 1200;
+
+  /// Feature-count lognormal + heavy tail (Fig 3c).
+  double features_ln_mu = 3.4;
+  double features_ln_sigma = 0.9;
+  double features_heavy_tail_prob = 0.03;
+  int max_features = 30000;
+
+  /// Categorical fraction: mean .53 (Section 3.2).
+  double categorical_mean = 0.53;
+  double categorical_stddev = 0.15;
+
+  /// log10 domain-size mean by family (DNN 13.6M, Linear >20M, Sec 3.2).
+  double domain_log10_dnn = 6.95;
+  double domain_log10_linear = 7.15;
+  double domain_log10_rest = 6.6;
+
+  /// Operator presence probabilities (Figure 6).
+  double p_statistics_gen = 0.72;
+  double p_schema_gen = 0.65;
+  double p_example_validator = 0.50;
+  double p_transform = 0.87;
+  double p_tuner = 0.10;
+  double p_evaluator = 0.90;
+  double p_model_validator = 0.52;
+  double p_infra_validator = 0.25;
+  double p_custom_op = 0.18;
+
+  /// Analyzer presence given a Transform (Figure 4); custom analyzers are
+  /// anti-correlated with lifespan (experimental pipelines).
+  double p_vocabulary = 0.72;
+  double p_min_max = 0.55;
+  double p_mean_std = 0.48;
+  double p_quantiles = 0.28;
+  double p_custom_analyzer = 0.38;
+
+  /// Rolling-window mix: weights for window sizes {1, 2, 3, 5, 8, 15, 30}.
+  std::vector<double> window_weights = {0.32, 0.07, 0.03, 0.03,
+                                        0.25, 0.21, 0.09};
+  /// Parallel-trainer mix: weights for k = {1, 2, 3, 4}.
+  std::vector<double> parallel_weights = {0.88, 0.08, 0.03, 0.01};
+  /// Span-arrival interval (hours): lognormal ln-mean/ln-sigma, clamped
+  /// to [0.5, 24]. Data arrives on its own schedule; triggers faster than
+  /// the data reuse the current window (retrains on the same spans).
+  double span_interval_ln_mu = 1.4;
+  double span_interval_ln_sigma = 0.8;
+  /// Fraction of pipelines that warm-start training (Section 4.3.2: ~9%
+  /// of graphlets).
+  double warm_start_prob = 0.07;
+
+  double retrain_same_data_prob = 0.03;
+  double code_change_prob = 0.115;
+  double shock_prob = 0.07;
+
+  // --- Push-gating population parameters ---
+  /// Logit base rate; calibrated for ~20% pushed graphlets.
+  double push_logit_base = -1.9;
+  /// Per-model-type propensity offsets (logit), indexed by ModelType.
+  std::vector<double> push_type_offset = {-0.3, 0.7, 0.0,
+                                          0.4,  -0.6, -0.9};
+  /// Per-pipeline propensity noise (logit stddev).
+  double push_pipeline_sigma = 0.30;
+  /// Weight of the unhealthy-episode state.
+  double push_unhealthy_weight = -1.5;
+  /// Data-novelty "sweet spot" (Section 4.3's non-monotone push driver):
+  /// models retrained on stale data bring no improvement and are not
+  /// pushed; models trained right after a distribution shock fail
+  /// validation. Pushes concentrate at moderate novelty. The quality
+  /// logit receives novelty_weight * (1 - ((novelty - sweet)/width)^2),
+  /// clamped below at novelty_floor, where novelty is the *mean per-span
+  /// distribution movement across the trainer's rolling window* — the
+  /// same quantity the Appendix-B similarity of consecutive windows
+  /// measures, so the signal is observable in the input features.
+  double novelty_sweet_spot = 0.20;
+  double novelty_width = 0.12;
+  double novelty_weight = 2.6;
+  /// Quality floor on the too-fresh (shock) side of the sweet spot...
+  double novelty_floor = -2.5;
+  /// ...and on the too-stale side (a stale retrain is merely useless,
+  /// not broken).
+  double novelty_stale_floor = -1.6;
+  /// Extra quality penalty when a trigger retrains on unchanged data
+  /// (no new span): nothing new to deploy.
+  double stale_retrain_penalty = -1.0;
+  /// Per-span distribution movement by data regime: calm regimes barely
+  /// move (stale), volatile regimes carry meaningful fresh signal. The
+  /// movement directly perturbs the recorded span statistics, so it is
+  /// observable through the Appendix-B similarity features.
+  double calm_movement = 0.015;
+  double volatile_movement = 0.22;
+  double volatile_enter_prob = 0.05;
+  double volatile_exit_prob = 0.08;
+  /// Weight of a code change at this graphlet.
+  double push_code_change_weight = -0.10;
+  /// Per-graphlet logit noise.
+  double push_noise_sigma = 0.15;
+  /// Fraction of pipelines with push throttling, and its length in units
+  /// of the pipeline's mean trigger interval.
+  double throttle_prob = 0.10;
+  double throttle_interval_multiplier = 2.5;
+
+  // --- Failure model (Section 3.3) ---
+  double trainer_failure_prob = 0.025;
+  double transform_failure_prob = 0.01;
+  double unhealthy_failure_multiplier = 3.0;
+};
+
+/// Samples one pipeline's configuration from the population.
+PipelineConfig SamplePipelineConfig(const CorpusConfig& corpus, int64_t id,
+                                    common::Rng& rng);
+
+}  // namespace mlprov::sim
+
+#endif  // MLPROV_SIMULATOR_PIPELINE_CONFIG_H_

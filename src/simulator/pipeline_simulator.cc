@@ -1,0 +1,538 @@
+#include "simulator/pipeline_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mlprov::sim {
+
+using metadata::ArtifactId;
+using metadata::ArtifactType;
+using metadata::EventKind;
+using metadata::ExecutionId;
+using metadata::ExecutionType;
+using metadata::Timestamp;
+using metadata::kSecondsPerDay;
+using metadata::kSecondsPerHour;
+
+namespace {
+
+double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+/// Anonymized per-span feature names, mirroring the paper's obfuscation
+/// (Appendix B: "with all terms anonymized"): name equality is destroyed
+/// across spans, so Eq. 2's name term rarely fires in corpus analysis,
+/// exactly as in the paper's corpus.
+void AnonymizeNames(dataspan::SpanStats& span, int64_t pipeline_id) {
+  for (size_t i = 0; i < span.features.size(); ++i) {
+    const uint64_t mix =
+        0x9E3779B97F4A7C15ull * static_cast<uint64_t>(pipeline_id + 1) +
+        0xBF58476D1CE4E5B9ull * static_cast<uint64_t>(span.span_number + 1) +
+        i;
+    span.features[i].name = "anon" + std::to_string(mix);
+  }
+}
+
+}  // namespace
+
+PipelineSimulator::PipelineSimulator(const CorpusConfig& corpus_config,
+                                     const PipelineConfig& config,
+                                     const CostModel* cost_model)
+    : corpus_(corpus_config),
+      config_(config),
+      cost_model_(cost_model),
+      rng_(config.seed),
+      span_gen_(config.Schema(), common::Rng(config.seed ^ 0xABCDEF)) {}
+
+ExecutionId PipelineSimulator::AddExecution(PipelineTrace& trace,
+                                            ExecutionType type,
+                                            Timestamp start,
+                                            double cost_hours,
+                                            bool succeeded) {
+  metadata::Execution exec;
+  exec.type = type;
+  exec.start_time = start;
+  // Wall-clock duration: a fraction of the machine-hours (operators run
+  // distributed), at least a minute.
+  const double duration_hours =
+      std::max(cost_hours * rng_.Uniform(0.15, 0.5), 1.0 / 60.0);
+  exec.end_time =
+      start + static_cast<Timestamp>(duration_hours * kSecondsPerHour);
+  exec.succeeded = succeeded;
+  exec.compute_cost = cost_hours;
+  const ExecutionId id = trace.store.PutExecution(std::move(exec));
+  (void)trace.store.AddToContext(context_, id);
+  return id;
+}
+
+ArtifactId PipelineSimulator::AddArtifact(PipelineTrace& trace,
+                                          ArtifactType type,
+                                          Timestamp create_time) {
+  metadata::Artifact artifact;
+  artifact.type = type;
+  artifact.create_time = create_time;
+  const ArtifactId id = trace.store.PutArtifact(std::move(artifact));
+  (void)trace.store.AddArtifactToContext(context_, id);
+  return id;
+}
+
+void PipelineSimulator::Link(PipelineTrace& trace, ExecutionId exec,
+                             ArtifactId artifact, EventKind kind,
+                             Timestamp time) {
+  const auto status = trace.store.PutEvent({exec, artifact, kind, time});
+  (void)status;  // ids are internally generated; cannot fail
+}
+
+void PipelineSimulator::IngestSpans(Timestamp now, int count,
+                                    PipelineTrace& trace) {
+  for (int i = 0; i < count; ++i) {
+    const double cost = cost_model_->Cost(ExecutionType::kExampleGen,
+                                          config_, unhealthy_, rng_);
+    const ExecutionId gen =
+        AddExecution(trace, ExecutionType::kExampleGen, now, cost, true);
+    const Timestamp created =
+        trace.store.GetExecution(gen)->end_time;
+    const ArtifactId span =
+        AddArtifact(trace, ArtifactType::kExamples, created);
+    Link(trace, gen, span, EventKind::kOutput, created);
+
+    metadata::Artifact* a = trace.store.MutableArtifact(span);
+    a->properties["span"] = next_span_number_;
+    a->properties["feature_count"] =
+        static_cast<int64_t>(config_.num_features);
+    a->properties["categorical_count"] = static_cast<int64_t>(
+        std::lround(config_.num_features * config_.categorical_fraction));
+    a->properties["log10_domain_mean"] = config_.log10_domain_mean;
+
+    dataspan::SpanStats stats = span_gen_.NextSpan();
+    stats.span_number = next_span_number_++;
+    AnonymizeNames(stats, config_.pipeline_id);
+    trace.span_stats.emplace(span, std::move(stats));
+    window_.push_back(span);
+    window_movements_.push_back(pending_movement_);
+    pending_movement_ = 0.0;
+
+    // Per-span data analysis chain.
+    if (config_.has_statistics_gen) {
+      const double stats_cost = cost_model_->Cost(
+          ExecutionType::kStatisticsGen, config_, unhealthy_, rng_);
+      const ExecutionId sg = AddExecution(
+          trace, ExecutionType::kStatisticsGen, created, stats_cost, true);
+      Link(trace, sg, span, EventKind::kInput, created);
+      const Timestamp sg_end = trace.store.GetExecution(sg)->end_time;
+      const ArtifactId stats_artifact =
+          AddArtifact(trace, ArtifactType::kExampleStatistics, sg_end);
+      Link(trace, sg, stats_artifact, EventKind::kOutput, sg_end);
+
+      if (config_.has_schema_gen &&
+          schema_artifact_ == metadata::kInvalidId) {
+        const double schema_cost = cost_model_->Cost(
+            ExecutionType::kSchemaGen, config_, unhealthy_, rng_);
+        const ExecutionId schema_gen = AddExecution(
+            trace, ExecutionType::kSchemaGen, sg_end, schema_cost, true);
+        Link(trace, schema_gen, stats_artifact, EventKind::kInput, sg_end);
+        const Timestamp schema_end =
+            trace.store.GetExecution(schema_gen)->end_time;
+        schema_artifact_ =
+            AddArtifact(trace, ArtifactType::kSchema, schema_end);
+        Link(trace, schema_gen, schema_artifact_, EventKind::kOutput,
+             schema_end);
+      }
+      // Note: the validator checks stats against the frozen schema, but
+      // the schema is referenced as configuration (TFX resolver), not as a
+      // data-provenance edge — otherwise every graphlet would transitively
+      // include span 0's ingestion chain.
+      if (config_.has_example_validator &&
+          schema_artifact_ != metadata::kInvalidId) {
+        const double v_cost = cost_model_->Cost(
+            ExecutionType::kExampleValidator, config_, unhealthy_, rng_);
+        const ExecutionId validator =
+            AddExecution(trace, ExecutionType::kExampleValidator, sg_end,
+                         v_cost, true);
+        Link(trace, validator, stats_artifact, EventKind::kInput, sg_end);
+        const Timestamp v_end =
+            trace.store.GetExecution(validator)->end_time;
+        const ArtifactId anomalies =
+            AddArtifact(trace, ArtifactType::kExampleAnomalies, v_end);
+        Link(trace, validator, anomalies, EventKind::kOutput, v_end);
+        trace.store.MutableArtifact(anomalies)->properties["anomaly"] =
+            static_cast<int64_t>(unhealthy_ && rng_.Bernoulli(0.35) ? 1
+                                                                    : 0);
+      }
+    }
+  }
+  while (window_.size() > static_cast<size_t>(config_.window_spans)) {
+    window_.pop_front();
+    window_movements_.pop_front();
+  }
+}
+
+void PipelineSimulator::DoTrigger(Timestamp now, PipelineTrace& trace) {
+  // Health episode dynamics.
+  if (unhealthy_) {
+    if (rng_.Bernoulli(config_.unhealthy_exit_prob)) unhealthy_ = false;
+  } else {
+    if (rng_.Bernoulli(config_.unhealthy_enter_prob)) unhealthy_ = true;
+  }
+  // Data drift: occasional shocks plus mild background drift.
+  const double shock_prob =
+      config_.shock_prob * (unhealthy_ ? 2.0 : 1.0);
+  // Data-regime dynamics: calm <-> volatile, with rare shocks on top.
+  if (volatile_regime_) {
+    if (rng_.Bernoulli(config_.volatile_exit_prob)) {
+      volatile_regime_ = false;
+    }
+  } else if (rng_.Bernoulli(config_.volatile_enter_prob)) {
+    volatile_regime_ = true;
+  }
+  double pending_shock = 0.0;
+  if (rng_.Bernoulli(shock_prob)) {
+    pending_shock = rng_.Uniform(0.8, 2.0);
+  }
+
+  // Ingestion: a fresh span per trigger (continuous pipelines ingest at
+  // their own trigger cadence — "ingesting the newest span of data every
+  // hour and triggering new runs", Section 2.1). The first trigger
+  // back-fills the rolling window with historical spans at the data
+  // cadence.
+  int new_spans = config_.spans_per_trigger;
+  if (window_.empty()) {
+    const double spacing_hours = std::clamp(
+        std::min(config_.span_interval_hours,
+                 24.0 / config_.triggers_per_day),
+        0.25, 24.0);
+    const auto spacing =
+        static_cast<Timestamp>(spacing_hours * kSecondsPerHour);
+    for (int i = config_.window_spans - 1; i >= 1; --i) {
+      IngestSpans(std::max<Timestamp>(0, now - i * spacing), 1, trace);
+    }
+  } else if (rng_.Bernoulli(config_.retrain_same_data_prob) ||
+             (unhealthy_ && rng_.Bernoulli(0.6))) {
+    new_spans = 0;  // author retrain on the same data / ingestion stall
+  }
+  bool stale_retrain = false;
+  if (new_spans > 0) {
+    // Each fresh span moves the data distribution by the regime's
+    // movement scale; the movement perturbs the span-stats latents
+    // (observable through the Appendix-B similarity) and is recorded as
+    // the span's movement for the quality model.
+    for (int i = 0; i < new_spans; ++i) {
+      double movement = (volatile_regime_ ? corpus_.volatile_movement
+                                          : corpus_.calm_movement) *
+                        std::abs(rng_.Normal(1.0, 0.35));
+      movement += pending_shock;
+      pending_shock = 0.0;
+      span_gen_.Shock(movement);
+      pending_movement_ = movement;
+      IngestSpans(now, 1, trace);
+    }
+    last_span_time_ = now;
+  } else {
+    stale_retrain = true;
+  }
+  if (window_.empty()) return;  // nothing to train on
+
+  // Unhealthy episodes trigger debugging re-analysis of the current data
+  // (engineers re-run StatisticsGen while investigating), an observable
+  // pre-trainer footprint of the episode.
+  if (unhealthy_ && config_.has_statistics_gen) {
+    const double rerun_cost = cost_model_->Cost(
+        ExecutionType::kStatisticsGen, config_, unhealthy_, rng_);
+    const ExecutionId rerun = AddExecution(
+        trace, ExecutionType::kStatisticsGen, now, rerun_cost, true);
+    Link(trace, rerun, window_.back(), EventKind::kInput, now);
+    const Timestamp rerun_end = trace.store.GetExecution(rerun)->end_time;
+    const ArtifactId rerun_stats =
+        AddArtifact(trace, ArtifactType::kExampleStatistics, rerun_end);
+    Link(trace, rerun, rerun_stats, EventKind::kOutput, rerun_end);
+  }
+
+  // Pre-processing.
+  ArtifactId transformed = metadata::kInvalidId;
+  ArtifactId transform_graph = metadata::kInvalidId;
+  bool transform_failed = false;
+  if (config_.has_transform) {
+    const double cost = cost_model_->Cost(ExecutionType::kTransform,
+                                          config_, unhealthy_, rng_);
+    const double fail_prob =
+        corpus_.transform_failure_prob *
+        (unhealthy_ ? corpus_.unhealthy_failure_multiplier : 1.0);
+    transform_failed = rng_.Bernoulli(fail_prob);
+    const ExecutionId transform = AddExecution(
+        trace, ExecutionType::kTransform, now, cost, !transform_failed);
+    for (ArtifactId span : window_) {
+      Link(trace, transform, span, EventKind::kInput, now);
+    }
+    // Analyzer usage accounting (Figure 4): one application per relevant
+    // feature per execution.
+    metadata::Execution* texec = trace.store.MutableExecution(transform);
+    const auto categorical = static_cast<int64_t>(std::lround(
+        config_.num_features * config_.categorical_fraction));
+    const int64_t numerical = config_.num_features - categorical;
+    for (metadata::AnalyzerType a : config_.analyzers) {
+      int64_t uses = 0;
+      switch (a) {
+        case metadata::AnalyzerType::kVocabulary:
+          // Applied to every categorical feature.
+          uses = categorical;
+          break;
+        case metadata::AnalyzerType::kCustom:
+          uses = 1 + static_cast<int64_t>(rng_.NextUint64(4));
+          break;
+        default:
+          // Numeric analyzers cover the subset of numeric features whose
+          // transform needs that statistic.
+          uses = std::max<int64_t>(
+              1, static_cast<int64_t>(0.35 * static_cast<double>(numerical)));
+      }
+      if (uses > 0) {
+        texec->properties[std::string("an_") + metadata::ToString(a)] =
+            uses;
+      }
+    }
+    if (!transform_failed) {
+      const Timestamp t_end = trace.store.GetExecution(transform)->end_time;
+      transform_graph =
+          AddArtifact(trace, ArtifactType::kTransformGraph, t_end);
+      Link(trace, transform, transform_graph, EventKind::kOutput, t_end);
+      transformed =
+          AddArtifact(trace, ArtifactType::kTransformedExamples, t_end);
+      Link(trace, transform, transformed, EventKind::kOutput, t_end);
+    }
+  }
+  if (transform_failed) return;  // downstream blocked; costs already paid
+
+  // Occasional tuning.
+  ArtifactId hyperparams = metadata::kInvalidId;
+  bool tuner_ran = false;
+  if (config_.has_tuner && (trainers_emitted_ == 0 || rng_.Bernoulli(0.1))) {
+    const double cost = cost_model_->Cost(ExecutionType::kTuner, config_,
+                                          unhealthy_, rng_);
+    const ExecutionId tuner =
+        AddExecution(trace, ExecutionType::kTuner, now, cost, true);
+    if (transformed != metadata::kInvalidId) {
+      Link(trace, tuner, transformed, EventKind::kInput, now);
+    } else {
+      for (ArtifactId span : window_) {
+        Link(trace, tuner, span, EventKind::kInput, now);
+      }
+    }
+    const Timestamp tuner_end = trace.store.GetExecution(tuner)->end_time;
+    hyperparams =
+        AddArtifact(trace, ArtifactType::kHyperparameters, tuner_end);
+    Link(trace, tuner, hyperparams, EventKind::kOutput, tuner_end);
+    tuner_ran = true;
+  }
+
+  // Custom business-logic operator.
+  if (config_.has_custom_op && rng_.Bernoulli(0.3)) {
+    const double cost = cost_model_->Cost(ExecutionType::kCustom, config_,
+                                          unhealthy_, rng_);
+    const ExecutionId custom =
+        AddExecution(trace, ExecutionType::kCustom, now, cost, true);
+    Link(trace, custom, window_.back(), EventKind::kInput, now);
+    const Timestamp c_end = trace.store.GetExecution(custom)->end_time;
+    const ArtifactId out = AddArtifact(trace, ArtifactType::kCustom, c_end);
+    Link(trace, custom, out, EventKind::kOutput, c_end);
+  }
+
+  // Code churn: at most one version bump per trigger.
+  const bool code_changed = rng_.Bernoulli(config_.code_change_prob);
+  if (code_changed) ++code_version_;
+
+  // Parallel trainers: each one anchors a graphlet.
+  for (int k = 0; k < config_.parallel_trainers; ++k) {
+    if (trainers_emitted_ >= corpus_.max_graphlets_per_pipeline) return;
+    const double trainer_fail_prob =
+        corpus_.trainer_failure_prob *
+        (unhealthy_ ? corpus_.unhealthy_failure_multiplier : 1.0);
+    const bool trainer_failed = rng_.Bernoulli(trainer_fail_prob);
+    const double cost = cost_model_->Cost(ExecutionType::kTrainer, config_,
+                                          unhealthy_, rng_);
+    const Timestamp start = now + k * 60;  // stagger parallel trainers
+    const ExecutionId trainer = AddExecution(
+        trace, ExecutionType::kTrainer, start, cost, !trainer_failed);
+    ++trainers_emitted_;
+    metadata::Execution* texec = trace.store.MutableExecution(trainer);
+    texec->properties["code_version"] = code_version_;
+    texec->properties["model_type"] =
+        static_cast<int64_t>(config_.model_type);
+    texec->properties["architecture"] =
+        static_cast<int64_t>(config_.architecture);
+    // Latent generative state, recorded for diagnostics and tests only —
+    // never used as model features (it would be oracular leakage).
+    texec->properties["dbg_volatile"] =
+        static_cast<int64_t>(volatile_regime_ ? 1 : 0);
+    texec->properties["dbg_unhealthy"] =
+        static_cast<int64_t>(unhealthy_ ? 1 : 0);
+
+
+    if (transformed != metadata::kInvalidId) {
+      Link(trace, trainer, transformed, EventKind::kInput, start);
+      Link(trace, trainer, transform_graph, EventKind::kInput, start);
+    } else {
+      for (ArtifactId span : window_) {
+        Link(trace, trainer, span, EventKind::kInput, start);
+      }
+    }
+    if (hyperparams != metadata::kInvalidId) {
+      Link(trace, trainer, hyperparams, EventKind::kInput, start);
+    }
+    if (config_.warm_start && last_model_ != metadata::kInvalidId) {
+      Link(trace, trainer, last_model_, EventKind::kInput, start);
+      texec->properties["warm_start"] = static_cast<int64_t>(1);
+    }
+    if (trainer_failed) continue;  // no model, no downstream
+
+    const Timestamp trained = trace.store.GetExecution(trainer)->end_time;
+    const ArtifactId model =
+        AddArtifact(trace, ArtifactType::kModel, trained);
+    Link(trace, trainer, model, EventKind::kOutput, trained);
+    last_model_ = model;
+
+    // Latent model quality drives validation and pushing. Quality peaks
+    // at moderate data novelty (stale retrains bring no improvement;
+    // fresh shocks fail validation) — the non-monotone interaction that
+    // defeats single-signal heuristics (Section 5.1). Novelty is the mean
+    // per-span movement over the trainer's window, mirroring what the
+    // consecutive-window similarity observes.
+    double novelty = 0.0;
+    for (double m : window_movements_) novelty += m;
+    novelty /= static_cast<double>(std::max<size_t>(1, window_.size()));
+    texec->properties["dbg_novelty"] = novelty;
+    const double novelty_deviation =
+        (novelty - corpus_.novelty_sweet_spot) / corpus_.novelty_width;
+    const double floor = novelty_deviation < 0.0
+                             ? corpus_.novelty_stale_floor
+                             : corpus_.novelty_floor;
+    const double novelty_term = std::max(
+        floor,
+        corpus_.novelty_weight * (1.0 - novelty_deviation * novelty_deviation));
+    const double quality_logit =
+        config_.push_propensity + novelty_term +
+        (code_changed ? corpus_.push_code_change_weight : 0.0) +
+        (tuner_ran ? 0.4 : 0.0) +
+        rng_.Normal(0.0, corpus_.push_noise_sigma);
+    // Hard validation failures (deterministic, not noisy): a model
+    // retrained on unchanged data cannot beat the last blessed model; a
+    // model trained during an unhealthy episode or right after a
+    // distribution shock fails its quality bar. These produce the cleanly
+    // separable unpushed subpopulation behind Figure 10(a)'s
+    // "50% of waste at zero freshness cost".
+    const bool hard_fail = stale_retrain || unhealthy_ ||
+                           novelty_deviation > 1.8;
+    const bool passes =
+        !hard_fail && rng_.Bernoulli(Sigmoid(quality_logit));
+
+    Timestamp cursor = trained;
+    ArtifactId evaluation = metadata::kInvalidId;
+    if (config_.has_evaluator) {
+      const double e_cost = cost_model_->Cost(ExecutionType::kEvaluator,
+                                              config_, unhealthy_, rng_);
+      const ExecutionId evaluator = AddExecution(
+          trace, ExecutionType::kEvaluator, cursor, e_cost, true);
+      Link(trace, evaluator, model, EventKind::kInput, cursor);
+      Link(trace, evaluator, window_.back(), EventKind::kInput, cursor);
+      cursor = trace.store.GetExecution(evaluator)->end_time;
+      evaluation =
+          AddArtifact(trace, ArtifactType::kModelEvaluation, cursor);
+      Link(trace, evaluator, evaluation, EventKind::kOutput, cursor);
+    }
+    bool blessed = passes;
+    // TFX's Evaluator itself emits a ModelBlessing; in pipelines without a
+    // separate ModelValidator it is the gating operator.
+    if (config_.has_evaluator && !config_.has_model_validator && passes) {
+      const ArtifactId blessing =
+          AddArtifact(trace, ArtifactType::kModelBlessing, cursor);
+      const ExecutionId evaluator_exec =
+          trace.store.ConsumersOf(model).back();
+      Link(trace, evaluator_exec, blessing, EventKind::kOutput, cursor);
+      trace.store.MutableArtifact(blessing)->properties["blessed"] =
+          static_cast<int64_t>(1);
+    }
+    if (config_.has_model_validator) {
+      const double v_cost = cost_model_->Cost(
+          ExecutionType::kModelValidator, config_, unhealthy_, rng_);
+      const ExecutionId validator = AddExecution(
+          trace, ExecutionType::kModelValidator, cursor, v_cost, true);
+      Link(trace, validator, model, EventKind::kInput, cursor);
+      if (evaluation != metadata::kInvalidId) {
+        Link(trace, validator, evaluation, EventKind::kInput, cursor);
+      }
+      cursor = trace.store.GetExecution(validator)->end_time;
+      if (passes) {
+        // TFX materializes the blessing only on success: the graphlet's
+        // post-trainer shape nearly reveals the outcome (RF:Validation).
+        const ArtifactId blessing =
+            AddArtifact(trace, ArtifactType::kModelBlessing, cursor);
+        Link(trace, validator, blessing, EventKind::kOutput, cursor);
+        trace.store.MutableArtifact(blessing)->properties["blessed"] =
+            static_cast<int64_t>(1);
+      }
+    }
+    if (blessed && config_.has_infra_validator) {
+      const double i_cost = cost_model_->Cost(
+          ExecutionType::kInfraValidator, config_, unhealthy_, rng_);
+      const ExecutionId infra = AddExecution(
+          trace, ExecutionType::kInfraValidator, cursor, i_cost, true);
+      Link(trace, infra, model, EventKind::kInput, cursor);
+      cursor = trace.store.GetExecution(infra)->end_time;
+      const ArtifactId infra_blessing =
+          AddArtifact(trace, ArtifactType::kInfraBlessing, cursor);
+      Link(trace, infra, infra_blessing, EventKind::kOutput, cursor);
+    }
+
+    // Push gating: validated + not throttled + small downstream noise.
+    const bool throttled =
+        config_.min_push_interval_hours > 0.0 && last_push_time_ >= 0 &&
+        (cursor - last_push_time_) <
+            static_cast<Timestamp>(config_.min_push_interval_hours *
+                                   kSecondsPerHour);
+    const bool downstream_noise = rng_.Bernoulli(0.06);
+    if (blessed && !throttled && !downstream_noise) {
+      const double p_cost = cost_model_->Cost(ExecutionType::kPusher,
+                                              config_, unhealthy_, rng_);
+      const ExecutionId pusher = AddExecution(
+          trace, ExecutionType::kPusher, cursor, p_cost, true);
+      Link(trace, pusher, model, EventKind::kInput, cursor);
+      cursor = trace.store.GetExecution(pusher)->end_time;
+      const ArtifactId pushed =
+          AddArtifact(trace, ArtifactType::kPushedModel, cursor);
+      Link(trace, pusher, pushed, EventKind::kOutput, cursor);
+      last_push_time_ = cursor;
+    }
+  }
+}
+
+PipelineTrace PipelineSimulator::Run() {
+  PipelineTrace trace;
+  trace.config = config_;
+  metadata::Context ctx;
+  ctx.name = "pipeline-" + std::to_string(config_.pipeline_id);
+  context_ = trace.store.PutContext(std::move(ctx));
+
+  const double lifespan_seconds = config_.lifespan_days * kSecondsPerDay;
+  const double start_headroom =
+      std::max(0.0, corpus_.horizon_days * kSecondsPerDay -
+                        lifespan_seconds);
+  Timestamp now =
+      static_cast<Timestamp>(rng_.NextDouble() * start_headroom);
+  const Timestamp end = now + static_cast<Timestamp>(lifespan_seconds);
+  const double mean_interval =
+      kSecondsPerDay / config_.triggers_per_day;
+  while (now < end &&
+         trainers_emitted_ < corpus_.max_graphlets_per_pipeline) {
+    DoTrigger(now, trace);
+    const double interval = mean_interval * rng_.LogNormal(0.0, 0.45);
+    now += std::max<Timestamp>(60, static_cast<Timestamp>(interval));
+  }
+  return trace;
+}
+
+PipelineTrace SimulatePipeline(const CorpusConfig& corpus_config,
+                               const PipelineConfig& config,
+                               const CostModel& cost_model) {
+  PipelineSimulator simulator(corpus_config, config, &cost_model);
+  return simulator.Run();
+}
+
+}  // namespace mlprov::sim

@@ -1,0 +1,60 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace mlprov::common {
+namespace {
+
+Flags Make(std::vector<const char*> args) {
+  args.insert(args.begin(), "binary");
+  return Flags(static_cast<int>(args.size()),
+               const_cast<char**>(args.data()));
+}
+
+TEST(FlagsTest, ParsesKeyValuePairs) {
+  const Flags flags = Make({"--pipelines=300", "--rate=2.5",
+                            "--name=corpus", "--verbose"});
+  EXPECT_EQ(flags.GetInt("pipelines", 0), 300);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate", 0.0), 2.5);
+  EXPECT_EQ(flags.GetString("name", ""), "corpus");
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+}
+
+TEST(FlagsTest, DefaultsWhenMissing) {
+  const Flags flags = Make({});
+  EXPECT_EQ(flags.GetInt("pipelines", 42), 42);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate", 1.5), 1.5);
+  EXPECT_EQ(flags.GetString("name", "d"), "d");
+  EXPECT_FALSE(flags.GetBool("verbose", false));
+  EXPECT_FALSE(flags.Has("pipelines"));
+}
+
+TEST(FlagsTest, MalformedValuesFallBackToDefault) {
+  const Flags flags = Make({"--pipelines=abc", "--rate=1.2.3"});
+  EXPECT_EQ(flags.GetInt("pipelines", 7), 7);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate", 3.0), 3.0);
+}
+
+TEST(FlagsTest, IgnoresPositionalArguments) {
+  const Flags flags = Make({"positional", "--x=1"});
+  EXPECT_TRUE(flags.Has("x"));
+  EXPECT_FALSE(flags.Has("positional"));
+}
+
+TEST(FlagsTest, BoolSpellings) {
+  const Flags flags = Make({"--a=true", "--b=1", "--c=yes", "--d=false",
+                            "--e=0"});
+  EXPECT_TRUE(flags.GetBool("a", false));
+  EXPECT_TRUE(flags.GetBool("b", false));
+  EXPECT_TRUE(flags.GetBool("c", false));
+  EXPECT_FALSE(flags.GetBool("d", true));
+  EXPECT_FALSE(flags.GetBool("e", true));
+}
+
+TEST(FlagsTest, LastOccurrenceWins) {
+  const Flags flags = Make({"--x=1", "--x=2"});
+  EXPECT_EQ(flags.GetInt("x", 0), 2);
+}
+
+}  // namespace
+}  // namespace mlprov::common

@@ -1,0 +1,180 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace mlprov::common {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(9);
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < 6000; ++i) ++counts[rng.UniformInt(-2, 3)];
+  EXPECT_EQ(counts.size(), 6u);
+  for (const auto& [value, count] : counts) {
+    EXPECT_GE(value, -2);
+    EXPECT_LE(value, 3);
+    EXPECT_GT(count, 700);  // roughly uniform: expectation 1000
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(17);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal(5.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.2);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(19);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, LogNormalIsPositive) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.LogNormal(0.0, 1.5), 0.0);
+  }
+}
+
+TEST(RngTest, ParetoLowerBound) {
+  Rng rng(29);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.Pareto(3.0, 1.2), 3.0);
+  }
+}
+
+TEST(RngTest, PoissonSmallMean) {
+  Rng rng(31);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.Poisson(3.5));
+  EXPECT_NEAR(sum / n, 3.5, 0.1);
+}
+
+TEST(RngTest, PoissonLargeMeanUsesNormalPath) {
+  Rng rng(37);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.Poisson(200.0));
+  EXPECT_NEAR(sum / n, 200.0, 2.0);
+}
+
+TEST(RngTest, PoissonZeroMean) {
+  Rng rng(41);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+}
+
+TEST(RngTest, ZipfRangeAndSkew) {
+  Rng rng(43);
+  std::map<int64_t, int> counts;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Zipf(100, 1.1)];
+  for (const auto& [rank, count] : counts) {
+    EXPECT_GE(rank, 1);
+    EXPECT_LE(rank, 100);
+    (void)count;
+  }
+  // Rank 1 should dominate rank 10 markedly for s > 1.
+  EXPECT_GT(counts[1], counts[10] * 3);
+}
+
+TEST(RngTest, ZipfUniformWhenSZero) {
+  Rng rng(47);
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < 30000; ++i) ++counts[rng.Zipf(10, 0.0)];
+  for (int64_t r = 1; r <= 10; ++r) {
+    EXPECT_GT(counts[r], 2300);
+    EXPECT_LT(counts[r], 3700);
+  }
+}
+
+TEST(RngTest, ZipfSingleElement) {
+  Rng rng(53);
+  EXPECT_EQ(rng.Zipf(1, 2.0), 1);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(59);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::map<size_t, int> counts;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, CategoricalAllZeroFallsBackToUniform) {
+  Rng rng(61);
+  std::vector<double> weights = {0.0, 0.0, 0.0};
+  std::map<size_t, int> counts;
+  for (int i = 0; i < 9000; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_EQ(counts.size(), 3u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(101);
+  Rng b = a.Fork();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+}  // namespace
+}  // namespace mlprov::common

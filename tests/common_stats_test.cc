@@ -1,0 +1,151 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/histogram.h"
+#include "common/table.h"
+
+namespace mlprov::common {
+namespace {
+
+TEST(RunningStatsTest, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  RunningStats all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = i * 0.37 - 5.0;
+    all.Add(x);
+    (i % 2 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.Add(1.0);
+  a.Add(3.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  RunningStats b;
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(QuantileTest, MedianAndExtremes) {
+  std::vector<double> v = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 2.0);
+}
+
+TEST(QuantileTest, InterpolatesBetweenOrderStats) {
+  std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.75), 7.5);
+}
+
+TEST(QuantileTest, EmptyReturnsZero) {
+  EXPECT_DOUBLE_EQ(Quantile({}, 0.5), 0.0);
+}
+
+TEST(MeanMedianTest, Basics) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Median({1.0, 2.0, 100.0}), 2.0);
+}
+
+TEST(CorrelationTest, PerfectAndDegenerate) {
+  std::vector<double> x = {1, 2, 3, 4};
+  std::vector<double> y = {2, 4, 6, 8};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  std::vector<double> ny = {8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, ny), -1.0, 1e-12);
+  std::vector<double> flat = {5, 5, 5, 5};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, flat), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1.0}, {2.0}), 0.0);
+}
+
+TEST(HistogramTest, LinearBucketsAndClamping) {
+  Histogram h = Histogram::Linear(0.0, 10.0, 5);
+  h.Add(-1.0);   // clamps to first bucket
+  h.Add(0.5);
+  h.Add(9.9);
+  h.Add(100.0);  // clamps to last bucket
+  auto buckets = h.Buckets();
+  ASSERT_EQ(buckets.size(), 5u);
+  EXPECT_EQ(buckets[0].count, 2u);
+  EXPECT_EQ(buckets[4].count, 2u);
+  EXPECT_EQ(h.total_count(), 4u);
+  EXPECT_DOUBLE_EQ(buckets[0].fraction, 0.5);
+}
+
+TEST(HistogramTest, CdfMonotoneAndEndsAtOne) {
+  Histogram h = Histogram::Linear(0.0, 1.0, 10);
+  for (int i = 0; i < 100; ++i) h.Add(i / 100.0);
+  auto cdf = h.Cdf();
+  for (size_t i = 1; i < cdf.size(); ++i) EXPECT_GE(cdf[i], cdf[i - 1]);
+  EXPECT_DOUBLE_EQ(cdf.back(), 1.0);
+}
+
+TEST(HistogramTest, Log10Buckets) {
+  Histogram h = Histogram::Log10(1.0, 1000.0, 3);
+  h.Add(5.0);     // bucket [1,10)
+  h.Add(50.0);    // bucket [10,100)
+  h.Add(500.0);   // bucket [100,1000)
+  auto buckets = h.Buckets();
+  ASSERT_EQ(buckets.size(), 3u);
+  for (const auto& b : buckets) EXPECT_EQ(b.count, 1u);
+  EXPECT_NEAR(buckets[0].lo, 1.0, 1e-9);
+  EXPECT_NEAR(buckets[1].lo, 10.0, 1e-9);
+  EXPECT_NEAR(buckets[2].hi, 1000.0, 1e-6);
+}
+
+TEST(HistogramTest, RenderContainsLabelAndCounts) {
+  Histogram h = Histogram::Linear(0.0, 1.0, 2);
+  h.Add(0.2);
+  const std::string text = h.Render("my label");
+  EXPECT_NE(text.find("my label"), std::string::npos);
+  EXPECT_NE(text.find("n=1"), std::string::npos);
+}
+
+TEST(TextTableTest, RendersAlignedCells) {
+  TextTable t({"name", "value"});
+  t.AddRow({"alpha", TextTable::Num(1.5, 2)});
+  t.AddRow({"b"});  // short row padded
+  const std::string text = t.Render();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("1.50"), std::string::npos);
+  EXPECT_NE(text.find("| name "), std::string::npos);
+}
+
+TEST(TextTableTest, PctFormatting) {
+  EXPECT_EQ(TextTable::Pct(0.573), "57.3%");
+  EXPECT_EQ(TextTable::Pct(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace mlprov::common

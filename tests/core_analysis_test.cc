@@ -1,0 +1,211 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+#include "core/graphlet_analysis.h"
+#include "core/pipeline_analysis.h"
+#include "simulator/corpus_generator.h"
+
+namespace mlprov::core {
+namespace {
+
+/// Shared small corpus for the analysis tests (generated once).
+const sim::Corpus& TestCorpus() {
+  static const sim::Corpus* corpus = [] {
+    sim::CorpusConfig config;
+    config.num_pipelines = 60;
+    config.seed = 777;
+    return new sim::Corpus(sim::GenerateCorpus(config));
+  }();
+  return *corpus;
+}
+
+const SegmentedCorpus& TestSegmented() {
+  static const SegmentedCorpus* segmented =
+      new SegmentedCorpus(SegmentCorpus(TestCorpus()));
+  return *segmented;
+}
+
+TEST(ModelClassTest, Mapping) {
+  EXPECT_EQ(ClassOf(metadata::ModelType::kDnn), ModelClass::kDnn);
+  EXPECT_EQ(ClassOf(metadata::ModelType::kDnnLinear), ModelClass::kDnn);
+  EXPECT_EQ(ClassOf(metadata::ModelType::kLinear), ModelClass::kLinear);
+  EXPECT_EQ(ClassOf(metadata::ModelType::kTrees), ModelClass::kRest);
+  EXPECT_EQ(ClassOf(metadata::ModelType::kEnsemble), ModelClass::kRest);
+}
+
+TEST(ActivityTest, LifespanWithinHorizon) {
+  const ActivityStats stats = ComputeActivity(TestCorpus());
+  ASSERT_FALSE(stats.lifespan_days.empty());
+  for (double d : stats.lifespan_days) {
+    EXPECT_GE(d, 1.0);
+    EXPECT_LE(d, 131.0);
+  }
+  EXPECT_GT(stats.max_trace_nodes, 100u);
+}
+
+TEST(ActivityTest, CadencePositiveAndClassSplitsCover) {
+  const ActivityStats stats = ComputeActivity(TestCorpus());
+  for (double c : stats.models_per_day) EXPECT_GT(c, 0.0);
+  size_t split_total = 0;
+  for (const auto& v : stats.lifespan_by_class) split_total += v.size();
+  EXPECT_EQ(split_total, stats.lifespan_days.size());
+}
+
+TEST(ActivityTest, LinearPipelinesLiveLongerThanDnn) {
+  // Fig 3(d): calibrated population property; needs a moderate corpus.
+  const ActivityStats stats = ComputeActivity(TestCorpus());
+  const auto& dnn =
+      stats.lifespan_by_class[static_cast<size_t>(ModelClass::kDnn)];
+  const auto& linear =
+      stats.lifespan_by_class[static_cast<size_t>(ModelClass::kLinear)];
+  ASSERT_GT(dnn.size(), 5u);
+  ASSERT_GT(linear.size(), 3u);
+  EXPECT_GT(common::Mean(linear), common::Mean(dnn) * 0.9);
+}
+
+TEST(DataComplexityTest, FractionsAndDomains) {
+  const DataComplexityStats stats = ComputeDataComplexity(TestCorpus());
+  ASSERT_FALSE(stats.feature_counts.empty());
+  for (double f : stats.categorical_fractions) {
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+  }
+  EXPECT_GT(stats.mean_categorical_fraction, 0.3);
+  EXPECT_LT(stats.mean_categorical_fraction, 0.75);
+  EXPECT_GT(stats.mean_domain_all, 1e4);
+  // Linear pipelines use larger categorical domains (Section 3.2).
+  EXPECT_GT(stats.mean_domain_linear, stats.mean_domain_dnn * 0.5);
+}
+
+TEST(AnalyzerUsageTest, VocabularyDominatesUsage) {
+  const AnalyzerUsageStats stats = ComputeAnalyzerUsage(TestCorpus());
+  EXPECT_EQ(stats.num_pipelines, 60u);
+  const auto vocab =
+      static_cast<size_t>(metadata::AnalyzerType::kVocabulary);
+  EXPECT_GT(stats.pipelines_referencing[vocab], 20u);
+  for (int a = 0; a < metadata::kNumAnalyzerTypes; ++a) {
+    if (a == static_cast<int>(metadata::AnalyzerType::kVocabulary)) {
+      continue;
+    }
+    EXPECT_GE(stats.total_usage[vocab],
+              stats.total_usage[static_cast<size_t>(a)]);
+  }
+}
+
+TEST(ModelDiversityTest, SharesSumToOneAndDnnDominates) {
+  const ModelDiversityStats stats = ComputeModelDiversity(TestCorpus());
+  ASSERT_GT(stats.total_runs, 0u);
+  double total = 0.0;
+  for (int t = 0; t < metadata::kNumModelTypes; ++t) {
+    total += stats.Share(static_cast<metadata::ModelType>(t));
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(stats.Share(metadata::ModelType::kDnn), 0.35);
+}
+
+TEST(OperatorUsageTest, TrainingAndDeploymentNearUniversal) {
+  const OperatorUsageStats stats = ComputeOperatorUsage(TestCorpus());
+  EXPECT_DOUBLE_EQ(stats.Fraction(metadata::ExecutionType::kTrainer), 1.0);
+  EXPECT_DOUBLE_EQ(stats.Fraction(metadata::ExecutionType::kExampleGen),
+                   1.0);
+  EXPECT_GT(stats.Fraction(metadata::ExecutionType::kPusher), 0.9);
+  // Validators appear in roughly half the pipelines (Fig 6).
+  const double model_validation =
+      stats.Fraction(metadata::ExecutionType::kModelValidator);
+  EXPECT_GT(model_validation, 0.25);
+  EXPECT_LT(model_validation, 0.8);
+}
+
+TEST(ResourceCostTest, SharesSumToOneAndTrainingBelowOneThird) {
+  const ResourceCostStats stats = ComputeResourceCost(TestCorpus());
+  ASSERT_GT(stats.total, 0.0);
+  double total = 0.0;
+  for (int g = 0; g < metadata::kNumOperatorGroups; ++g) {
+    total += stats.Share(static_cast<metadata::OperatorGroup>(g));
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_LT(stats.Share(metadata::OperatorGroup::kTraining), 1.0 / 3.0);
+  EXPECT_GT(stats.Share(metadata::OperatorGroup::kDataIngestion), 0.1);
+  EXPECT_GT(stats.failed_cost, 0.0);
+  EXPECT_LT(stats.failed_cost, stats.total * 0.2);
+}
+
+TEST(SegmentedCorpusTest, CountsConsistent) {
+  const SegmentedCorpus& segmented = TestSegmented();
+  EXPECT_EQ(segmented.pipelines.size(), TestCorpus().pipelines.size());
+  EXPECT_EQ(segmented.TotalGraphlets(), TestCorpus().TotalTrainerRuns());
+  EXPECT_GT(segmented.TotalPushed(), 0u);
+  EXPECT_LT(segmented.TotalPushed(), segmented.TotalGraphlets());
+}
+
+TEST(SimilarityTableTest, HistogramsNormalizedAndBimodal) {
+  const SimilarityTable table =
+      ComputeSimilarityTable(TestCorpus(), TestSegmented());
+  ASSERT_GT(table.num_pairs, 100u);
+  double jaccard_total = 0.0, dataset_total = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    jaccard_total += table.jaccard_hist[static_cast<size_t>(i)];
+    dataset_total += table.dataset_hist[static_cast<size_t>(i)];
+  }
+  EXPECT_NEAR(jaccard_total, 1.0, 1e-9);
+  EXPECT_NEAR(dataset_total, 1.0, 1e-9);
+  // Paper Table 1 shapes: Jaccard mass concentrates at the top bucket,
+  // dataset similarity at the bottom bucket (trend reversed).
+  EXPECT_GT(table.jaccard_hist[3], table.jaccard_hist[1]);
+  EXPECT_GT(table.dataset_hist[0], 0.5);
+  EXPECT_GT(table.jaccard_mean, table.dataset_mean);
+}
+
+TEST(PushStatsTest, CoreProperties) {
+  const PushStats stats = ComputePushStats(TestSegmented());
+  ASSERT_GT(stats.total_graphlets, 0u);
+  // ~80% unpushed (Section 4.3).
+  EXPECT_GT(stats.UnpushedFraction(), 0.6);
+  EXPECT_LT(stats.UnpushedFraction(), 0.95);
+  // Pushed gaps are upshifted relative to all gaps (Fig 9a).
+  EXPECT_GT(common::Mean(stats.gap_hours_pushed),
+            common::Mean(stats.gap_hours_all));
+  // Unpushed graphlets cost more to train (Fig 9d).
+  EXPECT_GT(common::Mean(stats.train_cost_unpushed),
+            common::Mean(stats.train_cost_pushed));
+  // Push likelihood below 0.6 for every model type (Fig 9f).
+  for (double rate : stats.push_rate_by_type) EXPECT_LT(rate, 0.65);
+}
+
+TEST(WasteEstimateTest, ConservativeBoundAboveThirty) {
+  const WasteEstimate waste = EstimateWaste(TestCorpus(), TestSegmented());
+  EXPECT_GT(waste.unpushed_cost_fraction, 0.5);
+  EXPECT_GT(waste.warmstart_graphlet_share, 0.0);
+  EXPECT_LT(waste.warmstart_graphlet_share, 0.3);
+  EXPECT_GT(waste.conservative_waste, 0.2);
+  EXPECT_LT(waste.conservative_waste,
+            waste.unpushed_cost_fraction + 1e-9);
+}
+
+TEST(PushDriversTest, NoLargeMarginalDifference) {
+  const PushDriverStats stats =
+      ComputePushDrivers(TestCorpus(), TestSegmented());
+  // Table 2: code match is high overall and similar across classes.
+  EXPECT_GT(stats.code_match_all, 0.6);
+  EXPECT_LT(std::abs(stats.code_match_pushed - stats.code_match_unpushed),
+            0.15);
+  EXPECT_GE(stats.input_similarity_all, 0.0);
+  EXPECT_LE(stats.input_similarity_all, 1.0);
+}
+
+TEST(GraphletJaccardTest, SelfSimilarityIsOne) {
+  const SegmentedCorpus& segmented = TestSegmented();
+  for (const auto& sp : segmented.pipelines) {
+    if (sp.graphlets.empty()) continue;
+    const Graphlet& g = sp.graphlets.front();
+    if (g.input_spans.empty()) continue;
+    EXPECT_DOUBLE_EQ(GraphletJaccard(g, g), 1.0);
+    break;
+  }
+}
+
+}  // namespace
+}  // namespace mlprov::core

@@ -1,0 +1,157 @@
+#include "core/datalog.h"
+
+#include <gtest/gtest.h>
+
+namespace mlprov::core {
+namespace {
+
+using T = Datalog::Term;
+
+TEST(DatalogTest, FactsAreQueryable) {
+  Datalog dl;
+  dl.AddFact("edge", {1, 2});
+  dl.AddFact("edge", {2, 3});
+  EXPECT_TRUE(dl.Evaluate().ok());
+  EXPECT_EQ(dl.NumFacts("edge"), 2u);
+  EXPECT_TRUE(dl.Contains("edge", {1, 2}));
+  EXPECT_FALSE(dl.Contains("edge", {3, 1}));
+  EXPECT_EQ(dl.NumFacts("missing"), 0u);
+}
+
+TEST(DatalogTest, TransitiveClosure) {
+  Datalog dl;
+  for (int64_t i = 1; i < 6; ++i) dl.AddFact("edge", {i, i + 1});
+  // path(X,Y) :- edge(X,Y).
+  dl.AddRule({{"path", {T::Var("X"), T::Var("Y")}},
+              {{"edge", {T::Var("X"), T::Var("Y")}, false}}});
+  // path(X,Z) :- path(X,Y), edge(Y,Z).
+  dl.AddRule({{"path", {T::Var("X"), T::Var("Z")}},
+              {{"path", {T::Var("X"), T::Var("Y")}, false},
+               {"edge", {T::Var("Y"), T::Var("Z")}, false}}});
+  ASSERT_TRUE(dl.Evaluate().ok());
+  // 5+4+3+2+1 = 15 paths.
+  EXPECT_EQ(dl.NumFacts("path"), 15u);
+  EXPECT_TRUE(dl.Contains("path", {1, 6}));
+  EXPECT_FALSE(dl.Contains("path", {6, 1}));
+}
+
+TEST(DatalogTest, ClosureOnCyclicGraphTerminates) {
+  Datalog dl;
+  dl.AddFact("edge", {1, 2});
+  dl.AddFact("edge", {2, 3});
+  dl.AddFact("edge", {3, 1});
+  dl.AddRule({{"path", {T::Var("X"), T::Var("Y")}},
+              {{"edge", {T::Var("X"), T::Var("Y")}, false}}});
+  dl.AddRule({{"path", {T::Var("X"), T::Var("Z")}},
+              {{"path", {T::Var("X"), T::Var("Y")}, false},
+               {"edge", {T::Var("Y"), T::Var("Z")}, false}}});
+  ASSERT_TRUE(dl.Evaluate().ok());
+  EXPECT_EQ(dl.NumFacts("path"), 9u);  // complete on 3 nodes
+}
+
+TEST(DatalogTest, NegationFiltersDerivations) {
+  Datalog dl;
+  dl.AddFact("edge", {1, 2});
+  dl.AddFact("edge", {2, 3});
+  dl.AddFact("edge", {3, 4});
+  dl.AddFact("blocked", {3});
+  // reach(2) seeded; reach(Y) :- reach(X), edge(X,Y), NOT blocked(Y).
+  dl.AddFact("reach", {1});
+  dl.AddRule({{"reach", {T::Var("Y")}},
+              {{"reach", {T::Var("X")}, false},
+               {"edge", {T::Var("X"), T::Var("Y")}, false},
+               {"blocked", {T::Var("Y")}, true}}});
+  ASSERT_TRUE(dl.Evaluate().ok());
+  EXPECT_TRUE(dl.Contains("reach", {2}));
+  EXPECT_FALSE(dl.Contains("reach", {3}));
+  EXPECT_FALSE(dl.Contains("reach", {4}));  // only path goes through 3
+}
+
+TEST(DatalogTest, ConstantsInBody) {
+  Datalog dl;
+  dl.AddFact("edge", {1, 2});
+  dl.AddFact("edge", {1, 3});
+  dl.AddFact("edge", {2, 3});
+  dl.AddRule({{"from_one", {T::Var("Y")}},
+              {{"edge", {T::Constant(1), T::Var("Y")}, false}}});
+  ASSERT_TRUE(dl.Evaluate().ok());
+  EXPECT_EQ(dl.NumFacts("from_one"), 2u);
+  EXPECT_TRUE(dl.Contains("from_one", {2}));
+  EXPECT_TRUE(dl.Contains("from_one", {3}));
+}
+
+TEST(DatalogTest, ConstantsInHead) {
+  Datalog dl;
+  dl.AddFact("thing", {5});
+  dl.AddRule({{"flag", {T::Constant(99)}},
+              {{"thing", {T::Var("X")}, false}}});
+  ASSERT_TRUE(dl.Evaluate().ok());
+  EXPECT_TRUE(dl.Contains("flag", {99}));
+}
+
+TEST(DatalogTest, RejectsUnsafeHeadVariable) {
+  Datalog dl;
+  dl.AddFact("a", {1});
+  dl.AddRule({{"b", {T::Var("Z")}}, {{"a", {T::Var("X")}, false}}});
+  EXPECT_FALSE(dl.Evaluate().ok());
+}
+
+TEST(DatalogTest, RejectsUnboundNegatedVariable) {
+  Datalog dl;
+  dl.AddFact("a", {1});
+  dl.AddRule({{"b", {T::Var("X")}},
+              {{"nope", {T::Var("Y")}, true},
+               {"a", {T::Var("X")}, false}}});
+  EXPECT_FALSE(dl.Evaluate().ok());
+}
+
+TEST(DatalogTest, RepeatedVariablesRequireEquality) {
+  Datalog dl;
+  dl.AddFact("edge", {1, 1});
+  dl.AddFact("edge", {1, 2});
+  dl.AddRule({{"self", {T::Var("X")}},
+              {{"edge", {T::Var("X"), T::Var("X")}, false}}});
+  ASSERT_TRUE(dl.Evaluate().ok());
+  EXPECT_EQ(dl.NumFacts("self"), 1u);
+  EXPECT_TRUE(dl.Contains("self", {1}));
+}
+
+TEST(DatalogTest, MultiRuleInteraction) {
+  // Same-generation: sg(X,X) over nodes; sg(X,Y) :- edge(PX,X),
+  // sg(PX,PY), edge(PY,Y). Classic non-linear datalog.
+  Datalog dl;
+  dl.AddFact("edge", {1, 2});
+  dl.AddFact("edge", {1, 3});
+  dl.AddFact("edge", {2, 4});
+  dl.AddFact("edge", {3, 5});
+  dl.AddFact("node", {1});
+  dl.AddFact("node", {2});
+  dl.AddFact("node", {3});
+  dl.AddFact("node", {4});
+  dl.AddFact("node", {5});
+  dl.AddRule({{"sg", {T::Var("X"), T::Var("X")}},
+              {{"node", {T::Var("X")}, false}}});
+  dl.AddRule({{"sg", {T::Var("X"), T::Var("Y")}},
+              {{"edge", {T::Var("PX"), T::Var("X")}, false},
+               {"sg", {T::Var("PX"), T::Var("PY")}, false},
+               {"edge", {T::Var("PY"), T::Var("Y")}, false}}});
+  ASSERT_TRUE(dl.Evaluate().ok());
+  EXPECT_TRUE(dl.Contains("sg", {2, 3}));
+  EXPECT_TRUE(dl.Contains("sg", {4, 5}));
+  EXPECT_FALSE(dl.Contains("sg", {2, 5}));
+}
+
+TEST(DatalogTest, TuplesAreSortedAndComplete) {
+  Datalog dl;
+  dl.AddFact("r", {3});
+  dl.AddFact("r", {1});
+  dl.AddFact("r", {2});
+  ASSERT_TRUE(dl.Evaluate().ok());
+  const auto tuples = dl.Tuples("r");
+  ASSERT_EQ(tuples.size(), 3u);
+  EXPECT_EQ(tuples[0][0], 1);
+  EXPECT_EQ(tuples[2][0], 3);
+}
+
+}  // namespace
+}  // namespace mlprov::core

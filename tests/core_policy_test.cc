@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "core/features.h"
+#include "core/waste_mitigation.h"
+#include "simulator/corpus_generator.h"
+
+namespace mlprov::core {
+namespace {
+
+struct Fixture {
+  sim::Corpus corpus;
+  SegmentedCorpus segmented;
+  WasteDataset dataset;
+  MitigationOptions options;
+};
+
+const Fixture& TestFixture() {
+  static const Fixture* fixture = [] {
+    auto* f = new Fixture();
+    sim::CorpusConfig config;
+    config.num_pipelines = 50;
+    config.seed = 31337;
+    f->corpus = sim::GenerateCorpus(config);
+    f->segmented = SegmentCorpus(f->corpus);
+    f->dataset = BuildWasteDataset(f->corpus, f->segmented, {});
+    f->options.forest.num_trees = 15;
+    return f;
+  }();
+  return *fixture;
+}
+
+TEST(ReplayPolicyTest, ThresholdZeroRunsEverything) {
+  const Fixture& f = TestFixture();
+  WasteMitigation mitigation(&f.dataset, f.options);
+  const VariantResult result = mitigation.Evaluate(Variant::kInput);
+  const PolicyOutcome outcome =
+      ReplayPolicy(f.dataset, mitigation, result, 0.0);
+  EXPECT_EQ(outcome.graphlets_skipped, 0u);
+  EXPECT_EQ(outcome.graphlets_run, mitigation.test_rows().size());
+  EXPECT_NEAR(outcome.net_cost_fraction, 1.0, 1e-12);
+  EXPECT_NEAR(outcome.net_savings, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(outcome.freshness, 1.0);
+}
+
+TEST(ReplayPolicyTest, ThresholdAboveOneSkipsEverything) {
+  const Fixture& f = TestFixture();
+  WasteMitigation mitigation(&f.dataset, f.options);
+  const VariantResult result = mitigation.Evaluate(Variant::kInput);
+  const PolicyOutcome outcome =
+      ReplayPolicy(f.dataset, mitigation, result, 1.1);
+  EXPECT_EQ(outcome.graphlets_run, 0u);
+  EXPECT_DOUBLE_EQ(outcome.freshness, 0.0);
+  // Skipping everything still pays the input-stage feature cost.
+  EXPECT_GT(outcome.net_cost_fraction, 0.0);
+  EXPECT_LT(outcome.net_cost_fraction, 1.0);
+}
+
+TEST(ReplayPolicyTest, ValidationVariantCannotSave) {
+  // RF:Validation's features require running the whole graphlet, so the
+  // replayed policy nets ~zero savings regardless of accuracy (the
+  // Section 5.3.2 point).
+  const Fixture& f = TestFixture();
+  WasteMitigation mitigation(&f.dataset, f.options);
+  const VariantResult result = mitigation.Evaluate(Variant::kValidation);
+  const PolicyOutcome outcome =
+      ReplayPolicy(f.dataset, mitigation, result, result.threshold);
+  EXPECT_NEAR(outcome.net_savings, 0.0, 1e-9);
+}
+
+TEST(ReplayPolicyTest, EarlierInterventionSavesMoreAtSameSkips) {
+  const Fixture& f = TestFixture();
+  WasteMitigation mitigation(&f.dataset, f.options);
+  const VariantResult input = mitigation.Evaluate(Variant::kInput);
+  const VariantResult trainer =
+      mitigation.Evaluate(Variant::kInputPreTrainer);
+  // Skip everything under both policies: the input-stage abort is
+  // strictly cheaper than the post-trainer abort.
+  const PolicyOutcome at_input =
+      ReplayPolicy(f.dataset, mitigation, input, 1.1);
+  const PolicyOutcome at_trainer =
+      ReplayPolicy(f.dataset, mitigation, trainer, 1.1);
+  EXPECT_GT(at_input.net_savings, at_trainer.net_savings);
+}
+
+TEST(ReplayPolicyTest, SavingsAndFreshnessMoveTogetherWithThreshold) {
+  const Fixture& f = TestFixture();
+  WasteMitigation mitigation(&f.dataset, f.options);
+  const VariantResult result = mitigation.Evaluate(Variant::kInputPre);
+  double last_savings = -1.0, last_freshness = 2.0;
+  for (double threshold : {0.0, 0.25, 0.5, 0.75, 1.01}) {
+    const PolicyOutcome outcome =
+        ReplayPolicy(f.dataset, mitigation, result, threshold);
+    EXPECT_GE(outcome.net_savings + 1e-12, last_savings);
+    EXPECT_LE(outcome.freshness - 1e-12, last_freshness);
+    last_savings = outcome.net_savings;
+    last_freshness = outcome.freshness;
+  }
+}
+
+/// Property sweep over variants: replay accounting invariants hold for
+/// every variant at its train-selected threshold.
+class ReplayVariantTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReplayVariantTest, AccountingInvariants) {
+  const Fixture& f = TestFixture();
+  WasteMitigation mitigation(&f.dataset, f.options);
+  const auto variant = static_cast<Variant>(GetParam());
+  const VariantResult result = mitigation.Evaluate(variant);
+  const PolicyOutcome outcome =
+      ReplayPolicy(f.dataset, mitigation, result, result.threshold);
+  EXPECT_EQ(outcome.graphlets_run + outcome.graphlets_skipped,
+            mitigation.test_rows().size());
+  EXPECT_GE(outcome.net_cost_fraction, 0.0);
+  EXPECT_LE(outcome.net_cost_fraction, 1.0 + 1e-12);
+  EXPECT_GE(outcome.freshness, 0.0);
+  EXPECT_LE(outcome.freshness, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, ReplayVariantTest,
+                         ::testing::Range(0, kNumVariants));
+
+}  // namespace
+}  // namespace mlprov::core

@@ -1,0 +1,258 @@
+#include <cmath>
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/features.h"
+#include "core/heuristics.h"
+#include "core/waste_mitigation.h"
+#include "simulator/corpus_generator.h"
+
+namespace mlprov::core {
+namespace {
+
+struct Fixture {
+  sim::Corpus corpus;
+  SegmentedCorpus segmented;
+  WasteDataset dataset;
+};
+
+const Fixture& TestFixture() {
+  static const Fixture* fixture = [] {
+    auto* f = new Fixture();
+    sim::CorpusConfig config;
+    config.num_pipelines = 70;
+    config.seed = 999;
+    f->corpus = sim::GenerateCorpus(config);
+    f->segmented = SegmentCorpus(f->corpus);
+    f->dataset = BuildWasteDataset(f->corpus, f->segmented, {});
+    return f;
+  }();
+  return *fixture;
+}
+
+TEST(WasteDatasetTest, OneRowPerNonWarmstartGraphlet) {
+  const Fixture& f = TestFixture();
+  size_t expected = 0;
+  for (const auto& sp : f.segmented.pipelines) {
+    if (f.corpus.pipelines[sp.pipeline_index].config.warm_start) continue;
+    expected += sp.graphlets.size();
+  }
+  EXPECT_EQ(f.dataset.data.NumRows(), expected);
+  EXPECT_EQ(f.dataset.total_cost.size(), expected);
+  for (const auto& stage : f.dataset.stage_cost) {
+    EXPECT_EQ(stage.size(), expected);
+  }
+}
+
+TEST(WasteDatasetTest, ClassImbalanceMatchesPaperDirection) {
+  const Fixture& f = TestFixture();
+  // ~80/20 unpushed/pushed (Section 5 "Data").
+  EXPECT_GT(f.dataset.data.PositiveFraction(), 0.05);
+  EXPECT_LT(f.dataset.data.PositiveFraction(), 0.45);
+}
+
+TEST(WasteDatasetTest, GroupColumnsPartitionAllFeatures) {
+  const Fixture& f = TestFixture();
+  std::set<size_t> all;
+  for (const auto& group : f.dataset.group_columns) {
+    for (size_t c : group) {
+      EXPECT_TRUE(all.insert(c).second) << "column in two groups";
+    }
+  }
+  EXPECT_EQ(all.size(), f.dataset.data.NumFeatures());
+}
+
+TEST(WasteDatasetTest, StageCostsAreCumulative) {
+  const Fixture& f = TestFixture();
+  for (size_t r = 0; r < f.dataset.data.NumRows(); ++r) {
+    EXPECT_LE(f.dataset.stage_cost[0][r], f.dataset.stage_cost[1][r]);
+    EXPECT_LE(f.dataset.stage_cost[1][r], f.dataset.stage_cost[2][r]);
+    EXPECT_LE(f.dataset.stage_cost[2][r], f.dataset.stage_cost[3][r]);
+    EXPECT_GT(f.dataset.stage_cost[3][r], 0.0);
+  }
+}
+
+TEST(WasteDatasetTest, FeatureValuesSane) {
+  const Fixture& f = TestFixture();
+  const auto& names = f.dataset.data.feature_names();
+  for (size_t r = 0; r < std::min<size_t>(f.dataset.data.NumRows(), 500);
+       ++r) {
+    for (size_t c = 0; c < names.size(); ++c) {
+      const double v = f.dataset.data.Feature(r, c);
+      EXPECT_TRUE(std::isfinite(v)) << names[c];
+      const bool is_relative =
+          names[c].find("_rel_") != std::string::npos;
+      if (is_relative) {
+        // Deviation features range over [-1, 1].
+        EXPECT_GE(v, -1.0) << names[c];
+        EXPECT_LE(v, 1.0) << names[c];
+      } else if (names[c].rfind("jaccard_", 0) == 0 ||
+                 names[c].rfind("dataset_sim_", 0) == 0 ||
+                 names[c].rfind("code_match", 0) == 0) {
+        EXPECT_GE(v, 0.0) << names[c];
+        EXPECT_LE(v, 1.0) << names[c];
+      }
+    }
+  }
+}
+
+TEST(WasteDatasetTest, ColumnsForDeduplicatesAndSorts) {
+  const Fixture& f = TestFixture();
+  const auto cols = f.dataset.ColumnsFor(
+      {FeatureGroup::kInputData, FeatureGroup::kInputData,
+       FeatureGroup::kCodeChange});
+  EXPECT_TRUE(std::is_sorted(cols.begin(), cols.end()));
+  EXPECT_TRUE(std::adjacent_find(cols.begin(), cols.end()) == cols.end());
+}
+
+TEST(VariantGroupsTest, IncrementalNesting) {
+  // Table 3 variants incrementally reveal feature groups.
+  auto contains = [](const std::vector<FeatureGroup>& groups,
+                     FeatureGroup g) {
+    return std::find(groups.begin(), groups.end(), g) != groups.end();
+  };
+  const auto input = GroupsFor(Variant::kInput);
+  EXPECT_FALSE(contains(input, FeatureGroup::kShapePre));
+  const auto pre = GroupsFor(Variant::kInputPre);
+  EXPECT_TRUE(contains(pre, FeatureGroup::kShapePre));
+  EXPECT_FALSE(contains(pre, FeatureGroup::kShapeTrainer));
+  const auto validation = GroupsFor(Variant::kValidation);
+  EXPECT_TRUE(contains(validation, FeatureGroup::kShapePost));
+  // Ablations are single/small groups.
+  EXPECT_EQ(GroupsFor(Variant::kAblationModelType).size(), 1u);
+  EXPECT_EQ(GroupsFor(Variant::kAblationInputOnly).size(), 1u);
+}
+
+TEST(WasteMitigationTest, SplitGroupsByPipeline) {
+  const Fixture& f = TestFixture();
+  MitigationOptions options;
+  options.forest.num_trees = 10;
+  WasteMitigation mitigation(&f.dataset, options);
+  std::set<int64_t> train_groups, test_groups;
+  for (size_t r : mitigation.train_rows()) {
+    train_groups.insert(f.dataset.data.Group(r));
+  }
+  for (size_t r : mitigation.test_rows()) {
+    test_groups.insert(f.dataset.data.Group(r));
+  }
+  for (int64_t g : test_groups) EXPECT_EQ(train_groups.count(g), 0u);
+  EXPECT_EQ(mitigation.train_rows().size() + mitigation.test_rows().size(),
+            f.dataset.data.NumRows());
+}
+
+TEST(WasteMitigationTest, ValidationVariantBeatsInputVariant) {
+  const Fixture& f = TestFixture();
+  MitigationOptions options;
+  options.forest.num_trees = 20;
+  WasteMitigation mitigation(&f.dataset, options);
+  const VariantResult input = mitigation.Evaluate(Variant::kInput);
+  const VariantResult validation =
+      mitigation.Evaluate(Variant::kValidation);
+  EXPECT_GT(validation.balanced_accuracy,
+            input.balanced_accuracy + 0.05);
+  EXPECT_GT(validation.balanced_accuracy, 0.8);
+  EXPECT_GT(input.balanced_accuracy, 0.5);
+  // Feature costs ascend with the intervention point (Table 3).
+  EXPECT_LT(input.feature_cost, validation.feature_cost);
+  EXPECT_DOUBLE_EQ(validation.feature_cost, 1.0);
+}
+
+TEST(WasteMitigationTest, ScoresAlignWithTestRows) {
+  const Fixture& f = TestFixture();
+  MitigationOptions options;
+  options.forest.num_trees = 10;
+  WasteMitigation mitigation(&f.dataset, options);
+  const VariantResult result = mitigation.Evaluate(Variant::kInput);
+  ASSERT_EQ(result.scores.size(), mitigation.test_rows().size());
+  ASSERT_EQ(result.labels.size(), result.scores.size());
+  ASSERT_EQ(result.costs.size(), result.scores.size());
+  for (size_t i = 0; i < result.scores.size(); ++i) {
+    EXPECT_GE(result.scores[i], 0.0);
+    EXPECT_LE(result.scores[i], 1.0);
+    EXPECT_EQ(result.labels[i],
+              f.dataset.data.Label(mitigation.test_rows()[i]));
+  }
+}
+
+TEST(TradeoffCurveTest, EndpointsAndMonotonicity) {
+  const std::vector<double> scores = {0.1, 0.2, 0.6, 0.9, 0.3, 0.8};
+  const std::vector<int> labels = {0, 0, 1, 1, 0, 1};
+  const std::vector<double> costs = {1, 2, 3, 4, 5, 6};
+  const auto curve = ComputeTradeoffCurve(scores, labels, costs);
+  ASSERT_GE(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve.front().waste_eliminated, 0.0);
+  EXPECT_DOUBLE_EQ(curve.front().freshness, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().waste_eliminated, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().freshness, 0.0);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].waste_eliminated + 1e-12,
+              curve[i - 1].waste_eliminated);
+    EXPECT_LE(curve[i].freshness - 1e-12, curve[i - 1].freshness);
+  }
+}
+
+TEST(TradeoffCurveTest, PerfectClassifierEliminatesAllWasteAtFullFreshness) {
+  const std::vector<double> scores = {0.1, 0.2, 0.9, 0.8};
+  const std::vector<int> labels = {0, 0, 1, 1};
+  const std::vector<double> costs = {3, 7, 1, 1};
+  const auto curve = ComputeTradeoffCurve(scores, labels, costs);
+  EXPECT_DOUBLE_EQ(MaxWasteAtFreshness(curve, 1.0), 1.0);
+}
+
+TEST(TradeoffCurveTest, CostWeighting) {
+  // Skipping only the cheap unpushed graphlet eliminates 25% of waste.
+  const std::vector<double> scores = {0.1, 0.5, 0.9};
+  const std::vector<int> labels = {0, 0, 1};
+  const std::vector<double> costs = {1, 3, 1};
+  const auto curve = ComputeTradeoffCurve(scores, labels, costs);
+  bool found_quarter = false;
+  for (const auto& p : curve) {
+    if (std::abs(p.waste_eliminated - 0.25) < 1e-9) found_quarter = true;
+  }
+  EXPECT_TRUE(found_quarter);
+}
+
+TEST(HeuristicsTest, EvaluateAllKinds) {
+  const Fixture& f = TestFixture();
+  MitigationOptions options;
+  options.forest.num_trees = 5;
+  WasteMitigation mitigation(&f.dataset, options);
+  for (int h = 0; h < 3; ++h) {
+    const auto result = EvaluateHeuristic(
+        f.dataset, static_cast<HeuristicKind>(h), mitigation.train_rows(),
+        mitigation.test_rows());
+    EXPECT_GE(result.balanced_accuracy, 0.3) << ToString(result.kind);
+    EXPECT_LE(result.balanced_accuracy, 0.85) << ToString(result.kind);
+  }
+}
+
+TEST(HeuristicsTest, HeuristicsWeakerThanValidationModel) {
+  const Fixture& f = TestFixture();
+  MitigationOptions options;
+  options.forest.num_trees = 20;
+  WasteMitigation mitigation(&f.dataset, options);
+  const double validation_ba =
+      mitigation.Evaluate(Variant::kValidation).balanced_accuracy;
+  for (int h = 0; h < 3; ++h) {
+    const auto result = EvaluateHeuristic(
+        f.dataset, static_cast<HeuristicKind>(h), mitigation.train_rows(),
+        mitigation.test_rows());
+    EXPECT_LT(result.balanced_accuracy, validation_ba);
+  }
+}
+
+TEST(VariantNamesTest, AllDistinct) {
+  std::set<std::string> names;
+  for (int v = 0; v < kNumVariants; ++v) {
+    names.insert(ToString(static_cast<Variant>(v)));
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(kNumVariants));
+  for (int g = 0; g < kNumFeatureGroups; ++g) {
+    EXPECT_STRNE(ToString(static_cast<FeatureGroup>(g)), "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace mlprov::core

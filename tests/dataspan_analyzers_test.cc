@@ -1,0 +1,199 @@
+#include "dataspan/analyzers.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace mlprov::dataspan {
+namespace {
+
+TEST(MomentsAnalyzerTest, MeanAndVariance) {
+  MomentsAnalyzer m;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) m.AddSample(x);
+  EXPECT_EQ(m.count(), 8);
+  EXPECT_DOUBLE_EQ(m.Mean(), 5.0);
+  EXPECT_NEAR(m.Variance(), 4.0, 1e-12);
+  EXPECT_NEAR(m.StdDev(), 2.0, 1e-12);
+}
+
+TEST(MomentsAnalyzerTest, RetireEqualsRecompute) {
+  // Rolling window: incrementally retiring samples gives the same result
+  // as recomputing from scratch (the Section 4.2.1 IVM claim).
+  common::Rng rng(3);
+  std::vector<double> samples;
+  for (int i = 0; i < 200; ++i) samples.push_back(rng.Normal(5, 2));
+  MomentsAnalyzer incremental;
+  const size_t window = 50;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    incremental.AddSample(samples[i]);
+    if (i >= window) incremental.RetireSample(samples[i - window]);
+    if (i >= window && i % 37 == 0) {
+      MomentsAnalyzer fresh;
+      for (size_t j = i + 1 - window; j <= i; ++j) {
+        fresh.AddSample(samples[j]);
+      }
+      EXPECT_NEAR(incremental.Mean(), fresh.Mean(), 1e-9);
+      EXPECT_NEAR(incremental.Variance(), fresh.Variance(), 1e-9);
+    }
+  }
+}
+
+TEST(MomentsAnalyzerTest, MergeIsAssociative) {
+  MomentsAnalyzer a, b, combined;
+  for (int i = 0; i < 10; ++i) {
+    a.AddSample(i);
+    combined.AddSample(i);
+  }
+  for (int i = 10; i < 30; ++i) {
+    b.AddSample(i * 0.5);
+    combined.AddSample(i * 0.5);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.Mean(), combined.Mean(), 1e-12);
+  EXPECT_NEAR(a.Variance(), combined.Variance(), 1e-12);
+}
+
+TEST(MinMaxAnalyzerTest, RollingWindow) {
+  MinMaxAnalyzer mm;
+  EXPECT_TRUE(mm.Empty());
+  const size_t s1 = mm.AddSpan(1.0, 5.0);
+  const size_t s2 = mm.AddSpan(-2.0, 3.0);
+  EXPECT_DOUBLE_EQ(mm.Min(), -2.0);
+  EXPECT_DOUBLE_EQ(mm.Max(), 5.0);
+  mm.RetireSpan(s2);
+  EXPECT_DOUBLE_EQ(mm.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(mm.Max(), 5.0);
+  mm.RetireSpan(s1);
+  EXPECT_TRUE(mm.Empty());
+  // Slots are reused after retirement.
+  const size_t s3 = mm.AddSpan(7.0, 8.0);
+  EXPECT_LE(s3, 1u);
+  EXPECT_DOUBLE_EQ(mm.Max(), 8.0);
+}
+
+TEST(VocabularyAnalyzerTest, TopKOrderingAndTies) {
+  VocabularyAnalyzer vocab(3);
+  vocab.AddTerm(10, 5);
+  vocab.AddTerm(20, 9);
+  vocab.AddTerm(30, 5);
+  vocab.AddTerm(40, 1);
+  const auto top = vocab.TopK();
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].first, 20);
+  // Tie between terms 10 and 30 broken by ascending term id.
+  EXPECT_EQ(top[1].first, 10);
+  EXPECT_EQ(top[2].first, 30);
+  EXPECT_EQ(vocab.TotalCount(), 20);
+  EXPECT_EQ(vocab.NumDistinctTerms(), 4u);
+}
+
+TEST(VocabularyAnalyzerTest, RetireEqualsRecompute) {
+  common::Rng rng(7);
+  std::vector<int64_t> stream;
+  for (int i = 0; i < 3000; ++i) stream.push_back(rng.Zipf(200, 1.2));
+  const size_t window = 1000;
+  VocabularyAnalyzer incremental(10);
+  for (size_t i = 0; i < stream.size(); ++i) {
+    incremental.AddTerm(stream[i]);
+    if (i >= window) incremental.RetireTerm(stream[i - window]);
+    if (i == 2500) {
+      VocabularyAnalyzer fresh(10);
+      for (size_t j = i + 1 - window; j <= i; ++j) {
+        fresh.AddTerm(stream[j]);
+      }
+      EXPECT_EQ(incremental.TopK(), fresh.TopK());
+      EXPECT_EQ(incremental.TotalCount(), fresh.TotalCount());
+      EXPECT_EQ(incremental.NumDistinctTerms(),
+                fresh.NumDistinctTerms());
+    }
+  }
+}
+
+TEST(VocabularyAnalyzerTest, MergeEqualsUnion) {
+  VocabularyAnalyzer a(5), b(5), combined(5);
+  common::Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    const int64_t term = rng.Zipf(50, 1.1);
+    (i % 2 ? a : b).AddTerm(term);
+    combined.AddTerm(term);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.TopK(), combined.TopK());
+  EXPECT_EQ(a.TotalCount(), combined.TotalCount());
+}
+
+TEST(VocabularyAnalyzerTest, KLargerThanDistinctTerms) {
+  VocabularyAnalyzer vocab(100);
+  vocab.AddTerm(1, 3);
+  vocab.AddTerm(2, 1);
+  EXPECT_EQ(vocab.TopK().size(), 2u);
+}
+
+TEST(QuantilesAnalyzerTest, ExactBelowCapacity) {
+  QuantilesAnalyzer q(100);
+  for (int i = 0; i <= 50; ++i) q.AddSample(i);
+  EXPECT_NEAR(q.Quantile(0.5), 25.0, 1e-9);
+  EXPECT_NEAR(q.Quantile(0.0), 0.0, 1e-9);
+  EXPECT_NEAR(q.Quantile(1.0), 50.0, 1e-9);
+}
+
+TEST(QuantilesAnalyzerTest, ApproximateAboveCapacity) {
+  QuantilesAnalyzer q(512);
+  common::Rng rng(13);
+  for (int i = 0; i < 50000; ++i) q.AddSample(rng.Uniform(0, 100));
+  EXPECT_EQ(q.count(), 50000);
+  EXPECT_NEAR(q.Quantile(0.5), 50.0, 8.0);
+  EXPECT_NEAR(q.Quantile(0.9), 90.0, 8.0);
+}
+
+TEST(QuantilesAnalyzerTest, MergePreservesDistribution) {
+  QuantilesAnalyzer a(256), b(256);
+  common::Rng rng(17);
+  for (int i = 0; i < 5000; ++i) a.AddSample(rng.Normal(0, 1));
+  for (int i = 0; i < 5000; ++i) b.AddSample(rng.Normal(10, 1));
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 10000);
+  // Median of the mixture sits between the two modes.
+  EXPECT_NEAR(a.Quantile(0.5), 5.0, 4.0);
+}
+
+TEST(QuantilesAnalyzerTest, EmptyIsZero) {
+  QuantilesAnalyzer q;
+  EXPECT_DOUBLE_EQ(q.Quantile(0.5), 0.0);
+  EXPECT_EQ(q.count(), 0);
+}
+
+/// Property sweep: for every window size, the incremental vocabulary over
+/// a rolling window must exactly match recomputation from scratch.
+class VocabularyWindowTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(VocabularyWindowTest, IncrementalMatchesRecompute) {
+  const size_t window = GetParam();
+  common::Rng rng(23 + window);
+  std::vector<int64_t> stream;
+  for (size_t i = 0; i < window * 4 + 100; ++i) {
+    stream.push_back(rng.Zipf(64, 1.3));
+  }
+  VocabularyAnalyzer incremental(8);
+  for (size_t i = 0; i < stream.size(); ++i) {
+    incremental.AddTerm(stream[i]);
+    if (i >= window) incremental.RetireTerm(stream[i - window]);
+  }
+  VocabularyAnalyzer fresh(8);
+  for (size_t j = stream.size() - window; j < stream.size(); ++j) {
+    fresh.AddTerm(stream[j]);
+  }
+  EXPECT_EQ(incremental.TopK(), fresh.TopK());
+  EXPECT_EQ(incremental.TotalCount(), fresh.TotalCount());
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, VocabularyWindowTest,
+                         ::testing::Values(1, 2, 8, 32, 128));
+
+}  // namespace
+}  // namespace mlprov::dataspan

@@ -1,0 +1,219 @@
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dataspan/feature_stats.h"
+#include "dataspan/span_stats.h"
+
+namespace mlprov::dataspan {
+namespace {
+
+double Sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(FeatureStatsTest, NumericalDistributionNormalizes) {
+  FeatureStats f;
+  f.kind = FeatureKind::kNumerical;
+  f.bins = {1, 2, 3, 4, 0, 0, 0, 0, 0, 0};
+  const auto d = f.ToDistribution();
+  ASSERT_EQ(d.size(), 10u);
+  EXPECT_NEAR(Sum(d), 1.0, 1e-12);
+  EXPECT_NEAR(d[0], 0.1, 1e-12);
+  EXPECT_NEAR(d[3], 0.4, 1e-12);
+}
+
+TEST(FeatureStatsTest, NumericalRebinning) {
+  FeatureStats f;
+  f.kind = FeatureKind::kNumerical;
+  f.bins = {1, 1, 1, 1, 1, 1, 1, 1, 1, 1};
+  const auto d = f.ToDistribution(5);
+  ASSERT_EQ(d.size(), 5u);
+  for (double x : d) EXPECT_NEAR(x, 0.2, 1e-12);
+}
+
+TEST(FeatureStatsTest, EmptyNumericalIsAllZero) {
+  FeatureStats f;
+  f.kind = FeatureKind::kNumerical;
+  EXPECT_TRUE(f.Empty());
+  const auto d = f.ToDistribution();
+  EXPECT_NEAR(Sum(d), 0.0, 1e-12);
+}
+
+TEST(FeatureStatsTest, NegativeBinCountsClampedToZero) {
+  FeatureStats f;
+  f.kind = FeatureKind::kNumerical;
+  f.bins = {-5, 1, 0, 0, 0, 0, 0, 0, 0, 0};
+  const auto d = f.ToDistribution();
+  EXPECT_NEAR(d[0], 0.0, 1e-12);
+  EXPECT_NEAR(d[1], 1.0, 1e-12);
+}
+
+TEST(FeatureStatsTest, CategoricalDistributionSumsToOne) {
+  FeatureStats f;
+  f.kind = FeatureKind::kCategorical;
+  f.unique_terms = 1000;
+  f.total_count = 10000;
+  f.top_term_counts = {3000, 1500, 800, 500, 300, 200, 150, 100, 80, 50};
+  const auto d = f.ToDistribution();
+  ASSERT_EQ(d.size(), 10u);
+  EXPECT_NEAR(Sum(d), 1.0, 1e-9);
+  // With 1000 unique terms the top-10 terms all fall in the first bin.
+  EXPECT_GT(d[0], 0.65);
+  // Tail mass is uniform over the remaining bins.
+  for (size_t i = 2; i < 9; ++i) EXPECT_NEAR(d[i], d[i + 1], 1e-9);
+}
+
+TEST(FeatureStatsTest, CategoricalSortsTermCountsDescending) {
+  FeatureStats f1, f2;
+  f1.kind = f2.kind = FeatureKind::kCategorical;
+  f1.unique_terms = f2.unique_terms = 100;
+  f1.total_count = f2.total_count = 1000;
+  f1.top_term_counts = {500, 100, 50, 40, 30, 20, 10, 5, 3, 2};
+  f2.top_term_counts = {2, 3, 5, 10, 20, 30, 40, 50, 100, 500};
+  // Same multiset of counts => identical distribution (Appendix B sorts).
+  const auto d1 = f1.ToDistribution();
+  const auto d2 = f2.ToDistribution();
+  for (size_t i = 0; i < d1.size(); ++i) EXPECT_NEAR(d1[i], d2[i], 1e-12);
+}
+
+TEST(FeatureStatsTest, CategoricalSmallDomainWithoutTail) {
+  FeatureStats f;
+  f.kind = FeatureKind::kCategorical;
+  f.unique_terms = 4;  // fewer than the 10 recorded slots
+  f.total_count = 100;
+  f.top_term_counts = {40, 30, 20, 10, 0, 0, 0, 0, 0, 0};
+  const auto d = f.ToDistribution(4);
+  EXPECT_NEAR(Sum(d), 1.0, 1e-9);
+  EXPECT_NEAR(d[0], 0.4, 1e-9);
+  EXPECT_NEAR(d[3], 0.1, 1e-9);
+}
+
+TEST(FeatureStatsTest, CategoricalEmpty) {
+  FeatureStats f;
+  f.kind = FeatureKind::kCategorical;
+  EXPECT_TRUE(f.Empty());
+  EXPECT_NEAR(Sum(f.ToDistribution()), 0.0, 1e-12);
+}
+
+TEST(SpanStatsTest, FeatureKindCounts) {
+  SpanStats span;
+  FeatureStats num, cat;
+  num.kind = FeatureKind::kNumerical;
+  cat.kind = FeatureKind::kCategorical;
+  span.features = {num, cat, cat};
+  EXPECT_EQ(span.NumFeatures(), 3u);
+  EXPECT_EQ(span.NumCategorical(), 2u);
+  EXPECT_EQ(span.NumNumerical(), 1u);
+}
+
+class SpanStatsGeneratorTest : public ::testing::Test {
+ protected:
+  SchemaConfig config_;
+};
+
+TEST_F(SpanStatsGeneratorTest, EmitsConfiguredFeatureCount) {
+  config_.num_features = 17;
+  SpanStatsGenerator gen(config_, common::Rng(5));
+  const SpanStats s = gen.NextSpan();
+  EXPECT_EQ(s.NumFeatures(), 17u);
+  EXPECT_EQ(s.span_number, 0);
+  EXPECT_EQ(gen.NextSpan().span_number, 1);
+  EXPECT_EQ(gen.spans_emitted(), 2);
+}
+
+TEST_F(SpanStatsGeneratorTest, CategoricalFractionRoughlyMatches) {
+  config_.num_features = 400;
+  config_.categorical_fraction = 0.53;
+  SpanStatsGenerator gen(config_, common::Rng(7));
+  const SpanStats s = gen.NextSpan();
+  const double frac = static_cast<double>(s.NumCategorical()) /
+                      static_cast<double>(s.NumFeatures());
+  EXPECT_NEAR(frac, 0.53, 0.08);
+}
+
+TEST_F(SpanStatsGeneratorTest, FeatureNamesStableAcrossSpans) {
+  SpanStatsGenerator gen(config_, common::Rng(9));
+  const SpanStats a = gen.NextSpan();
+  const SpanStats b = gen.NextSpan();
+  ASSERT_EQ(a.NumFeatures(), b.NumFeatures());
+  for (size_t i = 0; i < a.features.size(); ++i) {
+    EXPECT_EQ(a.features[i].name, b.features[i].name);
+    EXPECT_EQ(a.features[i].kind, b.features[i].kind);
+  }
+}
+
+TEST_F(SpanStatsGeneratorTest, ConsecutiveSpansDriftSlowly) {
+  config_.num_features = 30;
+  SpanStatsGenerator gen(config_, common::Rng(11));
+  const SpanStats a = gen.NextSpan();
+  const SpanStats b = gen.NextSpan();
+  // Distributions should be close but not necessarily identical.
+  double total_l1 = 0.0;
+  for (size_t i = 0; i < a.features.size(); ++i) {
+    const auto da = a.features[i].ToDistribution();
+    const auto db = b.features[i].ToDistribution();
+    for (size_t j = 0; j < da.size(); ++j) {
+      total_l1 += std::abs(da[j] - db[j]);
+    }
+  }
+  EXPECT_LT(total_l1 / static_cast<double>(a.features.size()), 0.25);
+}
+
+TEST_F(SpanStatsGeneratorTest, ShockIncreasesDrift) {
+  config_.num_features = 30;
+  auto drift_between = [&](bool shock) {
+    SpanStatsGenerator gen(config_, common::Rng(13));
+    const SpanStats a = gen.NextSpan();
+    if (shock) gen.Shock(2.0);
+    const SpanStats b = gen.NextSpan();
+    double total = 0.0;
+    for (size_t i = 0; i < a.features.size(); ++i) {
+      const auto da = a.features[i].ToDistribution();
+      const auto db = b.features[i].ToDistribution();
+      for (size_t j = 0; j < da.size(); ++j) {
+        total += std::abs(da[j] - db[j]);
+      }
+    }
+    return total;
+  };
+  EXPECT_GT(drift_between(true), drift_between(false) * 1.5);
+}
+
+TEST_F(SpanStatsGeneratorTest, CategoricalDomainsArePlausible) {
+  config_.num_features = 200;
+  config_.log10_domain_mean = 7.0;
+  SpanStatsGenerator gen(config_, common::Rng(17));
+  const SpanStats s = gen.NextSpan();
+  double log_sum = 0.0;
+  int n = 0;
+  for (const auto& f : s.features) {
+    if (f.kind != FeatureKind::kCategorical) continue;
+    EXPECT_GT(f.unique_terms, 0);
+    EXPECT_GT(f.total_count, 0);
+    log_sum += std::log10(static_cast<double>(f.unique_terms));
+    ++n;
+  }
+  ASSERT_GT(n, 0);
+  EXPECT_NEAR(log_sum / n, 7.0, 0.6);
+}
+
+TEST_F(SpanStatsGeneratorTest, DeterministicForSameSeed) {
+  SpanStatsGenerator g1(config_, common::Rng(21));
+  SpanStatsGenerator g2(config_, common::Rng(21));
+  const SpanStats a = g1.NextSpan();
+  const SpanStats b = g2.NextSpan();
+  ASSERT_EQ(a.NumFeatures(), b.NumFeatures());
+  for (size_t i = 0; i < a.features.size(); ++i) {
+    const auto da = a.features[i].ToDistribution();
+    const auto db = b.features[i].ToDistribution();
+    for (size_t j = 0; j < da.size(); ++j) {
+      EXPECT_DOUBLE_EQ(da[j], db[j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mlprov::dataspan

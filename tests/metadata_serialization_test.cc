@@ -1,0 +1,124 @@
+#include "metadata/serialization.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "metadata/metadata_store.h"
+
+namespace mlprov::metadata {
+namespace {
+
+MetadataStore MakeStore() {
+  MetadataStore store;
+  Artifact span;
+  span.type = ArtifactType::kExamples;
+  span.create_time = 123;
+  span.properties["span"] = static_cast<int64_t>(7);
+  span.properties["source"] = std::string("logs with spaces");
+  const ArtifactId a = store.PutArtifact(span);
+
+  Execution trainer;
+  trainer.type = ExecutionType::kTrainer;
+  trainer.start_time = 100;
+  trainer.end_time = 200;
+  trainer.succeeded = false;
+  trainer.compute_cost = 3.5;
+  trainer.properties["lr"] = 0.001;
+  const ExecutionId e = store.PutExecution(trainer);
+
+  Artifact model;
+  model.type = ArtifactType::kModel;
+  const ArtifactId m = store.PutArtifact(model);
+
+  EXPECT_TRUE(store.PutEvent({e, a, EventKind::kInput, 100}).ok());
+  EXPECT_TRUE(store.PutEvent({e, m, EventKind::kOutput, 200}).ok());
+
+  Context ctx;
+  ctx.name = "pipeline one";
+  const ContextId c = store.PutContext(ctx);
+  EXPECT_TRUE(store.AddToContext(c, e).ok());
+  EXPECT_TRUE(store.AddArtifactToContext(c, a).ok());
+  return store;
+}
+
+TEST(SerializationTest, RoundTripPreservesEverything) {
+  MetadataStore store = MakeStore();
+  const std::string text = SerializeStore(store);
+  auto loaded = DeserializeStore(text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  EXPECT_EQ(loaded->num_artifacts(), store.num_artifacts());
+  EXPECT_EQ(loaded->num_executions(), store.num_executions());
+  EXPECT_EQ(loaded->num_events(), store.num_events());
+  EXPECT_EQ(loaded->num_contexts(), store.num_contexts());
+
+  auto a = loaded->GetArtifact(1);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->type, ArtifactType::kExamples);
+  EXPECT_EQ(a->create_time, 123);
+  EXPECT_EQ(std::get<int64_t>(a->properties.at("span")), 7);
+  EXPECT_EQ(std::get<std::string>(a->properties.at("source")),
+            "logs with spaces");
+
+  auto e = loaded->GetExecution(1);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->type, ExecutionType::kTrainer);
+  EXPECT_EQ(e->start_time, 100);
+  EXPECT_EQ(e->end_time, 200);
+  EXPECT_FALSE(e->succeeded);
+  EXPECT_DOUBLE_EQ(e->compute_cost, 3.5);
+  EXPECT_DOUBLE_EQ(std::get<double>(e->properties.at("lr")), 0.001);
+
+  EXPECT_EQ(loaded->InputsOf(1), store.InputsOf(1));
+  EXPECT_EQ(loaded->OutputsOf(1), store.OutputsOf(1));
+
+  auto c = loaded->GetContext(1);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->name, "pipeline one");
+  EXPECT_EQ(c->executions.size(), 1u);
+  EXPECT_EQ(c->artifacts.size(), 1u);
+}
+
+TEST(SerializationTest, DoubleRoundTripIsStable) {
+  MetadataStore store = MakeStore();
+  const std::string once = SerializeStore(store);
+  auto loaded = DeserializeStore(once);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(SerializeStore(*loaded), once);
+}
+
+TEST(SerializationTest, RejectsBadHeader) {
+  EXPECT_FALSE(DeserializeStore("garbage\n").ok());
+  EXPECT_FALSE(DeserializeStore("").ok());
+}
+
+TEST(SerializationTest, RejectsMalformedLines) {
+  EXPECT_FALSE(DeserializeStore("MLPROVSTORE v1\nA xyz\n").ok());
+  EXPECT_FALSE(DeserializeStore("MLPROVSTORE v1\nZ 1 2\n").ok());
+  // Event referencing nodes that do not exist.
+  EXPECT_FALSE(DeserializeStore("MLPROVSTORE v1\nV 1 1 0 0\n").ok());
+  // Property for a missing artifact.
+  EXPECT_FALSE(DeserializeStore("MLPROVSTORE v1\nP a 1 k i 3\n").ok());
+}
+
+TEST(SerializationTest, EmptyStoreRoundTrips) {
+  MetadataStore store;
+  auto loaded = DeserializeStore(SerializeStore(store));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_artifacts(), 0u);
+}
+
+TEST(SerializationTest, FileSaveAndLoad) {
+  MetadataStore store = MakeStore();
+  const std::string path = ::testing::TempDir() + "/mlprov_store_test.txt";
+  ASSERT_TRUE(SaveStore(store, path).ok());
+  auto loaded = LoadStore(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_events(), store.num_events());
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadStore(path).ok());
+}
+
+}  // namespace
+}  // namespace mlprov::metadata

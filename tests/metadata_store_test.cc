@@ -1,0 +1,160 @@
+#include "metadata/metadata_store.h"
+
+#include <gtest/gtest.h>
+
+#include "metadata/types.h"
+
+namespace mlprov::metadata {
+namespace {
+
+TEST(MetadataStoreTest, PutAssignsSequentialIds) {
+  MetadataStore store;
+  EXPECT_EQ(store.PutArtifact({}), 1);
+  EXPECT_EQ(store.PutArtifact({}), 2);
+  EXPECT_EQ(store.PutExecution({}), 1);
+  EXPECT_EQ(store.PutExecution({}), 2);
+  EXPECT_EQ(store.num_artifacts(), 2u);
+  EXPECT_EQ(store.num_executions(), 2u);
+}
+
+TEST(MetadataStoreTest, GetUnknownIdFails) {
+  MetadataStore store;
+  EXPECT_FALSE(store.GetArtifact(1).ok());
+  EXPECT_FALSE(store.GetExecution(0).ok());
+  EXPECT_FALSE(store.GetContext(-3).ok());
+}
+
+TEST(MetadataStoreTest, EventIndexing) {
+  MetadataStore store;
+  Artifact span;
+  span.type = ArtifactType::kExamples;
+  const ArtifactId a = store.PutArtifact(span);
+  Execution trainer;
+  trainer.type = ExecutionType::kTrainer;
+  const ExecutionId e = store.PutExecution(trainer);
+  Artifact model;
+  model.type = ArtifactType::kModel;
+  const ArtifactId m = store.PutArtifact(model);
+
+  ASSERT_TRUE(store.PutEvent({e, a, EventKind::kInput, 10}).ok());
+  ASSERT_TRUE(store.PutEvent({e, m, EventKind::kOutput, 20}).ok());
+
+  EXPECT_EQ(store.InputsOf(e), std::vector<ArtifactId>{a});
+  EXPECT_EQ(store.OutputsOf(e), std::vector<ArtifactId>{m});
+  EXPECT_EQ(store.ProducersOf(m), std::vector<ExecutionId>{e});
+  EXPECT_EQ(store.ConsumersOf(a), std::vector<ExecutionId>{e});
+  EXPECT_TRUE(store.ProducersOf(a).empty());
+  EXPECT_TRUE(store.ConsumersOf(m).empty());
+}
+
+TEST(MetadataStoreTest, EventWithUnknownEndpointFails) {
+  MetadataStore store;
+  const ArtifactId a = store.PutArtifact({});
+  EXPECT_FALSE(store.PutEvent({5, a, EventKind::kInput, 0}).ok());
+  const ExecutionId e = store.PutExecution({});
+  EXPECT_FALSE(store.PutEvent({e, 99, EventKind::kOutput, 0}).ok());
+  EXPECT_EQ(store.num_events(), 0u);
+}
+
+TEST(MetadataStoreTest, ContextMembership) {
+  MetadataStore store;
+  Context ctx;
+  ctx.name = "pipeline-0";
+  const ContextId c = store.PutContext(ctx);
+  const ExecutionId e = store.PutExecution({});
+  const ArtifactId a = store.PutArtifact({});
+  ASSERT_TRUE(store.AddToContext(c, e).ok());
+  ASSERT_TRUE(store.AddArtifactToContext(c, a).ok());
+  auto got = store.GetContext(c);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->name, "pipeline-0");
+  EXPECT_EQ(got->executions, std::vector<ExecutionId>{e});
+  EXPECT_EQ(got->artifacts, std::vector<ArtifactId>{a});
+  EXPECT_FALSE(store.AddToContext(99, e).ok());
+  EXPECT_FALSE(store.AddToContext(c, 99).ok());
+}
+
+TEST(MetadataStoreTest, PropertiesRoundTrip) {
+  MetadataStore store;
+  Execution e;
+  e.properties["code_version"] = static_cast<int64_t>(3);
+  e.properties["loss"] = 0.25;
+  e.properties["owner"] = std::string("team-a");
+  const ExecutionId id = store.PutExecution(e);
+  auto got = store.GetExecution(id);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(std::get<int64_t>(got->properties.at("code_version")), 3);
+  EXPECT_DOUBLE_EQ(std::get<double>(got->properties.at("loss")), 0.25);
+  EXPECT_EQ(std::get<std::string>(got->properties.at("owner")), "team-a");
+}
+
+TEST(MetadataStoreTest, TypeQueries) {
+  MetadataStore store;
+  Execution t;
+  t.type = ExecutionType::kTrainer;
+  Execution p;
+  p.type = ExecutionType::kPusher;
+  store.PutExecution(t);
+  store.PutExecution(p);
+  store.PutExecution(t);
+  EXPECT_EQ(store.ExecutionsOfType(ExecutionType::kTrainer).size(), 2u);
+  EXPECT_EQ(store.ExecutionsOfType(ExecutionType::kPusher).size(), 1u);
+  EXPECT_TRUE(store.ExecutionsOfType(ExecutionType::kTuner).empty());
+
+  Artifact m;
+  m.type = ArtifactType::kModel;
+  store.PutArtifact(m);
+  EXPECT_EQ(store.ArtifactsOfType(ArtifactType::kModel).size(), 1u);
+  EXPECT_TRUE(store.ArtifactsOfType(ArtifactType::kSchema).empty());
+}
+
+TEST(MetadataStoreTest, MutableAccessors) {
+  MetadataStore store;
+  const ExecutionId e = store.PutExecution({});
+  Execution* me = store.MutableExecution(e);
+  ASSERT_NE(me, nullptr);
+  me->compute_cost = 12.5;
+  EXPECT_DOUBLE_EQ(store.GetExecution(e)->compute_cost, 12.5);
+  EXPECT_EQ(store.MutableExecution(99), nullptr);
+  EXPECT_EQ(store.MutableArtifact(1), nullptr);
+}
+
+TEST(TypesTest, OperatorGrouping) {
+  EXPECT_EQ(GroupOf(ExecutionType::kExampleGen),
+            OperatorGroup::kDataIngestion);
+  EXPECT_EQ(GroupOf(ExecutionType::kStatisticsGen),
+            OperatorGroup::kDataAnalysisValidation);
+  EXPECT_EQ(GroupOf(ExecutionType::kExampleValidator),
+            OperatorGroup::kDataAnalysisValidation);
+  EXPECT_EQ(GroupOf(ExecutionType::kTransform),
+            OperatorGroup::kDataPreprocessing);
+  EXPECT_EQ(GroupOf(ExecutionType::kTrainer), OperatorGroup::kTraining);
+  EXPECT_EQ(GroupOf(ExecutionType::kTuner), OperatorGroup::kTraining);
+  EXPECT_EQ(GroupOf(ExecutionType::kEvaluator),
+            OperatorGroup::kModelAnalysisValidation);
+  EXPECT_EQ(GroupOf(ExecutionType::kPusher),
+            OperatorGroup::kModelDeployment);
+  EXPECT_EQ(GroupOf(ExecutionType::kCustom), OperatorGroup::kCustom);
+}
+
+TEST(TypesTest, ToStringCoversAllEnumerators) {
+  for (int i = 0; i < kNumExecutionTypes; ++i) {
+    EXPECT_STRNE(ToString(static_cast<ExecutionType>(i)),
+                 "UnknownExecution");
+  }
+  for (int i = 0; i < kNumArtifactTypes; ++i) {
+    EXPECT_STRNE(ToString(static_cast<ArtifactType>(i)), "UnknownArtifact");
+  }
+  for (int i = 0; i < kNumModelTypes; ++i) {
+    EXPECT_STRNE(ToString(static_cast<ModelType>(i)), "UnknownModel");
+  }
+  for (int i = 0; i < kNumAnalyzerTypes; ++i) {
+    EXPECT_STRNE(ToString(static_cast<AnalyzerType>(i)), "unknown");
+  }
+  for (int i = 0; i < kNumOperatorGroups; ++i) {
+    EXPECT_STRNE(ToString(static_cast<OperatorGroup>(i)), "UnknownGroup");
+  }
+}
+
+}  // namespace
+}  // namespace mlprov::metadata

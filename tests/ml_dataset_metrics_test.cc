@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ml/dataset.h"
+#include "ml/metrics.h"
+
+namespace mlprov::ml {
+namespace {
+
+TEST(DatasetTest, AddAndAccessRows) {
+  Dataset d({"a", "b"});
+  d.AddRow({1.0, 2.0}, 1, /*group=*/7, /*weight=*/2.0);
+  d.AddRow({3.0, 4.0}, 0);
+  EXPECT_EQ(d.NumRows(), 2u);
+  EXPECT_EQ(d.NumFeatures(), 2u);
+  EXPECT_DOUBLE_EQ(d.Feature(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(d.Feature(1, 0), 3.0);
+  EXPECT_EQ(d.Label(0), 1);
+  EXPECT_EQ(d.Label(1), 0);
+  EXPECT_EQ(d.Group(0), 7);
+  EXPECT_DOUBLE_EQ(d.Weight(0), 2.0);
+  EXPECT_DOUBLE_EQ(d.PositiveFraction(), 0.5);
+}
+
+TEST(DatasetTest, SubsetPreservesContents) {
+  Dataset d({"x"});
+  for (int i = 0; i < 10; ++i) {
+    d.AddRow({static_cast<double>(i)}, i % 2, i / 3);
+  }
+  Dataset sub = d.Subset({1, 4, 9});
+  EXPECT_EQ(sub.NumRows(), 3u);
+  EXPECT_DOUBLE_EQ(sub.Feature(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(sub.Feature(2, 0), 9.0);
+  EXPECT_EQ(sub.Label(2), 1);
+  EXPECT_EQ(sub.Group(1), 1);
+}
+
+TEST(DatasetTest, SelectFeaturesKeepsColumnsAndNames) {
+  Dataset d({"a", "b", "c"});
+  d.AddRow({1, 2, 3}, 1);
+  d.AddRow({4, 5, 6}, 0);
+  Dataset sel = d.SelectFeatures({2, 0});
+  EXPECT_EQ(sel.NumFeatures(), 2u);
+  EXPECT_EQ(sel.feature_names()[0], "c");
+  EXPECT_EQ(sel.feature_names()[1], "a");
+  EXPECT_DOUBLE_EQ(sel.Feature(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(sel.Feature(1, 1), 4.0);
+  EXPECT_EQ(sel.Label(0), 1);
+}
+
+TEST(DatasetTest, GroupSplitKeepsGroupsIntact) {
+  Dataset d({"x"});
+  for (int g = 0; g < 20; ++g) {
+    for (int i = 0; i < 5; ++i) {
+      d.AddRow({static_cast<double>(g)}, 0, g);
+    }
+  }
+  common::Rng rng(3);
+  const auto [train, test] = d.GroupSplit(0.8, rng);
+  EXPECT_EQ(train.size() + test.size(), d.NumRows());
+  EXPECT_NEAR(static_cast<double>(train.size()) /
+                  static_cast<double>(d.NumRows()),
+              0.8, 0.1);
+  // No group appears on both sides.
+  std::set<int64_t> train_groups, test_groups;
+  for (size_t r : train) train_groups.insert(d.Group(r));
+  for (size_t r : test) test_groups.insert(d.Group(r));
+  for (int64_t g : test_groups) {
+    EXPECT_EQ(train_groups.count(g), 0u);
+  }
+}
+
+TEST(DatasetTest, GroupSplitDeterministicPerSeed) {
+  Dataset d({"x"});
+  for (int g = 0; g < 10; ++g) {
+    d.AddRow({0.0}, 0, g);
+  }
+  common::Rng rng_a(5), rng_b(5);
+  const auto split_a = d.GroupSplit(0.5, rng_a);
+  const auto split_b = d.GroupSplit(0.5, rng_b);
+  EXPECT_EQ(split_a.first, split_b.first);
+  EXPECT_EQ(split_a.second, split_b.second);
+}
+
+TEST(ConfusionTest, CountsAndRates) {
+  const std::vector<double> scores = {0.9, 0.8, 0.4, 0.3, 0.6, 0.1};
+  const std::vector<int> labels = {1, 1, 1, 0, 0, 0};
+  const Confusion c = ConfusionAt(scores, labels, 0.5);
+  EXPECT_EQ(c.tp, 2u);
+  EXPECT_EQ(c.fn, 1u);
+  EXPECT_EQ(c.fp, 1u);
+  EXPECT_EQ(c.tn, 2u);
+  EXPECT_NEAR(c.TruePositiveRate(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(c.FalsePositiveRate(), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(c.Accuracy(), 4.0 / 6.0, 1e-12);
+  EXPECT_NEAR(c.BalancedAccuracy(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ConfusionTest, DegenerateLabelSets) {
+  Confusion empty;
+  EXPECT_DOUBLE_EQ(empty.BalancedAccuracy(), 0.0);
+  const Confusion all_pos = ConfusionAt({0.9, 0.9}, {1, 1}, 0.5);
+  EXPECT_DOUBLE_EQ(all_pos.TruePositiveRate(), 1.0);
+  EXPECT_DOUBLE_EQ(all_pos.TrueNegativeRate(), 0.0);
+}
+
+TEST(BalancedAccuracyTest, PerfectAndRandom) {
+  const std::vector<int> labels = {1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(BalancedAccuracy({0.9, 0.8, 0.1, 0.2}, labels), 1.0);
+  EXPECT_DOUBLE_EQ(BalancedAccuracy({0.1, 0.2, 0.9, 0.8}, labels), 0.0);
+  // All same score >= threshold: predicts all positive => BA = 0.5.
+  EXPECT_DOUBLE_EQ(BalancedAccuracy({0.5, 0.5, 0.5, 0.5}, labels), 0.5);
+}
+
+TEST(RocTest, PerfectClassifierHasUnitAuc) {
+  const std::vector<double> scores = {0.9, 0.8, 0.2, 0.1};
+  const std::vector<int> labels = {1, 1, 0, 0};
+  EXPECT_NEAR(AreaUnderRoc(scores, labels), 1.0, 1e-12);
+}
+
+TEST(RocTest, ReversedClassifierHasZeroAuc) {
+  const std::vector<double> scores = {0.1, 0.2, 0.8, 0.9};
+  const std::vector<int> labels = {1, 1, 0, 0};
+  EXPECT_NEAR(AreaUnderRoc(scores, labels), 0.0, 1e-12);
+}
+
+TEST(RocTest, TiesCountHalf) {
+  const std::vector<double> scores = {0.5, 0.5};
+  const std::vector<int> labels = {1, 0};
+  EXPECT_NEAR(AreaUnderRoc(scores, labels), 0.5, 1e-12);
+}
+
+TEST(RocTest, DegenerateLabels) {
+  EXPECT_DOUBLE_EQ(AreaUnderRoc({0.5, 0.7}, {1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(AreaUnderRoc({0.5, 0.7}, {0, 0}), 0.5);
+}
+
+TEST(RocTest, CurveEndpointsAndMonotonicity) {
+  common::Rng rng(77);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 500; ++i) {
+    const int y = rng.Bernoulli(0.3) ? 1 : 0;
+    scores.push_back(rng.NextDouble() * 0.5 + 0.4 * y);
+    labels.push_back(y);
+  }
+  const auto curve = RocCurve(scores, labels);
+  ASSERT_GE(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve.front().tpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.front().fpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().tpr, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().fpr, 1.0);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].tpr + 1e-12, curve[i - 1].tpr);
+    EXPECT_GE(curve[i].fpr + 1e-12, curve[i - 1].fpr);
+  }
+}
+
+}  // namespace
+}  // namespace mlprov::ml
