@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_activity.dir/bench_fig3_activity.cc.o"
+  "CMakeFiles/bench_fig3_activity.dir/bench_fig3_activity.cc.o.d"
+  "bench_fig3_activity"
+  "bench_fig3_activity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_analyzers.dir/bench_fig4_analyzers.cc.o"
+  "CMakeFiles/bench_fig4_analyzers.dir/bench_fig4_analyzers.cc.o.d"
+  "bench_fig4_analyzers"
+  "bench_fig4_analyzers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_analyzers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_operator_usage.dir/bench_fig6_operator_usage.cc.o"
+  "CMakeFiles/bench_fig6_operator_usage.dir/bench_fig6_operator_usage.cc.o.d"
+  "bench_fig6_operator_usage"
+  "bench_fig6_operator_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_operator_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_cadence.dir/bench_fig9_cadence.cc.o"
+  "CMakeFiles/bench_fig9_cadence.dir/bench_fig9_cadence.cc.o.d"
+  "bench_fig9_cadence"
+  "bench_fig9_cadence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_cadence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

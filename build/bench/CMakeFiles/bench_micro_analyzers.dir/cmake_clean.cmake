@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_analyzers.dir/bench_micro_analyzers.cc.o"
+  "CMakeFiles/bench_micro_analyzers.dir/bench_micro_analyzers.cc.o.d"
+  "bench_micro_analyzers"
+  "bench_micro_analyzers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_analyzers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_segmentation.dir/bench_micro_segmentation.cc.o"
+  "CMakeFiles/bench_micro_segmentation.dir/bench_micro_segmentation.cc.o.d"
+  "bench_micro_segmentation"
+  "bench_micro_segmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_segmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

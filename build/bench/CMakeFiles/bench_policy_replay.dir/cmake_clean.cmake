@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_policy_replay.dir/bench_policy_replay.cc.o"
+  "CMakeFiles/bench_policy_replay.dir/bench_policy_replay.cc.o.d"
+  "bench_policy_replay"
+  "bench_policy_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_policy_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_push_drivers.dir/bench_table2_push_drivers.cc.o"
+  "CMakeFiles/bench_table2_push_drivers.dir/bench_table2_push_drivers.cc.o.d"
+  "bench_table2_push_drivers"
+  "bench_table2_push_drivers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_push_drivers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waste_mitigation_e2e.dir/waste_mitigation_e2e.cpp.o"
+  "CMakeFiles/waste_mitigation_e2e.dir/waste_mitigation_e2e.cpp.o.d"
+  "waste_mitigation_e2e"
+  "waste_mitigation_e2e.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waste_mitigation_e2e.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

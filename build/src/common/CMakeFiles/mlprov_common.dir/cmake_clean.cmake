@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlprov_common.dir/flags.cc.o"
+  "CMakeFiles/mlprov_common.dir/flags.cc.o.d"
+  "CMakeFiles/mlprov_common.dir/histogram.cc.o"
+  "CMakeFiles/mlprov_common.dir/histogram.cc.o.d"
+  "CMakeFiles/mlprov_common.dir/rng.cc.o"
+  "CMakeFiles/mlprov_common.dir/rng.cc.o.d"
+  "CMakeFiles/mlprov_common.dir/stats.cc.o"
+  "CMakeFiles/mlprov_common.dir/stats.cc.o.d"
+  "CMakeFiles/mlprov_common.dir/status.cc.o"
+  "CMakeFiles/mlprov_common.dir/status.cc.o.d"
+  "CMakeFiles/mlprov_common.dir/table.cc.o"
+  "CMakeFiles/mlprov_common.dir/table.cc.o.d"
+  "libmlprov_common.a"
+  "libmlprov_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlprov_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

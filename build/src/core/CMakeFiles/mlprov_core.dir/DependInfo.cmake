@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/datalog.cc" "src/core/CMakeFiles/mlprov_core.dir/datalog.cc.o" "gcc" "src/core/CMakeFiles/mlprov_core.dir/datalog.cc.o.d"
+  "/root/repo/src/core/features.cc" "src/core/CMakeFiles/mlprov_core.dir/features.cc.o" "gcc" "src/core/CMakeFiles/mlprov_core.dir/features.cc.o.d"
+  "/root/repo/src/core/graphlet_analysis.cc" "src/core/CMakeFiles/mlprov_core.dir/graphlet_analysis.cc.o" "gcc" "src/core/CMakeFiles/mlprov_core.dir/graphlet_analysis.cc.o.d"
+  "/root/repo/src/core/heuristics.cc" "src/core/CMakeFiles/mlprov_core.dir/heuristics.cc.o" "gcc" "src/core/CMakeFiles/mlprov_core.dir/heuristics.cc.o.d"
+  "/root/repo/src/core/pipeline_analysis.cc" "src/core/CMakeFiles/mlprov_core.dir/pipeline_analysis.cc.o" "gcc" "src/core/CMakeFiles/mlprov_core.dir/pipeline_analysis.cc.o.d"
+  "/root/repo/src/core/segmentation.cc" "src/core/CMakeFiles/mlprov_core.dir/segmentation.cc.o" "gcc" "src/core/CMakeFiles/mlprov_core.dir/segmentation.cc.o.d"
+  "/root/repo/src/core/waste_mitigation.cc" "src/core/CMakeFiles/mlprov_core.dir/waste_mitigation.cc.o" "gcc" "src/core/CMakeFiles/mlprov_core.dir/waste_mitigation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mlprov_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/metadata/CMakeFiles/mlprov_metadata.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataspan/CMakeFiles/mlprov_dataspan.dir/DependInfo.cmake"
+  "/root/repo/build/src/similarity/CMakeFiles/mlprov_similarity.dir/DependInfo.cmake"
+  "/root/repo/build/src/simulator/CMakeFiles/mlprov_simulator.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/mlprov_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlprov_core.dir/datalog.cc.o"
+  "CMakeFiles/mlprov_core.dir/datalog.cc.o.d"
+  "CMakeFiles/mlprov_core.dir/features.cc.o"
+  "CMakeFiles/mlprov_core.dir/features.cc.o.d"
+  "CMakeFiles/mlprov_core.dir/graphlet_analysis.cc.o"
+  "CMakeFiles/mlprov_core.dir/graphlet_analysis.cc.o.d"
+  "CMakeFiles/mlprov_core.dir/heuristics.cc.o"
+  "CMakeFiles/mlprov_core.dir/heuristics.cc.o.d"
+  "CMakeFiles/mlprov_core.dir/pipeline_analysis.cc.o"
+  "CMakeFiles/mlprov_core.dir/pipeline_analysis.cc.o.d"
+  "CMakeFiles/mlprov_core.dir/segmentation.cc.o"
+  "CMakeFiles/mlprov_core.dir/segmentation.cc.o.d"
+  "CMakeFiles/mlprov_core.dir/waste_mitigation.cc.o"
+  "CMakeFiles/mlprov_core.dir/waste_mitigation.cc.o.d"
+  "libmlprov_core.a"
+  "libmlprov_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlprov_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

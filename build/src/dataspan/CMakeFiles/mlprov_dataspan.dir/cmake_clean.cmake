@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlprov_dataspan.dir/analyzers.cc.o"
+  "CMakeFiles/mlprov_dataspan.dir/analyzers.cc.o.d"
+  "CMakeFiles/mlprov_dataspan.dir/feature_stats.cc.o"
+  "CMakeFiles/mlprov_dataspan.dir/feature_stats.cc.o.d"
+  "CMakeFiles/mlprov_dataspan.dir/span_stats.cc.o"
+  "CMakeFiles/mlprov_dataspan.dir/span_stats.cc.o.d"
+  "libmlprov_dataspan.a"
+  "libmlprov_dataspan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlprov_dataspan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metadata/metadata_store.cc" "src/metadata/CMakeFiles/mlprov_metadata.dir/metadata_store.cc.o" "gcc" "src/metadata/CMakeFiles/mlprov_metadata.dir/metadata_store.cc.o.d"
+  "/root/repo/src/metadata/serialization.cc" "src/metadata/CMakeFiles/mlprov_metadata.dir/serialization.cc.o" "gcc" "src/metadata/CMakeFiles/mlprov_metadata.dir/serialization.cc.o.d"
+  "/root/repo/src/metadata/trace.cc" "src/metadata/CMakeFiles/mlprov_metadata.dir/trace.cc.o" "gcc" "src/metadata/CMakeFiles/mlprov_metadata.dir/trace.cc.o.d"
+  "/root/repo/src/metadata/types.cc" "src/metadata/CMakeFiles/mlprov_metadata.dir/types.cc.o" "gcc" "src/metadata/CMakeFiles/mlprov_metadata.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mlprov_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

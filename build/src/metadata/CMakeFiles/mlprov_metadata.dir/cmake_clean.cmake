@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlprov_metadata.dir/metadata_store.cc.o"
+  "CMakeFiles/mlprov_metadata.dir/metadata_store.cc.o.d"
+  "CMakeFiles/mlprov_metadata.dir/serialization.cc.o"
+  "CMakeFiles/mlprov_metadata.dir/serialization.cc.o.d"
+  "CMakeFiles/mlprov_metadata.dir/trace.cc.o"
+  "CMakeFiles/mlprov_metadata.dir/trace.cc.o.d"
+  "CMakeFiles/mlprov_metadata.dir/types.cc.o"
+  "CMakeFiles/mlprov_metadata.dir/types.cc.o.d"
+  "libmlprov_metadata.a"
+  "libmlprov_metadata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlprov_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmlprov_metadata.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlprov_ml.dir/dataset.cc.o"
+  "CMakeFiles/mlprov_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/mlprov_ml.dir/decision_tree.cc.o"
+  "CMakeFiles/mlprov_ml.dir/decision_tree.cc.o.d"
+  "CMakeFiles/mlprov_ml.dir/gbdt.cc.o"
+  "CMakeFiles/mlprov_ml.dir/gbdt.cc.o.d"
+  "CMakeFiles/mlprov_ml.dir/logistic_regression.cc.o"
+  "CMakeFiles/mlprov_ml.dir/logistic_regression.cc.o.d"
+  "CMakeFiles/mlprov_ml.dir/metrics.cc.o"
+  "CMakeFiles/mlprov_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/mlprov_ml.dir/random_forest.cc.o"
+  "CMakeFiles/mlprov_ml.dir/random_forest.cc.o.d"
+  "libmlprov_ml.a"
+  "libmlprov_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlprov_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

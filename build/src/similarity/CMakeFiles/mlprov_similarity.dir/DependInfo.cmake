@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/similarity/emd.cc" "src/similarity/CMakeFiles/mlprov_similarity.dir/emd.cc.o" "gcc" "src/similarity/CMakeFiles/mlprov_similarity.dir/emd.cc.o.d"
+  "/root/repo/src/similarity/feature_similarity.cc" "src/similarity/CMakeFiles/mlprov_similarity.dir/feature_similarity.cc.o" "gcc" "src/similarity/CMakeFiles/mlprov_similarity.dir/feature_similarity.cc.o.d"
+  "/root/repo/src/similarity/s2jsd_lsh.cc" "src/similarity/CMakeFiles/mlprov_similarity.dir/s2jsd_lsh.cc.o" "gcc" "src/similarity/CMakeFiles/mlprov_similarity.dir/s2jsd_lsh.cc.o.d"
+  "/root/repo/src/similarity/span_similarity.cc" "src/similarity/CMakeFiles/mlprov_similarity.dir/span_similarity.cc.o" "gcc" "src/similarity/CMakeFiles/mlprov_similarity.dir/span_similarity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mlprov_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataspan/CMakeFiles/mlprov_dataspan.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlprov_similarity.dir/emd.cc.o"
+  "CMakeFiles/mlprov_similarity.dir/emd.cc.o.d"
+  "CMakeFiles/mlprov_similarity.dir/feature_similarity.cc.o"
+  "CMakeFiles/mlprov_similarity.dir/feature_similarity.cc.o.d"
+  "CMakeFiles/mlprov_similarity.dir/s2jsd_lsh.cc.o"
+  "CMakeFiles/mlprov_similarity.dir/s2jsd_lsh.cc.o.d"
+  "CMakeFiles/mlprov_similarity.dir/span_similarity.cc.o"
+  "CMakeFiles/mlprov_similarity.dir/span_similarity.cc.o.d"
+  "libmlprov_similarity.a"
+  "libmlprov_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlprov_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simulator/corpus.cc" "src/simulator/CMakeFiles/mlprov_simulator.dir/corpus.cc.o" "gcc" "src/simulator/CMakeFiles/mlprov_simulator.dir/corpus.cc.o.d"
+  "/root/repo/src/simulator/corpus_generator.cc" "src/simulator/CMakeFiles/mlprov_simulator.dir/corpus_generator.cc.o" "gcc" "src/simulator/CMakeFiles/mlprov_simulator.dir/corpus_generator.cc.o.d"
+  "/root/repo/src/simulator/cost_model.cc" "src/simulator/CMakeFiles/mlprov_simulator.dir/cost_model.cc.o" "gcc" "src/simulator/CMakeFiles/mlprov_simulator.dir/cost_model.cc.o.d"
+  "/root/repo/src/simulator/pipeline_config.cc" "src/simulator/CMakeFiles/mlprov_simulator.dir/pipeline_config.cc.o" "gcc" "src/simulator/CMakeFiles/mlprov_simulator.dir/pipeline_config.cc.o.d"
+  "/root/repo/src/simulator/pipeline_simulator.cc" "src/simulator/CMakeFiles/mlprov_simulator.dir/pipeline_simulator.cc.o" "gcc" "src/simulator/CMakeFiles/mlprov_simulator.dir/pipeline_simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mlprov_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/metadata/CMakeFiles/mlprov_metadata.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataspan/CMakeFiles/mlprov_dataspan.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlprov_simulator.dir/corpus.cc.o"
+  "CMakeFiles/mlprov_simulator.dir/corpus.cc.o.d"
+  "CMakeFiles/mlprov_simulator.dir/corpus_generator.cc.o"
+  "CMakeFiles/mlprov_simulator.dir/corpus_generator.cc.o.d"
+  "CMakeFiles/mlprov_simulator.dir/cost_model.cc.o"
+  "CMakeFiles/mlprov_simulator.dir/cost_model.cc.o.d"
+  "CMakeFiles/mlprov_simulator.dir/pipeline_config.cc.o"
+  "CMakeFiles/mlprov_simulator.dir/pipeline_config.cc.o.d"
+  "CMakeFiles/mlprov_simulator.dir/pipeline_simulator.cc.o"
+  "CMakeFiles/mlprov_simulator.dir/pipeline_simulator.cc.o.d"
+  "libmlprov_simulator.a"
+  "libmlprov_simulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlprov_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_datalog_test.dir/core_datalog_test.cc.o"
+  "CMakeFiles/core_datalog_test.dir/core_datalog_test.cc.o.d"
+  "core_datalog_test"
+  "core_datalog_test.pdb"
+  "core_datalog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_datalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

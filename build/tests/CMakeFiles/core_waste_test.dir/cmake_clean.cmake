@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_waste_test.dir/core_waste_test.cc.o"
+  "CMakeFiles/core_waste_test.dir/core_waste_test.cc.o.d"
+  "core_waste_test"
+  "core_waste_test.pdb"
+  "core_waste_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_waste_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataspan_analyzers_test.dir/dataspan_analyzers_test.cc.o"
+  "CMakeFiles/dataspan_analyzers_test.dir/dataspan_analyzers_test.cc.o.d"
+  "dataspan_analyzers_test"
+  "dataspan_analyzers_test.pdb"
+  "dataspan_analyzers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataspan_analyzers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataspan_test.dir/dataspan_test.cc.o"
+  "CMakeFiles/dataspan_test.dir/dataspan_test.cc.o.d"
+  "dataspan_test"
+  "dataspan_test.pdb"
+  "dataspan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataspan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

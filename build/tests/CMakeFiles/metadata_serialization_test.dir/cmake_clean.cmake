@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadata_serialization_test.dir/metadata_serialization_test.cc.o"
+  "CMakeFiles/metadata_serialization_test.dir/metadata_serialization_test.cc.o.d"
+  "metadata_serialization_test"
+  "metadata_serialization_test.pdb"
+  "metadata_serialization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadata_serialization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadata_trace_test.dir/metadata_trace_test.cc.o"
+  "CMakeFiles/metadata_trace_test.dir/metadata_trace_test.cc.o.d"
+  "metadata_trace_test"
+  "metadata_trace_test.pdb"
+  "metadata_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadata_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_models_test.dir/ml_models_test.cc.o"
+  "CMakeFiles/ml_models_test.dir/ml_models_test.cc.o.d"
+  "ml_models_test"
+  "ml_models_test.pdb"
+  "ml_models_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/similarity_emd_test.dir/similarity_emd_test.cc.o"
+  "CMakeFiles/similarity_emd_test.dir/similarity_emd_test.cc.o.d"
+  "similarity_emd_test"
+  "similarity_emd_test.pdb"
+  "similarity_emd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/similarity_emd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/similarity_span_test.dir/similarity_span_test.cc.o"
+  "CMakeFiles/similarity_span_test.dir/similarity_span_test.cc.o.d"
+  "similarity_span_test"
+  "similarity_span_test.pdb"
+  "similarity_span_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/similarity_span_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_status_test[1]_include.cmake")
+include("/root/repo/build/tests/common_rng_test[1]_include.cmake")
+include("/root/repo/build/tests/common_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/metadata_store_test[1]_include.cmake")
+include("/root/repo/build/tests/metadata_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/metadata_serialization_test[1]_include.cmake")
+include("/root/repo/build/tests/dataspan_test[1]_include.cmake")
+include("/root/repo/build/tests/similarity_emd_test[1]_include.cmake")
+include("/root/repo/build/tests/similarity_span_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_dataset_metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_models_test[1]_include.cmake")
+include("/root/repo/build/tests/simulator_test[1]_include.cmake")
+include("/root/repo/build/tests/core_datalog_test[1]_include.cmake")
+include("/root/repo/build/tests/core_segmentation_test[1]_include.cmake")
+include("/root/repo/build/tests/common_flags_test[1]_include.cmake")
+include("/root/repo/build/tests/core_analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/core_waste_test[1]_include.cmake")
+include("/root/repo/build/tests/dataspan_analyzers_test[1]_include.cmake")
+include("/root/repo/build/tests/core_policy_test[1]_include.cmake")
+include("/root/repo/build/tests/similarity_property_test[1]_include.cmake")
