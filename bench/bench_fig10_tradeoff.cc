@@ -60,6 +60,12 @@ int Run(int argc, char** argv) {
                     T::Pct(core::MaxWasteAtFreshness(curve, 1.0)),
                     T::Pct(core::MaxWasteAtFreshness(curve, 0.98)),
                     T::Pct(core::MaxWasteAtFreshness(curve, 0.90))});
+    ctx.report.Set(
+        std::string("waste_at_freshness_1.0.") + ToString(variant),
+        core::MaxWasteAtFreshness(curve, 1.0));
+    ctx.report.Set(
+        std::string("waste_at_freshness_0.98.") + ToString(variant),
+        core::MaxWasteAtFreshness(curve, 0.98));
   }
   std::printf("\n%s\n", summary.Render().c_str());
   std::printf(

@@ -63,6 +63,18 @@ int Run(int argc, char** argv) {
   std::printf("Fig 3(d,e): by model class (paper: Linear pipelines live "
               "longer than DNN;\nDNN cadence is the most diverse)\n%s\n",
               by_class.Render().c_str());
+  ctx.report.Set("mean_lifespan_days", common::Mean(stats.lifespan_days));
+  ctx.report.Set("max_lifespan_days",
+                 common::Quantile(stats.lifespan_days, 1.0));
+  ctx.report.Set("mean_models_per_day",
+                 common::Mean(stats.models_per_day));
+  ctx.report.Set("median_models_per_day",
+                 common::Median(stats.models_per_day));
+  ctx.report.Set(
+      "frac_over_100_models_per_day",
+      over100 / static_cast<double>(stats.models_per_day.size()));
+  ctx.report.Set("max_trace_nodes",
+                 static_cast<int64_t>(stats.max_trace_nodes));
   return 0;
 }
 

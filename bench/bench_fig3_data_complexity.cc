@@ -44,6 +44,16 @@ int Run(int argc, char** argv) {
   cat.AddN(stats.categorical_fractions);
   std::printf("%s\n",
               cat.Render("Fig 3(f): categorical feature fraction").c_str());
+  ctx.report.Set(
+      "frac_le_100_features",
+      le100 / static_cast<double>(stats.feature_counts.size()));
+  ctx.report.Set("max_feature_count",
+                 common::Quantile(stats.feature_counts, 1.0));
+  ctx.report.Set("mean_categorical_fraction",
+                 stats.mean_categorical_fraction);
+  ctx.report.Set("mean_domain_all", stats.mean_domain_all);
+  ctx.report.Set("mean_domain_dnn", stats.mean_domain_dnn);
+  ctx.report.Set("mean_domain_linear", stats.mean_domain_linear);
   return 0;
 }
 

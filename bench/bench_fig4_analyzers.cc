@@ -27,6 +27,15 @@ int Run(int argc, char** argv) {
                 static_cast<double>(stats.num_pipelines)),
          T::Pct(total_usage > 0 ? stats.total_usage[idx] / total_usage
                                 : 0.0)});
+    ctx.report.Set(
+        std::string("pipelines_referencing.") +
+            metadata::ToString(static_cast<metadata::AnalyzerType>(a)),
+        static_cast<double>(stats.pipelines_referencing[idx]) /
+            static_cast<double>(stats.num_pipelines));
+    ctx.report.Set(
+        std::string("usage_share.") +
+            metadata::ToString(static_cast<metadata::AnalyzerType>(a)),
+        total_usage > 0 ? stats.total_usage[idx] / total_usage : 0.0);
   }
   std::printf("%s\n", table.Render().c_str());
   std::printf(

@@ -21,9 +21,15 @@ int Run(int argc, char** argv) {
                   paper[t],
                   T::Pct(stats.Share(
                       static_cast<metadata::ModelType>(t)))});
+    ctx.report.Set(
+        std::string("share.") +
+            metadata::ToString(static_cast<metadata::ModelType>(t)),
+        stats.Share(static_cast<metadata::ModelType>(t)));
   }
   std::printf("%s\ntotal trainer runs: %zu\n", table.Render().c_str(),
               stats.total_runs);
+  ctx.report.Set("total_trainer_runs",
+                 static_cast<int64_t>(stats.total_runs));
   return 0;
 }
 

@@ -19,6 +19,8 @@ int Run(int argc, char** argv) {
     table.AddRow({metadata::ToString(type),
                   metadata::ToString(metadata::GroupOf(type)),
                   T::Pct(stats.Fraction(type))});
+    ctx.report.Set(std::string("fraction.") + metadata::ToString(type),
+                   stats.Fraction(type));
   }
   std::printf("%s\n", table.Render().c_str());
   std::printf(

@@ -25,6 +25,11 @@ int Run(int argc, char** argv) {
                   T::Pct(stats.Share(group))});
   }
   std::printf("%s\n", table.Render().c_str());
+  for (int g = 0; g < metadata::kNumOperatorGroups; ++g) {
+    const auto group = static_cast<metadata::OperatorGroup>(g);
+    ctx.report.Set(std::string("share.") + metadata::ToString(group),
+                   stats.Share(group));
+  }
   const double combined =
       stats.Share(metadata::OperatorGroup::kDataAnalysisValidation) +
       stats.Share(metadata::OperatorGroup::kModelAnalysisValidation);
@@ -36,6 +41,9 @@ int Run(int argc, char** argv) {
               T::Pct(stats.total > 0 ? stats.failed_cost / stats.total
                                      : 0.0)
                   .c_str());
+  ctx.report.Set("analysis_validation_combined_share", combined);
+  ctx.report.Set("failed_cost_share",
+                 stats.total > 0 ? stats.failed_cost / stats.total : 0.0);
   return 0;
 }
 

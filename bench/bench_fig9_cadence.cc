@@ -78,6 +78,18 @@ int Run(int argc, char** argv) {
   waste_table.AddRow({"conservative waste lower bound", ">30%",
                       T::Pct(waste.conservative_waste)});
   std::printf("%s\n", waste_table.Render().c_str());
+  ctx.report.Set("unpushed_graphlet_fraction", stats.UnpushedFraction());
+  ctx.report.Set("mean_gap_hours_all", common::Mean(stats.gap_hours_all));
+  ctx.report.Set("mean_gap_hours_pushed",
+                 common::Mean(stats.gap_hours_pushed));
+  ctx.report.Set("mean_graphlets_between_pushes",
+                 common::Mean(stats.graphlets_between_pushes));
+  ctx.report.Set("mean_duration_hours",
+                 common::Mean(stats.duration_hours));
+  ctx.report.Set("unpushed_cost_fraction", waste.unpushed_cost_fraction);
+  ctx.report.Set("warmstart_graphlet_share",
+                 waste.warmstart_graphlet_share);
+  ctx.report.Set("conservative_waste", waste.conservative_waste);
   return 0;
 }
 

@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "bench/micro_common.h"
 #include "common/rng.h"
 #include "dataspan/analyzers.h"
 
@@ -101,4 +102,4 @@ BENCHMARK(BM_QuantilesReservoir);
 }  // namespace
 }  // namespace mlprov
 
-BENCHMARK_MAIN();
+MLPROV_MICROBENCH_MAIN();

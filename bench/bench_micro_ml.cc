@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "bench/micro_common.h"
 #include "common/rng.h"
 #include "ml/dataset.h"
 #include "ml/decision_tree.h"
@@ -18,7 +19,8 @@ ml::Dataset MakeData(size_t rows, size_t features, uint64_t seed) {
   std::vector<std::string> names;
   names.reserve(features);
   for (size_t f = 0; f < features; ++f) {
-    names.push_back("f" + std::to_string(f));
+    names.emplace_back("f");
+    names.back() += std::to_string(f);
   }
   ml::Dataset data(std::move(names));
   common::Rng rng(seed);
@@ -98,4 +100,4 @@ BENCHMARK(BM_GbdtFit)->Arg(20);
 }  // namespace
 }  // namespace mlprov
 
-BENCHMARK_MAIN();
+MLPROV_MICROBENCH_MAIN();

@@ -3,6 +3,7 @@
 // the Hungarian matcher.
 #include <benchmark/benchmark.h>
 
+#include "bench/micro_common.h"
 #include "common/rng.h"
 #include "dataspan/span_stats.h"
 #include "similarity/emd.h"
@@ -102,4 +103,4 @@ BENCHMARK(BM_SpanPairPositionalCached)->Arg(16)->Arg(48);
 }  // namespace
 }  // namespace mlprov
 
-BENCHMARK_MAIN();
+MLPROV_MICROBENCH_MAIN();

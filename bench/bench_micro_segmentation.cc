@@ -4,6 +4,7 @@
 // ablation called out in DESIGN.md).
 #include <benchmark/benchmark.h>
 
+#include "bench/micro_common.h"
 #include "core/segmentation.h"
 #include "metadata/serialization.h"
 #include "metadata/trace.h"
@@ -86,4 +87,4 @@ BENCHMARK(BM_DeserializeStore);
 }  // namespace
 }  // namespace mlprov
 
-BENCHMARK_MAIN();
+MLPROV_MICROBENCH_MAIN();

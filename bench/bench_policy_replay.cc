@@ -45,6 +45,11 @@ int Run(int argc, char** argv) {
                     std::to_string(outcome.graphlets_skipped),
                     T::Pct(outcome.net_savings),
                     T::Num(outcome.freshness, 3)});
+      const std::string suffix =
+          std::string(ToString(variant)) +
+          (scale < 1.0 ? " (conservative)" : "");
+      ctx.report.Set("net_savings." + suffix, outcome.net_savings);
+      ctx.report.Set("freshness." + suffix, outcome.freshness);
     }
   }
   std::printf("%s\n", table.Render().c_str());

@@ -47,6 +47,14 @@ int Run(int argc, char** argv) {
               "is bimodal with the\nmass at (.75,1], dataset similarity is "
               "bimodal with the trend reversed.)\n",
               table.Render().c_str(), measured.num_pairs);
+  ctx.report.Set("num_pairs", static_cast<int64_t>(measured.num_pairs));
+  ctx.report.Set("total_graphlets",
+                 static_cast<int64_t>(segmented.TotalGraphlets()));
+  ctx.report.Set("jaccard_mean", measured.jaccard_mean);
+  ctx.report.Set("dataset_mean", measured.dataset_mean);
+  ctx.report.Set("avg_dataset_mean", measured.avg_dataset_mean);
+  ctx.report.Set("jaccard_top_bin", measured.jaccard_hist[3]);
+  ctx.report.Set("dataset_bottom_bin", measured.dataset_hist[0]);
   return 0;
 }
 

@@ -33,6 +33,13 @@ int Run(int argc, char** argv) {
       "reproduced property: no large marginal difference between pushed\n"
       "and unpushed graphlets on either signal — single-signal heuristics\n"
       "cannot explain push outcomes (Section 4.3.2 hypotheses 3 and 4).\n");
+  ctx.report.Set("input_similarity_pushed", stats.input_similarity_pushed);
+  ctx.report.Set("input_similarity_unpushed",
+                 stats.input_similarity_unpushed);
+  ctx.report.Set("input_similarity_all", stats.input_similarity_all);
+  ctx.report.Set("code_match_pushed", stats.code_match_pushed);
+  ctx.report.Set("code_match_unpushed", stats.code_match_unpushed);
+  ctx.report.Set("code_match_all", stats.code_match_all);
   return 0;
 }
 

@@ -39,6 +39,8 @@ int Run(int argc, char** argv) {
         dataset, kind, mitigation.train_rows(), mitigation.test_rows());
     heuristics.AddRow({ToString(kind), paper_heuristic[h],
                        T::Num(result.balanced_accuracy, 3)});
+    ctx.report.Set(std::string("heuristic_ba.") + ToString(kind),
+                   result.balanced_accuracy);
   }
   std::printf("%s\n", heuristics.Render().c_str());
 
@@ -57,7 +59,15 @@ int Run(int argc, char** argv) {
     table.AddRow({ToString(variant), paper_ba[v],
                   T::Num(result.balanced_accuracy, 3), paper_cost[v],
                   T::Num(result.feature_cost, 2)});
+    ctx.report.Set(std::string("ba.") + ToString(variant),
+                   result.balanced_accuracy);
+    ctx.report.Set(std::string("feature_cost.") + ToString(variant),
+                   result.feature_cost);
   }
+  ctx.report.Set("dataset_graphlets",
+                 static_cast<int64_t>(dataset.data.NumRows()));
+  ctx.report.Set("dataset_pushed_fraction",
+                 dataset.data.PositiveFraction());
   std::printf("%s\n", table.Render().c_str());
   std::printf(
       "reproduced shape: accuracy rises monotonically as shape groups are\n"

@@ -1,0 +1,85 @@
+#ifndef MLPROV_BENCH_MICRO_COMMON_H_
+#define MLPROV_BENCH_MICRO_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+
+namespace mlprov::bench {
+
+/// ConsoleReporter that also keeps every run so the micro-bench main can
+/// write a machine-readable BENCH_<name>.json next to the console table.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    collected_.insert(collected_.end(), runs.begin(), runs.end());
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+  const std::vector<Run>& collected() const { return collected_; }
+
+ private:
+  std::vector<Run> collected_;
+};
+
+/// Shared main body for the google-benchmark binaries: runs the
+/// registered benchmarks, then records per-benchmark real/CPU time per
+/// iteration (in the run's time unit, ns by default) under "results".
+/// Accepts --report_dir= and --no_report alongside the usual
+/// --benchmark_* flags.
+inline int MicrobenchMain(int argc, char** argv) {
+  const common::Flags flags(argc, argv);
+  const std::string report_dir = flags.GetString("report_dir", ".");
+  const bool write_report = !flags.GetBool("no_report", false);
+  obs::BenchReport report(
+      obs::BenchReport::NameFromArgv0(argc > 0 ? argv[0] : ""));
+  report.SetCommandLine(argc, argv);
+  const obs::Stopwatch wall;
+
+  benchmark::Initialize(&argc, argv);
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  for (const auto& run : reporter.collected()) {
+    if (run.error_occurred ||
+        run.run_type != benchmark::BenchmarkReporter::Run::RT_Iteration) {
+      continue;
+    }
+    const std::string name = run.benchmark_name();
+    report.Set(name + ".real_time", run.GetAdjustedRealTime());
+    report.Set(name + ".cpu_time", run.GetAdjustedCPUTime());
+    report.Set(name + ".time_unit",
+               benchmark::GetTimeUnitString(run.time_unit));
+    report.Set(name + ".iterations",
+               static_cast<int64_t>(run.iterations));
+  }
+  report.set_wall_seconds(wall.Seconds());
+  if (write_report) {
+    const auto status = report.WriteTo(report_dir);
+    if (status.ok()) {
+      std::printf("wrote %s/%s\n", report_dir.c_str(),
+                  report.FileName().c_str());
+    } else {
+      std::fprintf(stderr, "warning: %s\n", status.ToString().c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace mlprov::bench
+
+/// Drop-in replacement for BENCHMARK_MAIN() that also writes the
+/// BENCH_<name>.json report.
+#define MLPROV_MICROBENCH_MAIN()                                      \
+  int main(int argc, char** argv) {                                   \
+    return ::mlprov::bench::MicrobenchMain(argc, argv);               \
+  }                                                                   \
+  int main(int, char**)
+
+#endif  // MLPROV_BENCH_MICRO_COMMON_H_

@@ -10,6 +10,8 @@
 #include "common/stats.h"
 #include "common/table.h"
 #include "core/graphlet_analysis.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "simulator/corpus_generator.h"
 
 namespace mlprov::bench {
@@ -20,19 +22,38 @@ namespace mlprov::bench {
 /// reference values next to the values measured on the simulated corpus;
 /// absolute agreement is not expected (the substrate is a simulator), the
 /// reproduced quantity is the *shape* (see EXPERIMENTS.md).
+///
+/// Observability flags handled here for every report binary:
+///   --trace_out=FILE   enable obs tracing and write a Chrome trace-event
+///                      JSON file (open in chrome://tracing or Perfetto)
+///   --report_dir=DIR   where BENCH_<name>.json lands (default ".")
+///   --no_report        skip writing the machine-readable report
+///
+/// The destructor writes `BENCH_<name>.json` containing the corpus shape,
+/// wall times, whatever key values the binary recorded via
+/// `ctx.report.Set(...)`, and a snapshot of the obs metrics registry.
 struct ReportContext {
   common::Flags flags;
   sim::CorpusConfig config;
   sim::Corpus corpus;
   double generation_seconds = 0.0;
+  obs::BenchReport report;
 
   ReportContext(int argc, char** argv, const char* title,
                 int default_pipelines = 600)
-      : flags(argc, argv) {
+      : flags(argc, argv),
+        report(obs::BenchReport::NameFromArgv0(argc > 0 ? argv[0] : "")) {
+    report.SetCommandLine(argc, argv);
     config.num_pipelines =
         static_cast<int>(flags.GetInt("pipelines", default_pipelines));
     config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
     config.horizon_days = flags.GetDouble("horizon_days", 130.0);
+    trace_out_ = flags.GetString("trace_out", "");
+    report_dir_ = flags.GetString("report_dir", ".");
+    write_report_ = !flags.GetBool("no_report", false);
+    if (!trace_out_.empty()) {
+      obs::TraceRecorder::Global().Enable();
+    }
     std::printf("=== %s ===\n", title);
     std::printf("corpus: %d pipelines, seed %llu, horizon %.0f days\n",
                 config.num_pipelines,
@@ -48,7 +69,48 @@ struct ReportContext {
         "in %.1fs\n\n",
         corpus.TotalExecutions(), corpus.TotalArtifacts(),
         corpus.TotalTrainerRuns(), generation_seconds);
+    report.SetCorpus(config.num_pipelines, config.seed, config.horizon_days,
+                     corpus.TotalExecutions(), corpus.TotalArtifacts(),
+                     corpus.TotalTrainerRuns(), generation_seconds);
   }
+
+  ~ReportContext() {
+    for (const std::string& name : flags.Unknown()) {
+      std::fprintf(stderr, "warning: unrecognized flag --%s (ignored)\n",
+                   name.c_str());
+    }
+    report.set_wall_seconds(wall_.Seconds());
+    if (write_report_) {
+      const auto status = report.WriteTo(report_dir_);
+      if (status.ok()) {
+        std::printf("wrote %s/%s\n", report_dir_.c_str(),
+                    report.FileName().c_str());
+      } else {
+        std::fprintf(stderr, "warning: %s\n",
+                     status.ToString().c_str());
+      }
+    }
+    if (!trace_out_.empty()) {
+      const auto status =
+          obs::TraceRecorder::Global().WriteTo(trace_out_);
+      if (status.ok()) {
+        std::printf("wrote %s (%zu trace events)\n", trace_out_.c_str(),
+                    obs::TraceRecorder::Global().NumEvents());
+      } else {
+        std::fprintf(stderr, "warning: %s\n",
+                     status.ToString().c_str());
+      }
+    }
+  }
+
+  ReportContext(const ReportContext&) = delete;
+  ReportContext& operator=(const ReportContext&) = delete;
+
+ private:
+  obs::Stopwatch wall_;
+  std::string trace_out_;
+  std::string report_dir_;
+  bool write_report_ = true;
 };
 
 /// Renders a distribution row: mean / median / p90 / p99 / max.

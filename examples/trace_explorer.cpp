@@ -9,12 +9,17 @@
 #include "core/segmentation.h"
 #include "metadata/serialization.h"
 #include "metadata/trace.h"
+#include "obs/trace.h"
 #include "simulator/pipeline_simulator.h"
 
 using namespace mlprov;  // NOLINT: example brevity
 
 int main(int argc, char** argv) {
   common::Flags flags(argc, argv);
+  // --trace_out=FILE captures the simulation and segmentation spans as
+  // Chrome trace-event JSON (open in chrome://tracing or Perfetto).
+  const std::string trace_out = flags.GetString("trace_out", "");
+  if (!trace_out.empty()) obs::TraceRecorder::Global().Enable();
 
   sim::CorpusConfig corpus_config;
   corpus_config.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
@@ -96,6 +101,17 @@ int main(int argc, char** argv) {
                 it->pre_trainer_cost, it->trainer_cost,
                 it->post_trainer_cost);
     break;
+  }
+
+  if (!trace_out.empty()) {
+    const auto& recorder = obs::TraceRecorder::Global();
+    if (auto status = recorder.WriteTo(trace_out); status.ok()) {
+      std::printf("\nwrote %s (%zu trace events)\n", trace_out.c_str(),
+                  recorder.NumEvents());
+    } else {
+      std::fprintf(stderr, "trace write failed: %s\n",
+                   status.ToString().c_str());
+    }
   }
   return 0;
 }

@@ -19,10 +19,21 @@ Flags::Flags(int argc, char** argv) {
 }
 
 bool Flags::Has(const std::string& name) const {
+  requested_.insert(name);
   return values_.count(name) > 0;
 }
 
+std::vector<std::string> Flags::Unknown() const {
+  std::vector<std::string> unknown;
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (requested_.count(name) == 0) unknown.push_back(name);
+  }
+  return unknown;
+}
+
 int64_t Flags::GetInt(const std::string& name, int64_t def) const {
+  requested_.insert(name);
   auto it = values_.find(name);
   if (it == values_.end()) return def;
   char* end = nullptr;
@@ -31,6 +42,7 @@ int64_t Flags::GetInt(const std::string& name, int64_t def) const {
 }
 
 double Flags::GetDouble(const std::string& name, double def) const {
+  requested_.insert(name);
   auto it = values_.find(name);
   if (it == values_.end()) return def;
   char* end = nullptr;
@@ -40,11 +52,13 @@ double Flags::GetDouble(const std::string& name, double def) const {
 
 std::string Flags::GetString(const std::string& name,
                              const std::string& def) const {
+  requested_.insert(name);
   auto it = values_.find(name);
   return it == values_.end() ? def : it->second;
 }
 
 bool Flags::GetBool(const std::string& name, bool def) const {
+  requested_.insert(name);
   auto it = values_.find(name);
   if (it == values_.end()) return def;
   return it->second == "true" || it->second == "1" || it->second == "yes";

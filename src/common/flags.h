@@ -3,7 +3,9 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
+#include <vector>
 
 namespace mlprov::common {
 
@@ -23,8 +25,16 @@ class Flags {
 
   bool Has(const std::string& name) const;
 
+  /// Flags that were passed on the command line but never requested via
+  /// any getter (or Has). Lets binaries warn about typoed flags after
+  /// their parsing is done instead of silently ignoring them.
+  std::vector<std::string> Unknown() const;
+
  private:
   std::map<std::string, std::string> values_;
+  // Getters are logically const; tracking which names the binary asked
+  // about is bookkeeping, not observable flag state.
+  mutable std::set<std::string> requested_;
 };
 
 }  // namespace mlprov::common

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "core/datalog.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mlprov::core {
 
@@ -257,6 +259,11 @@ Graphlet ExtractOne(const MetadataStore& store, ExecutionId trainer,
 
 std::vector<Graphlet> SegmentTrace(const MetadataStore& store,
                                    const SegmentationOptions& options) {
+  MLPROV_SPAN(segment_span, "core.SegmentTrace");
+  MLPROV_SPAN_ARG(segment_span, "executions",
+                  static_cast<uint64_t>(store.num_executions()));
+  MLPROV_SPAN_ARG(segment_span, "artifacts",
+                  static_cast<uint64_t>(store.num_artifacts()));
   std::vector<ExecutionId> trainers =
       store.ExecutionsOfType(ExecutionType::kTrainer);
   // Chronological order by trainer end time (paper Section 4.2).
@@ -279,12 +286,17 @@ std::vector<Graphlet> SegmentTrace(const MetadataStore& store,
     graphlets.push_back(ExtractOne(store, trainer, options, exec_in,
                                    artifact_in, exec_is_descendant,
                                    touched_execs, touched_artifacts));
+    MLPROV_HISTOGRAM_RECORD("core.graphlet_nodes",
+                            graphlets.back().executions.size() +
+                                graphlets.back().artifacts.size());
   }
+  MLPROV_COUNTER_ADD("core.graphlets_segmented", graphlets.size());
   return graphlets;
 }
 
 std::vector<Graphlet> SegmentTraceDatalog(
     const MetadataStore& store, const SegmentationOptions& options) {
+  MLPROV_SPAN(segment_span, "core.SegmentTraceDatalog");
   // Node encoding shared by all relations: artifact k -> 2k, execution
   // k -> 2k + 1.
   auto art = [](ArtifactId id) { return id * 2; };

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "ml/metrics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mlprov::core {
 
@@ -96,6 +98,9 @@ WasteMitigation::WasteMitigation(const WasteDataset* dataset,
 }
 
 VariantResult WasteMitigation::Evaluate(Variant variant) const {
+  MLPROV_SPAN(eval_span, "core.WasteMitigation.Evaluate");
+  MLPROV_SPAN_ARG(eval_span, "variant", ToString(variant));
+  MLPROV_COUNTER_INC("core.variant_evaluations");
   VariantResult result;
   result.variant = variant;
   const std::vector<size_t> columns =

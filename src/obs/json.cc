@@ -1,0 +1,367 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace mlprov::obs {
+
+namespace {
+
+constexpr int kMaxParseDepth = 128;
+
+void AppendUtf8(std::string& out, uint32_t cp) {
+  if (cp < 0x80) {
+    out.push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+/// Cursor over the input with the shared error channel.
+struct Parser {
+  const char* p;
+  const char* end;
+
+  void SkipWs() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
+      ++p;
+    }
+  }
+  bool Eat(char c) {
+    if (p < end && *p == c) {
+      ++p;
+      return true;
+    }
+    return false;
+  }
+
+  common::Status Error(const std::string& what) const {
+    return common::Status::InvalidArgument(
+        "json: " + what + " at offset " + std::to_string(Offset()));
+  }
+  size_t Offset() const { return static_cast<size_t>(p - begin); }
+  const char* begin;
+
+  common::StatusOr<Json> ParseValue(int depth);
+  common::StatusOr<std::string> ParseString();
+  common::StatusOr<Json> ParseNumber();
+};
+
+common::StatusOr<std::string> Parser::ParseString() {
+  if (!Eat('"')) return Error("expected '\"'");
+  std::string out;
+  while (p < end) {
+    const char c = *p++;
+    if (c == '"') return out;
+    if (c == '\\') {
+      if (p >= end) break;
+      const char esc = *p++;
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (end - p < 4) return Error("truncated \\u escape");
+          char buf[5] = {p[0], p[1], p[2], p[3], 0};
+          char* stop = nullptr;
+          const uint32_t cp =
+              static_cast<uint32_t>(std::strtoul(buf, &stop, 16));
+          if (stop != buf + 4) return Error("bad \\u escape");
+          p += 4;
+          AppendUtf8(out, cp);
+          break;
+        }
+        default:
+          return Error("bad escape character");
+      }
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      return Error("unescaped control character in string");
+    } else {
+      out.push_back(c);
+    }
+  }
+  return Error("unterminated string");
+}
+
+common::StatusOr<Json> Parser::ParseNumber() {
+  const char* start = p;
+  if (p < end && *p == '-') ++p;
+  bool is_int = true;
+  while (p < end &&
+         (std::isdigit(static_cast<unsigned char>(*p)) || *p == '.' ||
+          *p == 'e' || *p == 'E' || *p == '+' || *p == '-')) {
+    if (*p == '.' || *p == 'e' || *p == 'E') is_int = false;
+    ++p;
+  }
+  const std::string token(start, static_cast<size_t>(p - start));
+  if (token.empty() || token == "-") return Error("bad number");
+  char* stop = nullptr;
+  if (is_int) {
+    errno = 0;
+    const long long v = std::strtoll(token.c_str(), &stop, 10);
+    if (stop == token.c_str() + token.size() && errno == 0) {
+      return Json(static_cast<int64_t>(v));
+    }
+    // Out-of-range integers fall back to double.
+  }
+  const double d = std::strtod(token.c_str(), &stop);
+  if (stop != token.c_str() + token.size()) return Error("bad number");
+  return Json(d);
+}
+
+common::StatusOr<Json> Parser::ParseValue(int depth) {
+  if (depth > kMaxParseDepth) return Error("nesting too deep");
+  SkipWs();
+  if (p >= end) return Error("unexpected end of input");
+  switch (*p) {
+    case '{': {
+      ++p;
+      Json obj = Json::Object();
+      SkipWs();
+      if (Eat('}')) return obj;
+      while (true) {
+        SkipWs();
+        auto key = ParseString();
+        if (!key.ok()) return key.status();
+        SkipWs();
+        if (!Eat(':')) return Error("expected ':'");
+        auto value = ParseValue(depth + 1);
+        if (!value.ok()) return value.status();
+        obj.Set(*key, std::move(*value));
+        SkipWs();
+        if (Eat(',')) continue;
+        if (Eat('}')) return obj;
+        return Error("expected ',' or '}'");
+      }
+    }
+    case '[': {
+      ++p;
+      Json arr = Json::Array();
+      SkipWs();
+      if (Eat(']')) return arr;
+      while (true) {
+        auto value = ParseValue(depth + 1);
+        if (!value.ok()) return value.status();
+        arr.Push(std::move(*value));
+        SkipWs();
+        if (Eat(',')) continue;
+        if (Eat(']')) return arr;
+        return Error("expected ',' or ']'");
+      }
+    }
+    case '"': {
+      auto s = ParseString();
+      if (!s.ok()) return s.status();
+      return Json(std::move(*s));
+    }
+    case 't':
+      if (end - p >= 4 && std::strncmp(p, "true", 4) == 0) {
+        p += 4;
+        return Json(true);
+      }
+      return Error("bad literal");
+    case 'f':
+      if (end - p >= 5 && std::strncmp(p, "false", 5) == 0) {
+        p += 5;
+        return Json(false);
+      }
+      return Error("bad literal");
+    case 'n':
+      if (end - p >= 4 && std::strncmp(p, "null", 4) == 0) {
+        p += 4;
+        return Json();
+      }
+      return Error("bad literal");
+    default:
+      return ParseNumber();
+  }
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+Json& Json::Set(const std::string& key, Json value) {
+  for (auto& [k, v] : object_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  object_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+const Json* Json::Find(const std::string& key) const {
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Json& Json::Push(Json value) {
+  array_.push_back(std::move(value));
+  return *this;
+}
+
+size_t Json::size() const {
+  if (type_ == Type::kArray) return array_.size();
+  if (type_ == Type::kObject) return object_.size();
+  return 0;
+}
+
+int64_t Json::AsInt(int64_t def) const {
+  if (type_ == Type::kInt) return int_;
+  if (type_ == Type::kDouble) return static_cast<int64_t>(double_);
+  return def;
+}
+
+double Json::AsDouble(double def) const {
+  if (type_ == Type::kDouble) return double_;
+  if (type_ == Type::kInt) return static_cast<double>(int_);
+  return def;
+}
+
+void Json::DumpTo(std::string& out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  const std::string pad =
+      pretty ? std::string(static_cast<size_t>(indent * (depth + 1)), ' ')
+             : std::string();
+  const std::string close_pad =
+      pretty ? std::string(static_cast<size_t>(indent * depth), ' ')
+             : std::string();
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::kInt: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(int_));
+      out += buf;
+      break;
+    }
+    case Type::kDouble: {
+      if (!std::isfinite(double_)) {
+        out += "null";  // JSON has no NaN/Inf
+        break;
+      }
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", double_);
+      out += buf;
+      break;
+    }
+    case Type::kString:
+      out.push_back('"');
+      out += JsonEscape(string_);
+      out.push_back('"');
+      break;
+    case Type::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        break;
+      }
+      out.push_back('[');
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        if (pretty) {
+          out.push_back('\n');
+          out += pad;
+        }
+        array_[i].DumpTo(out, indent, depth + 1);
+      }
+      if (pretty) {
+        out.push_back('\n');
+        out += close_pad;
+      }
+      out.push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        out += "{}";
+        break;
+      }
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [k, v] : object_) {
+        if (!first) out.push_back(',');
+        first = false;
+        if (pretty) {
+          out.push_back('\n');
+          out += pad;
+        }
+        out.push_back('"');
+        out += JsonEscape(k);
+        out += pretty ? "\": " : "\":";
+        v.DumpTo(out, indent, depth + 1);
+      }
+      if (pretty) {
+        out.push_back('\n');
+        out += close_pad;
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(out, indent, 0);
+  return out;
+}
+
+common::StatusOr<Json> Json::Parse(const std::string& text) {
+  Parser parser{text.data(), text.data() + text.size(), text.data()};
+  auto value = parser.ParseValue(0);
+  if (!value.ok()) return value.status();
+  parser.SkipWs();
+  if (parser.p != parser.end) {
+    return parser.Error("trailing characters");
+  }
+  return value;
+}
+
+}  // namespace mlprov::obs

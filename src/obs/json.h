@@ -1,0 +1,104 @@
+#ifndef MLPROV_OBS_JSON_H_
+#define MLPROV_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mlprov::obs {
+
+/// Minimal ordered JSON value used by the observability layer for metric
+/// snapshots, Chrome trace exports, and machine-readable bench reports.
+/// Objects preserve insertion order so emitted reports diff cleanly
+/// across runs. Integers are kept distinct from doubles so counters and
+/// trace timestamps round-trip exactly.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() = default;  // null
+  Json(bool value) : type_(Type::kBool), bool_(value) {}  // NOLINT
+  Json(int value)  // NOLINT
+      : type_(Type::kInt), int_(value) {}
+  Json(int64_t value) : type_(Type::kInt), int_(value) {}  // NOLINT
+  Json(uint64_t value)  // NOLINT
+      : type_(Type::kInt), int_(static_cast<int64_t>(value)) {}
+  Json(double value) : type_(Type::kDouble), double_(value) {}  // NOLINT
+  Json(const char* value)  // NOLINT
+      : type_(Type::kString), string_(value) {}
+  Json(std::string value)  // NOLINT
+      : type_(Type::kString), string_(std::move(value)) {}
+
+  static Json Array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json Object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Object insertion (replaces an existing key). Returns *this so
+  /// report-building code can chain.
+  Json& Set(const std::string& key, Json value);
+  /// Object lookup; nullptr when absent or not an object.
+  const Json* Find(const std::string& key) const;
+
+  /// Array append.
+  Json& Push(Json value);
+
+  /// Element count of an array or object; 0 for scalars.
+  size_t size() const;
+  const Json& at(size_t i) const { return array_[i]; }
+  const std::vector<Json>& items() const { return array_; }
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return object_;
+  }
+
+  bool AsBool(bool def = false) const {
+    return type_ == Type::kBool ? bool_ : def;
+  }
+  int64_t AsInt(int64_t def = 0) const;
+  double AsDouble(double def = 0.0) const;
+  const std::string& AsString() const { return string_; }
+
+  /// Serializes; `indent < 0` renders compact, otherwise pretty-printed
+  /// with `indent` spaces per level. Non-finite doubles render as null.
+  std::string Dump(int indent = -1) const;
+
+  /// Strict JSON parser (objects keep key order; duplicate keys keep the
+  /// last occurrence).
+  static common::StatusOr<Json> Parse(const std::string& text);
+
+ private:
+  void DumpTo(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+/// JSON string escaping (without the surrounding quotes).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace mlprov::obs
+
+#endif  // MLPROV_OBS_JSON_H_

@@ -1,0 +1,168 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace mlprov::obs {
+
+namespace {
+
+common::Histogram MakeHistogram(const HistogramMetric::Options& options) {
+  return options.log_scale
+             ? common::Histogram::Log10(options.lo, options.hi,
+                                        options.buckets)
+             : common::Histogram::Linear(options.lo, options.hi,
+                                         options.buckets);
+}
+
+}  // namespace
+
+HistogramMetric::HistogramMetric(const Options& options)
+    : options_(options), hist_(MakeHistogram(options)) {}
+
+void HistogramMetric::Record(double x) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hist_.Add(x);
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+}
+
+uint64_t HistogramMetric::Count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double HistogramMetric::Sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double HistogramMetric::Min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_;
+}
+
+double HistogramMetric::Max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+double HistogramMetric::Mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double HistogramMetric::ApproxQuantileLocked(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  double cum = 0.0;
+  for (const common::HistogramBucket& b : hist_.Buckets()) {
+    if (cum + static_cast<double>(b.count) >= target) {
+      if (b.count == 0) return b.lo;
+      const double within =
+          (target - cum) / static_cast<double>(b.count);
+      // Clamp to the observed range: the first/last bucket also collect
+      // out-of-range samples.
+      const double lo = std::max(b.lo, min_);
+      const double hi = std::min(b.hi, max_);
+      return lo + within * std::max(0.0, hi - lo);
+    }
+    cum += static_cast<double>(b.count);
+  }
+  return max_;
+}
+
+double HistogramMetric::ApproxQuantile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ApproxQuantileLocked(q);
+}
+
+Json HistogramMetric::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json j = Json::Object();
+  j.Set("count", count_);
+  j.Set("sum", sum_);
+  j.Set("mean", count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0);
+  j.Set("min", min_);
+  j.Set("max", max_);
+  j.Set("p50", ApproxQuantileLocked(0.5));
+  j.Set("p90", ApproxQuantileLocked(0.9));
+  j.Set("p99", ApproxQuantileLocked(0.99));
+  return j;
+}
+
+void HistogramMetric::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  hist_ = MakeHistogram(options_);
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+}
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+HistogramMetric* Registry::GetHistogram(
+    const std::string& name, const HistogramMetric::Options& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<HistogramMetric>(options);
+  return slot.get();
+}
+
+Json Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json snapshot = Json::Object();
+  if (!counters_.empty()) {
+    Json counters = Json::Object();
+    for (const auto& [name, counter] : counters_) {
+      counters.Set(name, counter->Value());
+    }
+    snapshot.Set("counters", std::move(counters));
+  }
+  if (!gauges_.empty()) {
+    Json gauges = Json::Object();
+    for (const auto& [name, gauge] : gauges_) {
+      gauges.Set(name, gauge->Value());
+    }
+    snapshot.Set("gauges", std::move(gauges));
+  }
+  if (!histograms_.empty()) {
+    Json histograms = Json::Object();
+    for (const auto& [name, hist] : histograms_) {
+      histograms.Set(name, hist->ToJson());
+    }
+    snapshot.Set("histograms", std::move(histograms));
+  }
+  return snapshot;
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+}  // namespace mlprov::obs

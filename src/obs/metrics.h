@@ -1,0 +1,164 @@
+#ifndef MLPROV_OBS_METRICS_H_
+#define MLPROV_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/histogram.h"
+#include "obs/json.h"
+
+namespace mlprov::obs {
+
+/// Monotonic counter. The increment path is a single relaxed atomic add,
+/// cheap enough for the simulator's per-execution hot loop.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (plus a CAS-loop Add for
+/// accumulating doubles from multiple threads).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Mutex-guarded distribution metric over a fixed-bucket histogram
+/// (common::Histogram), defaulting to log10 buckets — the natural shape
+/// for latencies and sizes. Record() is not for per-event hot loops; use
+/// it at operation granularity (per graphlet, per pipeline, per call).
+class HistogramMetric {
+ public:
+  struct Options {
+    double lo = 1e-6;
+    double hi = 1e6;
+    size_t buckets = 48;
+    bool log_scale = true;
+  };
+
+  explicit HistogramMetric(const Options& options);
+
+  void Record(double x);
+
+  uint64_t Count() const;
+  double Sum() const;
+  double Min() const;  // 0 when empty
+  double Max() const;  // 0 when empty
+  double Mean() const;
+  /// Quantile estimated from the bucket counts with linear interpolation
+  /// inside the crossing bucket.
+  double ApproxQuantile(double q) const;
+
+  /// {"count":..,"sum":..,"mean":..,"min":..,"max":..,"p50":..,"p90":..,
+  ///  "p99":..}
+  Json ToJson() const;
+  void Reset();
+
+ private:
+  double ApproxQuantileLocked(double q) const;
+
+  Options options_;
+  mutable std::mutex mu_;
+  common::Histogram hist_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Process-wide named-instrument registry. Instruments are created on
+/// first use and never deleted, so call sites may cache the returned
+/// pointer (the MLPROV_* macros below do this with a static local).
+/// Snapshot() serializes everything to JSON for bench reports.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  static Registry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  HistogramMetric* GetHistogram(const std::string& name,
+                                const HistogramMetric::Options& options =
+                                    HistogramMetric::Options());
+
+  /// {"counters":{..},"gauges":{..},"histograms":{..}}; sections with no
+  /// instruments are omitted.
+  Json Snapshot() const;
+
+  /// Zeroes every instrument. Cached pointers stay valid.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+};
+
+}  // namespace mlprov::obs
+
+/// Hot-path instrumentation macros. Each site resolves its instrument
+/// once (thread-safe static local) and then pays only the atomic add /
+/// histogram record. Configuring with -DMLPROV_OBS_NOOP=ON compiles every
+/// site out entirely, which is how the registry's overhead is measured.
+#ifndef MLPROV_OBS_NOOP
+
+#define MLPROV_COUNTER_ADD(name, n)                                     \
+  do {                                                                  \
+    static ::mlprov::obs::Counter* mlprov_counter_site =                \
+        ::mlprov::obs::Registry::Global().GetCounter(name);             \
+    mlprov_counter_site->Add(static_cast<uint64_t>(n));                 \
+  } while (0)
+
+#define MLPROV_COUNTER_INC(name) MLPROV_COUNTER_ADD(name, 1)
+
+#define MLPROV_GAUGE_SET(name, value)                                   \
+  do {                                                                  \
+    static ::mlprov::obs::Gauge* mlprov_gauge_site =                    \
+        ::mlprov::obs::Registry::Global().GetGauge(name);               \
+    mlprov_gauge_site->Set(static_cast<double>(value));                 \
+  } while (0)
+
+#define MLPROV_HISTOGRAM_RECORD(name, value)                            \
+  do {                                                                  \
+    static ::mlprov::obs::HistogramMetric* mlprov_hist_site =           \
+        ::mlprov::obs::Registry::Global().GetHistogram(name);           \
+    mlprov_hist_site->Record(static_cast<double>(value));               \
+  } while (0)
+
+#else  // MLPROV_OBS_NOOP
+
+#define MLPROV_COUNTER_ADD(name, n) ((void)0)
+#define MLPROV_COUNTER_INC(name) ((void)0)
+#define MLPROV_GAUGE_SET(name, value) ((void)0)
+#define MLPROV_HISTOGRAM_RECORD(name, value) ((void)0)
+
+#endif  // MLPROV_OBS_NOOP
+
+#endif  // MLPROV_OBS_METRICS_H_

@@ -1,0 +1,81 @@
+#include "obs/report.h"
+
+#include <cstdio>
+#include <ctime>
+
+#include "obs/metrics.h"
+
+namespace mlprov::obs {
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {}
+
+void BenchReport::Set(const std::string& key, Json value) {
+  results_.Set(key, std::move(value));
+}
+
+void BenchReport::SetCorpus(int64_t pipelines, uint64_t seed,
+                            double horizon_days, size_t executions,
+                            size_t artifacts, size_t trainer_runs,
+                            double generation_seconds) {
+  corpus_.Set("pipelines", pipelines);
+  corpus_.Set("seed", seed);
+  corpus_.Set("horizon_days", horizon_days);
+  corpus_.Set("executions", static_cast<uint64_t>(executions));
+  corpus_.Set("artifacts", static_cast<uint64_t>(artifacts));
+  corpus_.Set("trainer_runs", static_cast<uint64_t>(trainer_runs));
+  corpus_.Set("generation_seconds", generation_seconds);
+}
+
+void BenchReport::SetCommandLine(int argc, char** argv) {
+  command_ = Json::Array();
+  for (int i = 0; i < argc; ++i) command_.Push(std::string(argv[i]));
+}
+
+Json BenchReport::ToJson() const {
+  Json report = Json::Object();
+  report.Set("bench", name_);
+  report.Set("schema_version", 1);
+  char stamp[32] = {0};
+  const std::time_t now = std::time(nullptr);
+  std::tm tm_utc = {};
+  if (gmtime_r(&now, &tm_utc) != nullptr) {
+    std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+    report.Set("timestamp_utc", std::string(stamp));
+  }
+  if (command_.size() > 0) report.Set("command", command_);
+  report.Set("wall_seconds", wall_seconds_);
+  if (corpus_.size() > 0) report.Set("corpus", corpus_);
+  report.Set("results", results_);
+  report.Set("metrics", Registry::Global().Snapshot());
+  return report;
+}
+
+common::Status BenchReport::WriteTo(const std::string& dir) const {
+  const std::string path =
+      (dir.empty() ? std::string(".") : dir) + "/" + FileName();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return common::Status::InvalidArgument("cannot open report file: " +
+                                           path);
+  }
+  const std::string text = ToJson().Dump(2) + "\n";
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (written != text.size()) {
+    return common::Status::Internal("short write to report file: " + path);
+  }
+  return common::Status::Ok();
+}
+
+std::string BenchReport::NameFromArgv0(const char* argv0) {
+  if (argv0 == nullptr || *argv0 == '\0') return "bench";
+  std::string name(argv0);
+  if (const size_t slash = name.find_last_of('/');
+      slash != std::string::npos) {
+    name = name.substr(slash + 1);
+  }
+  if (name.rfind("bench_", 0) == 0) name = name.substr(6);
+  return name.empty() ? "bench" : name;
+}
+
+}  // namespace mlprov::obs

@@ -1,0 +1,58 @@
+#ifndef MLPROV_OBS_REPORT_H_
+#define MLPROV_OBS_REPORT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "obs/json.h"
+
+namespace mlprov::obs {
+
+/// Machine-readable companion to a bench binary's human-readable tables:
+/// accumulates the run's key reproduced values and writes a
+/// `BENCH_<name>.json` containing wall time, corpus sizes, results, and
+/// the global metric registry snapshot. These files are the perf
+/// trajectory across PRs (ROADMAP: prove every win with numbers).
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name);
+
+  const std::string& name() const { return name_; }
+
+  /// Records a key reproduced value under "results".
+  void Set(const std::string& key, Json value);
+
+  /// Records the generated corpus dimensions under "corpus".
+  void SetCorpus(int64_t pipelines, uint64_t seed, double horizon_days,
+                 size_t executions, size_t artifacts, size_t trainer_runs,
+                 double generation_seconds);
+
+  void set_wall_seconds(double seconds) { wall_seconds_ = seconds; }
+  void SetCommandLine(int argc, char** argv);
+
+  /// Full report, including Registry::Global().Snapshot() as "metrics".
+  Json ToJson() const;
+
+  /// "BENCH_<name>.json".
+  std::string FileName() const { return "BENCH_" + name_ + ".json"; }
+
+  /// Writes the pretty-printed report into `dir` (default: cwd).
+  common::Status WriteTo(const std::string& dir = ".") const;
+
+  /// Derives the report name from a binary path: basename with any
+  /// leading "bench_" stripped ("./build/bench/bench_fig7_compute_cost"
+  /// -> "fig7_compute_cost").
+  static std::string NameFromArgv0(const char* argv0);
+
+ private:
+  std::string name_;
+  Json command_ = Json::Array();
+  Json corpus_ = Json::Object();
+  Json results_ = Json::Object();
+  double wall_seconds_ = 0.0;
+};
+
+}  // namespace mlprov::obs
+
+#endif  // MLPROV_OBS_REPORT_H_

@@ -1,0 +1,128 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace mlprov::obs {
+
+TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+uint64_t TraceRecorder::NowMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void TraceRecorder::Record(TraceEvent event) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+size_t TraceRecorder::NumEvents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+uint32_t TraceRecorder::CurrentThreadId() {
+  static std::atomic<uint32_t> next_id{1};
+  thread_local const uint32_t id =
+      next_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+Json TraceRecorder::ToJson() const {
+  Json events = Json::Array();
+  {
+    // Process-name metadata record helps Perfetto label the track.
+    Json meta = Json::Object();
+    meta.Set("name", "process_name");
+    meta.Set("ph", "M");
+    meta.Set("pid", 1);
+    meta.Set("tid", 0);
+    Json args = Json::Object();
+    args.Set("name", "mlprov");
+    meta.Set("args", std::move(args));
+    events.Push(std::move(meta));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const TraceEvent& e : events_) {
+    Json record = Json::Object();
+    record.Set("name", e.name);
+    record.Set("cat", e.category);
+    record.Set("ph", "X");
+    record.Set("pid", 1);
+    record.Set("tid", static_cast<int64_t>(e.tid));
+    record.Set("ts", e.ts_us);
+    record.Set("dur", e.dur_us);
+    if (!e.args.empty()) {
+      Json args = Json::Object();
+      for (const auto& [key, value] : e.args) args.Set(key, value);
+      record.Set("args", std::move(args));
+    }
+    events.Push(std::move(record));
+  }
+  Json trace = Json::Object();
+  trace.Set("displayTimeUnit", "ms");
+  trace.Set("traceEvents", std::move(events));
+  return trace;
+}
+
+common::Status TraceRecorder::WriteTo(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return common::Status::InvalidArgument("cannot open trace file: " +
+                                           path);
+  }
+  const std::string text = ToJson().Dump();
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (written != text.size()) {
+    return common::Status::Internal("short write to trace file: " + path);
+  }
+  return common::Status::Ok();
+}
+
+ScopedTimer::ScopedTimer(const char* name, const char* category,
+                         TraceRecorder* recorder)
+    : recorder_(recorder != nullptr ? recorder : &TraceRecorder::Global()),
+      name_(name),
+      category_(category),
+      recording_(recorder_->enabled()) {
+  if (recording_) start_us_ = recorder_->NowMicros();
+}
+
+ScopedTimer& ScopedTimer::Arg(const char* key, Json value) {
+  if (recording_) args_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (!recording_) return;
+  TraceEvent event;
+  event.name = name_;
+  event.category = category_;
+  event.ts_us = start_us_;
+  const uint64_t end_us = recorder_->NowMicros();
+  event.dur_us = end_us > start_us_ ? end_us - start_us_ : 0;
+  event.tid = TraceRecorder::CurrentThreadId();
+  event.args = std::move(args_);
+  recorder_->Record(std::move(event));
+}
+
+}  // namespace mlprov::obs

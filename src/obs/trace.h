@@ -1,0 +1,130 @@
+#ifndef MLPROV_OBS_TRACE_H_
+#define MLPROV_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/json.h"
+
+namespace mlprov::obs {
+
+/// Wall-clock stopwatch; never compiled out (bench reports need wall
+/// times even in MLPROV_OBS_NOOP builds).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+  double Seconds() const {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// One completed span ("ph":"X" in the Chrome trace-event format).
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  uint64_t ts_us = 0;   // start, microseconds since recorder epoch
+  uint64_t dur_us = 0;  // duration, microseconds
+  uint32_t tid = 0;
+  std::vector<std::pair<std::string, Json>> args;
+};
+
+/// Collects spans and exports them as Chrome trace-event JSON, viewable
+/// in Perfetto or chrome://tracing. Disabled by default: recording costs
+/// one relaxed atomic load per span until Enable() is called (bench
+/// binaries enable it when --trace_out= is passed).
+class TraceRecorder {
+ public:
+  TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  static TraceRecorder& Global();
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Microseconds since the recorder's epoch (its construction).
+  uint64_t NowMicros() const;
+
+  /// Appends one completed span; dropped when the recorder is disabled.
+  void Record(TraceEvent event);
+
+  size_t NumEvents() const;
+  std::vector<TraceEvent> Events() const;
+  void Clear();
+
+  /// {"displayTimeUnit":"ms","traceEvents":[...]} with a process_name
+  /// metadata record first, then one "ph":"X" record per span.
+  Json ToJson() const;
+  common::Status WriteTo(const std::string& path) const;
+
+  /// Small dense per-process thread id (the real OS tid is opaque and
+  /// makes traces from repeated runs hard to diff).
+  static uint32_t CurrentThreadId();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII span: records a TraceEvent covering its lifetime when the
+/// recorder is enabled at construction; otherwise costs one atomic load
+/// plus one clock read. Also a plain timer via Seconds(). The `name` and
+/// `category` pointers must outlive the timer (string literals).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const char* name, const char* category = "mlprov",
+                       TraceRecorder* recorder = nullptr);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Attaches an argument shown in the trace viewer; no-op when the span
+  /// is not recording.
+  ScopedTimer& Arg(const char* key, Json value);
+
+  double Seconds() const { return watch_.Seconds(); }
+  bool recording() const { return recording_; }
+
+ private:
+  TraceRecorder* recorder_;
+  const char* name_;
+  const char* category_;
+  bool recording_;
+  uint64_t start_us_ = 0;
+  Stopwatch watch_;
+  std::vector<std::pair<std::string, Json>> args_;
+};
+
+}  // namespace mlprov::obs
+
+/// Span instrumentation macros for library code; compiled out entirely
+/// under MLPROV_OBS_NOOP. MLPROV_SPAN declares a ScopedTimer named `var`
+/// covering the rest of the enclosing scope.
+#ifndef MLPROV_OBS_NOOP
+#define MLPROV_SPAN(var, name) ::mlprov::obs::ScopedTimer var((name))
+#define MLPROV_SPAN_ARG(var, key, value) \
+  (var).Arg((key), ::mlprov::obs::Json(value))
+#else
+#define MLPROV_SPAN(var, name) ((void)0)
+#define MLPROV_SPAN_ARG(var, key, value) ((void)0)
+#endif
+
+#endif  // MLPROV_OBS_TRACE_H_

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
+
 namespace mlprov::similarity {
 
 namespace {
@@ -27,6 +29,7 @@ std::vector<double> Normalized(const std::vector<double>& v) {
 double EarthMoversDistance(
     const std::vector<double>& supply, const std::vector<double>& demand,
     const std::function<double(size_t, size_t)>& cost) {
+  MLPROV_COUNTER_INC("similarity.emd_exact_calls");
   std::vector<double> a = Normalized(supply);
   std::vector<double> b = Normalized(demand);
   const size_t n = a.size();
@@ -151,6 +154,7 @@ double EarthMoversDistance(
 }
 
 double Emd1D(const std::vector<double>& p, const std::vector<double>& q) {
+  MLPROV_COUNTER_INC("similarity.emd_1d_calls");
   const size_t n = std::max(p.size(), q.size());
   if (n == 0) return 0.0;
   double p_total = 0.0, q_total = 0.0;
@@ -172,6 +176,7 @@ double Emd1D(const std::vector<double>& p, const std::vector<double>& q) {
 
 double MaxBipartiteMatchWeight(
     size_t n, size_t m, const std::function<double(size_t, size_t)>& weight) {
+  MLPROV_COUNTER_INC("similarity.hungarian_calls");
   if (n == 0 || m == 0) return 0.0;
   const size_t k = std::max(n, m);
   // Hungarian algorithm on a k x k min-cost matrix; costs are

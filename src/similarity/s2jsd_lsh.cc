@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/rng.h"
+#include "obs/metrics.h"
 
 namespace mlprov::similarity {
 
@@ -38,6 +39,7 @@ S2JsdLsh::S2JsdLsh(const Options& options) : options_(options) {
 
 std::vector<int64_t> S2JsdLsh::HashVector(
     const std::vector<double>& distribution) const {
+  MLPROV_COUNTER_INC("similarity.lsh_hashes");
   const auto dim = static_cast<size_t>(options_.dim);
   const std::vector<double> p = NormalizedPadded(distribution, dim);
   // Hellinger embedding: phi(P) = sqrt(P) elementwise.
@@ -67,6 +69,7 @@ int64_t S2JsdLsh::Hash(const std::vector<double>& distribution) const {
 
 double S2JsdLsh::S2Jsd(const std::vector<double>& p,
                        const std::vector<double>& q) {
+  MLPROV_COUNTER_INC("similarity.s2jsd_calls");
   const size_t dim = std::max(p.size(), q.size());
   if (dim == 0) return 0.0;
   const std::vector<double> a = NormalizedPadded(p, dim);

@@ -1,5 +1,7 @@
 #include "simulator/corpus_generator.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "simulator/pipeline_simulator.h"
 
 namespace mlprov::sim {
@@ -22,14 +24,20 @@ Corpus GenerateCorpus(const CorpusConfig& config) {
 
 Corpus GenerateCorpus(const CorpusConfig& config,
                       const CostModel& cost_model) {
+  MLPROV_SPAN(corpus_span, "sim.GenerateCorpus");
+  MLPROV_SPAN_ARG(corpus_span, "pipelines", config.num_pipelines);
+  MLPROV_SPAN_ARG(corpus_span, "seed", config.seed);
+  MLPROV_SPAN_ARG(corpus_span, "horizon_days", config.horizon_days);
   Corpus corpus;
   corpus.config = config;
   corpus.pipelines.reserve(static_cast<size_t>(config.num_pipelines));
   common::Rng rng(config.seed);
   constexpr int kMaxAttempts = 8;
   for (int64_t id = 0; id < config.num_pipelines; ++id) {
+    const obs::Stopwatch pipeline_watch;
     PipelineTrace trace;
     for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+      if (attempt > 0) MLPROV_COUNTER_INC("sim.qualify_retries");
       const PipelineConfig pipeline_config =
           SamplePipelineConfig(config, id, rng);
       trace = SimulatePipeline(config, pipeline_config, cost_model);
@@ -37,7 +45,10 @@ Corpus GenerateCorpus(const CorpusConfig& config,
     }
     // After kMaxAttempts the trace is kept regardless: the population
     // statistics stay unbiased and the corpus size is exact.
+    MLPROV_HISTOGRAM_RECORD("sim.pipeline_gen_seconds",
+                            pipeline_watch.Seconds());
     corpus.pipelines.push_back(std::move(trace));
+    MLPROV_COUNTER_INC("sim.pipelines_generated");
   }
   return corpus;
 }

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace mlprov::sim {
 
 using metadata::ArtifactId;
@@ -59,6 +62,10 @@ ExecutionId PipelineSimulator::AddExecution(PipelineTrace& trace,
       start + static_cast<Timestamp>(duration_hours * kSecondsPerHour);
   exec.succeeded = succeeded;
   exec.compute_cost = cost_hours;
+  MLPROV_COUNTER_INC("sim.executions");
+  if (type == ExecutionType::kTrainer) {
+    MLPROV_HISTOGRAM_RECORD("sim.trainer_cost_hours", cost_hours);
+  }
   const ExecutionId id = trace.store.PutExecution(std::move(exec));
   (void)trace.store.AddToContext(context_, id);
   return id;
@@ -70,6 +77,7 @@ ArtifactId PipelineSimulator::AddArtifact(PipelineTrace& trace,
   metadata::Artifact artifact;
   artifact.type = type;
   artifact.create_time = create_time;
+  MLPROV_COUNTER_INC("sim.artifacts");
   const ArtifactId id = trace.store.PutArtifact(std::move(artifact));
   (void)trace.store.AddArtifactToContext(context_, id);
   return id;
@@ -84,6 +92,7 @@ void PipelineSimulator::Link(PipelineTrace& trace, ExecutionId exec,
 
 void PipelineSimulator::IngestSpans(Timestamp now, int count,
                                     PipelineTrace& trace) {
+  MLPROV_COUNTER_ADD("sim.spans_ingested", count);
   for (int i = 0; i < count; ++i) {
     const double cost = cost_model_->Cost(ExecutionType::kExampleGen,
                                           config_, unhealthy_, rng_);
@@ -167,6 +176,7 @@ void PipelineSimulator::IngestSpans(Timestamp now, int count,
 }
 
 void PipelineSimulator::DoTrigger(Timestamp now, PipelineTrace& trace) {
+  MLPROV_COUNTER_INC("sim.triggers");
   // Health episode dynamics.
   if (unhealthy_) {
     if (rng_.Bernoulli(config_.unhealthy_exit_prob)) unhealthy_ = false;
@@ -194,43 +204,53 @@ void PipelineSimulator::DoTrigger(Timestamp now, PipelineTrace& trace) {
   // hour and triggering new runs", Section 2.1). The first trigger
   // back-fills the rolling window with historical spans at the data
   // cadence.
-  int new_spans = config_.spans_per_trigger;
-  if (window_.empty()) {
-    const double spacing_hours = std::clamp(
-        std::min(config_.span_interval_hours,
-                 24.0 / config_.triggers_per_day),
-        0.25, 24.0);
-    const auto spacing =
-        static_cast<Timestamp>(spacing_hours * kSecondsPerHour);
-    for (int i = config_.window_spans - 1; i >= 1; --i) {
-      IngestSpans(std::max<Timestamp>(0, now - i * spacing), 1, trace);
-    }
-  } else if (rng_.Bernoulli(config_.retrain_same_data_prob) ||
-             (unhealthy_ && rng_.Bernoulli(0.6))) {
-    new_spans = 0;  // author retrain on the same data / ingestion stall
-  }
   bool stale_retrain = false;
-  if (new_spans > 0) {
-    // Each fresh span moves the data distribution by the regime's
-    // movement scale; the movement perturbs the span-stats latents
-    // (observable through the Appendix-B similarity) and is recorded as
-    // the span's movement for the quality model.
-    for (int i = 0; i < new_spans; ++i) {
-      double movement = (volatile_regime_ ? corpus_.volatile_movement
-                                          : corpus_.calm_movement) *
-                        std::abs(rng_.Normal(1.0, 0.35));
-      movement += pending_shock;
-      pending_shock = 0.0;
-      span_gen_.Shock(movement);
-      pending_movement_ = movement;
-      IngestSpans(now, 1, trace);
+  {
+    MLPROV_SPAN(ingest_span, "sim.ingest");
+    int new_spans = config_.spans_per_trigger;
+    if (window_.empty()) {
+      const double spacing_hours = std::clamp(
+          std::min(config_.span_interval_hours,
+                   24.0 / config_.triggers_per_day),
+          0.25, 24.0);
+      const auto spacing =
+          static_cast<Timestamp>(spacing_hours * kSecondsPerHour);
+      for (int i = config_.window_spans - 1; i >= 1; --i) {
+        IngestSpans(std::max<Timestamp>(0, now - i * spacing), 1, trace);
+      }
+    } else if (rng_.Bernoulli(config_.retrain_same_data_prob) ||
+               (unhealthy_ && rng_.Bernoulli(0.6))) {
+      new_spans = 0;  // author retrain on the same data / ingestion stall
     }
-    last_span_time_ = now;
-  } else {
-    stale_retrain = true;
+    if (new_spans > 0) {
+      // Each fresh span moves the data distribution by the regime's
+      // movement scale; the movement perturbs the span-stats latents
+      // (observable through the Appendix-B similarity) and is recorded as
+      // the span's movement for the quality model.
+      for (int i = 0; i < new_spans; ++i) {
+        double movement = (volatile_regime_ ? corpus_.volatile_movement
+                                            : corpus_.calm_movement) *
+                          std::abs(rng_.Normal(1.0, 0.35));
+        movement += pending_shock;
+        pending_shock = 0.0;
+        span_gen_.Shock(movement);
+        pending_movement_ = movement;
+        IngestSpans(now, 1, trace);
+      }
+      last_span_time_ = now;
+    } else {
+      stale_retrain = true;
+    }
   }
   if (window_.empty()) return;  // nothing to train on
 
+  ArtifactId transformed = metadata::kInvalidId;
+  ArtifactId transform_graph = metadata::kInvalidId;
+  bool transform_failed = false;
+  ArtifactId hyperparams = metadata::kInvalidId;
+  bool tuner_ran = false;
+  {
+  MLPROV_SPAN(analyze_span, "sim.analyze");
   // Unhealthy episodes trigger debugging re-analysis of the current data
   // (engineers re-run StatisticsGen while investigating), an observable
   // pre-trainer footprint of the episode.
@@ -247,9 +267,6 @@ void PipelineSimulator::DoTrigger(Timestamp now, PipelineTrace& trace) {
   }
 
   // Pre-processing.
-  ArtifactId transformed = metadata::kInvalidId;
-  ArtifactId transform_graph = metadata::kInvalidId;
-  bool transform_failed = false;
   if (config_.has_transform) {
     const double cost = cost_model_->Cost(ExecutionType::kTransform,
                                           config_, unhealthy_, rng_);
@@ -299,11 +316,12 @@ void PipelineSimulator::DoTrigger(Timestamp now, PipelineTrace& trace) {
       Link(trace, transform, transformed, EventKind::kOutput, t_end);
     }
   }
-  if (transform_failed) return;  // downstream blocked; costs already paid
+  if (transform_failed) {
+    MLPROV_COUNTER_INC("sim.transform_failures");
+    return;  // downstream blocked; costs already paid
+  }
 
   // Occasional tuning.
-  ArtifactId hyperparams = metadata::kInvalidId;
-  bool tuner_ran = false;
   if (config_.has_tuner && (trainers_emitted_ == 0 || rng_.Bernoulli(0.1))) {
     const double cost = cost_model_->Cost(ExecutionType::kTuner, config_,
                                           unhealthy_, rng_);
@@ -334,6 +352,7 @@ void PipelineSimulator::DoTrigger(Timestamp now, PipelineTrace& trace) {
     const ArtifactId out = AddArtifact(trace, ArtifactType::kCustom, c_end);
     Link(trace, custom, out, EventKind::kOutput, c_end);
   }
+  }  // analyze phase
 
   // Code churn: at most one version bump per trigger.
   const bool code_changed = rng_.Bernoulli(config_.code_change_prob);
@@ -342,6 +361,8 @@ void PipelineSimulator::DoTrigger(Timestamp now, PipelineTrace& trace) {
   // Parallel trainers: each one anchors a graphlet.
   for (int k = 0; k < config_.parallel_trainers; ++k) {
     if (trainers_emitted_ >= corpus_.max_graphlets_per_pipeline) return;
+    MLPROV_SPAN(train_span, "sim.train");
+    MLPROV_COUNTER_INC("sim.trainers");
     const double trainer_fail_prob =
         corpus_.trainer_failure_prob *
         (unhealthy_ ? corpus_.unhealthy_failure_multiplier : 1.0);
@@ -381,7 +402,12 @@ void PipelineSimulator::DoTrigger(Timestamp now, PipelineTrace& trace) {
       Link(trace, trainer, last_model_, EventKind::kInput, start);
       texec->properties["warm_start"] = static_cast<int64_t>(1);
     }
-    if (trainer_failed) continue;  // no model, no downstream
+    if (trainer_failed) {
+      // A failed trainer anchors a graphlet that can never push.
+      MLPROV_COUNTER_INC("sim.trainer_failures");
+      MLPROV_COUNTER_INC("sim.graphlets_wasted");
+      continue;  // no model, no downstream
+    }
 
     const Timestamp trained = trace.store.GetExecution(trainer)->end_time;
     const ArtifactId model =
@@ -425,6 +451,9 @@ void PipelineSimulator::DoTrigger(Timestamp now, PipelineTrace& trace) {
 
     Timestamp cursor = trained;
     ArtifactId evaluation = metadata::kInvalidId;
+    bool blessed = false;
+    {
+    MLPROV_SPAN(validate_span, "sim.validate");
     if (config_.has_evaluator) {
       const double e_cost = cost_model_->Cost(ExecutionType::kEvaluator,
                                               config_, unhealthy_, rng_);
@@ -437,7 +466,7 @@ void PipelineSimulator::DoTrigger(Timestamp now, PipelineTrace& trace) {
           AddArtifact(trace, ArtifactType::kModelEvaluation, cursor);
       Link(trace, evaluator, evaluation, EventKind::kOutput, cursor);
     }
-    bool blessed = passes;
+    blessed = passes;
     // TFX's Evaluator itself emits a ModelBlessing; in pipelines without a
     // separate ModelValidator it is the gating operator.
     if (config_.has_evaluator && !config_.has_model_validator && passes) {
@@ -480,6 +509,7 @@ void PipelineSimulator::DoTrigger(Timestamp now, PipelineTrace& trace) {
           AddArtifact(trace, ArtifactType::kInfraBlessing, cursor);
       Link(trace, infra, infra_blessing, EventKind::kOutput, cursor);
     }
+    }  // validate phase
 
     // Push gating: validated + not throttled + small downstream noise.
     const bool throttled =
@@ -488,7 +518,9 @@ void PipelineSimulator::DoTrigger(Timestamp now, PipelineTrace& trace) {
             static_cast<Timestamp>(config_.min_push_interval_hours *
                                    kSecondsPerHour);
     const bool downstream_noise = rng_.Bernoulli(0.06);
+    bool pushed_now = false;
     if (blessed && !throttled && !downstream_noise) {
+      MLPROV_SPAN(push_span, "sim.push");
       const double p_cost = cost_model_->Cost(ExecutionType::kPusher,
                                               config_, unhealthy_, rng_);
       const ExecutionId pusher = AddExecution(
@@ -499,11 +531,23 @@ void PipelineSimulator::DoTrigger(Timestamp now, PipelineTrace& trace) {
           AddArtifact(trace, ArtifactType::kPushedModel, cursor);
       Link(trace, pusher, pushed, EventKind::kOutput, cursor);
       last_push_time_ = cursor;
+      pushed_now = true;
+    }
+    // The paper's waste metric: graphlets whose model never deploys.
+    if (pushed_now) {
+      MLPROV_COUNTER_INC("sim.graphlets_pushed");
+    } else {
+      MLPROV_COUNTER_INC("sim.graphlets_wasted");
     }
   }
 }
 
 PipelineTrace PipelineSimulator::Run() {
+  MLPROV_SPAN(pipeline_span, "sim.pipeline");
+  MLPROV_SPAN_ARG(pipeline_span, "pipeline_id", config_.pipeline_id);
+  MLPROV_SPAN_ARG(pipeline_span, "model_type",
+                  metadata::ToString(config_.model_type));
+  MLPROV_SPAN_ARG(pipeline_span, "lifespan_days", config_.lifespan_days);
   PipelineTrace trace;
   trace.config = config_;
   metadata::Context ctx;

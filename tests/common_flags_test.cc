@@ -56,5 +56,38 @@ TEST(FlagsTest, LastOccurrenceWins) {
   EXPECT_EQ(flags.GetInt("x", 0), 2);
 }
 
+TEST(FlagsTest, UnknownReportsUnrequestedFlags) {
+  const Flags flags = Make({"--pipelines=10", "--typo=1"});
+  EXPECT_EQ(flags.GetInt("pipelines", 0), 10);
+  const std::vector<std::string> unknown = flags.Unknown();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(FlagsTest, UnknownEmptyWhenAllRequested) {
+  const Flags flags = Make({"--a=1", "--b=x"});
+  flags.GetInt("a", 0);
+  flags.GetString("b", "");
+  EXPECT_TRUE(flags.Unknown().empty());
+}
+
+TEST(FlagsTest, AnyGetterMarksRequested) {
+  const Flags flags = Make({"--a=1", "--b=1", "--c=1", "--d=1", "--e=1"});
+  flags.GetInt("a", 0);
+  flags.GetDouble("b", 0.0);
+  flags.GetString("c", "");
+  flags.GetBool("d", false);
+  flags.Has("e");
+  EXPECT_TRUE(flags.Unknown().empty());
+}
+
+TEST(FlagsTest, RequestingAbsentFlagDoesNotAffectUnknown) {
+  const Flags flags = Make({"--present=1"});
+  flags.GetInt("absent", 0);
+  const std::vector<std::string> unknown = flags.Unknown();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "present");
+}
+
 }  // namespace
 }  // namespace mlprov::common

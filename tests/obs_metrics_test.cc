@@ -1,0 +1,195 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace mlprov::obs {
+namespace {
+
+TEST(CounterTest, AddAndReset) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreExact) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(GaugeTest, SetAddReset) {
+  Gauge g;
+  g.Set(3.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 3.5);
+  g.Add(1.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 5.0);
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.Value(), 0.0);
+}
+
+TEST(GaugeTest, ConcurrentAddsAreExact) {
+  Gauge g;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g] {
+      for (int i = 0; i < kPerThread; ++i) g.Add(1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(g.Value(), 1.0 * kThreads * kPerThread);
+}
+
+TEST(HistogramMetricTest, BasicStats) {
+  HistogramMetric h((HistogramMetric::Options()));
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 0.0);
+  for (int i = 1; i <= 100; ++i) h.Record(i);
+  EXPECT_EQ(h.Count(), 100u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 5050.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 50.5);
+  EXPECT_DOUBLE_EQ(h.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 100.0);
+  // Log-bucket quantiles are approximate; the bucket interpolation must
+  // land within a bucket's width of the true value.
+  EXPECT_NEAR(h.ApproxQuantile(0.5), 50.0, 15.0);
+  EXPECT_GE(h.ApproxQuantile(0.99), h.ApproxQuantile(0.5));
+  EXPECT_LE(h.ApproxQuantile(1.0), 100.0);
+}
+
+TEST(HistogramMetricTest, ResetClears) {
+  HistogramMetric h((HistogramMetric::Options()));
+  h.Record(7.0);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.0);
+}
+
+TEST(HistogramMetricTest, ToJsonFields) {
+  HistogramMetric h((HistogramMetric::Options()));
+  h.Record(2.0);
+  h.Record(8.0);
+  const Json j = h.ToJson();
+  ASSERT_TRUE(j.is_object());
+  EXPECT_EQ(j.Find("count")->AsInt(), 2);
+  EXPECT_DOUBLE_EQ(j.Find("sum")->AsDouble(), 10.0);
+  EXPECT_DOUBLE_EQ(j.Find("mean")->AsDouble(), 5.0);
+  EXPECT_DOUBLE_EQ(j.Find("min")->AsDouble(), 2.0);
+  EXPECT_DOUBLE_EQ(j.Find("max")->AsDouble(), 8.0);
+  ASSERT_NE(j.Find("p50"), nullptr);
+  ASSERT_NE(j.Find("p90"), nullptr);
+  ASSERT_NE(j.Find("p99"), nullptr);
+}
+
+TEST(RegistryTest, SameNameSameInstrument) {
+  Registry registry;
+  Counter* a = registry.GetCounter("test.counter");
+  Counter* b = registry.GetCounter("test.counter");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, registry.GetCounter("test.other"));
+  EXPECT_EQ(registry.GetGauge("g"), registry.GetGauge("g"));
+  EXPECT_EQ(registry.GetHistogram("h"), registry.GetHistogram("h"));
+}
+
+TEST(RegistryTest, ResetKeepsPointersValid) {
+  Registry registry;
+  Counter* c = registry.GetCounter("c");
+  c->Add(10);
+  registry.Reset();
+  EXPECT_EQ(c->Value(), 0u);
+  c->Add(1);  // cached pointer still usable
+  EXPECT_EQ(registry.GetCounter("c")->Value(), 1u);
+}
+
+TEST(RegistryTest, SnapshotJsonRoundTrip) {
+  Registry registry;
+  registry.GetCounter("events")->Add(7);
+  registry.GetGauge("load")->Set(0.25);
+  registry.GetHistogram("lat")->Record(1.5);
+  const std::string dumped = registry.Snapshot().Dump(2);
+
+  const auto parsed = Json::Parse(dumped);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Json& snap = *parsed;
+  ASSERT_NE(snap.Find("counters"), nullptr);
+  EXPECT_EQ(snap.Find("counters")->Find("events")->AsInt(), 7);
+  ASSERT_NE(snap.Find("gauges"), nullptr);
+  EXPECT_DOUBLE_EQ(snap.Find("gauges")->Find("load")->AsDouble(), 0.25);
+  ASSERT_NE(snap.Find("histograms"), nullptr);
+  const Json* lat = snap.Find("histograms")->Find("lat");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->Find("count")->AsInt(), 1);
+}
+
+TEST(RegistryTest, EmptySectionsOmitted) {
+  Registry registry;
+  EXPECT_EQ(registry.Snapshot().size(), 0u);
+  registry.GetCounter("only");
+  const Json snap = registry.Snapshot();
+  EXPECT_NE(snap.Find("counters"), nullptr);
+  EXPECT_EQ(snap.Find("gauges"), nullptr);
+  EXPECT_EQ(snap.Find("histograms"), nullptr);
+}
+
+TEST(RegistryTest, GlobalIsSingleton) {
+  EXPECT_EQ(&Registry::Global(), &Registry::Global());
+}
+
+TEST(MacroTest, CounterMacroHitsGlobalRegistry) {
+  Counter* c =
+      Registry::Global().GetCounter("obs_metrics_test.macro_counter");
+  const uint64_t before = c->Value();
+  MLPROV_COUNTER_INC("obs_metrics_test.macro_counter");
+  MLPROV_COUNTER_ADD("obs_metrics_test.macro_counter", 2);
+#ifndef MLPROV_OBS_NOOP
+  EXPECT_EQ(c->Value(), before + 3);
+#else
+  EXPECT_EQ(c->Value(), before);
+#endif
+}
+
+TEST(JsonTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1,]").ok());
+  EXPECT_FALSE(Json::Parse("nul").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\":1} trailing").ok());
+}
+
+TEST(JsonTest, IntsRoundTripExactly) {
+  Json j = Json::Object();
+  j.Set("big", static_cast<int64_t>(1) << 53);
+  const auto parsed = Json::Parse(j.Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("big")->AsInt(), int64_t{1} << 53);
+}
+
+TEST(JsonTest, EscapesControlCharacters) {
+  Json j = Json::Object();
+  j.Set("k", "a\"b\\c\nd");
+  const auto parsed = Json::Parse(j.Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("k")->AsString(), "a\"b\\c\nd");
+}
+
+}  // namespace
+}  // namespace mlprov::obs

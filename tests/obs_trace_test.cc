@@ -1,0 +1,175 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace mlprov::obs {
+namespace {
+
+TEST(TraceRecorderTest, DisabledRecordsNothing) {
+  TraceRecorder recorder;
+  ASSERT_FALSE(recorder.enabled());
+  { ScopedTimer timer("span", "test", &recorder); }
+  EXPECT_EQ(recorder.NumEvents(), 0u);
+}
+
+TEST(TraceRecorderTest, RecordsCompletedSpans) {
+  TraceRecorder recorder;
+  recorder.Enable();
+  {
+    ScopedTimer timer("outer", "test", &recorder);
+    EXPECT_TRUE(timer.recording());
+  }
+  ASSERT_EQ(recorder.NumEvents(), 1u);
+  const TraceEvent event = recorder.Events()[0];
+  EXPECT_EQ(event.name, "outer");
+  EXPECT_EQ(event.category, "test");
+  EXPECT_GT(event.tid, 0u);
+}
+
+TEST(TraceRecorderTest, NestedSpansAreContained) {
+  TraceRecorder recorder;
+  recorder.Enable();
+  {
+    ScopedTimer outer("outer", "test", &recorder);
+    { ScopedTimer inner("inner", "test", &recorder); }
+  }
+  // Destruction order: inner completes first.
+  ASSERT_EQ(recorder.NumEvents(), 2u);
+  const auto events = recorder.Events();
+  const TraceEvent& inner = events[0];
+  const TraceEvent& outer = events[1];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_GE(inner.ts_us, outer.ts_us);
+  EXPECT_LE(inner.ts_us + inner.dur_us, outer.ts_us + outer.dur_us);
+}
+
+TEST(TraceRecorderTest, SpanArgsRecorded) {
+  TraceRecorder recorder;
+  recorder.Enable();
+  {
+    ScopedTimer timer("span", "test", &recorder);
+    timer.Arg("pipelines", 40).Arg("label", "x");
+  }
+  const auto events = recorder.Events();
+  ASSERT_EQ(events.size(), 1u);
+  ASSERT_EQ(events[0].args.size(), 2u);
+  EXPECT_EQ(events[0].args[0].first, "pipelines");
+  EXPECT_EQ(events[0].args[0].second.AsInt(), 40);
+  EXPECT_EQ(events[0].args[1].second.AsString(), "x");
+}
+
+TEST(TraceRecorderTest, EnablingMidRunSkipsOpenSpans) {
+  TraceRecorder recorder;
+  {
+    ScopedTimer timer("span", "test", &recorder);
+    recorder.Enable();  // too late for this span
+  }
+  EXPECT_EQ(recorder.NumEvents(), 0u);
+}
+
+TEST(TraceRecorderTest, TimerStillTimesWhenDisabled) {
+  TraceRecorder recorder;
+  ScopedTimer timer("span", "test", &recorder);
+  EXPECT_GE(timer.Seconds(), 0.0);
+}
+
+TEST(TraceRecorderTest, DistinctThreadIds) {
+  TraceRecorder recorder;
+  recorder.Enable();
+  { ScopedTimer timer("main", "test", &recorder); }
+  std::thread other(
+      [&recorder] { ScopedTimer timer("worker", "test", &recorder); });
+  other.join();
+  const auto events = recorder.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].tid, events[1].tid);
+}
+
+void ValidateChromeTrace(const Json& root, size_t expected_spans) {
+  ASSERT_TRUE(root.is_object());
+  const Json* unit = root.Find("displayTimeUnit");
+  ASSERT_NE(unit, nullptr);
+  EXPECT_EQ(unit->AsString(), "ms");
+  const Json* events = root.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  // First record is process_name metadata, the rest are complete spans.
+  ASSERT_EQ(events->size(), expected_spans + 1);
+  const Json& meta = events->at(0);
+  EXPECT_EQ(meta.Find("ph")->AsString(), "M");
+  EXPECT_EQ(meta.Find("name")->AsString(), "process_name");
+  for (size_t i = 1; i < events->size(); ++i) {
+    const Json& e = events->at(i);
+    EXPECT_EQ(e.Find("ph")->AsString(), "X");
+    ASSERT_NE(e.Find("name"), nullptr);
+    EXPECT_TRUE(e.Find("name")->is_string());
+    EXPECT_TRUE(e.Find("cat")->is_string());
+    EXPECT_TRUE(e.Find("ts")->is_number());
+    EXPECT_TRUE(e.Find("dur")->is_number());
+    EXPECT_TRUE(e.Find("pid")->is_number());
+    EXPECT_TRUE(e.Find("tid")->is_number());
+  }
+}
+
+TEST(TraceRecorderTest, ToJsonIsValidChromeTraceFormat) {
+  TraceRecorder recorder;
+  recorder.Enable();
+  {
+    ScopedTimer outer("outer", "test", &recorder);
+    MLPROV_SPAN_ARG(outer, "k", 1);
+    { ScopedTimer inner("inner", "test", &recorder); }
+  }
+  // Round-trip through the serialized text, as a viewer would read it.
+  const auto parsed = Json::Parse(recorder.ToJson().Dump(1));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ValidateChromeTrace(*parsed, 2);
+}
+
+TEST(TraceRecorderTest, WriteToFileRoundTrip) {
+  TraceRecorder recorder;
+  recorder.Enable();
+  { ScopedTimer timer("span", "test", &recorder); }
+  const std::string path =
+      ::testing::TempDir() + "obs_trace_test_out.json";
+  ASSERT_TRUE(recorder.WriteTo(path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const auto parsed = Json::Parse(buffer.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ValidateChromeTrace(*parsed, 1);
+  std::remove(path.c_str());
+}
+
+TEST(TraceRecorderTest, WriteToBadPathFails) {
+  TraceRecorder recorder;
+  EXPECT_FALSE(recorder.WriteTo("/nonexistent-dir/trace.json").ok());
+}
+
+TEST(TraceRecorderTest, ClearDropsEvents) {
+  TraceRecorder recorder;
+  recorder.Enable();
+  { ScopedTimer timer("span", "test", &recorder); }
+  recorder.Clear();
+  EXPECT_EQ(recorder.NumEvents(), 0u);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  const double a = watch.Seconds();
+  const double b = watch.Seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  watch.Restart();
+  EXPECT_LE(watch.Seconds(), b + 1.0);
+}
+
+}  // namespace
+}  // namespace mlprov::obs
