@@ -1,0 +1,117 @@
+// Microbenchmarks for the parallel execution backbone: raw ParallelFor
+// dispatch overhead (empty bodies, so pure scheduling cost) and the
+// corpus-generation scaling curve at 1/2/4/8 threads. The scaling sweep
+// also cross-checks the determinism contract: every thread count must
+// produce a byte-identical serialized corpus.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench/micro_common.h"
+#include "common/parallel.h"
+#include "metadata/serialization.h"
+#include "simulator/corpus_generator.h"
+
+namespace mlprov {
+namespace {
+
+void BM_ParallelForEmpty(benchmark::State& state) {
+  common::SetGlobalThreads(static_cast<int>(state.range(0)));
+  constexpr size_t kIterations = 1000000;
+  for (auto _ : state) {
+    common::ParallelFor(kIterations, [](size_t i) {
+      benchmark::DoNotOptimize(i);
+    });
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * kIterations));
+  common::SetGlobalThreads(1);
+}
+BENCHMARK(BM_ParallelForEmpty)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ParallelForChunked(benchmark::State& state) {
+  // Same dispatch with an explicit coarse grain: what a caller pays when
+  // it batches cheap work properly.
+  common::SetGlobalThreads(static_cast<int>(state.range(0)));
+  constexpr size_t kIterations = 1000000;
+  for (auto _ : state) {
+    common::ParallelFor(
+        kIterations, [](size_t i) { benchmark::DoNotOptimize(i); },
+        /*grain=*/4096);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * kIterations));
+  common::SetGlobalThreads(1);
+}
+BENCHMARK(BM_ParallelForChunked)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+/// Corpus digest: FNV-1a over each pipeline's serialized store, chained
+/// in pipeline order, so both content and ordering are covered.
+uint64_t CorpusFingerprint(const sim::Corpus& corpus) {
+  uint64_t h = 1469598103934665603ull;
+  for (const sim::PipelineTrace& trace : corpus.pipelines) {
+    const std::string text = metadata::SerializeStore(trace.store);
+    for (const char c : text) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+/// Corpus-generation scaling sweep, recorded into the bench report:
+/// corpus_gen.seconds_t{1,2,4,8}, corpus_gen.speedup_8, and a
+/// determinism verdict comparing fingerprints across thread counts.
+void ScalingSweep(const common::Flags& flags, obs::BenchReport& report) {
+  sim::CorpusConfig config;
+  config.num_pipelines =
+      static_cast<int>(flags.GetInt("pipelines", 120));
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  config.horizon_days = flags.GetDouble("horizon_days", 130.0);
+
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+  double seconds_t1 = 0.0;
+  double seconds_t8 = 0.0;
+  uint64_t baseline_fp = 0;
+  bool deterministic = true;
+  std::printf("\ncorpus generation scaling (%d pipelines):\n",
+              config.num_pipelines);
+  for (const int threads : thread_counts) {
+    common::SetGlobalThreads(threads);
+    const obs::Stopwatch watch;
+    const sim::Corpus corpus = sim::GenerateCorpus(config);
+    const double seconds = watch.Seconds();
+    const uint64_t fp = CorpusFingerprint(corpus);
+    if (threads == 1) {
+      seconds_t1 = seconds;
+      baseline_fp = fp;
+    } else if (fp != baseline_fp) {
+      deterministic = false;
+    }
+    if (threads == 8) seconds_t8 = seconds;
+    std::printf("  threads=%d: %.3fs (%.2fx)\n", threads, seconds,
+                seconds > 0.0 ? seconds_t1 / seconds : 0.0);
+    report.Set("corpus_gen.seconds_t" + std::to_string(threads), seconds);
+  }
+  common::SetGlobalThreads(1);
+  const double speedup_8 =
+      seconds_t8 > 0.0 ? seconds_t1 / seconds_t8 : 0.0;
+  report.Set("corpus_gen.speedup_8", speedup_8);
+  report.Set("corpus_gen.deterministic", deterministic);
+  report.SetParallelism(8, speedup_8);
+  std::printf("  deterministic across thread counts: %s\n",
+              deterministic ? "yes" : "NO — BUG");
+}
+
+}  // namespace mlprov
+
+int main(int argc, char** argv) {
+  return mlprov::bench::MicrobenchMain(argc, argv,
+                                       mlprov::ScalingSweep);
+}

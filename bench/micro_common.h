@@ -4,10 +4,13 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "common/flags.h"
+#include "common/parallel.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 
@@ -30,15 +33,27 @@ class CollectingReporter : public benchmark::ConsoleReporter {
 /// Shared main body for the google-benchmark binaries: runs the
 /// registered benchmarks, then records per-benchmark real/CPU time per
 /// iteration (in the run's time unit, ns by default) under "results".
-/// Accepts --report_dir= and --no_report alongside the usual
-/// --benchmark_* flags.
-inline int MicrobenchMain(int argc, char** argv) {
+/// Accepts --report_dir=, --no_report, and --threads= alongside the usual
+/// --benchmark_* flags. `extra`, when given, runs after the registered
+/// benchmarks and may record additional results (e.g. scaling sweeps)
+/// before the report is written.
+inline int MicrobenchMain(
+    int argc, char** argv,
+    const std::function<void(const common::Flags&, obs::BenchReport&)>&
+        extra = nullptr) {
   const common::Flags flags(argc, argv);
   const std::string report_dir = flags.GetString("report_dir", ".");
   const bool write_report = !flags.GetBool("no_report", false);
+  const common::StatusOr<int> threads = common::ThreadsFromFlags(flags);
+  if (!threads.ok()) {
+    std::fprintf(stderr, "error: %s\n", threads.status().ToString().c_str());
+    return 2;
+  }
+  common::SetGlobalThreads(*threads);
   obs::BenchReport report(
       obs::BenchReport::NameFromArgv0(argc > 0 ? argv[0] : ""));
   report.SetCommandLine(argc, argv);
+  report.SetParallelism(*threads);
   const obs::Stopwatch wall;
 
   benchmark::Initialize(&argc, argv);
@@ -59,6 +74,7 @@ inline int MicrobenchMain(int argc, char** argv) {
     report.Set(name + ".iterations",
                static_cast<int64_t>(run.iterations));
   }
+  if (extra) extra(flags, report);
   report.set_wall_seconds(wall.Seconds());
   if (write_report) {
     const auto status = report.WriteTo(report_dir);

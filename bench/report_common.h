@@ -3,9 +3,11 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "common/flags.h"
+#include "common/parallel.h"
 #include "common/histogram.h"
 #include "common/stats.h"
 #include "common/table.h"
@@ -28,6 +30,10 @@ namespace mlprov::bench {
 ///                      JSON file (open in chrome://tracing or Perfetto)
 ///   --report_dir=DIR   where BENCH_<name>.json lands (default ".")
 ///   --no_report        skip writing the machine-readable report
+///   --threads=N        parallelism for corpus generation and analysis
+///                      (default: hardware concurrency; 1 = sequential)
+///   --measure_speedup  also generate the corpus once at --threads=1 and
+///                      record wall-clock speedup in the report
 ///
 /// The destructor writes `BENCH_<name>.json` containing the corpus shape,
 /// wall times, whatever key values the binary recorded via
@@ -51,14 +57,36 @@ struct ReportContext {
     trace_out_ = flags.GetString("trace_out", "");
     report_dir_ = flags.GetString("report_dir", ".");
     write_report_ = !flags.GetBool("no_report", false);
+    const common::StatusOr<int> threads = common::ThreadsFromFlags(flags);
+    if (!threads.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   threads.status().ToString().c_str());
+      std::exit(2);
+    }
+    common::SetGlobalThreads(*threads);
+    const bool measure_speedup = flags.GetBool("measure_speedup", false);
     if (!trace_out_.empty()) {
       obs::TraceRecorder::Global().Enable();
     }
     std::printf("=== %s ===\n", title);
-    std::printf("corpus: %d pipelines, seed %llu, horizon %.0f days\n",
-                config.num_pipelines,
-                static_cast<unsigned long long>(config.seed),
-                config.horizon_days);
+    std::printf(
+        "corpus: %d pipelines, seed %llu, horizon %.0f days, "
+        "%d thread(s)\n",
+        config.num_pipelines,
+        static_cast<unsigned long long>(config.seed), config.horizon_days,
+        *threads);
+    double sequential_seconds = 0.0;
+    if (measure_speedup && *threads > 1) {
+      // The derived per-pipeline RNG streams make the corpus identical at
+      // any thread count, so a throwaway single-thread run is a valid
+      // baseline for the same corpus.
+      common::SetGlobalThreads(1);
+      const obs::Stopwatch seq;
+      const sim::Corpus baseline = sim::GenerateCorpus(config);
+      sequential_seconds = seq.Seconds();
+      (void)baseline;
+      common::SetGlobalThreads(*threads);
+    }
     const auto start = std::chrono::steady_clock::now();
     corpus = sim::GenerateCorpus(config);
     generation_seconds = std::chrono::duration<double>(
@@ -72,6 +100,14 @@ struct ReportContext {
     report.SetCorpus(config.num_pipelines, config.seed, config.horizon_days,
                      corpus.TotalExecutions(), corpus.TotalArtifacts(),
                      corpus.TotalTrainerRuns(), generation_seconds);
+    double speedup = 0.0;
+    if (sequential_seconds > 0.0 && generation_seconds > 0.0) {
+      speedup = sequential_seconds / generation_seconds;
+      std::printf("corpus generation speedup at %d threads: %.2fx\n\n",
+                  *threads, speedup);
+      report.Set("corpus_gen.sequential_seconds", sequential_seconds);
+    }
+    report.SetParallelism(*threads, speedup);
   }
 
   ~ReportContext() {

@@ -1,5 +1,6 @@
 #include "common/flags.h"
 
+#include <cerrno>
 #include <cstdlib>
 
 namespace mlprov::common {
@@ -39,6 +40,26 @@ int64_t Flags::GetInt(const std::string& name, int64_t def) const {
   char* end = nullptr;
   const int64_t v = std::strtoll(it->second.c_str(), &end, 10);
   return (end && *end == '\0') ? v : def;
+}
+
+StatusOr<int64_t> Flags::GetIntStrict(const std::string& name,
+                                      int64_t def) const {
+  requested_.insert(name);
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  const std::string& raw = it->second;
+  errno = 0;
+  char* end = nullptr;
+  const int64_t v = std::strtoll(raw.c_str(), &end, 10);
+  if (raw.empty() || end == raw.c_str() || *end != '\0') {
+    return Status::InvalidArgument("--" + name + "=" + raw +
+                                   " is not an integer");
+  }
+  if (errno == ERANGE) {
+    return Status::InvalidArgument("--" + name + "=" + raw +
+                                   " is out of int64 range");
+  }
+  return v;
 }
 
 double Flags::GetDouble(const std::string& name, double def) const {

@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
+
 namespace mlprov::common {
 
 /// Tiny `--key=value` command-line parser used by example and bench
@@ -22,6 +24,12 @@ class Flags {
   std::string GetString(const std::string& name,
                         const std::string& def) const;
   bool GetBool(const std::string& name, bool def) const;
+
+  /// Like GetInt, but a present-yet-malformed value (empty, non-numeric,
+  /// trailing junk, out of int64 range) is an InvalidArgument naming the
+  /// flag and the offending value instead of a silent fallback. An absent
+  /// flag still returns `def`.
+  StatusOr<int64_t> GetIntStrict(const std::string& name, int64_t def) const;
 
   bool Has(const std::string& name) const;
 

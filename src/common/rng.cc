@@ -168,4 +168,18 @@ size_t Rng::Categorical(const std::vector<double>& weights) {
 
 Rng Rng::Fork() { return Rng(NextUint64() ^ 0xD1B54A32D192ED03ull); }
 
+Rng Rng::Derive(uint64_t seed, uint64_t stream, uint64_t substream) {
+  // Chain the three keys through the splitmix64 finalizer with distinct
+  // salts so that (seed, stream, substream) triples that differ in any
+  // coordinate land in well-separated states. The salts are arbitrary
+  // odd constants; what matters is that each mixing round is bijective.
+  uint64_t state = seed;
+  uint64_t mixed = SplitMix64(state);
+  state = mixed ^ (stream + 0xD1B54A32D192ED03ull);
+  mixed = SplitMix64(state);
+  state = mixed ^ (substream + 0x8BB84B93962EACC9ull);
+  mixed = SplitMix64(state);
+  return Rng(mixed);
+}
+
 }  // namespace mlprov::common

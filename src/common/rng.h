@@ -62,6 +62,14 @@ class Rng {
   /// giving each simulated pipeline its own reproducible stream.
   Rng Fork();
 
+  /// Stateless stream derivation: an independent generator keyed by
+  /// (seed, stream, substream), e.g. Derive(corpus_seed, pipeline_id,
+  /// attempt). Unlike Fork(), which advances this generator and therefore
+  /// couples every later consumer to how many draws came before, Derive
+  /// depends only on its three inputs — pipeline i's stream is unaffected
+  /// by pipeline j's retries, and corpora are prefix-stable in N.
+  static Rng Derive(uint64_t seed, uint64_t stream, uint64_t substream = 0);
+
  private:
   uint64_t s_[4];
 };

@@ -1,7 +1,9 @@
 #include "core/features.h"
 
 #include <algorithm>
+#include <array>
 
+#include "common/parallel.h"
 #include "common/stats.h"
 
 namespace mlprov::core {
@@ -163,14 +165,30 @@ WasteDataset BuildWasteDataset(const sim::Corpus& corpus,
       ExecutionType::kEvaluator, ExecutionType::kModelValidator,
       ExecutionType::kInfraValidator};
 
-  std::vector<double> row(names.size(), 0.0);
-  for (const SegmentedPipeline& sp : segmented.pipelines) {
+  // Feature rows are built per pipeline in parallel (the EMD similarity
+  // lags dominate), then appended to the dataset sequentially in pipeline
+  // order so row order and every derived statistic match the sequential
+  // build exactly.
+  struct PipelineBlock {
+    std::vector<std::vector<double>> rows;
+    std::vector<int> labels;
+    std::vector<double> total_cost;
+    std::array<std::vector<double>, 4> stage_cost;
+    bool counted = false;
+  };
+  std::vector<PipelineBlock> blocks(segmented.pipelines.size());
+  common::ParallelFor(
+      segmented.pipelines.size(),
+      [&](size_t p) {
+    const SegmentedPipeline& sp = segmented.pipelines[p];
+    PipelineBlock& block = blocks[p];
     const sim::PipelineTrace& trace = corpus.pipelines[sp.pipeline_index];
     if (options.exclude_warmstart_pipelines && trace.config.warm_start) {
-      continue;
+      return;
     }
-    if (sp.graphlets.empty()) continue;
-    ++out.num_pipelines;
+    if (sp.graphlets.empty()) return;
+    block.counted = true;
+    std::vector<double> row(names.size(), 0.0);
     similarity::SpanSimilarityCalculator calc(
         options.similarity.feature_options);
     // Trailing means for the *_rel_1 features.
@@ -252,9 +270,9 @@ WasteDataset BuildWasteDataset(const sim::Corpus& corpus,
         row[col++] = shape.avg_in;
         row[col++] = shape.avg_out;
       }
-      out.data.AddRow(row, g.pushed ? 1 : 0,
-                      static_cast<int64_t>(sp.pipeline_index));
-      out.total_cost.push_back(g.TotalCost());
+      block.rows.push_back(row);
+      block.labels.push_back(g.pushed ? 1 : 0);
+      block.total_cost.push_back(g.TotalCost());
       // Ingestion + data analysis run once per span and are shared by all
       // graphlets touching the window; amortize them per graphlet so the
       // Table 3 feature-cost column reflects the *incremental* cost of
@@ -269,10 +287,25 @@ WasteDataset BuildWasteDataset(const sim::Corpus& corpus,
       const double s2 = s1 + g.trainer_cost;
       const double s3 =
           s2 + StageCost(trace.store, g.executions, post_types);
-      out.stage_cost[0].push_back(s0);
-      out.stage_cost[1].push_back(s1);
-      out.stage_cost[2].push_back(s2);
-      out.stage_cost[3].push_back(s3);
+      block.stage_cost[0].push_back(s0);
+      block.stage_cost[1].push_back(s1);
+      block.stage_cost[2].push_back(s2);
+      block.stage_cost[3].push_back(s3);
+    }
+      },
+      /*grain=*/1);
+  for (size_t p = 0; p < blocks.size(); ++p) {
+    const PipelineBlock& block = blocks[p];
+    if (!block.counted) continue;
+    ++out.num_pipelines;
+    const auto group =
+        static_cast<int64_t>(segmented.pipelines[p].pipeline_index);
+    for (size_t r = 0; r < block.rows.size(); ++r) {
+      out.data.AddRow(block.rows[r], block.labels[r], group);
+      out.total_cost.push_back(block.total_cost[r]);
+      for (int s = 0; s < 4; ++s) {
+        out.stage_cost[s].push_back(block.stage_cost[s][r]);
+      }
     }
   }
   return out;

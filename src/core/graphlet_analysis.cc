@@ -1,7 +1,9 @@
 #include "core/graphlet_analysis.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "common/parallel.h"
 #include "common/stats.h"
 #include "metadata/types.h"
 
@@ -26,13 +28,18 @@ size_t SegmentedCorpus::TotalPushed() const {
 SegmentedCorpus SegmentCorpus(const sim::Corpus& corpus,
                               const SegmentationOptions& options) {
   SegmentedCorpus segmented;
-  segmented.pipelines.reserve(corpus.pipelines.size());
-  for (size_t i = 0; i < corpus.pipelines.size(); ++i) {
-    SegmentedPipeline sp;
-    sp.pipeline_index = i;
-    sp.graphlets = SegmentTrace(corpus.pipelines[i].store, options);
-    segmented.pipelines.push_back(std::move(sp));
-  }
+  segmented.pipelines.resize(corpus.pipelines.size());
+  // Each pipeline segments into its own slot; SegmentTrace owns all its
+  // scratch state, so traces are independent. Grain 1: trace sizes vary
+  // by orders of magnitude across the corpus.
+  common::ParallelFor(
+      corpus.pipelines.size(),
+      [&](size_t i) {
+        SegmentedPipeline& sp = segmented.pipelines[i];
+        sp.pipeline_index = i;
+        sp.graphlets = SegmentTrace(corpus.pipelines[i].store, options);
+      },
+      /*grain=*/1);
   return segmented;
 }
 
@@ -86,24 +93,47 @@ SimilarityTable ComputeSimilarityTable(const sim::Corpus& corpus,
                                        const SegmentedCorpus& segmented,
                                        const SimilarityOptions& options) {
   SimilarityTable table;
+  // Phase 1 (parallel): per-pipeline pairwise similarity values into
+  // indexed slots. Phase 2 (sequential, pipeline order): the exact
+  // histogram/RunningStats accumulation the old single-loop code did, so
+  // every reported float is bit-identical at any thread count.
+  struct PipelinePairs {
+    std::vector<double> jaccard;
+    std::vector<double> dataset;
+  };
+  std::vector<PipelinePairs> partials(segmented.pipelines.size());
+  common::ParallelFor(
+      segmented.pipelines.size(),
+      [&](size_t p) {
+        const SegmentedPipeline& sp = segmented.pipelines[p];
+        const sim::PipelineTrace& trace =
+            corpus.pipelines[sp.pipeline_index];
+        if (sp.graphlets.size() < 2) return;
+        similarity::SpanSimilarityCalculator calc(options.feature_options);
+        size_t pairs = sp.graphlets.size() - 1;
+        if (options.max_pairs_per_pipeline > 0) {
+          pairs = std::min(pairs, options.max_pairs_per_pipeline);
+        }
+        PipelinePairs& out = partials[p];
+        out.jaccard.reserve(pairs);
+        out.dataset.reserve(pairs);
+        for (size_t i = 0; i < pairs; ++i) {
+          const Graphlet& g = sp.graphlets[i];
+          const Graphlet& next = sp.graphlets[i + 1];
+          out.jaccard.push_back(GraphletJaccard(g, next));
+          out.dataset.push_back(
+              GraphletDatasetSimilarity(trace, g, next, calc));
+        }
+      },
+      /*grain=*/1);
   common::RunningStats jaccard_stats, dataset_stats, avg_dataset_stats;
-  for (const SegmentedPipeline& sp : segmented.pipelines) {
-    const sim::PipelineTrace& trace = corpus.pipelines[sp.pipeline_index];
-    if (sp.graphlets.size() < 2) continue;
-    similarity::SpanSimilarityCalculator calc(options.feature_options);
-    size_t pairs = sp.graphlets.size() - 1;
-    if (options.max_pairs_per_pipeline > 0) {
-      pairs = std::min(pairs, options.max_pairs_per_pipeline);
-    }
+  for (const PipelinePairs& pp : partials) {
     common::RunningStats pipeline_dataset;
-    for (size_t i = 0; i < pairs; ++i) {
-      const Graphlet& g = sp.graphlets[i];
-      const Graphlet& next = sp.graphlets[i + 1];
-      const double jaccard = GraphletJaccard(g, next);
+    for (size_t i = 0; i < pp.jaccard.size(); ++i) {
+      const double jaccard = pp.jaccard[i];
       table.jaccard_hist[RangeBucket(jaccard)] += 1.0;
       jaccard_stats.Add(jaccard);
-      const double dataset =
-          GraphletDatasetSimilarity(trace, g, next, calc);
+      const double dataset = pp.dataset[i];
       table.dataset_hist[RangeBucket(dataset)] += 1.0;
       dataset_stats.Add(dataset);
       pipeline_dataset.Add(dataset);
@@ -225,30 +255,52 @@ PushDriverStats ComputePushDrivers(const sim::Corpus& corpus,
                                    const SegmentedCorpus& segmented,
                                    const SimilarityOptions& options) {
   PushDriverStats stats;
+  // Same two-phase shape as ComputeSimilarityTable: the EMD-heavy pair
+  // similarities run per pipeline in parallel, then the RunningStats are
+  // accumulated sequentially in pipeline order for bit-identical means.
+  struct PairDriver {
+    double sim = 0.0;
+    double code_match = 0.0;
+    bool pushed = false;
+  };
+  std::vector<std::vector<PairDriver>> partials(segmented.pipelines.size());
+  common::ParallelFor(
+      segmented.pipelines.size(),
+      [&](size_t p) {
+        const SegmentedPipeline& sp = segmented.pipelines[p];
+        if (sp.graphlets.size() < 2) return;
+        const sim::PipelineTrace& trace =
+            corpus.pipelines[sp.pipeline_index];
+        similarity::SpanSimilarityCalculator calc(options.feature_options);
+        size_t pairs = sp.graphlets.size() - 1;
+        if (options.max_pairs_per_pipeline > 0) {
+          pairs = std::min(pairs, options.max_pairs_per_pipeline);
+        }
+        std::vector<PairDriver>& out = partials[p];
+        out.reserve(pairs);
+        for (size_t i = 0; i < pairs; ++i) {
+          const Graphlet& prev = sp.graphlets[i];
+          const Graphlet& g = sp.graphlets[i + 1];
+          PairDriver d;
+          d.sim = GraphletDatasetSimilarity(trace, g, prev, calc);
+          d.code_match = g.code_version == prev.code_version ? 1.0 : 0.0;
+          d.pushed = g.pushed;
+          out.push_back(d);
+        }
+      },
+      /*grain=*/1);
   common::RunningStats sim_pushed, sim_unpushed, sim_all;
   common::RunningStats code_pushed, code_unpushed, code_all;
-  for (const SegmentedPipeline& sp : segmented.pipelines) {
-    if (sp.graphlets.size() < 2) continue;
-    const sim::PipelineTrace& trace = corpus.pipelines[sp.pipeline_index];
-    similarity::SpanSimilarityCalculator calc(options.feature_options);
-    size_t pairs = sp.graphlets.size() - 1;
-    if (options.max_pairs_per_pipeline > 0) {
-      pairs = std::min(pairs, options.max_pairs_per_pipeline);
-    }
-    for (size_t i = 0; i < pairs; ++i) {
-      const Graphlet& prev = sp.graphlets[i];
-      const Graphlet& g = sp.graphlets[i + 1];
-      const double sim = GraphletDatasetSimilarity(trace, g, prev, calc);
-      const double code_match =
-          g.code_version == prev.code_version ? 1.0 : 0.0;
-      sim_all.Add(sim);
-      code_all.Add(code_match);
-      if (g.pushed) {
-        sim_pushed.Add(sim);
-        code_pushed.Add(code_match);
+  for (const std::vector<PairDriver>& pipeline_pairs : partials) {
+    for (const PairDriver& d : pipeline_pairs) {
+      sim_all.Add(d.sim);
+      code_all.Add(d.code_match);
+      if (d.pushed) {
+        sim_pushed.Add(d.sim);
+        code_pushed.Add(d.code_match);
       } else {
-        sim_unpushed.Add(sim);
-        code_unpushed.Add(code_match);
+        sim_unpushed.Add(d.sim);
+        code_unpushed.Add(d.code_match);
       }
     }
   }

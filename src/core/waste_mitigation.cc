@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.h"
 #include "ml/metrics.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -113,14 +114,16 @@ VariantResult WasteMitigation::Evaluate(Variant variant) const {
   // Pick the decision threshold on the training split (the post-hoc
   // thresholding of Section 5.1), then evaluate on the held-out
   // pipelines.
-  std::vector<double> train_scores;
-  std::vector<int> train_labels;
-  train_scores.reserve(train_rows_.size());
-  train_labels.reserve(train_rows_.size());
-  for (size_t row : train_rows_) {
-    train_scores.push_back(forest.PredictProba(projected, row));
-    train_labels.push_back(projected.Label(row));
-  }
+  // Forest inference is read-only, so both predict loops fill indexed
+  // slots in parallel; the output vectors are ordered by row index either
+  // way, identical to the sequential loops.
+  std::vector<double> train_scores(train_rows_.size());
+  std::vector<int> train_labels(train_rows_.size());
+  common::ParallelFor(train_rows_.size(), [&](size_t i) {
+    const size_t row = train_rows_[i];
+    train_scores[i] = forest.PredictProba(projected, row);
+    train_labels[i] = projected.Label(row);
+  });
   const auto roc = ml::RocCurve(train_scores, train_labels);
   double best_ba = 0.0;
   result.threshold = 0.5;
@@ -132,14 +135,15 @@ VariantResult WasteMitigation::Evaluate(Variant variant) const {
     }
   }
 
-  result.scores.reserve(test_rows_.size());
-  result.labels.reserve(test_rows_.size());
-  result.costs.reserve(test_rows_.size());
-  for (size_t row : test_rows_) {
-    result.scores.push_back(forest.PredictProba(projected, row));
-    result.labels.push_back(projected.Label(row));
-    result.costs.push_back(dataset_->total_cost[row]);
-  }
+  result.scores.resize(test_rows_.size());
+  result.labels.resize(test_rows_.size());
+  result.costs.resize(test_rows_.size());
+  common::ParallelFor(test_rows_.size(), [&](size_t i) {
+    const size_t row = test_rows_[i];
+    result.scores[i] = forest.PredictProba(projected, row);
+    result.labels[i] = projected.Label(row);
+    result.costs[i] = dataset_->total_cost[row];
+  });
   result.balanced_accuracy = ml::BalancedAccuracy(
       result.scores, result.labels, result.threshold);
 

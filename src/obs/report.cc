@@ -26,6 +26,11 @@ void BenchReport::SetCorpus(int64_t pipelines, uint64_t seed,
   corpus_.Set("generation_seconds", generation_seconds);
 }
 
+void BenchReport::SetParallelism(int threads, double speedup) {
+  threads_ = threads;
+  speedup_ = speedup;
+}
+
 void BenchReport::SetCommandLine(int argc, char** argv) {
   command_ = Json::Array();
   for (int i = 0; i < argc; ++i) command_.Push(std::string(argv[i]));
@@ -44,6 +49,8 @@ Json BenchReport::ToJson() const {
   }
   if (command_.size() > 0) report.Set("command", command_);
   report.Set("wall_seconds", wall_seconds_);
+  report.Set("threads", threads_);
+  report.Set("speedup", speedup_);
   if (corpus_.size() > 0) report.Set("corpus", corpus_);
   report.Set("results", results_);
   report.Set("metrics", Registry::Global().Snapshot());

@@ -31,6 +31,12 @@ class BenchReport {
   void set_wall_seconds(double seconds) { wall_seconds_ = seconds; }
   void SetCommandLine(int argc, char** argv);
 
+  /// Records the run's parallelism: thread count and, when the bench
+  /// measured one, the speedup over its own single-thread baseline
+  /// (0.0 = not measured). Both are always emitted so BENCH_*.json files
+  /// form a comparable perf trajectory across runs.
+  void SetParallelism(int threads, double speedup = 0.0);
+
   /// Full report, including Registry::Global().Snapshot() as "metrics".
   Json ToJson() const;
 
@@ -51,6 +57,8 @@ class BenchReport {
   Json corpus_ = Json::Object();
   Json results_ = Json::Object();
   double wall_seconds_ = 0.0;
+  int threads_ = 1;
+  double speedup_ = 0.0;
 };
 
 }  // namespace mlprov::obs

@@ -1,5 +1,9 @@
 #include "simulator/corpus_generator.h"
 
+#include <utility>
+
+#include "common/parallel.h"
+#include "common/rng.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "simulator/pipeline_simulator.h"
@@ -28,28 +32,41 @@ Corpus GenerateCorpus(const CorpusConfig& config,
   MLPROV_SPAN_ARG(corpus_span, "pipelines", config.num_pipelines);
   MLPROV_SPAN_ARG(corpus_span, "seed", config.seed);
   MLPROV_SPAN_ARG(corpus_span, "horizon_days", config.horizon_days);
+  MLPROV_SPAN_ARG(corpus_span, "threads", common::GlobalThreads());
   Corpus corpus;
   corpus.config = config;
-  corpus.pipelines.reserve(static_cast<size_t>(config.num_pipelines));
-  common::Rng rng(config.seed);
+  corpus.pipelines.resize(static_cast<size_t>(config.num_pipelines));
   constexpr int kMaxAttempts = 8;
-  for (int64_t id = 0; id < config.num_pipelines; ++id) {
-    const obs::Stopwatch pipeline_watch;
-    PipelineTrace trace;
-    for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
-      if (attempt > 0) MLPROV_COUNTER_INC("sim.qualify_retries");
-      const PipelineConfig pipeline_config =
-          SamplePipelineConfig(config, id, rng);
-      trace = SimulatePipeline(config, pipeline_config, cost_model);
-      if (Qualifies(trace)) break;
-    }
-    // After kMaxAttempts the trace is kept regardless: the population
-    // statistics stay unbiased and the corpus size is exact.
-    MLPROV_HISTOGRAM_RECORD("sim.pipeline_gen_seconds",
-                            pipeline_watch.Seconds());
-    corpus.pipelines.push_back(std::move(trace));
-    MLPROV_COUNTER_INC("sim.pipelines_generated");
-  }
+  const auto n = static_cast<size_t>(config.num_pipelines);
+  // Each pipeline draws from its own (seed, id, attempt)-derived stream,
+  // so slot i is independent of every other slot's retry count: the
+  // corpus is identical at any thread count, and an N-pipeline corpus is
+  // a strict prefix of an (N+k)-pipeline one. Grain 1 because simulated
+  // pipeline cost is heavy-tailed (cadence and horizon vary widely).
+  common::ParallelFor(
+      n,
+      [&](size_t slot) {
+        const auto id = static_cast<int64_t>(slot);
+        const obs::Stopwatch pipeline_watch;
+        PipelineTrace trace;
+        for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+          if (attempt > 0) MLPROV_COUNTER_INC("sim.qualify_retries");
+          common::Rng rng = common::Rng::Derive(
+              config.seed, static_cast<uint64_t>(id),
+              static_cast<uint64_t>(attempt));
+          const PipelineConfig pipeline_config =
+              SamplePipelineConfig(config, id, rng);
+          trace = SimulatePipeline(config, pipeline_config, cost_model);
+          if (Qualifies(trace)) break;
+        }
+        // After kMaxAttempts the trace is kept regardless: the population
+        // statistics stay unbiased and the corpus size is exact.
+        MLPROV_HISTOGRAM_RECORD("sim.pipeline_gen_seconds",
+                                pipeline_watch.Seconds());
+        corpus.pipelines[slot] = std::move(trace);
+        MLPROV_COUNTER_INC("sim.pipelines_generated");
+      },
+      /*grain=*/1);
   return corpus;
 }
 

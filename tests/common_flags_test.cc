@@ -81,6 +81,54 @@ TEST(FlagsTest, AnyGetterMarksRequested) {
   EXPECT_TRUE(flags.Unknown().empty());
 }
 
+TEST(FlagsTest, GetIntStrictParsesValidValues) {
+  const Flags flags = Make({"--threads=8", "--offset=-3"});
+  const StatusOr<int64_t> threads = flags.GetIntStrict("threads", 1);
+  ASSERT_TRUE(threads.ok());
+  EXPECT_EQ(*threads, 8);
+  const StatusOr<int64_t> offset = flags.GetIntStrict("offset", 0);
+  ASSERT_TRUE(offset.ok());
+  EXPECT_EQ(*offset, -3);
+}
+
+TEST(FlagsTest, GetIntStrictDefaultsWhenAbsent) {
+  const Flags flags = Make({});
+  const StatusOr<int64_t> v = flags.GetIntStrict("threads", 17);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 17);
+}
+
+TEST(FlagsTest, GetIntStrictRejectsNonNumeric) {
+  const Flags flags = Make({"--threads=abc"});
+  const StatusOr<int64_t> v = flags.GetIntStrict("threads", 1);
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+  // The error must name the flag and the bad value.
+  EXPECT_NE(v.status().message().find("threads"), std::string::npos);
+  EXPECT_NE(v.status().message().find("abc"), std::string::npos);
+}
+
+TEST(FlagsTest, GetIntStrictRejectsTrailingJunk) {
+  const Flags flags = Make({"--threads=4x"});
+  EXPECT_FALSE(flags.GetIntStrict("threads", 1).ok());
+}
+
+TEST(FlagsTest, GetIntStrictRejectsEmptyValue) {
+  const Flags flags = Make({"--threads="});
+  EXPECT_FALSE(flags.GetIntStrict("threads", 1).ok());
+}
+
+TEST(FlagsTest, GetIntStrictRejectsOutOfRange) {
+  const Flags flags = Make({"--threads=99999999999999999999999"});
+  EXPECT_FALSE(flags.GetIntStrict("threads", 1).ok());
+}
+
+TEST(FlagsTest, GetIntStrictMarksRequested) {
+  const Flags flags = Make({"--threads=2"});
+  flags.GetIntStrict("threads", 1);
+  EXPECT_TRUE(flags.Unknown().empty());
+}
+
 TEST(FlagsTest, RequestingAbsentFlagDoesNotAffectUnknown) {
   const Flags flags = Make({"--present=1"});
   flags.GetInt("absent", 0);

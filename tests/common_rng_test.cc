@@ -176,5 +176,47 @@ TEST(RngTest, ForkProducesIndependentStream) {
   EXPECT_LT(equal, 2);
 }
 
+TEST(RngTest, DeriveIsAPureFunctionOfItsKeys) {
+  Rng a = Rng::Derive(42, 7, 3);
+  Rng b = Rng::Derive(42, 7, 3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DeriveSeparatesStreams) {
+  // Streams that differ in any one key coordinate must be independent;
+  // compare a handful of adjacent keys pairwise.
+  const std::vector<Rng> rngs = {
+      Rng::Derive(42, 0, 0), Rng::Derive(42, 1, 0), Rng::Derive(42, 0, 1),
+      Rng::Derive(43, 0, 0), Rng::Derive(42, 2, 0)};
+  std::vector<std::vector<uint64_t>> draws(rngs.size());
+  for (size_t r = 0; r < rngs.size(); ++r) {
+    Rng rng = rngs[r];
+    for (int i = 0; i < 64; ++i) draws[r].push_back(rng.NextUint64());
+  }
+  for (size_t i = 0; i < draws.size(); ++i) {
+    for (size_t j = i + 1; j < draws.size(); ++j) {
+      int equal = 0;
+      for (int k = 0; k < 64; ++k) {
+        if (draws[i][k] == draws[j][k]) ++equal;
+      }
+      EXPECT_LT(equal, 2) << "streams " << i << " and " << j;
+    }
+  }
+}
+
+TEST(RngTest, DeriveStreamAndSubstreamAreNotInterchangeable) {
+  // (stream, substream) = (a, b) must differ from (b, a): the mixing is
+  // keyed per coordinate, not by the sum.
+  Rng ab = Rng::Derive(42, 5, 9);
+  Rng ba = Rng::Derive(42, 9, 5);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (ab.NextUint64() == ba.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
 }  // namespace
 }  // namespace mlprov::common

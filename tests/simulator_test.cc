@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "metadata/serialization.h"
 #include "metadata/trace.h"
 #include "simulator/corpus_generator.h"
 
@@ -225,6 +226,47 @@ TEST(CorpusGeneratorTest, DeterministicForSeed) {
   ASSERT_EQ(a.pipelines.size(), b.pipelines.size());
   EXPECT_EQ(a.TotalExecutions(), b.TotalExecutions());
   EXPECT_EQ(a.TotalArtifacts(), b.TotalArtifacts());
+}
+
+TEST(CorpusGeneratorTest, SmallerCorpusIsStrictPrefixOfLarger) {
+  // Per-pipeline derived RNG streams decouple pipelines from each other:
+  // pipeline i's trace depends only on (seed, i), so growing the corpus
+  // must not reshuffle the pipelines that were already there.
+  CorpusConfig small = SmallCorpusConfig();
+  small.num_pipelines = 10;
+  CorpusConfig large = SmallCorpusConfig();
+  large.num_pipelines = 16;
+  const Corpus a = GenerateCorpus(small);
+  const Corpus b = GenerateCorpus(large);
+  ASSERT_EQ(a.pipelines.size(), 10u);
+  ASSERT_EQ(b.pipelines.size(), 16u);
+  for (size_t i = 0; i < a.pipelines.size(); ++i) {
+    EXPECT_EQ(metadata::SerializeStore(a.pipelines[i].store),
+              metadata::SerializeStore(b.pipelines[i].store))
+        << "pipeline " << i << " changed when the corpus grew";
+  }
+}
+
+TEST(CorpusGeneratorTest, PipelineConfigMatchesDerivedStream) {
+  // The corpus generator samples pipeline i's config from
+  // Rng::Derive(seed, i, attempt). Re-deriving the stream by hand must
+  // reproduce the stored config; if the generator ever goes back to one
+  // shared stream (the pre-fix coupling bug), no attempt will match.
+  const CorpusConfig config = SmallCorpusConfig();
+  const Corpus corpus = GenerateCorpus(config);
+  for (const size_t pipeline : {size_t{0}, size_t{7}, size_t{39}}) {
+    bool matched = false;
+    for (int attempt = 0; attempt < 8 && !matched; ++attempt) {
+      common::Rng rng = common::Rng::Derive(config.seed, pipeline,
+                                            static_cast<uint64_t>(attempt));
+      const PipelineConfig pc = SamplePipelineConfig(
+          config, static_cast<int64_t>(pipeline), rng);
+      matched = pc.seed == corpus.pipelines[pipeline].config.seed &&
+                pc.model_type == corpus.pipelines[pipeline].config.model_type;
+    }
+    EXPECT_TRUE(matched) << "pipeline " << pipeline
+                         << " config not reproducible from derived stream";
+  }
 }
 
 TEST(CorpusGeneratorTest, ModelMixRoughlyMatchesConfig) {
