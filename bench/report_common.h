@@ -5,9 +5,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 
+#include "common/failpoints.h"
 #include "common/flags.h"
 #include "common/parallel.h"
+#include "obs/metrics.h"
 #include "common/histogram.h"
 #include "common/stats.h"
 #include "common/table.h"
@@ -35,6 +38,11 @@ namespace mlprov::bench {
 ///   --measure_speedup  also generate the corpus once at --threads=1 and
 ///                      record wall-clock speedup in the report
 ///
+/// Failure-semantics flags (see DESIGN.md "Failure semantics"):
+///   --fault_plan=SPEC  arm deterministic fault injection, e.g.
+///                      "exec.trainer:transient:0.05,exec.pusher:persistent:0.01"
+///   --max_retries=N    orchestrator retry budget per operator invocation
+///
 /// The destructor writes `BENCH_<name>.json` containing the corpus shape,
 /// wall times, whatever key values the binary recorded via
 /// `ctx.report.Set(...)`, and a snapshot of the obs metrics registry.
@@ -54,6 +62,19 @@ struct ReportContext {
         static_cast<int>(flags.GetInt("pipelines", default_pipelines));
     config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
     config.horizon_days = flags.GetDouble("horizon_days", 130.0);
+    if (const std::string plan_text = flags.GetString("fault_plan", "");
+        !plan_text.empty()) {
+      common::StatusOr<common::FaultPlan> plan =
+          common::FaultPlan::Parse(plan_text);
+      if (!plan.ok()) {
+        std::fprintf(stderr, "error: --fault_plan: %s\n",
+                     plan.status().ToString().c_str());
+        std::exit(2);
+      }
+      config.fault_plan = std::move(*plan);
+    }
+    config.max_retries =
+        static_cast<int>(flags.GetInt("max_retries", config.max_retries));
     trace_out_ = flags.GetString("trace_out", "");
     report_dir_ = flags.GetString("report_dir", ".");
     write_report_ = !flags.GetBool("no_report", false);
@@ -75,6 +96,11 @@ struct ReportContext {
         config.num_pipelines,
         static_cast<unsigned long long>(config.seed), config.horizon_days,
         *threads);
+    if (!config.fault_plan.empty()) {
+      std::printf("fault plan: %s (max %d retries)\n",
+                  config.fault_plan.ToString().c_str(),
+                  config.max_retries);
+    }
     double sequential_seconds = 0.0;
     if (measure_speedup && *threads > 1) {
       // The derived per-pipeline RNG streams make the corpus identical at
@@ -116,6 +142,13 @@ struct ReportContext {
                    name.c_str());
     }
     report.set_wall_seconds(wall_.Seconds());
+    // Failure-semantics tallies for the whole run (all zero when no
+    // fault plan was armed and every trace was clean).
+    auto& registry = obs::Registry::Global();
+    report.SetFailureStats(
+        registry.GetCounter("exec.retries")->Value(),
+        registry.GetCounter("trace.quarantined")->Value(),
+        registry.GetGauge("waste.failed_hours")->Value());
     if (write_report_) {
       const auto status = report.WriteTo(report_dir_);
       if (status.ok()) {

@@ -14,10 +14,30 @@ using namespace mlprov;  // NOLINT: example brevity
 
 int main(int argc, char** argv) {
   common::Flags flags(argc, argv);
-  const int num_spans = static_cast<int>(flags.GetInt("spans", 30));
+  const auto spans_or = flags.GetIntStrict("spans", 30);
+  const auto features_or = flags.GetIntStrict("features", 24);
+  if (!spans_or.ok() || !features_or.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 (!spans_or.ok() ? spans_or.status() : features_or.status())
+                     .ToString()
+                     .c_str());
+    return 2;
+  }
+  const int num_spans = static_cast<int>(*spans_or);
+  if (num_spans < 2) {
+    std::fprintf(stderr,
+                 "error: --spans=%d — need at least 2 spans to compare\n",
+                 num_spans);
+    return 2;
+  }
 
   dataspan::SchemaConfig schema;
-  schema.num_features = static_cast<int>(flags.GetInt("features", 24));
+  schema.num_features = static_cast<int>(*features_or);
+  if (schema.num_features < 1) {
+    std::fprintf(stderr, "error: --features=%d — need at least 1 feature\n",
+                 schema.num_features);
+    return 2;
+  }
   dataspan::SpanStatsGenerator generator(
       schema, common::Rng(static_cast<uint64_t>(flags.GetInt("seed", 3))));
 

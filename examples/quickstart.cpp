@@ -39,6 +39,19 @@ ArtifactId AddArtifact(MetadataStore& store, ArtifactType type,
 
 }  // namespace
 
+// Aborts with a clear message if an event is rejected — a silent
+// provenance gap here would make every number below wrong.
+bool Link(MetadataStore& store, ExecutionId exec, ArtifactId artifact,
+          EventKind kind) {
+  const auto status = store.PutEvent({exec, artifact, kind, 0});
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: recording event failed: %s\n",
+                 status.ToString().c_str());
+    return false;
+  }
+  return true;
+}
+
 int main() {
   MetadataStore store;
 
@@ -49,7 +62,7 @@ int main() {
                                          day * 86400, 8.0);
     spans[day] =
         AddArtifact(store, ArtifactType::kExamples, day * 86400 + 600, day);
-    (void)store.PutEvent({gen, spans[day], EventKind::kOutput, 0});
+    if (!Link(store, gen, spans[day], EventKind::kOutput)) return 1;
   }
 
   // Two trainers on a rolling two-day window; the first model is pushed.
@@ -57,18 +70,22 @@ int main() {
   for (int run = 0; run < 2; ++run) {
     const ExecutionId trainer = AddExecution(
         store, ExecutionType::kTrainer, (run + 2) * 86400, 10.0);
-    (void)store.PutEvent({trainer, spans[run], EventKind::kInput, 0});
-    (void)store.PutEvent({trainer, spans[run + 1], EventKind::kInput, 0});
+    if (!Link(store, trainer, spans[run], EventKind::kInput) ||
+        !Link(store, trainer, spans[run + 1], EventKind::kInput)) {
+      return 1;
+    }
     models[run] = AddArtifact(store, ArtifactType::kModel,
                               (run + 2) * 86400 + 600);
-    (void)store.PutEvent({trainer, models[run], EventKind::kOutput, 0});
+    if (!Link(store, trainer, models[run], EventKind::kOutput)) return 1;
   }
   const ExecutionId pusher =
       AddExecution(store, ExecutionType::kPusher, 3 * 86400, 1.0);
-  (void)store.PutEvent({pusher, models[0], EventKind::kInput, 0});
   const ArtifactId pushed =
       AddArtifact(store, ArtifactType::kPushedModel, 3 * 86400 + 600);
-  (void)store.PutEvent({pusher, pushed, EventKind::kOutput, 0});
+  if (!Link(store, pusher, models[0], EventKind::kInput) ||
+      !Link(store, pusher, pushed, EventKind::kOutput)) {
+    return 1;
+  }
 
   // Inspect the trace.
   mlprov::metadata::TraceView view(&store);
@@ -77,6 +94,12 @@ int main() {
 
   // Segment into model graphlets (Section 4.1).
   const auto graphlets = mlprov::core::SegmentTrace(store);
+  if (graphlets.empty()) {
+    std::fprintf(stderr,
+                 "error: segmentation produced no graphlets from a trace "
+                 "with trainers — this is a bug\n");
+    return 1;
+  }
   std::printf("extracted %zu graphlets:\n", graphlets.size());
   for (const auto& g : graphlets) {
     std::printf(

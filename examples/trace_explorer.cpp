@@ -1,18 +1,128 @@
-// Trace explorer: simulate one production pipeline, save/load its MLMD
-// trace, and answer provenance queries — which spans fed a pushed model,
-// what a graphlet cost, how big the trace got. Demonstrates the metadata
-// store, serialization, trace traversal, and segmentation APIs together.
+// Trace explorer: simulate one production pipeline (or load a saved
+// trace with --load=FILE), save/load its MLMD trace, and answer
+// provenance queries — which spans fed a pushed model, what a graphlet
+// cost, how big the trace got. Demonstrates the metadata store,
+// serialization, validation, trace traversal, and segmentation APIs
+// together. Exits non-zero with a clear message on missing or corrupt
+// input.
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <variant>
 
 #include "common/flags.h"
 #include "core/segmentation.h"
 #include "metadata/serialization.h"
 #include "metadata/trace.h"
+#include "metadata/trace_validator.h"
 #include "obs/trace.h"
 #include "simulator/pipeline_simulator.h"
 
 using namespace mlprov;  // NOLINT: example brevity
+
+namespace {
+
+// Explores one store: size, graphlets, and the lineage of the last
+// pushed model. Returns the process exit code.
+int ExploreStore(const metadata::MetadataStore& store) {
+  metadata::TraceView view(&store);
+  std::printf("trace size: %zu nodes in %zu weakly connected "
+              "component(s)\n\n",
+              view.NumNodes(), view.NumConnectedComponents());
+
+  const auto graphlets = core::SegmentTrace(store);
+  if (graphlets.empty()) {
+    std::fprintf(stderr,
+                 "error: no graphlets found (trace has no trainer "
+                 "executions to anchor on)\n");
+    return 1;
+  }
+  size_t pushed = 0;
+  double pushed_cost = 0.0, total_cost = 0.0;
+  for (const auto& g : graphlets) {
+    total_cost += g.TotalCost();
+    if (g.pushed) {
+      ++pushed;
+      pushed_cost += g.TotalCost();
+    }
+  }
+  std::printf("%zu graphlets, %zu pushed (%.1f%%); %.0f machine-hours "
+              "total, %.1f%% spent on graphlets that deployed a model\n\n",
+              graphlets.size(), pushed,
+              100.0 * static_cast<double>(pushed) /
+                  static_cast<double>(graphlets.size()),
+              total_cost,
+              total_cost > 0.0 ? 100.0 * pushed_cost / total_cost : 0.0);
+
+  // Provenance query: the lineage of the last pushed model.
+  for (auto it = graphlets.rbegin(); it != graphlets.rend(); ++it) {
+    if (!it->pushed) continue;
+    std::printf("lineage of the last pushed model (trainer #%lld):\n",
+                static_cast<long long>(it->trainer));
+    std::printf("  input spans:");
+    for (metadata::ArtifactId span : it->input_spans) {
+      const auto artifact = store.GetArtifact(span);
+      if (!artifact.ok()) continue;
+      int64_t number = -1;
+      if (auto p = artifact->properties.find("span");
+          p != artifact->properties.end()) {
+        if (const int64_t* v = std::get_if<int64_t>(&p->second)) {
+          number = *v;
+        }
+      }
+      std::printf(" %lld(span %lld)", static_cast<long long>(span),
+                  static_cast<long long>(number));
+    }
+    std::printf("\n  operators:");
+    for (metadata::ExecutionId e : it->executions) {
+      const auto exec = store.GetExecution(e);
+      if (exec.ok()) std::printf(" %s", metadata::ToString(exec->type));
+    }
+    std::printf("\n  cost split: pre-trainer %.1f + trainer %.1f + "
+                "post-trainer %.1f machine-hours\n",
+                it->pre_trainer_cost, it->trainer_cost,
+                it->post_trainer_cost);
+    break;
+  }
+  return 0;
+}
+
+// Loads a user-supplied trace: strict parse first, then a lenient parse
+// plus repair, so a partially corrupted file still explores (with the
+// damage reported) while garbage is rejected outright.
+common::StatusOr<metadata::MetadataStore> LoadUserTrace(
+    const std::string& path) {
+  auto strict = metadata::LoadStore(path);
+  if (strict.ok()) return strict;
+  std::fprintf(stderr, "warning: strict parse failed (%s); retrying "
+               "leniently\n",
+               strict.status().ToString().c_str());
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return common::Status::NotFound("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  metadata::LenientStats stats;
+  auto lenient = metadata::DeserializeStoreLenient(buf.str(), &stats);
+  if (!lenient.ok()) return lenient;
+  std::fprintf(stderr,
+               "warning: lenient parse skipped %zu malformed line(s), "
+               "%zu invalid enum(s), %zu dangling event(s), %zu orphan "
+               "propertie(s)\n",
+               stats.malformed_lines, stats.invalid_enums,
+               stats.dangling_events, stats.orphan_properties);
+  const metadata::TraceValidator repairer(
+      metadata::TraceValidator::Mode::kRepair);
+  const auto report = repairer.ValidateAndRepair(*lenient);
+  if (!report.clean()) {
+    std::fprintf(stderr, "warning: trace validation: %s\n",
+                 report.Summary().c_str());
+  }
+  return lenient;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   common::Flags flags(argc, argv);
@@ -20,6 +130,23 @@ int main(int argc, char** argv) {
   // Chrome trace-event JSON (open in chrome://tracing or Perfetto).
   const std::string trace_out = flags.GetString("trace_out", "");
   if (!trace_out.empty()) obs::TraceRecorder::Global().Enable();
+
+  // --load=FILE explores an existing serialized trace instead of
+  // simulating a fresh one.
+  const std::string load_path = flags.GetString("load", "");
+  if (!load_path.empty()) {
+    auto loaded = LoadUserTrace(load_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: cannot load trace from %s: %s\n",
+                   load_path.c_str(),
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("loaded %s: %zu executions, %zu artifacts, %zu events\n",
+                load_path.c_str(), loaded->num_executions(),
+                loaded->num_artifacts(), loaded->num_events());
+    return ExploreStore(*loaded);
+  }
 
   sim::CorpusConfig corpus_config;
   corpus_config.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
@@ -40,12 +167,14 @@ int main(int argc, char** argv) {
   // Round-trip the trace through the text serialization.
   const std::string path = "/tmp/mlprov_trace_example.txt";
   if (auto status = metadata::SaveStore(trace.store, path); !status.ok()) {
-    std::printf("save failed: %s\n", status.ToString().c_str());
+    std::fprintf(stderr, "error: save failed: %s\n",
+                 status.ToString().c_str());
     return 1;
   }
   auto loaded = metadata::LoadStore(path);
   if (!loaded.ok()) {
-    std::printf("load failed: %s\n", loaded.status().ToString().c_str());
+    std::fprintf(stderr, "error: load failed: %s\n",
+                 loaded.status().ToString().c_str());
     return 1;
   }
   std::printf("trace saved to %s and reloaded: %zu executions, %zu "
@@ -53,55 +182,8 @@ int main(int argc, char** argv) {
               path.c_str(), loaded->num_executions(),
               loaded->num_artifacts(), loaded->num_events());
 
-  metadata::TraceView view(&trace.store);
-  std::printf("trace size: %zu nodes in %zu weakly connected "
-              "component(s)\n\n",
-              view.NumNodes(), view.NumConnectedComponents());
-
-  const auto graphlets = core::SegmentTrace(trace.store);
-  size_t pushed = 0;
-  double pushed_cost = 0.0, total_cost = 0.0;
-  for (const auto& g : graphlets) {
-    total_cost += g.TotalCost();
-    if (g.pushed) {
-      ++pushed;
-      pushed_cost += g.TotalCost();
-    }
-  }
-  std::printf("%zu graphlets, %zu pushed (%.1f%%); %.0f machine-hours "
-              "total, %.1f%% spent on graphlets that deployed a model\n\n",
-              graphlets.size(), pushed,
-              100.0 * static_cast<double>(pushed) /
-                  static_cast<double>(graphlets.size()),
-              total_cost, 100.0 * pushed_cost / total_cost);
-
-  // Provenance query: the lineage of the last pushed model.
-  for (auto it = graphlets.rbegin(); it != graphlets.rend(); ++it) {
-    if (!it->pushed) continue;
-    std::printf("lineage of the last pushed model (trainer #%lld):\n",
-                static_cast<long long>(it->trainer));
-    std::printf("  input spans:");
-    for (metadata::ArtifactId span : it->input_spans) {
-      const auto artifact = trace.store.GetArtifact(span);
-      int64_t number = -1;
-      if (auto p = artifact->properties.find("span");
-          p != artifact->properties.end()) {
-        number = std::get<int64_t>(p->second);
-      }
-      std::printf(" %lld(span %lld)", static_cast<long long>(span),
-                  static_cast<long long>(number));
-    }
-    std::printf("\n  operators:");
-    for (metadata::ExecutionId e : it->executions) {
-      std::printf(" %s",
-                  metadata::ToString(trace.store.GetExecution(e)->type));
-    }
-    std::printf("\n  cost split: pre-trainer %.1f + trainer %.1f + "
-                "post-trainer %.1f machine-hours\n",
-                it->pre_trainer_cost, it->trainer_cost,
-                it->post_trainer_cost);
-    break;
-  }
+  const int code = ExploreStore(trace.store);
+  if (code != 0) return code;
 
   if (!trace_out.empty()) {
     const auto& recorder = obs::TraceRecorder::Global();

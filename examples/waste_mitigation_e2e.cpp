@@ -15,14 +15,38 @@ int main(int argc, char** argv) {
   common::Flags flags(argc, argv);
 
   sim::CorpusConfig config;
-  config.num_pipelines = static_cast<int>(flags.GetInt("pipelines", 120));
-  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  const auto pipelines_or = flags.GetIntStrict("pipelines", 120);
+  const auto seed_or = flags.GetIntStrict("seed", 42);
+  if (!pipelines_or.ok() || !seed_or.ok()) {
+    std::fprintf(
+        stderr, "error: %s\n",
+        (!pipelines_or.ok() ? pipelines_or.status() : seed_or.status())
+            .ToString()
+            .c_str());
+    return 2;
+  }
+  config.num_pipelines = static_cast<int>(*pipelines_or);
+  if (config.num_pipelines < 10) {
+    std::fprintf(stderr,
+                 "error: --pipelines=%d — need at least 10 pipelines to "
+                 "train and hold out a push predictor\n",
+                 config.num_pipelines);
+    return 2;
+  }
+  config.seed = static_cast<uint64_t>(*seed_or);
   std::printf("generating %d pipelines...\n", config.num_pipelines);
   const sim::Corpus corpus = sim::GenerateCorpus(config);
 
   const core::SegmentedCorpus segmented = core::SegmentCorpus(corpus);
   const core::WasteDataset dataset =
       core::BuildWasteDataset(corpus, segmented, {});
+  if (dataset.data.NumRows() == 0) {
+    std::fprintf(stderr,
+                 "error: no usable graphlets to learn from (%zu "
+                 "quarantined) — corpus too small or too corrupt\n",
+                 segmented.TotalQuarantined());
+    return 1;
+  }
   std::printf("%zu graphlets (%.0f%% unpushed) from %zu non-warm-start "
               "pipelines\n\n",
               dataset.data.NumRows(),

@@ -1,0 +1,161 @@
+#include "common/failpoints.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.h"
+
+namespace mlprov::common {
+
+namespace {
+
+/// Splits `text` on `sep` without collapsing empty fields.
+std::vector<std::string> Split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = text.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(text.substr(start));
+      return out;
+    }
+    out.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+Status BadSpec(const std::string& token, const std::string& why) {
+  return Status::InvalidArgument("bad failpoint spec \"" + token +
+                                 "\": " + why);
+}
+
+}  // namespace
+
+const char* ToString(FaultMode mode) {
+  switch (mode) {
+    case FaultMode::kTransient:
+      return "transient";
+    case FaultMode::kPersistent:
+      return "persistent";
+  }
+  return "unknown";
+}
+
+StatusOr<FaultPlan> FaultPlan::Parse(const std::string& text) {
+  FaultPlan plan;
+  if (text.empty()) return plan;
+  for (const std::string& token : Split(text, ',')) {
+    if (token.empty()) continue;  // tolerate trailing/double commas
+    const std::vector<std::string> fields = Split(token, ':');
+    if (fields.size() < 3 || fields.size() > 4) {
+      return BadSpec(token, "want name:mode:probability[:max_fires]");
+    }
+    FailpointSpec spec;
+    spec.name = fields[0];
+    if (spec.name.empty()) return BadSpec(token, "empty name");
+    if (fields[1] == "transient") {
+      spec.mode = FaultMode::kTransient;
+    } else if (fields[1] == "persistent") {
+      spec.mode = FaultMode::kPersistent;
+    } else {
+      return BadSpec(token, "mode must be transient or persistent");
+    }
+    errno = 0;
+    char* end = nullptr;
+    spec.probability = std::strtod(fields[2].c_str(), &end);
+    if (errno != 0 || end == fields[2].c_str() || *end != '\0' ||
+        !(spec.probability >= 0.0 && spec.probability <= 1.0)) {
+      return BadSpec(token, "probability must be in [0,1]");
+    }
+    if (fields.size() == 4) {
+      errno = 0;
+      end = nullptr;
+      const long long fires = std::strtoll(fields[3].c_str(), &end, 10);
+      if (errno != 0 || end == fields[3].c_str() || *end != '\0' ||
+          fires < 0) {
+        return BadSpec(token, "max_fires must be a non-negative integer");
+      }
+      spec.max_fires = static_cast<int64_t>(fires);
+    }
+    plan.Add(std::move(spec));
+  }
+  return plan;
+}
+
+void FaultPlan::Add(FailpointSpec spec) { specs_.push_back(std::move(spec)); }
+
+const FailpointSpec* FaultPlan::Find(std::string_view name) const {
+  for (const FailpointSpec& spec : specs_) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+std::string FaultPlan::ToString() const {
+  std::string out;
+  for (const FailpointSpec& spec : specs_) {
+    if (!out.empty()) out += ',';
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.17g", spec.probability);
+    out += spec.name;
+    out += ':';
+    out += common::ToString(spec.mode);
+    out += ':';
+    out += buf;
+    if (spec.max_fires > 0) {
+      out += ':' + std::to_string(spec.max_fires);
+    }
+  }
+  return out;
+}
+
+uint64_t FailpointNameHash(std::string_view name) {
+  uint64_t h = 0xCBF29CE484222325ull;  // FNV offset basis
+  for (const char c : name) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001B3ull;  // FNV prime
+  }
+  return h;
+}
+
+FaultInjector::FaultInjector(const FaultPlan* plan, uint64_t seed)
+    : plan_(plan), seed_(seed) {
+  if (plan_ != nullptr) states_.reserve(plan_->size());
+}
+
+FaultInjector::State* FaultInjector::StateFor(const FailpointSpec* spec) {
+  for (State& s : states_) {
+    if (s.spec == spec) return &s;
+  }
+  states_.push_back(State{spec, 0, 0});
+  return &states_.back();
+}
+
+bool FaultInjector::Fires(const FailpointSpec* spec) {
+  if (spec == nullptr || plan_ == nullptr || spec->probability <= 0.0) {
+    return false;
+  }
+  State* state = StateFor(spec);
+  if (spec->max_fires > 0 &&
+      state->fires >= static_cast<uint64_t>(spec->max_fires)) {
+    return false;
+  }
+  // Each roll is a fresh derived stream keyed by (seed, name, roll
+  // index): stateless in everything except this spec's own counter, so
+  // plans compose and decisions are independent of any other randomness.
+  Rng roll =
+      Rng::Derive(seed_, FailpointNameHash(spec->name), state->rolls++);
+  const bool fired = roll.NextDouble() < spec->probability;
+  if (fired) ++state->fires;
+  return fired;
+}
+
+uint64_t FaultInjector::FireCount(std::string_view name) const {
+  for (const State& s : states_) {
+    if (s.spec != nullptr && s.spec->name == name) return s.fires;
+  }
+  return 0;
+}
+
+}  // namespace mlprov::common

@@ -1,0 +1,119 @@
+#ifndef MLPROV_COMMON_FAILPOINTS_H_
+#define MLPROV_COMMON_FAILPOINTS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mlprov::common {
+
+/// How an armed failpoint behaves across orchestrator retries of the same
+/// operator invocation.
+enum class FaultMode : uint8_t {
+  /// Each retry attempt re-rolls the failpoint; a retry may succeed.
+  kTransient = 0,
+  /// Once fired for an invocation, every retry of that invocation fails
+  /// too (the orchestrator still pays for the retries — that is the
+  /// modeled waste).
+  kPersistent = 1,
+};
+
+const char* ToString(FaultMode mode);
+
+/// One armed failpoint: a named site that fails with `probability` each
+/// time it is consulted. Names are free-form strings; the simulator uses
+/// "exec.<operator>" (e.g. "exec.trainer") plus the wildcard "exec.any".
+struct FailpointSpec {
+  std::string name;
+  FaultMode mode = FaultMode::kTransient;
+  double probability = 0.0;
+  /// Cap on the number of times this failpoint fires (0 = unlimited).
+  int64_t max_fires = 0;
+};
+
+/// A set of armed failpoints, typically parsed from the --fault_plan=
+/// flag. The plan is pure configuration: it owns no randomness, so one
+/// plan can arm any number of independent injectors.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Parses "name:mode:probability[:max_fires]" specs separated by commas,
+  /// e.g. "exec.trainer:transient:0.1,exec.pusher:persistent:0.05".
+  /// Mode is "transient" or "persistent"; probability must be in [0,1];
+  /// max_fires must be >= 0 (0 = unlimited, the default).
+  static StatusOr<FaultPlan> Parse(const std::string& text);
+
+  void Add(FailpointSpec spec);
+
+  /// The spec with this exact name, or nullptr. Duplicate names resolve
+  /// to the first occurrence.
+  const FailpointSpec* Find(std::string_view name) const;
+
+  bool empty() const { return specs_.empty(); }
+  size_t size() const { return specs_.size(); }
+  const std::vector<FailpointSpec>& specs() const { return specs_; }
+
+  /// Round-trips back to the Parse grammar (for reports and logs).
+  std::string ToString() const;
+
+ private:
+  std::vector<FailpointSpec> specs_;
+};
+
+/// FNV-1a hash of a failpoint name; keys the spec's derived RNG stream.
+uint64_t FailpointNameHash(std::string_view name);
+
+/// Rolls armed failpoints deterministically. Each spec gets its own
+/// counter-based stream, Rng::Derive(seed, FailpointNameHash(name),
+/// counter), so (a) two injectors with the same seed and plan make
+/// identical decisions regardless of thread count or interleaving, and
+/// (b) adding a failpoint to a plan never shifts the decisions of the
+/// others (plans compose). Not thread-safe; use one injector per
+/// simulated pipeline, seeded from that pipeline's derived seed.
+class FaultInjector {
+ public:
+  /// Disarmed injector: Fires() always returns false.
+  FaultInjector() = default;
+  FaultInjector(const FaultPlan* plan, uint64_t seed);
+
+  bool armed() const { return plan_ != nullptr && !plan_->empty(); }
+
+  /// Rolls the spec's stream once and reports whether the failpoint
+  /// fires. `spec` must belong to this injector's plan (or be nullptr,
+  /// which never fires).
+  bool Fires(const FailpointSpec* spec);
+
+  /// Diagnostics: how often the named failpoint has fired so far.
+  uint64_t FireCount(std::string_view name) const;
+
+ private:
+  struct State {
+    const FailpointSpec* spec = nullptr;
+    uint64_t rolls = 0;
+    uint64_t fires = 0;
+  };
+  State* StateFor(const FailpointSpec* spec);
+
+  const FaultPlan* plan_ = nullptr;
+  uint64_t seed_ = 0;
+  std::vector<State> states_;
+};
+
+/// Compile-time kill switch: configuring with -DMLPROV_FAILPOINTS_NOOP=ON
+/// disarms every MLPROV_FAILPOINT site at zero runtime cost, mirroring
+/// MLPROV_OBS_NOOP for the obs macros.
+#ifndef MLPROV_FAILPOINTS_NOOP
+inline constexpr bool kFailpointsEnabled = true;
+#define MLPROV_FAILPOINT(injector, spec) ((injector).Fires(spec))
+#else
+inline constexpr bool kFailpointsEnabled = false;
+#define MLPROV_FAILPOINT(injector, spec) (false)
+#endif
+
+}  // namespace mlprov::common
+
+#endif  // MLPROV_COMMON_FAILPOINTS_H_

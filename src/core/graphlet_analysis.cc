@@ -5,7 +5,9 @@
 
 #include "common/parallel.h"
 #include "common/stats.h"
+#include "metadata/trace_validator.h"
 #include "metadata/types.h"
+#include "obs/metrics.h"
 
 namespace mlprov::core {
 
@@ -25,6 +27,14 @@ size_t SegmentedCorpus::TotalPushed() const {
   return total;
 }
 
+size_t SegmentedCorpus::TotalQuarantined() const {
+  size_t total = 0;
+  for (const SegmentedPipeline& p : pipelines) {
+    total += p.quarantined_graphlets;
+  }
+  return total;
+}
+
 SegmentedCorpus SegmentCorpus(const sim::Corpus& corpus,
                               const SegmentationOptions& options) {
   SegmentedCorpus segmented;
@@ -32,14 +42,45 @@ SegmentedCorpus SegmentCorpus(const sim::Corpus& corpus,
   // Each pipeline segments into its own slot; SegmentTrace owns all its
   // scratch state, so traces are independent. Grain 1: trace sizes vary
   // by orders of magnitude across the corpus.
+  const metadata::TraceValidator validator;
   common::ParallelFor(
       corpus.pipelines.size(),
       [&](size_t i) {
         SegmentedPipeline& sp = segmented.pipelines[i];
         sp.pipeline_index = i;
-        sp.graphlets = SegmentTrace(corpus.pipelines[i].store, options);
+        const metadata::MetadataStore& store = corpus.pipelines[i].store;
+        const metadata::ValidationReport report = validator.Validate(store);
+        if (report.NeedsQuarantine()) {
+          // The event graph or node vocabulary cannot be trusted: skip
+          // segmentation entirely and count the trainers we would have
+          // anchored graphlets on.
+          sp.quarantined_graphlets =
+              store.ExecutionsOfType(metadata::ExecutionType::kTrainer)
+                  .size();
+          return;
+        }
+        sp.graphlets = SegmentTrace(store, options);
+        if (report.truncated_graphlets > 0) {
+          // Drop graphlets whose trainer lost its input events — their
+          // span lineage (and thus every similarity/waste statistic) is
+          // meaningless.
+          auto bad = std::remove_if(
+              sp.graphlets.begin(), sp.graphlets.end(),
+              [&](const Graphlet& g) {
+                return store.InputsOf(g.trainer).empty();
+              });
+          sp.quarantined_graphlets =
+              static_cast<size_t>(sp.graphlets.end() - bad);
+          sp.graphlets.erase(bad, sp.graphlets.end());
+        }
       },
       /*grain=*/1);
+  // Counter bump is sequential (after the join) so the tally is exact
+  // and thread-count independent.
+  if (const size_t quarantined = segmented.TotalQuarantined();
+      quarantined > 0) {
+    MLPROV_COUNTER_ADD("trace.quarantined", quarantined);
+  }
   return segmented;
 }
 

@@ -16,6 +16,11 @@ namespace mlprov::core {
 struct SegmentedPipeline {
   size_t pipeline_index = 0;
   std::vector<Graphlet> graphlets;
+  /// Graphlets excluded from analysis because their trace was corrupt:
+  /// either the whole pipeline was quarantined (dangling events, invalid
+  /// types, time inversions — graphlets stays empty) or individual
+  /// truncated graphlets were dropped after segmentation.
+  size_t quarantined_graphlets = 0;
 };
 
 /// The graphlet view of a whole corpus — the unit of all Section 4 and 5
@@ -24,8 +29,14 @@ struct SegmentedCorpus {
   std::vector<SegmentedPipeline> pipelines;
   size_t TotalGraphlets() const;
   size_t TotalPushed() const;
+  size_t TotalQuarantined() const;
 };
 
+/// Segments every pipeline trace. Each store is validated first
+/// (TraceValidator): traces that cannot be traversed trustworthily are
+/// quarantined wholesale, truncated graphlets are dropped individually,
+/// and both are tallied in quarantined_graphlets and the
+/// "trace.quarantined" counter. Clean traces segment exactly as before.
 SegmentedCorpus SegmentCorpus(const sim::Corpus& corpus,
                               const SegmentationOptions& options = {});
 

@@ -71,15 +71,21 @@ DataComplexityStats ComputeDataComplexity(const sim::Corpus& corpus) {
     double features = 0.0, categorical = 0.0, log10_domain = 0.0;
     if (auto it = artifact->properties.find("feature_count");
         it != artifact->properties.end()) {
-      features = static_cast<double>(std::get<int64_t>(it->second));
+      if (const int64_t* v = std::get_if<int64_t>(&it->second)) {
+        features = static_cast<double>(*v);
+      }
     }
     if (auto it = artifact->properties.find("categorical_count");
         it != artifact->properties.end()) {
-      categorical = static_cast<double>(std::get<int64_t>(it->second));
+      if (const int64_t* v = std::get_if<int64_t>(&it->second)) {
+        categorical = static_cast<double>(*v);
+      }
     }
     if (auto it = artifact->properties.find("log10_domain_mean");
         it != artifact->properties.end()) {
-      log10_domain = std::get<double>(it->second);
+      if (const double* v = std::get_if<double>(&it->second)) {
+        log10_domain = *v;
+      }
     }
     if (features <= 0) continue;
     stats.feature_counts.push_back(features);
@@ -128,10 +134,11 @@ AnalyzerUsageStats ComputeAnalyzerUsage(const sim::Corpus& corpus) {
                              static_cast<metadata::AnalyzerType>(a));
         auto it = e.properties.find(key);
         if (it == e.properties.end()) continue;
+        const int64_t* count = std::get_if<int64_t>(&it->second);
+        if (count == nullptr) continue;
         const auto uses = static_cast<size_t>(a);
         present[uses] = true;
-        stats.total_usage[uses] +=
-            static_cast<double>(std::get<int64_t>(it->second));
+        stats.total_usage[uses] += static_cast<double>(*count);
       }
     }
     for (int a = 0; a < metadata::kNumAnalyzerTypes; ++a) {
@@ -150,7 +157,9 @@ ModelDiversityStats ComputeModelDiversity(const sim::Corpus& corpus) {
       if (e.type != ExecutionType::kTrainer) continue;
       auto it = e.properties.find("model_type");
       if (it == e.properties.end()) continue;
-      const auto type = static_cast<size_t>(std::get<int64_t>(it->second));
+      const int64_t* raw = std::get_if<int64_t>(&it->second);
+      if (raw == nullptr || *raw < 0) continue;
+      const auto type = static_cast<size_t>(*raw);
       if (type < stats.trainer_runs.size()) {
         ++stats.trainer_runs[type];
         ++stats.total_runs;

@@ -42,18 +42,27 @@ Graphlet Finalize(const MetadataStore& store, ExecutionId trainer,
   g.trainer_end = trainer_exec.end_time;
   g.trainer_succeeded = trainer_exec.succeeded;
   g.trainer_cost = trainer_exec.compute_cost;
+  // Property access is defensive (get_if, range clamp): corrupted traces
+  // can carry wrong-typed or out-of-vocabulary values, and PushStats
+  // later indexes arrays by model_type.
   if (auto it = trainer_exec.properties.find("code_version");
       it != trainer_exec.properties.end()) {
-    g.code_version = std::get<int64_t>(it->second);
+    if (const int64_t* v = std::get_if<int64_t>(&it->second)) {
+      g.code_version = *v;
+    }
   }
   if (auto it = trainer_exec.properties.find("model_type");
       it != trainer_exec.properties.end()) {
-    g.model_type =
-        static_cast<metadata::ModelType>(std::get<int64_t>(it->second));
+    if (const int64_t* v = std::get_if<int64_t>(&it->second);
+        v != nullptr && *v >= 0 && *v < metadata::kNumModelTypes) {
+      g.model_type = static_cast<metadata::ModelType>(*v);
+    }
   }
   if (auto it = trainer_exec.properties.find("architecture");
       it != trainer_exec.properties.end()) {
-    g.architecture = static_cast<int>(std::get<int64_t>(it->second));
+    if (const int64_t* v = std::get_if<int64_t>(&it->second)) {
+      g.architecture = static_cast<int>(*v);
+    }
   }
 
   bool first_time = true;
@@ -105,11 +114,15 @@ Graphlet Finalize(const MetadataStore& store, ExecutionId trainer,
               int64_t sx = ax.create_time, sy = ay.create_time;
               if (auto it = ax.properties.find("span");
                   it != ax.properties.end()) {
-                sx = std::get<int64_t>(it->second);
+                if (const int64_t* v = std::get_if<int64_t>(&it->second)) {
+                  sx = *v;
+                }
               }
               if (auto it = ay.properties.find("span");
                   it != ay.properties.end()) {
-                sy = std::get<int64_t>(it->second);
+                if (const int64_t* v = std::get_if<int64_t>(&it->second)) {
+                  sy = *v;
+                }
               }
               return sx != sy ? sx < sy : x < y;
             });

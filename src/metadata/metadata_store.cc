@@ -51,6 +51,52 @@ common::Status MetadataStore::PutEvent(const Event& event) {
   return common::Status::Ok();
 }
 
+void MetadataStore::PutEventUnchecked(const Event& event) {
+  events_.push_back(event);
+  if (!ValidExecution(event.execution) || !ValidArtifact(event.artifact)) {
+    return;  // recorded but not indexed; traversals never see it
+  }
+  const size_t e = static_cast<size_t>(event.execution) - 1;
+  const size_t a = static_cast<size_t>(event.artifact) - 1;
+  if (event.kind == EventKind::kInput) {
+    exec_inputs_[e].push_back(event.artifact);
+    artifact_consumers_[a].push_back(event.execution);
+  } else {
+    exec_outputs_[e].push_back(event.artifact);
+    artifact_producers_[a].push_back(event.execution);
+  }
+}
+
+size_t MetadataStore::DropInvalidEvents() {
+  const size_t before = events_.size();
+  std::vector<Event> kept;
+  kept.reserve(events_.size());
+  for (const Event& ev : events_) {
+    if (ValidExecution(ev.execution) && ValidArtifact(ev.artifact)) {
+      kept.push_back(ev);
+    }
+  }
+  if (kept.size() == before) return 0;
+  events_ = std::move(kept);
+  // Rebuild the adjacency indexes from the surviving events.
+  exec_inputs_.assign(executions_.size(), {});
+  exec_outputs_.assign(executions_.size(), {});
+  artifact_producers_.assign(artifacts_.size(), {});
+  artifact_consumers_.assign(artifacts_.size(), {});
+  for (const Event& ev : events_) {
+    const size_t e = static_cast<size_t>(ev.execution) - 1;
+    const size_t a = static_cast<size_t>(ev.artifact) - 1;
+    if (ev.kind == EventKind::kInput) {
+      exec_inputs_[e].push_back(ev.artifact);
+      artifact_consumers_[a].push_back(ev.execution);
+    } else {
+      exec_outputs_[e].push_back(ev.artifact);
+      artifact_producers_[a].push_back(ev.execution);
+    }
+  }
+  return before - events_.size();
+}
+
 common::Status MetadataStore::AddToContext(ContextId context,
                                            ExecutionId execution) {
   if (!ValidContext(context)) {

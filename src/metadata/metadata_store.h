@@ -76,6 +76,18 @@ class MetadataStore {
   /// Records an input/output event. Fails if either endpoint is unknown.
   common::Status PutEvent(const Event& event);
 
+  /// Records an event without endpoint validation (lenient ingest of
+  /// possibly-corrupt traces). The event is appended to events() either
+  /// way, but only indexed into the adjacency lists when both endpoints
+  /// exist — traversals stay safe; TraceValidator reports the dangling
+  /// remainder.
+  void PutEventUnchecked(const Event& event);
+
+  /// Drops every event whose endpoints are unknown and rebuilds the
+  /// adjacency indexes. Returns the number of events removed. Used by
+  /// TraceValidator's repair mode.
+  size_t DropInvalidEvents();
+
   /// Associates nodes with a context. Fails on unknown ids.
   common::Status AddToContext(ContextId context, ExecutionId execution);
   common::Status AddArtifactToContext(ContextId context, ArtifactId artifact);

@@ -1,12 +1,45 @@
 #include "metadata/serialization.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
 namespace mlprov::metadata {
 
 namespace {
+
+// strtoll/strtod wrappers: full-token parses that report failure instead
+// of throwing (std::stoll/std::stod throw on garbage and on overflow,
+// which a corrupt trace must never be able to trigger).
+bool ParseInt64(const std::string& raw, int64_t* out) {
+  if (raw.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(raw.c_str(), &end, 10);
+  if (errno != 0 || end != raw.c_str() + raw.size()) return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+bool ParseDouble(const std::string& raw, double* out) {
+  if (raw.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(raw.c_str(), &end);
+  if (errno != 0 || end != raw.c_str() + raw.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ValidArtifactTypeInt(int type) {
+  return type >= 0 && type < kNumArtifactTypes;
+}
+
+bool ValidExecutionTypeInt(int type) {
+  return type >= 0 && type < kNumExecutionTypes;
+}
 
 // Escapes whitespace and '%' so tokens stay single-word.
 std::string Escape(const std::string& s) {
@@ -124,15 +157,32 @@ std::string SerializeStore(const MetadataStore& store) {
   return out;
 }
 
-common::StatusOr<MetadataStore> DeserializeStore(const std::string& text) {
+namespace {
+
+// Shared parsing core. Strict mode fails on the first defect; lenient
+// mode skips/coerces and tallies the damage. Stream extraction of
+// numbers never throws (overflow just sets failbit), so the only
+// hazards are the enum casts and stoll/stod — both handled here.
+common::StatusOr<MetadataStore> ParseStore(const std::string& text,
+                                           bool lenient,
+                                           LenientStats* stats) {
   std::istringstream in(text);
   std::string line;
   if (!std::getline(in, line) || line != "MLPROVSTORE v1") {
     return common::Status::InvalidArgument("bad store header");
   }
   MetadataStore store;
-  auto fail = [&](const std::string& what) {
-    return common::Status::InvalidArgument("malformed line: " + what);
+  common::Status error = common::Status::Ok();
+  auto fail = [&](const std::string& what, size_t LenientStats::* tally) {
+    if (lenient) {
+      if (stats != nullptr) ++(stats->*tally);
+      return true;  // skip the line, keep parsing
+    }
+    error = common::Status::InvalidArgument("malformed line: " + what);
+    return false;
+  };
+  auto malformed = [&](const std::string& what) {
+    return fail(what, &LenientStats::malformed_lines);
   };
   while (std::getline(in, line)) {
     if (line.empty()) continue;
@@ -142,7 +192,18 @@ common::StatusOr<MetadataStore> DeserializeStore(const std::string& text) {
     if (tag == "A") {
       int type = 0;
       long long t = 0;
-      if (!(ls >> type >> t)) return fail(line);
+      if (!(ls >> type >> t)) {
+        if (malformed(line)) continue;
+        return error;
+      }
+      if (!ValidArtifactTypeInt(type)) {
+        if (!lenient) {
+          return common::Status::InvalidArgument(
+              "artifact type out of range: " + line);
+        }
+        if (stats != nullptr) ++stats->invalid_enums;
+        type = static_cast<int>(ArtifactType::kCustom);
+      }
       Artifact a;
       a.type = static_cast<ArtifactType>(type);
       a.create_time = t;
@@ -151,7 +212,18 @@ common::StatusOr<MetadataStore> DeserializeStore(const std::string& text) {
       int type = 0, ok = 0;
       long long start = 0, end = 0;
       double cost = 0.0;
-      if (!(ls >> type >> start >> end >> ok >> cost)) return fail(line);
+      if (!(ls >> type >> start >> end >> ok >> cost)) {
+        if (malformed(line)) continue;
+        return error;
+      }
+      if (!ValidExecutionTypeInt(type)) {
+        if (!lenient) {
+          return common::Status::InvalidArgument(
+              "execution type out of range: " + line);
+        }
+        if (stats != nullptr) ++stats->invalid_enums;
+        type = static_cast<int>(ExecutionType::kCustom);
+      }
       Execution e;
       e.type = static_cast<ExecutionType>(type);
       e.start_time = start;
@@ -163,39 +235,81 @@ common::StatusOr<MetadataStore> DeserializeStore(const std::string& text) {
       char owner = 0;
       int64_t id = 0;
       std::string key, vtype, raw;
-      if (!(ls >> owner >> id >> key >> vtype >> raw)) return fail(line);
+      if (!(ls >> owner >> id >> key >> vtype >> raw)) {
+        if (malformed(line)) continue;
+        return error;
+      }
       PropertyValue value;
       if (vtype == "i") {
-        value = static_cast<int64_t>(std::stoll(raw));
+        int64_t v = 0;
+        if (!ParseInt64(raw, &v)) {
+          if (malformed(line)) continue;
+          return error;
+        }
+        value = v;
       } else if (vtype == "d") {
-        value = std::stod(raw);
+        double v = 0.0;
+        if (!ParseDouble(raw, &v)) {
+          if (malformed(line)) continue;
+          return error;
+        }
+        value = v;
       } else if (vtype == "s") {
         value = Unescape(raw);
       } else {
-        return fail(line);
+        if (malformed(line)) continue;
+        return error;
       }
       if (owner == 'a') {
         Artifact* a = store.MutableArtifact(id);
-        if (a == nullptr) return fail(line);
+        if (a == nullptr) {
+          if (fail(line, &LenientStats::orphan_properties)) continue;
+          return error;
+        }
         a->properties[Unescape(key)] = std::move(value);
       } else if (owner == 'e') {
         Execution* e = store.MutableExecution(id);
-        if (e == nullptr) return fail(line);
+        if (e == nullptr) {
+          if (fail(line, &LenientStats::orphan_properties)) continue;
+          return error;
+        }
         e->properties[Unescape(key)] = std::move(value);
       } else {
-        return fail(line);
+        if (malformed(line)) continue;
+        return error;
       }
     } else if (tag == "V") {
       Event ev;
       int64_t exec = 0, artifact = 0;
       int kind = 0;
       long long t = 0;
-      if (!(ls >> exec >> artifact >> kind >> t)) return fail(line);
+      if (!(ls >> exec >> artifact >> kind >> t)) {
+        if (malformed(line)) continue;
+        return error;
+      }
+      if (kind != 0 && kind != 1) {
+        if (!lenient) {
+          return common::Status::InvalidArgument(
+              "event kind out of range: " + line);
+        }
+        if (stats != nullptr) ++stats->invalid_enums;
+        kind = 0;
+      }
       ev.execution = exec;
       ev.artifact = artifact;
       ev.kind = static_cast<EventKind>(kind);
       ev.time = t;
-      MLPROV_RETURN_IF_ERROR(store.PutEvent(ev));
+      if (lenient) {
+        const bool dangling =
+            exec < 1 ||
+            static_cast<size_t>(exec) > store.num_executions() ||
+            artifact < 1 ||
+            static_cast<size_t>(artifact) > store.num_artifacts();
+        if (dangling && stats != nullptr) ++stats->dangling_events;
+        store.PutEventUnchecked(ev);
+      } else {
+        MLPROV_RETURN_IF_ERROR(store.PutEvent(ev));
+      }
     } else if (tag == "C") {
       std::string name;
       ls >> name;
@@ -204,17 +318,43 @@ common::StatusOr<MetadataStore> DeserializeStore(const std::string& text) {
       store.PutContext(std::move(c));
     } else if (tag == "CE") {
       int64_t ctx = 0, exec = 0;
-      if (!(ls >> ctx >> exec)) return fail(line);
-      MLPROV_RETURN_IF_ERROR(store.AddToContext(ctx, exec));
+      if (!(ls >> ctx >> exec)) {
+        if (malformed(line)) continue;
+        return error;
+      }
+      common::Status s = store.AddToContext(ctx, exec);
+      if (!s.ok()) {
+        if (malformed(line)) continue;
+        return s;
+      }
     } else if (tag == "CA") {
       int64_t ctx = 0, artifact = 0;
-      if (!(ls >> ctx >> artifact)) return fail(line);
-      MLPROV_RETURN_IF_ERROR(store.AddArtifactToContext(ctx, artifact));
+      if (!(ls >> ctx >> artifact)) {
+        if (malformed(line)) continue;
+        return error;
+      }
+      common::Status s = store.AddArtifactToContext(ctx, artifact);
+      if (!s.ok()) {
+        if (malformed(line)) continue;
+        return s;
+      }
     } else {
-      return fail(line);
+      if (malformed(line)) continue;
+      return error;
     }
   }
   return store;
+}
+
+}  // namespace
+
+common::StatusOr<MetadataStore> DeserializeStore(const std::string& text) {
+  return ParseStore(text, /*lenient=*/false, nullptr);
+}
+
+common::StatusOr<MetadataStore> DeserializeStoreLenient(
+    const std::string& text, LenientStats* stats) {
+  return ParseStore(text, /*lenient=*/true, stats);
 }
 
 common::Status SaveStore(const MetadataStore& store,

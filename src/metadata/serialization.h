@@ -16,9 +16,35 @@ namespace mlprov::metadata {
 std::string SerializeStore(const MetadataStore& store);
 
 /// Parses a store previously produced by SerializeStore. Fails with
-/// InvalidArgument on malformed input; on failure the output store is
-/// left in an unspecified but valid state.
+/// InvalidArgument on malformed input (bad numbers, out-of-vocabulary
+/// type enums, dangling event endpoints); never throws or invokes UB, no
+/// matter how corrupt the input. On failure the output store is left in
+/// an unspecified but valid state.
 common::StatusOr<MetadataStore> DeserializeStore(const std::string& text);
+
+/// Tallies from a lenient parse: how much of the input had to be
+/// skipped or coerced to produce a usable store.
+struct LenientStats {
+  size_t malformed_lines = 0;   ///< unparseable lines, skipped
+  size_t invalid_enums = 0;     ///< type enums reset to kCustom
+  size_t dangling_events = 0;   ///< events kept but not indexed
+  size_t orphan_properties = 0; ///< properties for unknown nodes, skipped
+
+  bool clean() const {
+    return malformed_lines + invalid_enums + dangling_events +
+               orphan_properties ==
+           0;
+  }
+};
+
+/// Best-effort parse of a possibly-corrupt store: malformed lines are
+/// skipped, out-of-vocabulary type enums become kCustom, and events with
+/// unknown endpoints are recorded via PutEventUnchecked (visible to
+/// TraceValidator, invisible to traversals). Only an unrecognizable
+/// header is a hard error. `stats` (optional) receives the damage
+/// tallies.
+common::StatusOr<MetadataStore> DeserializeStoreLenient(
+    const std::string& text, LenientStats* stats = nullptr);
 
 /// File variants.
 common::Status SaveStore(const MetadataStore& store, const std::string& path);

@@ -1,0 +1,192 @@
+#include "metadata/trace_validator.h"
+
+#include "obs/metrics.h"
+
+namespace mlprov::metadata {
+
+namespace {
+
+// The enums are uint8_t-backed, so only the upper bound can be violated.
+bool ValidArtifactType(ArtifactType type) {
+  return static_cast<int>(type) < kNumArtifactTypes;
+}
+
+bool ValidExecutionType(ExecutionType type) {
+  return static_cast<int>(type) < kNumExecutionTypes;
+}
+
+bool ValidEventKind(EventKind kind) {
+  return kind == EventKind::kInput || kind == EventKind::kOutput;
+}
+
+void Note(ValidationReport& report, TraceIssueKind kind, int64_t id,
+          std::string detail) {
+  report.issues.push_back(TraceIssue{kind, id, std::move(detail)});
+  switch (kind) {
+    case TraceIssueKind::kOrphanArtifact:
+      ++report.orphan_artifacts;
+      break;
+    case TraceIssueKind::kDanglingEvent:
+      ++report.dangling_events;
+      break;
+    case TraceIssueKind::kTimeInversion:
+      ++report.time_inversions;
+      break;
+    case TraceIssueKind::kTruncatedGraphlet:
+      ++report.truncated_graphlets;
+      break;
+    case TraceIssueKind::kInvalidType:
+      ++report.invalid_types;
+      break;
+  }
+}
+
+ValidationReport Scan(const MetadataStore& store) {
+  ValidationReport report;
+  const auto num_artifacts = static_cast<int64_t>(store.num_artifacts());
+  const auto num_executions =
+      static_cast<int64_t>(store.num_executions());
+
+  for (const Artifact& a : store.artifacts()) {
+    if (!ValidArtifactType(a.type)) {
+      Note(report, TraceIssueKind::kInvalidType, a.id,
+           "artifact type " + std::to_string(static_cast<int>(a.type)));
+    }
+    if (store.ProducersOf(a.id).empty() &&
+        store.ConsumersOf(a.id).empty()) {
+      Note(report, TraceIssueKind::kOrphanArtifact, a.id,
+           "artifact with no producer or consumer");
+    }
+  }
+
+  for (const Execution& e : store.executions()) {
+    if (!ValidExecutionType(e.type)) {
+      Note(report, TraceIssueKind::kInvalidType, e.id,
+           "execution type " + std::to_string(static_cast<int>(e.type)));
+    }
+    if (e.end_time < e.start_time) {
+      Note(report, TraceIssueKind::kTimeInversion, e.id,
+           "execution ends " +
+               std::to_string(e.start_time - e.end_time) +
+               "s before it starts");
+    }
+    if (e.type == ExecutionType::kTrainer &&
+        store.InputsOf(e.id).empty()) {
+      Note(report, TraceIssueKind::kTruncatedGraphlet, e.id,
+           "trainer with no input events");
+    }
+  }
+
+  int64_t event_index = 0;
+  for (const Event& ev : store.events()) {
+    const bool bad_exec =
+        ev.execution < 1 || ev.execution > num_executions;
+    const bool bad_artifact =
+        ev.artifact < 1 || ev.artifact > num_artifacts;
+    if (bad_exec || bad_artifact || !ValidEventKind(ev.kind)) {
+      Note(report, TraceIssueKind::kDanglingEvent, event_index,
+           "event (exec " + std::to_string(ev.execution) + ", artifact " +
+               std::to_string(ev.artifact) + ")");
+    } else if (ev.kind == EventKind::kOutput) {
+      const Execution& producer =
+          store.executions()[static_cast<size_t>(ev.execution) - 1];
+      if (ev.time < producer.start_time) {
+        Note(report, TraceIssueKind::kTimeInversion, event_index,
+             "output event precedes its execution's start");
+      }
+    }
+    ++event_index;
+  }
+  return report;
+}
+
+}  // namespace
+
+const char* ToString(TraceIssueKind kind) {
+  switch (kind) {
+    case TraceIssueKind::kOrphanArtifact:
+      return "orphan_artifact";
+    case TraceIssueKind::kDanglingEvent:
+      return "dangling_event";
+    case TraceIssueKind::kTimeInversion:
+      return "time_inversion";
+    case TraceIssueKind::kTruncatedGraphlet:
+      return "truncated_graphlet";
+    case TraceIssueKind::kInvalidType:
+      return "invalid_type";
+  }
+  return "unknown";
+}
+
+std::string ValidationReport::Summary() const {
+  if (clean()) return "clean";
+  std::string out;
+  auto add = [&](const char* label, size_t n) {
+    if (n == 0) return;
+    if (!out.empty()) out += ", ";
+    out += std::to_string(n);
+    out += ' ';
+    out += label;
+  };
+  add("orphan artifact(s)", orphan_artifacts);
+  add("dangling event(s)", dangling_events);
+  add("time inversion(s)", time_inversions);
+  add("truncated graphlet(s)", truncated_graphlets);
+  add("invalid type(s)", invalid_types);
+  if (dropped_events + clamped_times + reset_types > 0) {
+    out += " (repaired: " + std::to_string(dropped_events) +
+           " dropped, " + std::to_string(clamped_times) + " clamped, " +
+           std::to_string(reset_types) + " reset)";
+  }
+  return out;
+}
+
+ValidationReport TraceValidator::Validate(
+    const MetadataStore& store) const {
+  ValidationReport report = Scan(store);
+  MLPROV_COUNTER_ADD("trace.validation_issues", report.issues.size());
+  return report;
+}
+
+ValidationReport TraceValidator::ValidateAndRepair(
+    MetadataStore& store) const {
+  ValidationReport report = Scan(store);
+  if (mode_ != Mode::kRepair || report.clean()) {
+    MLPROV_COUNTER_ADD("trace.validation_issues", report.issues.size());
+    return report;
+  }
+  if (report.dangling_events > 0) {
+    report.dropped_events = store.DropInvalidEvents();
+  }
+  for (const TraceIssue& issue : report.issues) {
+    switch (issue.kind) {
+      case TraceIssueKind::kTimeInversion: {
+        Execution* e = store.MutableExecution(issue.id);
+        if (e != nullptr && e->end_time < e->start_time) {
+          e->end_time = e->start_time;
+          ++report.clamped_times;
+        }
+        break;
+      }
+      case TraceIssueKind::kInvalidType: {
+        if (Artifact* a = store.MutableArtifact(issue.id);
+            a != nullptr && !ValidArtifactType(a->type)) {
+          a->type = ArtifactType::kCustom;
+          ++report.reset_types;
+        } else if (Execution* e = store.MutableExecution(issue.id);
+                   e != nullptr && !ValidExecutionType(e->type)) {
+          e->type = ExecutionType::kCustom;
+          ++report.reset_types;
+        }
+        break;
+      }
+      default:
+        break;  // orphans / truncations: quarantine, not repair
+    }
+  }
+  MLPROV_COUNTER_ADD("trace.validation_issues", report.issues.size());
+  MLPROV_COUNTER_ADD("trace.repaired_events", report.dropped_events);
+  return report;
+}
+
+}  // namespace mlprov::metadata

@@ -1,0 +1,95 @@
+#ifndef MLPROV_METADATA_TRACE_VALIDATOR_H_
+#define MLPROV_METADATA_TRACE_VALIDATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metadata/metadata_store.h"
+
+namespace mlprov::metadata {
+
+/// Corruption taxonomy for MLMD-style traces. Real production stores
+/// accumulate all of these (crashed writers, partial GC, clock skew);
+/// the analysis stack must survive them (ISSUE 3 / ROADMAP robustness).
+enum class TraceIssueKind : uint8_t {
+  /// Artifact connected to no execution at all (no producer, no
+  /// consumer): unreachable by any graphlet traversal.
+  kOrphanArtifact = 0,
+  /// Event referencing an unknown execution or artifact id.
+  kDanglingEvent = 1,
+  /// Execution whose end_time precedes its start_time, or an output
+  /// event stamped before its producing execution started.
+  kTimeInversion = 2,
+  /// Trainer execution with no input events: its graphlet lost its
+  /// data-provenance spine (e.g. truncated ingest).
+  kTruncatedGraphlet = 3,
+  /// Node whose type enum is outside the known vocabulary.
+  kInvalidType = 4,
+};
+
+const char* ToString(TraceIssueKind kind);
+
+struct TraceIssue {
+  TraceIssueKind kind = TraceIssueKind::kOrphanArtifact;
+  /// Offending node id (artifact, execution) or event index, depending
+  /// on the kind.
+  int64_t id = 0;
+  std::string detail;
+};
+
+/// Outcome of validating (and optionally repairing) one trace.
+struct ValidationReport {
+  std::vector<TraceIssue> issues;
+  size_t orphan_artifacts = 0;
+  size_t dangling_events = 0;
+  size_t time_inversions = 0;
+  size_t truncated_graphlets = 0;
+  size_t invalid_types = 0;
+  /// Repair-mode tallies (0 in report mode).
+  size_t dropped_events = 0;
+  size_t clamped_times = 0;
+  size_t reset_types = 0;
+
+  bool clean() const { return issues.empty(); }
+  /// True when the trace can be traversed safely but some graphlets
+  /// should be quarantined rather than analyzed.
+  bool NeedsQuarantine() const {
+    return dangling_events > 0 || invalid_types > 0 ||
+           time_inversions > 0;
+  }
+  std::string Summary() const;
+};
+
+/// Detects (and in kRepair mode fixes) structural corruption in a
+/// MetadataStore. Validation is one linear pass over nodes and events —
+/// cheap enough to run on every trace before segmentation.
+class TraceValidator {
+ public:
+  enum class Mode : uint8_t {
+    /// Only report issues; the store is untouched.
+    kReport = 0,
+    /// Fix what is mechanically fixable: drop dangling events, clamp
+    /// end_time < start_time inversions, reset out-of-vocabulary type
+    /// enums to kCustom. Orphans and truncated graphlets are reported
+    /// for the caller to quarantine (no safe automatic fix exists).
+    kRepair = 1,
+  };
+
+  explicit TraceValidator(Mode mode = Mode::kReport) : mode_(mode) {}
+
+  /// Read-only validation (always allowed, regardless of mode).
+  ValidationReport Validate(const MetadataStore& store) const;
+
+  /// Validates and, when constructed with kRepair, fixes the store in
+  /// place. The returned report describes the issues found *before*
+  /// repair plus the repair tallies.
+  ValidationReport ValidateAndRepair(MetadataStore& store) const;
+
+ private:
+  Mode mode_;
+};
+
+}  // namespace mlprov::metadata
+
+#endif  // MLPROV_METADATA_TRACE_VALIDATOR_H_

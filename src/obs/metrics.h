@@ -121,6 +121,15 @@ class Registry {
   std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
 };
 
+/// Whether the MLPROV_* metric macros below are compiled in. False under
+/// -DMLPROV_OBS_NOOP=ON; tests consult this before asserting on counters
+/// that instrumented code would otherwise have bumped.
+#ifndef MLPROV_OBS_NOOP
+inline constexpr bool kMetricsEnabled = true;
+#else
+inline constexpr bool kMetricsEnabled = false;
+#endif
+
 }  // namespace mlprov::obs
 
 /// Hot-path instrumentation macros. Each site resolves its instrument
@@ -145,6 +154,13 @@ class Registry {
     mlprov_gauge_site->Set(static_cast<double>(value));                 \
   } while (0)
 
+#define MLPROV_GAUGE_ADD(name, delta)                                   \
+  do {                                                                  \
+    static ::mlprov::obs::Gauge* mlprov_gauge_site =                    \
+        ::mlprov::obs::Registry::Global().GetGauge(name);               \
+    mlprov_gauge_site->Add(static_cast<double>(delta));                 \
+  } while (0)
+
 #define MLPROV_HISTOGRAM_RECORD(name, value)                            \
   do {                                                                  \
     static ::mlprov::obs::HistogramMetric* mlprov_hist_site =           \
@@ -157,6 +173,7 @@ class Registry {
 #define MLPROV_COUNTER_ADD(name, n) ((void)0)
 #define MLPROV_COUNTER_INC(name) ((void)0)
 #define MLPROV_GAUGE_SET(name, value) ((void)0)
+#define MLPROV_GAUGE_ADD(name, delta) ((void)0)
 #define MLPROV_HISTOGRAM_RECORD(name, value) ((void)0)
 
 #endif  // MLPROV_OBS_NOOP

@@ -31,6 +31,14 @@ void BenchReport::SetParallelism(int threads, double speedup) {
   speedup_ = speedup;
 }
 
+void BenchReport::SetFailureStats(uint64_t retried_executions,
+                                  uint64_t quarantined_graphlets,
+                                  double failed_hours) {
+  retried_executions_ = retried_executions;
+  quarantined_graphlets_ = quarantined_graphlets;
+  failed_hours_ = failed_hours;
+}
+
 void BenchReport::SetCommandLine(int argc, char** argv) {
   command_ = Json::Array();
   for (int i = 0; i < argc; ++i) command_.Push(std::string(argv[i]));
@@ -51,6 +59,9 @@ Json BenchReport::ToJson() const {
   report.Set("wall_seconds", wall_seconds_);
   report.Set("threads", threads_);
   report.Set("speedup", speedup_);
+  report.Set("retried_executions", retried_executions_);
+  report.Set("quarantined_graphlets", quarantined_graphlets_);
+  report.Set("failed_hours", failed_hours_);
   if (corpus_.size() > 0) report.Set("corpus", corpus_);
   report.Set("results", results_);
   report.Set("metrics", Registry::Global().Snapshot());

@@ -37,6 +37,13 @@ class BenchReport {
   /// form a comparable perf trajectory across runs.
   void SetParallelism(int threads, double speedup = 0.0);
 
+  /// Records the run's failure-semantics tallies (all zero when fault
+  /// injection is off). Always emitted, so fault-injected and clean runs
+  /// stay schema-compatible.
+  void SetFailureStats(uint64_t retried_executions,
+                       uint64_t quarantined_graphlets,
+                       double failed_hours);
+
   /// Full report, including Registry::Global().Snapshot() as "metrics".
   Json ToJson() const;
 
@@ -59,6 +66,9 @@ class BenchReport {
   double wall_seconds_ = 0.0;
   int threads_ = 1;
   double speedup_ = 0.0;
+  uint64_t retried_executions_ = 0;
+  uint64_t quarantined_graphlets_ = 0;
+  double failed_hours_ = 0.0;
 };
 
 }  // namespace mlprov::obs

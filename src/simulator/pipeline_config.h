@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/failpoints.h"
 #include "common/rng.h"
 #include "dataspan/span_stats.h"
 #include "metadata/types.h"
@@ -217,6 +218,20 @@ struct CorpusConfig {
   double trainer_failure_prob = 0.025;
   double transform_failure_prob = 0.01;
   double unhealthy_failure_multiplier = 3.0;
+
+  // --- Fault injection & orchestrator retries ---
+  /// Armed failpoints ("exec.<operator>" / "exec.any"); empty = none.
+  /// Decisions draw from per-pipeline derived streams, never from the
+  /// pipeline's own rng_, so an armed-but-never-firing plan (probability
+  /// 0) produces a byte-identical corpus to an empty plan.
+  common::FaultPlan fault_plan;
+  /// Bounded orchestrator retries per injected operator failure. The
+  /// calibrated baseline Bernoulli failures above stay single-shot.
+  int max_retries = 2;
+  /// Exponential backoff between retry attempts:
+  /// retry_backoff_hours * retry_backoff_multiplier^attempt.
+  double retry_backoff_hours = 0.25;
+  double retry_backoff_multiplier = 2.0;
 };
 
 /// Samples one pipeline's configuration from the population.

@@ -1,7 +1,9 @@
 #include "simulator/pipeline_simulator.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
+#include <string>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -20,6 +22,21 @@ using metadata::kSecondsPerHour;
 namespace {
 
 double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+/// Failpoint name of an operator type: "exec." + lowercased type name,
+/// e.g. kTrainer -> "exec.trainer", kStatisticsGen -> "exec.statisticsgen".
+std::string FailpointNameFor(ExecutionType type) {
+  std::string name = "exec.";
+  for (const char* p = metadata::ToString(type); *p != '\0'; ++p) {
+    name += static_cast<char>(
+        std::tolower(static_cast<unsigned char>(*p)));
+  }
+  return name;
+}
+
+/// Seed salt for the per-pipeline fault-injection stream: keeps injector
+/// decisions independent of the pipeline's own rng_ and span_gen_ draws.
+constexpr uint64_t kFaultStreamSalt = 0xFA171FA171FA171Full;
 
 /// Anonymized per-span feature names, mirroring the paper's obfuscation
 /// (Appendix B: "with all terms anonymized"): name equality is destroyed
@@ -44,7 +61,86 @@ PipelineSimulator::PipelineSimulator(const CorpusConfig& corpus_config,
       config_(config),
       cost_model_(cost_model),
       rng_(config.seed),
-      span_gen_(config.Schema(), common::Rng(config.seed ^ 0xABCDEF)) {}
+      span_gen_(config.Schema(), common::Rng(config.seed ^ 0xABCDEF)),
+      injector_(&corpus_config.fault_plan,
+                common::Rng::Derive(config.seed, kFaultStreamSalt)
+                    .NextUint64()) {
+  if (common::kFailpointsEnabled && !corpus_.fault_plan.empty()) {
+    const common::FailpointSpec* any = corpus_.fault_plan.Find("exec.any");
+    for (int t = 0; t < metadata::kNumExecutionTypes; ++t) {
+      const auto type = static_cast<ExecutionType>(t);
+      const common::FailpointSpec* spec =
+          corpus_.fault_plan.Find(FailpointNameFor(type));
+      op_faults_[static_cast<size_t>(t)] = spec != nullptr ? spec : any;
+    }
+  }
+}
+
+template <typename PrepareFn>
+PipelineSimulator::OpResult PipelineSimulator::RunOperator(
+    PipelineTrace& trace, ExecutionType type, Timestamp start,
+    double cost_hours, bool base_succeeded, PrepareFn&& prepare) {
+  OpResult result;
+  const common::FailpointSpec* spec =
+      op_faults_[static_cast<size_t>(type)];
+  if (spec == nullptr || !base_succeeded ||
+      !MLPROV_FAILPOINT(injector_, spec)) {
+    // Fast path: no armed failpoint fired (baseline failures from the
+    // calibrated Bernoulli model stay single-shot). This emits exactly
+    // the pre-retry sequence, so a disabled or never-firing plan yields
+    // byte-identical traces.
+    result.exec = AddExecution(trace, type, start, cost_hours,
+                               base_succeeded);
+    prepare(result.exec, start);
+    result.succeeded = base_succeeded;
+    result.end = trace.store.GetExecution(result.exec)->end_time;
+    result.attempts = 1;
+    return result;
+  }
+  // The failpoint fired: the orchestrator pays for the failed attempt,
+  // then retries with exponential backoff. Transient faults re-roll per
+  // attempt; persistent faults doom every retry of this invocation.
+  ExecutionId first = metadata::kInvalidId;
+  Timestamp attempt_start = start;
+  const int max_attempts = 1 + std::max(0, corpus_.max_retries);
+  for (int attempt = 0;; ++attempt) {
+    bool attempt_fails = true;
+    if (attempt > 0 && spec->mode == common::FaultMode::kTransient) {
+      attempt_fails = MLPROV_FAILPOINT(injector_, spec);
+    }
+    const ExecutionId id = AddExecution(trace, type, attempt_start,
+                                        cost_hours, !attempt_fails);
+    prepare(id, attempt_start);
+    metadata::Execution* exec = trace.store.MutableExecution(id);
+    if (first == metadata::kInvalidId) {
+      first = id;
+    } else {
+      exec->properties["retry_attempt"] = static_cast<int64_t>(attempt);
+      exec->properties["retry_of"] = first;
+    }
+    result.exec = id;
+    result.end = exec->end_time;
+    ++result.attempts;
+    if (!attempt_fails) {
+      result.succeeded = true;
+      return result;
+    }
+    MLPROV_COUNTER_INC("exec.fault_failures");
+    MLPROV_GAUGE_ADD("waste.failed_hours", cost_hours);
+    if (attempt + 1 >= max_attempts) {
+      result.succeeded = false;
+      return result;
+    }
+    MLPROV_COUNTER_INC("exec.retries");
+    const double backoff_hours =
+        corpus_.retry_backoff_hours *
+        std::pow(corpus_.retry_backoff_multiplier, attempt);
+    attempt_start =
+        result.end + std::max<Timestamp>(
+                         60, static_cast<Timestamp>(backoff_hours *
+                                                    kSecondsPerHour));
+  }
+}
 
 ExecutionId PipelineSimulator::AddExecution(PipelineTrace& trace,
                                             ExecutionType type,
@@ -92,14 +188,16 @@ void PipelineSimulator::Link(PipelineTrace& trace, ExecutionId exec,
 
 void PipelineSimulator::IngestSpans(Timestamp now, int count,
                                     PipelineTrace& trace) {
-  MLPROV_COUNTER_ADD("sim.spans_ingested", count);
   for (int i = 0; i < count; ++i) {
     const double cost = cost_model_->Cost(ExecutionType::kExampleGen,
                                           config_, unhealthy_, rng_);
-    const ExecutionId gen =
-        AddExecution(trace, ExecutionType::kExampleGen, now, cost, true);
-    const Timestamp created =
-        trace.store.GetExecution(gen)->end_time;
+    const OpResult gen_result =
+        RunOperator(trace, ExecutionType::kExampleGen, now, cost, true,
+                    [](ExecutionId, Timestamp) {});
+    if (!gen_result.succeeded) continue;  // span lost; no downstream
+    MLPROV_COUNTER_INC("sim.spans_ingested");
+    const ExecutionId gen = gen_result.exec;
+    const Timestamp created = gen_result.end;
     const ArtifactId span =
         AddArtifact(trace, ArtifactType::kExamples, created);
     Link(trace, gen, span, EventKind::kOutput, created);
@@ -124,10 +222,14 @@ void PipelineSimulator::IngestSpans(Timestamp now, int count,
     if (config_.has_statistics_gen) {
       const double stats_cost = cost_model_->Cost(
           ExecutionType::kStatisticsGen, config_, unhealthy_, rng_);
-      const ExecutionId sg = AddExecution(
-          trace, ExecutionType::kStatisticsGen, created, stats_cost, true);
-      Link(trace, sg, span, EventKind::kInput, created);
-      const Timestamp sg_end = trace.store.GetExecution(sg)->end_time;
+      const OpResult sg_result = RunOperator(
+          trace, ExecutionType::kStatisticsGen, created, stats_cost, true,
+          [&](ExecutionId sg, Timestamp s) {
+            Link(trace, sg, span, EventKind::kInput, s);
+          });
+      if (!sg_result.succeeded) continue;  // no stats, no schema chain
+      const ExecutionId sg = sg_result.exec;
+      const Timestamp sg_end = sg_result.end;
       const ArtifactId stats_artifact =
           AddArtifact(trace, ArtifactType::kExampleStatistics, sg_end);
       Link(trace, sg, stats_artifact, EventKind::kOutput, sg_end);
@@ -136,15 +238,21 @@ void PipelineSimulator::IngestSpans(Timestamp now, int count,
           schema_artifact_ == metadata::kInvalidId) {
         const double schema_cost = cost_model_->Cost(
             ExecutionType::kSchemaGen, config_, unhealthy_, rng_);
-        const ExecutionId schema_gen = AddExecution(
-            trace, ExecutionType::kSchemaGen, sg_end, schema_cost, true);
-        Link(trace, schema_gen, stats_artifact, EventKind::kInput, sg_end);
-        const Timestamp schema_end =
-            trace.store.GetExecution(schema_gen)->end_time;
-        schema_artifact_ =
-            AddArtifact(trace, ArtifactType::kSchema, schema_end);
-        Link(trace, schema_gen, schema_artifact_, EventKind::kOutput,
-             schema_end);
+        const OpResult schema_result = RunOperator(
+            trace, ExecutionType::kSchemaGen, sg_end, schema_cost, true,
+            [&](ExecutionId schema_gen, Timestamp s) {
+              Link(trace, schema_gen, stats_artifact, EventKind::kInput,
+                   s);
+            });
+        if (schema_result.succeeded) {
+          const Timestamp schema_end = schema_result.end;
+          schema_artifact_ =
+              AddArtifact(trace, ArtifactType::kSchema, schema_end);
+          Link(trace, schema_result.exec, schema_artifact_,
+               EventKind::kOutput, schema_end);
+        }
+        // On failure schema_artifact_ stays invalid: the next span's
+        // trigger re-attempts schema inference.
       }
       // Note: the validator checks stats against the frozen schema, but
       // the schema is referenced as configuration (TFX resolver), not as a
@@ -154,18 +262,23 @@ void PipelineSimulator::IngestSpans(Timestamp now, int count,
           schema_artifact_ != metadata::kInvalidId) {
         const double v_cost = cost_model_->Cost(
             ExecutionType::kExampleValidator, config_, unhealthy_, rng_);
-        const ExecutionId validator =
-            AddExecution(trace, ExecutionType::kExampleValidator, sg_end,
-                         v_cost, true);
-        Link(trace, validator, stats_artifact, EventKind::kInput, sg_end);
-        const Timestamp v_end =
-            trace.store.GetExecution(validator)->end_time;
-        const ArtifactId anomalies =
-            AddArtifact(trace, ArtifactType::kExampleAnomalies, v_end);
-        Link(trace, validator, anomalies, EventKind::kOutput, v_end);
-        trace.store.MutableArtifact(anomalies)->properties["anomaly"] =
-            static_cast<int64_t>(unhealthy_ && rng_.Bernoulli(0.35) ? 1
-                                                                    : 0);
+        const OpResult v_result = RunOperator(
+            trace, ExecutionType::kExampleValidator, sg_end, v_cost, true,
+            [&](ExecutionId validator, Timestamp s) {
+              Link(trace, validator, stats_artifact, EventKind::kInput,
+                   s);
+            });
+        if (v_result.succeeded) {
+          const Timestamp v_end = v_result.end;
+          const ArtifactId anomalies =
+              AddArtifact(trace, ArtifactType::kExampleAnomalies, v_end);
+          Link(trace, v_result.exec, anomalies, EventKind::kOutput,
+               v_end);
+          trace.store.MutableArtifact(anomalies)->properties["anomaly"] =
+              static_cast<int64_t>(unhealthy_ && rng_.Bernoulli(0.35)
+                                       ? 1
+                                       : 0);
+        }
       }
     }
   }
@@ -257,13 +370,16 @@ void PipelineSimulator::DoTrigger(Timestamp now, PipelineTrace& trace) {
   if (unhealthy_ && config_.has_statistics_gen) {
     const double rerun_cost = cost_model_->Cost(
         ExecutionType::kStatisticsGen, config_, unhealthy_, rng_);
-    const ExecutionId rerun = AddExecution(
-        trace, ExecutionType::kStatisticsGen, now, rerun_cost, true);
-    Link(trace, rerun, window_.back(), EventKind::kInput, now);
-    const Timestamp rerun_end = trace.store.GetExecution(rerun)->end_time;
-    const ArtifactId rerun_stats =
-        AddArtifact(trace, ArtifactType::kExampleStatistics, rerun_end);
-    Link(trace, rerun, rerun_stats, EventKind::kOutput, rerun_end);
+    const OpResult rerun = RunOperator(
+        trace, ExecutionType::kStatisticsGen, now, rerun_cost, true,
+        [&](ExecutionId id, Timestamp s) {
+          Link(trace, id, window_.back(), EventKind::kInput, s);
+        });
+    if (rerun.succeeded) {
+      const ArtifactId rerun_stats = AddArtifact(
+          trace, ArtifactType::kExampleStatistics, rerun.end);
+      Link(trace, rerun.exec, rerun_stats, EventKind::kOutput, rerun.end);
+    }
   }
 
   // Pre-processing.
@@ -273,47 +389,54 @@ void PipelineSimulator::DoTrigger(Timestamp now, PipelineTrace& trace) {
     const double fail_prob =
         corpus_.transform_failure_prob *
         (unhealthy_ ? corpus_.unhealthy_failure_multiplier : 1.0);
-    transform_failed = rng_.Bernoulli(fail_prob);
-    const ExecutionId transform = AddExecution(
-        trace, ExecutionType::kTransform, now, cost, !transform_failed);
-    for (ArtifactId span : window_) {
-      Link(trace, transform, span, EventKind::kInput, now);
-    }
-    // Analyzer usage accounting (Figure 4): one application per relevant
-    // feature per execution.
-    metadata::Execution* texec = trace.store.MutableExecution(transform);
-    const auto categorical = static_cast<int64_t>(std::lround(
-        config_.num_features * config_.categorical_fraction));
-    const int64_t numerical = config_.num_features - categorical;
-    for (metadata::AnalyzerType a : config_.analyzers) {
-      int64_t uses = 0;
-      switch (a) {
-        case metadata::AnalyzerType::kVocabulary:
-          // Applied to every categorical feature.
-          uses = categorical;
-          break;
-        case metadata::AnalyzerType::kCustom:
-          uses = 1 + static_cast<int64_t>(rng_.NextUint64(4));
-          break;
-        default:
-          // Numeric analyzers cover the subset of numeric features whose
-          // transform needs that statistic.
-          uses = std::max<int64_t>(
-              1, static_cast<int64_t>(0.35 * static_cast<double>(numerical)));
-      }
-      if (uses > 0) {
-        texec->properties[std::string("an_") + metadata::ToString(a)] =
-            uses;
-      }
-    }
+    const bool transform_base_failed = rng_.Bernoulli(fail_prob);
+    const OpResult transform_result = RunOperator(
+        trace, ExecutionType::kTransform, now, cost,
+        !transform_base_failed, [&](ExecutionId transform, Timestamp s) {
+          for (ArtifactId span : window_) {
+            Link(trace, transform, span, EventKind::kInput, s);
+          }
+          // Analyzer usage accounting (Figure 4): one application per
+          // relevant feature per execution.
+          metadata::Execution* texec =
+              trace.store.MutableExecution(transform);
+          const auto categorical = static_cast<int64_t>(std::lround(
+              config_.num_features * config_.categorical_fraction));
+          const int64_t numerical = config_.num_features - categorical;
+          for (metadata::AnalyzerType a : config_.analyzers) {
+            int64_t uses = 0;
+            switch (a) {
+              case metadata::AnalyzerType::kVocabulary:
+                // Applied to every categorical feature.
+                uses = categorical;
+                break;
+              case metadata::AnalyzerType::kCustom:
+                uses = 1 + static_cast<int64_t>(rng_.NextUint64(4));
+                break;
+              default:
+                // Numeric analyzers cover the subset of numeric features
+                // whose transform needs that statistic.
+                uses = std::max<int64_t>(
+                    1, static_cast<int64_t>(
+                           0.35 * static_cast<double>(numerical)));
+            }
+            if (uses > 0) {
+              texec->properties[std::string("an_") +
+                                metadata::ToString(a)] = uses;
+            }
+          }
+        });
+    transform_failed = !transform_result.succeeded;
     if (!transform_failed) {
-      const Timestamp t_end = trace.store.GetExecution(transform)->end_time;
+      const Timestamp t_end = transform_result.end;
       transform_graph =
           AddArtifact(trace, ArtifactType::kTransformGraph, t_end);
-      Link(trace, transform, transform_graph, EventKind::kOutput, t_end);
+      Link(trace, transform_result.exec, transform_graph,
+           EventKind::kOutput, t_end);
       transformed =
           AddArtifact(trace, ArtifactType::kTransformedExamples, t_end);
-      Link(trace, transform, transformed, EventKind::kOutput, t_end);
+      Link(trace, transform_result.exec, transformed, EventKind::kOutput,
+           t_end);
     }
   }
   if (transform_failed) {
@@ -325,32 +448,39 @@ void PipelineSimulator::DoTrigger(Timestamp now, PipelineTrace& trace) {
   if (config_.has_tuner && (trainers_emitted_ == 0 || rng_.Bernoulli(0.1))) {
     const double cost = cost_model_->Cost(ExecutionType::kTuner, config_,
                                           unhealthy_, rng_);
-    const ExecutionId tuner =
-        AddExecution(trace, ExecutionType::kTuner, now, cost, true);
-    if (transformed != metadata::kInvalidId) {
-      Link(trace, tuner, transformed, EventKind::kInput, now);
-    } else {
-      for (ArtifactId span : window_) {
-        Link(trace, tuner, span, EventKind::kInput, now);
-      }
+    const OpResult tuner = RunOperator(
+        trace, ExecutionType::kTuner, now, cost, true,
+        [&](ExecutionId id, Timestamp s) {
+          if (transformed != metadata::kInvalidId) {
+            Link(trace, id, transformed, EventKind::kInput, s);
+          } else {
+            for (ArtifactId span : window_) {
+              Link(trace, id, span, EventKind::kInput, s);
+            }
+          }
+        });
+    if (tuner.succeeded) {
+      hyperparams =
+          AddArtifact(trace, ArtifactType::kHyperparameters, tuner.end);
+      Link(trace, tuner.exec, hyperparams, EventKind::kOutput, tuner.end);
+      tuner_ran = true;
     }
-    const Timestamp tuner_end = trace.store.GetExecution(tuner)->end_time;
-    hyperparams =
-        AddArtifact(trace, ArtifactType::kHyperparameters, tuner_end);
-    Link(trace, tuner, hyperparams, EventKind::kOutput, tuner_end);
-    tuner_ran = true;
   }
 
   // Custom business-logic operator.
   if (config_.has_custom_op && rng_.Bernoulli(0.3)) {
     const double cost = cost_model_->Cost(ExecutionType::kCustom, config_,
                                           unhealthy_, rng_);
-    const ExecutionId custom =
-        AddExecution(trace, ExecutionType::kCustom, now, cost, true);
-    Link(trace, custom, window_.back(), EventKind::kInput, now);
-    const Timestamp c_end = trace.store.GetExecution(custom)->end_time;
-    const ArtifactId out = AddArtifact(trace, ArtifactType::kCustom, c_end);
-    Link(trace, custom, out, EventKind::kOutput, c_end);
+    const OpResult custom = RunOperator(
+        trace, ExecutionType::kCustom, now, cost, true,
+        [&](ExecutionId id, Timestamp s) {
+          Link(trace, id, window_.back(), EventKind::kInput, s);
+        });
+    if (custom.succeeded) {
+      const ArtifactId out =
+          AddArtifact(trace, ArtifactType::kCustom, custom.end);
+      Link(trace, custom.exec, out, EventKind::kOutput, custom.end);
+    }
   }
   }  // analyze phase
 
@@ -362,7 +492,6 @@ void PipelineSimulator::DoTrigger(Timestamp now, PipelineTrace& trace) {
   for (int k = 0; k < config_.parallel_trainers; ++k) {
     if (trainers_emitted_ >= corpus_.max_graphlets_per_pipeline) return;
     MLPROV_SPAN(train_span, "sim.train");
-    MLPROV_COUNTER_INC("sim.trainers");
     const double trainer_fail_prob =
         corpus_.trainer_failure_prob *
         (unhealthy_ ? corpus_.unhealthy_failure_multiplier : 1.0);
@@ -370,46 +499,57 @@ void PipelineSimulator::DoTrigger(Timestamp now, PipelineTrace& trace) {
     const double cost = cost_model_->Cost(ExecutionType::kTrainer, config_,
                                           unhealthy_, rng_);
     const Timestamp start = now + k * 60;  // stagger parallel trainers
-    const ExecutionId trainer = AddExecution(
-        trace, ExecutionType::kTrainer, start, cost, !trainer_failed);
-    ++trainers_emitted_;
+    // Each attempt (including retries of injected faults) is a distinct
+    // Trainer execution anchoring its own graphlet, with its inputs
+    // linked in full — retried work shows up as measurable waste.
+    const OpResult trainer_result = RunOperator(
+        trace, ExecutionType::kTrainer, start, cost, !trainer_failed,
+        [&](ExecutionId trainer, Timestamp s) {
+          MLPROV_COUNTER_INC("sim.trainers");
+          ++trainers_emitted_;
+          metadata::Execution* texec =
+              trace.store.MutableExecution(trainer);
+          texec->properties["code_version"] = code_version_;
+          texec->properties["model_type"] =
+              static_cast<int64_t>(config_.model_type);
+          texec->properties["architecture"] =
+              static_cast<int64_t>(config_.architecture);
+          // Latent generative state, recorded for diagnostics and tests
+          // only — never used as model features (it would be oracular
+          // leakage).
+          texec->properties["dbg_volatile"] =
+              static_cast<int64_t>(volatile_regime_ ? 1 : 0);
+          texec->properties["dbg_unhealthy"] =
+              static_cast<int64_t>(unhealthy_ ? 1 : 0);
+
+          if (transformed != metadata::kInvalidId) {
+            Link(trace, trainer, transformed, EventKind::kInput, s);
+            Link(trace, trainer, transform_graph, EventKind::kInput, s);
+          } else {
+            for (ArtifactId span : window_) {
+              Link(trace, trainer, span, EventKind::kInput, s);
+            }
+          }
+          if (hyperparams != metadata::kInvalidId) {
+            Link(trace, trainer, hyperparams, EventKind::kInput, s);
+          }
+          if (config_.warm_start && last_model_ != metadata::kInvalidId) {
+            Link(trace, trainer, last_model_, EventKind::kInput, s);
+            texec->properties["warm_start"] = static_cast<int64_t>(1);
+          }
+        });
+    const int failed_attempts =
+        trainer_result.attempts - (trainer_result.succeeded ? 1 : 0);
+    if (failed_attempts > 0) {
+      // Failed trainer attempts anchor graphlets that can never push.
+      MLPROV_COUNTER_ADD("sim.trainer_failures", failed_attempts);
+      MLPROV_COUNTER_ADD("sim.graphlets_wasted", failed_attempts);
+    }
+    if (!trainer_result.succeeded) continue;  // no model, no downstream
+
+    const ExecutionId trainer = trainer_result.exec;
     metadata::Execution* texec = trace.store.MutableExecution(trainer);
-    texec->properties["code_version"] = code_version_;
-    texec->properties["model_type"] =
-        static_cast<int64_t>(config_.model_type);
-    texec->properties["architecture"] =
-        static_cast<int64_t>(config_.architecture);
-    // Latent generative state, recorded for diagnostics and tests only —
-    // never used as model features (it would be oracular leakage).
-    texec->properties["dbg_volatile"] =
-        static_cast<int64_t>(volatile_regime_ ? 1 : 0);
-    texec->properties["dbg_unhealthy"] =
-        static_cast<int64_t>(unhealthy_ ? 1 : 0);
-
-
-    if (transformed != metadata::kInvalidId) {
-      Link(trace, trainer, transformed, EventKind::kInput, start);
-      Link(trace, trainer, transform_graph, EventKind::kInput, start);
-    } else {
-      for (ArtifactId span : window_) {
-        Link(trace, trainer, span, EventKind::kInput, start);
-      }
-    }
-    if (hyperparams != metadata::kInvalidId) {
-      Link(trace, trainer, hyperparams, EventKind::kInput, start);
-    }
-    if (config_.warm_start && last_model_ != metadata::kInvalidId) {
-      Link(trace, trainer, last_model_, EventKind::kInput, start);
-      texec->properties["warm_start"] = static_cast<int64_t>(1);
-    }
-    if (trainer_failed) {
-      // A failed trainer anchors a graphlet that can never push.
-      MLPROV_COUNTER_INC("sim.trainer_failures");
-      MLPROV_COUNTER_INC("sim.graphlets_wasted");
-      continue;  // no model, no downstream
-    }
-
-    const Timestamp trained = trace.store.GetExecution(trainer)->end_time;
+    const Timestamp trained = trainer_result.end;
     const ArtifactId model =
         AddArtifact(trace, ArtifactType::kModel, trained);
     Link(trace, trainer, model, EventKind::kOutput, trained);
@@ -452,24 +592,32 @@ void PipelineSimulator::DoTrigger(Timestamp now, PipelineTrace& trace) {
     Timestamp cursor = trained;
     ArtifactId evaluation = metadata::kInvalidId;
     bool blessed = false;
+    bool evaluator_ok = true;
     {
     MLPROV_SPAN(validate_span, "sim.validate");
     if (config_.has_evaluator) {
       const double e_cost = cost_model_->Cost(ExecutionType::kEvaluator,
                                               config_, unhealthy_, rng_);
-      const ExecutionId evaluator = AddExecution(
-          trace, ExecutionType::kEvaluator, cursor, e_cost, true);
-      Link(trace, evaluator, model, EventKind::kInput, cursor);
-      Link(trace, evaluator, window_.back(), EventKind::kInput, cursor);
-      cursor = trace.store.GetExecution(evaluator)->end_time;
-      evaluation =
-          AddArtifact(trace, ArtifactType::kModelEvaluation, cursor);
-      Link(trace, evaluator, evaluation, EventKind::kOutput, cursor);
+      const OpResult ev = RunOperator(
+          trace, ExecutionType::kEvaluator, cursor, e_cost, true,
+          [&](ExecutionId id, Timestamp s) {
+            Link(trace, id, model, EventKind::kInput, s);
+            Link(trace, id, window_.back(), EventKind::kInput, s);
+          });
+      cursor = ev.end;
+      evaluator_ok = ev.succeeded;
+      if (ev.succeeded) {
+        evaluation =
+            AddArtifact(trace, ArtifactType::kModelEvaluation, cursor);
+        Link(trace, ev.exec, evaluation, EventKind::kOutput, cursor);
+      }
     }
-    blessed = passes;
+    // An evaluator that never completed cannot bless the model.
+    blessed = passes && evaluator_ok;
     // TFX's Evaluator itself emits a ModelBlessing; in pipelines without a
     // separate ModelValidator it is the gating operator.
-    if (config_.has_evaluator && !config_.has_model_validator && passes) {
+    if (config_.has_evaluator && !config_.has_model_validator && passes &&
+        evaluator_ok) {
       const ArtifactId blessing =
           AddArtifact(trace, ArtifactType::kModelBlessing, cursor);
       const ExecutionId evaluator_exec =
@@ -481,19 +629,22 @@ void PipelineSimulator::DoTrigger(Timestamp now, PipelineTrace& trace) {
     if (config_.has_model_validator) {
       const double v_cost = cost_model_->Cost(
           ExecutionType::kModelValidator, config_, unhealthy_, rng_);
-      const ExecutionId validator = AddExecution(
-          trace, ExecutionType::kModelValidator, cursor, v_cost, true);
-      Link(trace, validator, model, EventKind::kInput, cursor);
-      if (evaluation != metadata::kInvalidId) {
-        Link(trace, validator, evaluation, EventKind::kInput, cursor);
-      }
-      cursor = trace.store.GetExecution(validator)->end_time;
-      if (passes) {
+      const OpResult validator = RunOperator(
+          trace, ExecutionType::kModelValidator, cursor, v_cost, true,
+          [&](ExecutionId id, Timestamp s) {
+            Link(trace, id, model, EventKind::kInput, s);
+            if (evaluation != metadata::kInvalidId) {
+              Link(trace, id, evaluation, EventKind::kInput, s);
+            }
+          });
+      cursor = validator.end;
+      if (!validator.succeeded) blessed = false;
+      if (passes && evaluator_ok && validator.succeeded) {
         // TFX materializes the blessing only on success: the graphlet's
         // post-trainer shape nearly reveals the outcome (RF:Validation).
         const ArtifactId blessing =
             AddArtifact(trace, ArtifactType::kModelBlessing, cursor);
-        Link(trace, validator, blessing, EventKind::kOutput, cursor);
+        Link(trace, validator.exec, blessing, EventKind::kOutput, cursor);
         trace.store.MutableArtifact(blessing)->properties["blessed"] =
             static_cast<int64_t>(1);
       }
@@ -501,13 +652,18 @@ void PipelineSimulator::DoTrigger(Timestamp now, PipelineTrace& trace) {
     if (blessed && config_.has_infra_validator) {
       const double i_cost = cost_model_->Cost(
           ExecutionType::kInfraValidator, config_, unhealthy_, rng_);
-      const ExecutionId infra = AddExecution(
-          trace, ExecutionType::kInfraValidator, cursor, i_cost, true);
-      Link(trace, infra, model, EventKind::kInput, cursor);
-      cursor = trace.store.GetExecution(infra)->end_time;
-      const ArtifactId infra_blessing =
-          AddArtifact(trace, ArtifactType::kInfraBlessing, cursor);
-      Link(trace, infra, infra_blessing, EventKind::kOutput, cursor);
+      const OpResult infra = RunOperator(
+          trace, ExecutionType::kInfraValidator, cursor, i_cost, true,
+          [&](ExecutionId id, Timestamp s) {
+            Link(trace, id, model, EventKind::kInput, s);
+          });
+      cursor = infra.end;
+      if (infra.succeeded) {
+        const ArtifactId infra_blessing =
+            AddArtifact(trace, ArtifactType::kInfraBlessing, cursor);
+        Link(trace, infra.exec, infra_blessing, EventKind::kOutput,
+             cursor);
+      }
     }
     }  // validate phase
 
@@ -523,15 +679,19 @@ void PipelineSimulator::DoTrigger(Timestamp now, PipelineTrace& trace) {
       MLPROV_SPAN(push_span, "sim.push");
       const double p_cost = cost_model_->Cost(ExecutionType::kPusher,
                                               config_, unhealthy_, rng_);
-      const ExecutionId pusher = AddExecution(
-          trace, ExecutionType::kPusher, cursor, p_cost, true);
-      Link(trace, pusher, model, EventKind::kInput, cursor);
-      cursor = trace.store.GetExecution(pusher)->end_time;
-      const ArtifactId pushed =
-          AddArtifact(trace, ArtifactType::kPushedModel, cursor);
-      Link(trace, pusher, pushed, EventKind::kOutput, cursor);
-      last_push_time_ = cursor;
-      pushed_now = true;
+      const OpResult pusher = RunOperator(
+          trace, ExecutionType::kPusher, cursor, p_cost, true,
+          [&](ExecutionId id, Timestamp s) {
+            Link(trace, id, model, EventKind::kInput, s);
+          });
+      cursor = pusher.end;
+      if (pusher.succeeded) {
+        const ArtifactId pushed =
+            AddArtifact(trace, ArtifactType::kPushedModel, cursor);
+        Link(trace, pusher.exec, pushed, EventKind::kOutput, cursor);
+        last_push_time_ = cursor;
+        pushed_now = true;
+      }
     }
     // The paper's waste metric: graphlets whose model never deploys.
     if (pushed_now) {

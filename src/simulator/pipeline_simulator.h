@@ -1,8 +1,10 @@
 #ifndef MLPROV_SIMULATOR_PIPELINE_SIMULATOR_H_
 #define MLPROV_SIMULATOR_PIPELINE_SIMULATOR_H_
 
+#include <array>
 #include <deque>
 
+#include "common/failpoints.h"
 #include "common/rng.h"
 #include "dataspan/span_stats.h"
 #include "metadata/types.h"
@@ -40,6 +42,17 @@ class PipelineSimulator {
     bool transform_failed = false;
   };
 
+  /// Outcome of one (possibly retried) operator invocation.
+  struct OpResult {
+    /// The final attempt's execution (earlier attempts are distinct MLMD
+    /// executions linked back via "retry_of").
+    metadata::ExecutionId exec = metadata::kInvalidId;
+    bool succeeded = true;
+    /// End time of the final attempt.
+    metadata::Timestamp end = 0;
+    int attempts = 0;
+  };
+
   void DoTrigger(metadata::Timestamp now, PipelineTrace& trace);
 
   /// Ingests `count` new spans at `now`; returns their artifact ids.
@@ -50,6 +63,19 @@ class PipelineSimulator {
                                      metadata::ExecutionType type,
                                      metadata::Timestamp start,
                                      double cost_hours, bool succeeded);
+
+  /// Emits one operator invocation with orchestrator retry semantics.
+  /// `prepare(id, start)` links inputs and sets properties on each
+  /// attempt's execution. When no failpoint is armed for `type` (or the
+  /// calibrated baseline already failed it via `base_succeeded`), this is
+  /// exactly one AddExecution + prepare — byte-identical to the
+  /// retry-free emission sequence. Injected failures are retried up to
+  /// CorpusConfig::max_retries times with exponential backoff; every
+  /// attempt is a distinct execution whose cost is charged in full.
+  template <typename PrepareFn>
+  OpResult RunOperator(PipelineTrace& trace, metadata::ExecutionType type,
+                       metadata::Timestamp start, double cost_hours,
+                       bool base_succeeded, PrepareFn&& prepare);
   metadata::ArtifactId AddArtifact(PipelineTrace& trace,
                                    metadata::ArtifactType type,
                                    metadata::Timestamp create_time);
@@ -62,6 +88,12 @@ class PipelineSimulator {
   const CostModel* cost_model_;
   common::Rng rng_;
   dataspan::SpanStatsGenerator span_gen_;
+  /// Per-pipeline fault injector (own derived streams; never touches
+  /// rng_) and the armed failpoint per operator type, resolved once from
+  /// corpus_.fault_plan ("exec.<operator>", falling back to "exec.any").
+  common::FaultInjector injector_;
+  std::array<const common::FailpointSpec*, metadata::kNumExecutionTypes>
+      op_faults_ = {};
 
   // Mutable simulation state.
   std::deque<metadata::ArtifactId> window_;  // recent span artifacts

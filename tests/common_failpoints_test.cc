@@ -1,0 +1,208 @@
+// Deterministic fault-injection library (ISSUE 3): FaultPlan grammar,
+// lookup, round-trip, and the FaultInjector's determinism/composability
+// contracts that the simulator's byte-identical-corpus guarantee rests
+// on.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/failpoints.h"
+
+namespace mlprov::common {
+namespace {
+
+TEST(FaultPlanParseTest, EmptyTextYieldsEmptyPlan) {
+  const auto plan = FaultPlan::Parse("");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->empty());
+  EXPECT_EQ(plan->size(), 0u);
+}
+
+TEST(FaultPlanParseTest, SingleSpec) {
+  const auto plan = FaultPlan::Parse("exec.trainer:transient:0.25");
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->size(), 1u);
+  const FailpointSpec& spec = plan->specs()[0];
+  EXPECT_EQ(spec.name, "exec.trainer");
+  EXPECT_EQ(spec.mode, FaultMode::kTransient);
+  EXPECT_DOUBLE_EQ(spec.probability, 0.25);
+  EXPECT_EQ(spec.max_fires, 0);
+}
+
+TEST(FaultPlanParseTest, MultipleSpecsWithMaxFires) {
+  const auto plan = FaultPlan::Parse(
+      "exec.trainer:transient:0.1,exec.pusher:persistent:0.05:3");
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->size(), 2u);
+  EXPECT_EQ(plan->specs()[1].mode, FaultMode::kPersistent);
+  EXPECT_EQ(plan->specs()[1].max_fires, 3);
+}
+
+TEST(FaultPlanParseTest, ToleratesTrailingComma) {
+  const auto plan = FaultPlan::Parse("exec.any:transient:0.5,");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->size(), 1u);
+}
+
+TEST(FaultPlanParseTest, RejectsMalformedSpecs) {
+  // Each entry is an invalid plan string that must produce a Status, not
+  // a crash or a silently-empty plan.
+  const std::vector<std::string> bad = {
+      "exec.trainer",                        // missing fields
+      "exec.trainer:transient",              // missing probability
+      "exec.trainer:sometimes:0.5",          // unknown mode
+      "exec.trainer:transient:nope",         // non-numeric probability
+      "exec.trainer:transient:1.5",          // probability > 1
+      "exec.trainer:transient:-0.1",         // probability < 0
+      "exec.trainer:transient:0.5:-2",       // negative max_fires
+      "exec.trainer:transient:0.5:2.5",      // non-integer max_fires
+      ":transient:0.5",                      // empty name
+      "exec.trainer:transient:0.5:1:extra",  // too many fields
+  };
+  for (const std::string& text : bad) {
+    const auto plan = FaultPlan::Parse(text);
+    EXPECT_FALSE(plan.ok()) << "accepted: " << text;
+  }
+}
+
+TEST(FaultPlanTest, FindReturnsFirstOccurrence) {
+  const auto plan = FaultPlan::Parse(
+      "exec.trainer:transient:0.1,exec.trainer:persistent:0.9");
+  ASSERT_TRUE(plan.ok());
+  const FailpointSpec* spec = plan->Find("exec.trainer");
+  ASSERT_NE(spec, nullptr);
+  EXPECT_EQ(spec->mode, FaultMode::kTransient);
+  EXPECT_EQ(plan->Find("exec.pusher"), nullptr);
+}
+
+TEST(FaultPlanTest, ToStringRoundTrips) {
+  const std::string text =
+      "exec.trainer:transient:0.125,exec.pusher:persistent:0.0625:7";
+  const auto plan = FaultPlan::Parse(text);
+  ASSERT_TRUE(plan.ok());
+  const auto reparsed = FaultPlan::Parse(plan->ToString());
+  ASSERT_TRUE(reparsed.ok());
+  ASSERT_EQ(reparsed->size(), plan->size());
+  for (size_t i = 0; i < plan->size(); ++i) {
+    EXPECT_EQ(reparsed->specs()[i].name, plan->specs()[i].name);
+    EXPECT_EQ(reparsed->specs()[i].mode, plan->specs()[i].mode);
+    EXPECT_DOUBLE_EQ(reparsed->specs()[i].probability,
+                     plan->specs()[i].probability);
+    EXPECT_EQ(reparsed->specs()[i].max_fires, plan->specs()[i].max_fires);
+  }
+}
+
+TEST(FailpointNameHashTest, DistinctNamesDistinctHashes) {
+  EXPECT_NE(FailpointNameHash("exec.trainer"),
+            FailpointNameHash("exec.pusher"));
+  EXPECT_EQ(FailpointNameHash("exec.trainer"),
+            FailpointNameHash("exec.trainer"));
+}
+
+// Records the roll outcomes of one spec through `n` consultations.
+std::vector<bool> Roll(FaultInjector& injector, const FailpointSpec* spec,
+                       int n) {
+  std::vector<bool> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(injector.Fires(spec));
+  return out;
+}
+
+TEST(FaultInjectorTest, DisarmedNeverFires) {
+  FaultInjector injector;
+  EXPECT_FALSE(injector.armed());
+  EXPECT_FALSE(injector.Fires(nullptr));
+  const auto plan = FaultPlan::Parse("exec.trainer:transient:1.0");
+  ASSERT_TRUE(plan.ok());
+  // A spec from a plan the injector was not armed with never fires.
+  EXPECT_FALSE(injector.Fires(plan->Find("exec.trainer")));
+}
+
+TEST(FaultInjectorTest, ZeroProbabilityNeverFires) {
+  const auto plan = FaultPlan::Parse("exec.trainer:transient:0.0");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector injector(&*plan, 42);
+  EXPECT_TRUE(injector.armed());
+  for (bool fired : Roll(injector, plan->Find("exec.trainer"), 1000)) {
+    EXPECT_FALSE(fired);
+  }
+  EXPECT_EQ(injector.FireCount("exec.trainer"), 0u);
+}
+
+TEST(FaultInjectorTest, ProbabilityOneAlwaysFires) {
+  const auto plan = FaultPlan::Parse("exec.trainer:transient:1.0");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector injector(&*plan, 42);
+  for (bool fired : Roll(injector, plan->Find("exec.trainer"), 100)) {
+    EXPECT_TRUE(fired);
+  }
+  EXPECT_EQ(injector.FireCount("exec.trainer"), 100u);
+}
+
+TEST(FaultInjectorTest, SameSeedSamePlanSameDecisions) {
+  const auto plan = FaultPlan::Parse("exec.trainer:transient:0.3");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector a(&*plan, 7);
+  FaultInjector b(&*plan, 7);
+  EXPECT_EQ(Roll(a, plan->Find("exec.trainer"), 500),
+            Roll(b, plan->Find("exec.trainer"), 500));
+  FaultInjector c(&*plan, 8);
+  EXPECT_NE(Roll(a, plan->Find("exec.trainer"), 500),
+            Roll(c, plan->Find("exec.trainer"), 500));
+}
+
+TEST(FaultInjectorTest, AddingASpecDoesNotShiftOtherStreams) {
+  // The composability contract: arming exec.pusher must not change any
+  // exec.trainer decision, because each spec rolls its own name-keyed
+  // derived stream.
+  const auto solo = FaultPlan::Parse("exec.trainer:transient:0.3");
+  const auto both = FaultPlan::Parse(
+      "exec.trainer:transient:0.3,exec.pusher:persistent:0.5");
+  ASSERT_TRUE(solo.ok());
+  ASSERT_TRUE(both.ok());
+  FaultInjector a(&*solo, 99);
+  FaultInjector b(&*both, 99);
+  std::vector<bool> rolls_a, rolls_b;
+  for (int i = 0; i < 300; ++i) {
+    rolls_a.push_back(a.Fires(solo->Find("exec.trainer")));
+    // Interleave pusher rolls to prove they do not perturb trainer's.
+    b.Fires(both->Find("exec.pusher"));
+    rolls_b.push_back(b.Fires(both->Find("exec.trainer")));
+  }
+  EXPECT_EQ(rolls_a, rolls_b);
+}
+
+TEST(FaultInjectorTest, MaxFiresCapsFiring) {
+  const auto plan = FaultPlan::Parse("exec.trainer:transient:1.0:5");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector injector(&*plan, 1);
+  int fired = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (injector.Fires(plan->Find("exec.trainer"))) ++fired;
+  }
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(injector.FireCount("exec.trainer"), 5u);
+}
+
+TEST(FaultInjectorTest, FireCountUnknownNameIsZero) {
+  const auto plan = FaultPlan::Parse("exec.trainer:transient:1.0");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector injector(&*plan, 1);
+  EXPECT_EQ(injector.FireCount("exec.nope"), 0u);
+}
+
+TEST(FailpointMacroTest, MacroMatchesBuildConfiguration) {
+  const auto plan = FaultPlan::Parse("exec.trainer:transient:1.0");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector injector(&*plan, 3);
+  const bool fired = MLPROV_FAILPOINT(injector, plan->Find("exec.trainer"));
+  if (kFailpointsEnabled) {
+    EXPECT_TRUE(fired);
+  } else {
+    EXPECT_FALSE(fired);  // compiled out: the site is a constant false
+  }
+}
+
+}  // namespace
+}  // namespace mlprov::common

@@ -1,0 +1,198 @@
+// Deterministic corruption fuzzer (ISSUE 3): serialize a small simulated
+// trace, mutate it every which way — truncations, byte flips, line
+// deletion/duplication, absurd numbers — and prove the strict parser
+// returns a Status (never crashes or corrupts memory), while the lenient
+// parser + TraceValidator repair + segmentation survive everything the
+// strict parser accepts or salvages.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/segmentation.h"
+#include "metadata/serialization.h"
+#include "metadata/trace_validator.h"
+#include "simulator/pipeline_simulator.h"
+
+namespace mlprov {
+namespace {
+
+// One small but representative trace, shared by all fuzz cases.
+const std::string& SeedCorpusText() {
+  static const std::string* text = [] {
+    sim::CorpusConfig corpus_config;
+    corpus_config.seed = 5;
+    common::Rng rng(corpus_config.seed);
+    sim::PipelineConfig config =
+        sim::SamplePipelineConfig(corpus_config, 0, rng);
+    config.lifespan_days = 10.0;
+    const sim::PipelineTrace trace =
+        sim::SimulatePipeline(corpus_config, config, sim::CostModel());
+    return new std::string(metadata::SerializeStore(trace.store));
+  }();
+  return *text;
+}
+
+// Exercises the full crash surface on one mutant: strict parse, and if
+// the store is accepted, validation + segmentation on it; then lenient
+// parse + repair + segmentation unconditionally. Any crash/UB fails the
+// test binary itself; sanitizer CI runs this suite.
+void ExpectSurvives(const std::string& mutant) {
+  const auto strict = metadata::DeserializeStore(mutant);
+  if (strict.ok()) {
+    const auto report = metadata::TraceValidator().Validate(*strict);
+    if (!report.NeedsQuarantine()) {
+      (void)core::SegmentTrace(*strict);
+    }
+  }
+  metadata::LenientStats stats;
+  auto lenient = metadata::DeserializeStoreLenient(mutant, &stats);
+  if (lenient.ok()) {
+    const metadata::TraceValidator repairer(
+        metadata::TraceValidator::Mode::kRepair);
+    (void)repairer.ValidateAndRepair(*lenient);
+    (void)core::SegmentTrace(*lenient);
+  }
+}
+
+TEST(MetadataFuzzTest, RoundTripIsExact) {
+  const std::string& text = SeedCorpusText();
+  const auto store = metadata::DeserializeStore(text);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(metadata::SerializeStore(*store), text);
+}
+
+TEST(MetadataFuzzTest, TruncationsNeverCrash) {
+  const std::string& text = SeedCorpusText();
+  // Truncate at 64 evenly spaced byte offsets plus a few boundaries.
+  std::vector<size_t> cuts = {0, 1, 13, 14, 15};
+  for (int i = 1; i <= 64; ++i) {
+    cuts.push_back(text.size() * static_cast<size_t>(i) / 65);
+  }
+  for (const size_t cut : cuts) {
+    ExpectSurvives(text.substr(0, cut));
+  }
+}
+
+TEST(MetadataFuzzTest, ByteFlipsNeverCrash) {
+  const std::string& text = SeedCorpusText();
+  for (uint64_t round = 0; round < 200; ++round) {
+    common::Rng rng = common::Rng::Derive(0xF022, round);
+    std::string mutant = text;
+    const int flips = 1 + static_cast<int>(rng.NextUint64(8));
+    for (int f = 0; f < flips; ++f) {
+      const size_t pos = static_cast<size_t>(
+          rng.NextUint64(static_cast<uint64_t>(mutant.size())));
+      mutant[pos] = static_cast<char>(rng.NextUint64(256));
+    }
+    ExpectSurvives(mutant);
+  }
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+std::string JoinLines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(MetadataFuzzTest, LineDeletionsNeverCrash) {
+  const std::vector<std::string> lines = SplitLines(SeedCorpusText());
+  ASSERT_GT(lines.size(), 2u);
+  for (uint64_t round = 0; round < 100; ++round) {
+    common::Rng rng = common::Rng::Derive(0xDE1E7E, round);
+    std::vector<std::string> mutant = lines;
+    const size_t victim = 1 + static_cast<size_t>(rng.NextUint64(
+                                  static_cast<uint64_t>(mutant.size() - 1)));
+    mutant.erase(mutant.begin() + static_cast<ptrdiff_t>(victim));
+    ExpectSurvives(JoinLines(mutant));
+  }
+}
+
+TEST(MetadataFuzzTest, LineDuplicationsNeverCrash) {
+  const std::vector<std::string> lines = SplitLines(SeedCorpusText());
+  for (uint64_t round = 0; round < 100; ++round) {
+    common::Rng rng = common::Rng::Derive(0xD0B1E, round);
+    std::vector<std::string> mutant = lines;
+    const size_t victim = 1 + static_cast<size_t>(rng.NextUint64(
+                                  static_cast<uint64_t>(mutant.size() - 1)));
+    mutant.insert(mutant.begin() + static_cast<ptrdiff_t>(victim),
+                  mutant[victim]);
+    ExpectSurvives(JoinLines(mutant));
+  }
+}
+
+TEST(MetadataFuzzTest, HugeAndHostileNumbersReturnStatusNotCrash) {
+  const std::vector<std::string> hostile = {
+      "MLPROVSTORE v1\nA 3 100\nP a 1 k i 999999999999999999999999999\n",
+      "MLPROVSTORE v1\nA 3 100\nP a 1 k i -999999999999999999999999999\n",
+      "MLPROVSTORE v1\nA 3 100\nP a 1 k d 1e99999\n",
+      "MLPROVSTORE v1\nA 3 100\nP a 1 k d nan(garbage)junk\n",
+      "MLPROVSTORE v1\nA 3 100\nP a 1 k i 0x1p300\n",
+      "MLPROVSTORE v1\nA 99999999999999999999 100\n",
+      "MLPROVSTORE v1\nE 2 9223372036854775807 -9223372036854775808 1 "
+      "1e308\nV 1 1 0 0\n",
+      "MLPROVSTORE v1\nV 9999999999 9999999999 7 0\n",
+      "MLPROVSTORE v1\nCE 318273 18273\n",
+      "MLPROVSTORE v1\nP e 99 k s x\n",
+  };
+  for (const std::string& text : hostile) {
+    ExpectSurvives(text);
+    // The property-value cases must be rejected by the strict parser,
+    // not silently accepted with a garbage value.
+    if (text.find("P a 1 k i 9") != std::string::npos ||
+        text.find("1e99999") != std::string::npos) {
+      EXPECT_FALSE(metadata::DeserializeStore(text).ok()) << text;
+    }
+  }
+}
+
+TEST(MetadataFuzzTest, InvalidEnumsRejectedStrictCoercedLenient) {
+  const std::string text =
+      "MLPROVSTORE v1\nA 99 100\nE 77 100 200 1 1.0\nV 1 1 5 0\n";
+  EXPECT_FALSE(metadata::DeserializeStore(text).ok());
+  metadata::LenientStats stats;
+  const auto store = metadata::DeserializeStoreLenient(text, &stats);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(stats.invalid_enums, 3u);
+  EXPECT_EQ(store->artifacts()[0].type, metadata::ArtifactType::kCustom);
+  EXPECT_EQ(store->executions()[0].type, metadata::ExecutionType::kCustom);
+}
+
+TEST(MetadataFuzzTest, LenientParseCountsAndSalvages) {
+  std::string text = SeedCorpusText();
+  text += "garbage line that matches no tag\n";
+  text += "V 999999 999999 0 0\n";
+  text += "P a 999999 key i 3\n";
+  metadata::LenientStats stats;
+  auto store = metadata::DeserializeStoreLenient(text, &stats);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(stats.malformed_lines, 1u);
+  EXPECT_EQ(stats.dangling_events, 1u);
+  EXPECT_EQ(stats.orphan_properties, 1u);
+  // The salvaged store still validates + repairs + segments.
+  const metadata::TraceValidator repairer(
+      metadata::TraceValidator::Mode::kRepair);
+  const auto report = repairer.ValidateAndRepair(*store);
+  EXPECT_EQ(report.dropped_events, 1u);
+  (void)core::SegmentTrace(*store);
+}
+
+}  // namespace
+}  // namespace mlprov

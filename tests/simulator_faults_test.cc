@@ -1,0 +1,171 @@
+// Failure-semantics integration tests (ISSUE 3): orchestrator retries
+// under a deterministic fault plan, segmentation correctness on
+// fault-injected corpora, thread-count invariance with faults armed, and
+// the byte-identity guarantee when faults are disarmed.
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/failpoints.h"
+#include "common/parallel.h"
+#include "core/graphlet_analysis.h"
+#include "metadata/serialization.h"
+#include "metadata/trace_validator.h"
+#include "obs/metrics.h"
+#include "simulator/corpus_generator.h"
+
+namespace mlprov {
+namespace {
+
+sim::CorpusConfig SmallConfig() {
+  sim::CorpusConfig config;
+  config.num_pipelines = 12;
+  config.seed = 777;
+  config.horizon_days = 45.0;
+  return config;
+}
+
+sim::CorpusConfig FaultyConfig() {
+  sim::CorpusConfig config = SmallConfig();
+  auto plan = common::FaultPlan::Parse(
+      "exec.trainer:transient:0.2,exec.pusher:persistent:0.1,"
+      "exec.transform:transient:0.05");
+  EXPECT_TRUE(plan.ok());
+  config.fault_plan = *plan;
+  config.max_retries = 2;
+  return config;
+}
+
+std::string CorpusFingerprint(const sim::Corpus& corpus) {
+  std::string fp;
+  for (const sim::PipelineTrace& trace : corpus.pipelines) {
+    fp += metadata::SerializeStore(trace.store);
+  }
+  return fp;
+}
+
+TEST(SimulatorFaultsTest, FaultPlanTriggersRetriesAndFailures) {
+  if (!common::kFailpointsEnabled) GTEST_SKIP() << "failpoints compiled out";
+  obs::Registry::Global().Reset();
+  const sim::Corpus corpus = sim::GenerateCorpus(FaultyConfig());
+  if (obs::kMetricsEnabled) {
+    EXPECT_GT(obs::Registry::Global().GetCounter("exec.retries")->Value(),
+              0u);
+    EXPECT_GT(
+        obs::Registry::Global().GetCounter("exec.fault_failures")->Value(),
+        0u);
+    EXPECT_GT(obs::Registry::Global().GetGauge("waste.failed_hours")->Value(),
+              0.0);
+  }
+  // Retried attempts are distinct MLMD executions carrying retry
+  // provenance, and failed attempts are recorded as !succeeded.
+  size_t retried = 0, failed = 0;
+  for (const sim::PipelineTrace& trace : corpus.pipelines) {
+    for (const metadata::Execution& e : trace.store.executions()) {
+      if (e.properties.count("retry_of") > 0) {
+        ++retried;
+        EXPECT_GT(e.properties.count("retry_attempt"), 0u);
+      }
+      if (!e.succeeded) ++failed;
+    }
+  }
+  EXPECT_GT(retried, 0u);
+  EXPECT_GT(failed, 0u);
+}
+
+TEST(SimulatorFaultsTest, EveryTrainerExecutionInExactlyOneGraphlet) {
+  if (!common::kFailpointsEnabled) GTEST_SKIP() << "failpoints compiled out";
+  const sim::Corpus corpus = sim::GenerateCorpus(FaultyConfig());
+  const core::SegmentedCorpus segmented = core::SegmentCorpus(corpus);
+  ASSERT_EQ(segmented.pipelines.size(), corpus.pipelines.size());
+  for (size_t p = 0; p < corpus.pipelines.size(); ++p) {
+    const auto trainers =
+        corpus.pipelines[p].store.ExecutionsOfType(
+            metadata::ExecutionType::kTrainer);
+    const core::SegmentedPipeline& sp = segmented.pipelines[p];
+    // Fault-injected traces are well-formed, so nothing is quarantined
+    // and every trainer execution (including failed retry attempts)
+    // anchors exactly one graphlet.
+    EXPECT_EQ(sp.quarantined_graphlets, 0u);
+    ASSERT_EQ(sp.graphlets.size(), trainers.size());
+    std::set<metadata::ExecutionId> anchors;
+    for (const core::Graphlet& g : sp.graphlets) {
+      EXPECT_TRUE(anchors.insert(g.trainer).second)
+          << "trainer " << g.trainer << " anchors two graphlets";
+    }
+    for (const metadata::ExecutionId t : trainers) {
+      EXPECT_EQ(anchors.count(t), 1u)
+          << "trainer " << t << " lost from segmentation";
+    }
+  }
+}
+
+TEST(SimulatorFaultsTest, FaultInjectedTracesValidateClean) {
+  if (!common::kFailpointsEnabled) GTEST_SKIP() << "failpoints compiled out";
+  const sim::Corpus corpus = sim::GenerateCorpus(FaultyConfig());
+  const metadata::TraceValidator validator;
+  for (const sim::PipelineTrace& trace : corpus.pipelines) {
+    const auto report = validator.Validate(trace.store);
+    EXPECT_FALSE(report.NeedsQuarantine()) << report.Summary();
+    EXPECT_EQ(report.truncated_graphlets, 0u);
+  }
+}
+
+TEST(SimulatorFaultsTest, FaultInjectionDeterministicAcrossThreadCounts) {
+  if (!common::kFailpointsEnabled) GTEST_SKIP() << "failpoints compiled out";
+  std::string baseline;
+  for (const int threads : {1, 4, 8}) {
+    common::SetGlobalThreads(threads);
+    const std::string fp =
+        CorpusFingerprint(sim::GenerateCorpus(FaultyConfig()));
+    if (baseline.empty()) {
+      baseline = fp;
+    } else {
+      EXPECT_EQ(fp, baseline) << "fault-injected corpus diverged at "
+                              << threads << " threads";
+    }
+  }
+  common::SetGlobalThreads(1);
+}
+
+TEST(SimulatorFaultsTest, ZeroProbabilityPlanIsByteIdenticalToNoPlan) {
+  // The fast-path contract behind "faults disabled => outputs identical
+  // to pre-fault-injection builds": arming a plan whose probabilities
+  // are all zero must not consume any simulator randomness.
+  sim::CorpusConfig zero = SmallConfig();
+  auto plan = common::FaultPlan::Parse(
+      "exec.trainer:transient:0.0,exec.any:persistent:0.0");
+  ASSERT_TRUE(plan.ok());
+  zero.fault_plan = *plan;
+  const std::string with_zero_plan =
+      CorpusFingerprint(sim::GenerateCorpus(zero));
+  const std::string without_plan =
+      CorpusFingerprint(sim::GenerateCorpus(SmallConfig()));
+  EXPECT_EQ(with_zero_plan, without_plan);
+}
+
+TEST(SimulatorFaultsTest, SameSeedSamePlanIsReproducible) {
+  const std::string a = CorpusFingerprint(sim::GenerateCorpus(FaultyConfig()));
+  const std::string b = CorpusFingerprint(sim::GenerateCorpus(FaultyConfig()));
+  EXPECT_EQ(a, b);
+}
+
+TEST(SimulatorFaultsTest, MoreRetriesNeverReduceTrainerExecutions) {
+  if (!common::kFailpointsEnabled) GTEST_SKIP() << "failpoints compiled out";
+  sim::CorpusConfig no_retries = FaultyConfig();
+  no_retries.max_retries = 0;
+  sim::CorpusConfig with_retries = FaultyConfig();
+  with_retries.max_retries = 3;
+  size_t execs_none = 0, execs_some = 0;
+  for (const auto& t : sim::GenerateCorpus(no_retries).pipelines) {
+    execs_none += t.store.num_executions();
+  }
+  for (const auto& t : sim::GenerateCorpus(with_retries).pipelines) {
+    execs_some += t.store.num_executions();
+  }
+  EXPECT_GT(execs_some, execs_none);
+}
+
+}  // namespace
+}  // namespace mlprov
