@@ -43,6 +43,10 @@ namespace mlprov::bench {
 ///                      "exec.trainer:transient:0.05,exec.pusher:persistent:0.01"
 ///   --max_retries=N    orchestrator retry budget per operator invocation
 ///
+/// Execution-memoization flags (see DESIGN.md "Execution memoization"):
+///   --cache_policy=P   off (default) | lru | unbounded
+///   --cache_capacity=N per-pipeline LRU entry bound (only under lru)
+///
 /// The destructor writes `BENCH_<name>.json` containing the corpus shape,
 /// wall times, whatever key values the binary recorded via
 /// `ctx.report.Set(...)`, and a snapshot of the obs metrics registry.
@@ -75,6 +79,18 @@ struct ReportContext {
     }
     config.max_retries =
         static_cast<int>(flags.GetInt("max_retries", config.max_retries));
+    {
+      const common::StatusOr<sim::CachePolicy> policy =
+          sim::ParseCachePolicy(flags.GetString("cache_policy", "off"));
+      if (!policy.ok()) {
+        std::fprintf(stderr, "error: --cache_policy: %s\n",
+                     policy.status().ToString().c_str());
+        std::exit(2);
+      }
+      config.cache_policy = *policy;
+    }
+    config.cache_capacity = static_cast<int>(
+        flags.GetInt("cache_capacity", config.cache_capacity));
     trace_out_ = flags.GetString("trace_out", "");
     report_dir_ = flags.GetString("report_dir", ".");
     write_report_ = !flags.GetBool("no_report", false);
@@ -100,6 +116,11 @@ struct ReportContext {
       std::printf("fault plan: %s (max %d retries)\n",
                   config.fault_plan.ToString().c_str(),
                   config.max_retries);
+    }
+    if (config.cache_policy != sim::CachePolicy::kOff) {
+      std::printf("execution cache: %s (capacity %d)\n",
+                  sim::ToString(config.cache_policy),
+                  config.cache_capacity);
     }
     double sequential_seconds = 0.0;
     if (measure_speedup && *threads > 1) {
@@ -149,6 +170,13 @@ struct ReportContext {
         registry.GetCounter("exec.retries")->Value(),
         registry.GetCounter("trace.quarantined")->Value(),
         registry.GetGauge("waste.failed_hours")->Value());
+    // Memoization tallies (zero under --cache_policy=off); flushed into
+    // the registry once per simulated pipeline.
+    report.SetCacheStats(sim::ToString(config.cache_policy),
+                         registry.GetCounter("cache.hits")->Value(),
+                         registry.GetCounter("cache.misses")->Value(),
+                         registry.GetCounter("cache.evictions")->Value(),
+                         registry.GetGauge("cache.saved_hours")->Value());
     if (write_report_) {
       const auto status = report.WriteTo(report_dir_);
       if (status.ok()) {

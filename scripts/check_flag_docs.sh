@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Docs-consistency check: every command-line flag read anywhere in the
+# codebase must be documented (as --<name>) in README.md or DESIGN.md.
+#
+# Flag reads are located syntactically: any Flags accessor call of the
+# form Get{Int,Double,String,Bool,IntStrict}("name") or Has("name") in
+# src/, bench/, or examples/. The --threads flag is read indirectly
+# through common::ThreadsFromFlags (its name is a default argument, not
+# a literal at the call site), so it is added explicitly.
+#
+# Usage: scripts/check_flag_docs.sh [repo-root]   (default: cwd)
+set -euo pipefail
+
+root="${1:-.}"
+cd "$root"
+
+flags=$(
+  {
+    grep -rhoE \
+      '(GetInt|GetDouble|GetString|GetBool|GetIntStrict|Has)\("[a-z][a-z_0-9]*"' \
+      src bench examples 2>/dev/null |
+      sed -E 's/.*\("([a-z][a-z_0-9]*)"/\1/'
+    echo threads
+  } | sort -u
+)
+
+missing=0
+for flag in $flags; do
+  if ! grep -qE -- "--${flag}\b" README.md DESIGN.md; then
+    echo "UNDOCUMENTED FLAG: --${flag} (read in sources, absent from README.md and DESIGN.md)" >&2
+    missing=1
+  fi
+done
+
+count=$(echo "$flags" | wc -w)
+if [ "$missing" -ne 0 ]; then
+  echo "flag-docs check FAILED: document the flags above in README.md or DESIGN.md" >&2
+  exit 1
+fi
+echo "flag-docs check ok: all ${count} flags documented"

@@ -18,11 +18,21 @@ class Flags {
  public:
   Flags(int argc, char** argv);
 
-  /// Returns the flag's value or `def` if absent/unparsable.
+  /// Returns `--name=` parsed as a base-10 int64, or `def` if the flag is
+  /// absent or unparsable. Prefer GetIntStrict below when a typo should
+  /// be an error rather than a silent fallback.
   int64_t GetInt(const std::string& name, int64_t def) const;
+
+  /// Returns `--name=` parsed with strtod, or `def` if absent/unparsable.
   double GetDouble(const std::string& name, double def) const;
+
+  /// Returns the raw value of `--name=`, or `def` if absent. Never fails:
+  /// any text (including empty) is a valid string value.
   std::string GetString(const std::string& name,
                         const std::string& def) const;
+
+  /// Returns true for `--name` (bare), `--name=true`, `--name=1`, or
+  /// `--name=yes`; false for any other present value; `def` if absent.
   bool GetBool(const std::string& name, bool def) const;
 
   /// Like GetInt, but a present-yet-malformed value (empty, non-numeric,

@@ -1,6 +1,13 @@
 #ifndef MLPROV_CORE_DATALOG_H_
 #define MLPROV_CORE_DATALOG_H_
 
+/// Semi-naive datalog engine backing the Appendix-A reference
+/// implementation of graphlet segmentation. Invariants: evaluation is
+/// deterministic (relations are sorted sets, rules fire in declaration
+/// order per stratum) and negation is stratified — a program that
+/// negates a predicate derived in the same stratum is rejected with an
+/// error rather than evaluated incorrectly.
+
 #include <cstdint>
 #include <map>
 #include <set>

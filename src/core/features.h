@@ -1,6 +1,14 @@
 #ifndef MLPROV_CORE_FEATURES_H_
 #define MLPROV_CORE_FEATURES_H_
 
+/// Graphlet featurization for the Section 5.2 waste-mitigation
+/// classifier. Invariants: every feature is computable from provenance
+/// available *before* the graphlet's outcome is known (no label
+/// leakage), history features only look backward within the same
+/// pipeline, and the emitted ml::Dataset keeps one row per analyzed
+/// graphlet in segmentation order with the pipeline id as group key so
+/// grouped splits never leak a pipeline across train/test.
+
 #include <array>
 #include <string>
 #include <vector>

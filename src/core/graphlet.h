@@ -1,6 +1,13 @@
 #ifndef MLPROV_CORE_GRAPHLET_H_
 #define MLPROV_CORE_GRAPHLET_H_
 
+/// The model graphlet data structure (Section 4.1, Figure 8): one
+/// logical end-to-end pipeline run anchored at a single Trainer.
+/// Invariants: `trainer` is always a valid Trainer execution id;
+/// `executions` contains the trainer itself; and across a segmented
+/// trace every Trainer execution appears in exactly one graphlet
+/// (enforced by core_segmentation_test and metadata_validator_test).
+
 #include <cstdint>
 #include <vector>
 

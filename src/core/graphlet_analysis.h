@@ -1,6 +1,14 @@
 #ifndef MLPROV_CORE_GRAPHLET_ANALYSIS_H_
 #define MLPROV_CORE_GRAPHLET_ANALYSIS_H_
 
+/// Graphlet-level analyses of Section 4: corpus segmentation, input-span
+/// reuse and similarity (Section 4.2, Table 1), retraining cadence
+/// (Section 4.3.2, Figure 9), push statistics and drivers (Table 2), and
+/// the Section 4.4 waste estimate. Invariants: per-pipeline work is
+/// independent (analyses parallelize over pipelines with byte-identical
+/// results at any thread count), and quarantined pipelines/graphlets are
+/// counted and excluded rather than silently dropped.
+
 #include <array>
 #include <vector>
 

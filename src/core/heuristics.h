@@ -1,6 +1,12 @@
 #ifndef MLPROV_CORE_HEURISTICS_H_
 #define MLPROV_CORE_HEURISTICS_H_
 
+/// Single-signal baseline predictors from Section 5.1 (Table 3's
+/// heuristic rows). Invariants: thresholds are fit on the training split
+/// only, evaluation uses the same grouped splits as the learned models,
+/// and each heuristic reads exactly one feature so its score is
+/// reproducible from the featurized dataset alone.
+
 #include <string>
 #include <vector>
 

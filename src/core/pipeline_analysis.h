@@ -1,6 +1,13 @@
 #ifndef MLPROV_CORE_PIPELINE_ANALYSIS_H_
 #define MLPROV_CORE_PIPELINE_ANALYSIS_H_
 
+/// Pipeline-level analyses of Section 3: activity/lifespan (Figure 3),
+/// data complexity (Section 3.2), analyzer usage (Figure 4), model mix
+/// (Figure 5), operator usage (Figure 6), and resource cost (Figure 7,
+/// Section 3.3). Invariants: every analysis is a pure function of the
+/// corpus (no hidden state), iterates pipelines independently, and
+/// returns the same bytes at any --threads=N.
+
 #include <array>
 #include <vector>
 

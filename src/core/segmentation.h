@@ -1,6 +1,14 @@
 #ifndef MLPROV_CORE_SEGMENTATION_H_
 #define MLPROV_CORE_SEGMENTATION_H_
 
+/// Graphlet segmentation (Section 4.1 / Appendix A): the fast BFS
+/// implementation plus its datalog reference cross-check. Invariants:
+/// segmentation assigns every Trainer execution to exactly one graphlet,
+/// SegmentTrace and SegmentTraceDatalog agree on every trace
+/// (property-tested), and cache-hit executions (zero-cost re-runs
+/// recorded by the simulator's memoization cache) segment exactly like
+/// their uncached counterparts — trace structure is cache-invariant.
+
 #include <vector>
 
 #include "core/graphlet.h"

@@ -1,6 +1,13 @@
 #ifndef MLPROV_CORE_WASTE_MITIGATION_H_
 #define MLPROV_CORE_WASTE_MITIGATION_H_
 
+/// The Section 5 waste-mitigation classifier (Table 3) and the
+/// Section 5.3.2 scheduler tradeoff curve (Figure 10). Invariants:
+/// train/test splits are grouped by pipeline id (no pipeline
+/// contributes to both sides), Table 3 variants differ only in which
+/// feature groups they may read, and tradeoff curves are computed from
+/// held-out predictions only.
+
 #include <string>
 #include <vector>
 

@@ -39,6 +39,16 @@ void BenchReport::SetFailureStats(uint64_t retried_executions,
   failed_hours_ = failed_hours;
 }
 
+void BenchReport::SetCacheStats(const std::string& policy, uint64_t hits,
+                                uint64_t misses, uint64_t evictions,
+                                double saved_hours) {
+  cache_policy_ = policy;
+  cache_hits_ = hits;
+  cache_misses_ = misses;
+  cache_evictions_ = evictions;
+  cache_saved_hours_ = saved_hours;
+}
+
 void BenchReport::SetCommandLine(int argc, char** argv) {
   command_ = Json::Array();
   for (int i = 0; i < argc; ++i) command_.Push(std::string(argv[i]));
@@ -62,6 +72,13 @@ Json BenchReport::ToJson() const {
   report.Set("retried_executions", retried_executions_);
   report.Set("quarantined_graphlets", quarantined_graphlets_);
   report.Set("failed_hours", failed_hours_);
+  Json cache = Json::Object();
+  cache.Set("policy", cache_policy_);
+  cache.Set("hits", cache_hits_);
+  cache.Set("misses", cache_misses_);
+  cache.Set("evictions", cache_evictions_);
+  cache.Set("saved_hours", cache_saved_hours_);
+  report.Set("cache", cache);
   if (corpus_.size() > 0) report.Set("corpus", corpus_);
   report.Set("results", results_);
   report.Set("metrics", Registry::Global().Snapshot());

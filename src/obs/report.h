@@ -44,6 +44,14 @@ class BenchReport {
                        uint64_t quarantined_graphlets,
                        double failed_hours);
 
+  /// Records the run's execution-memoization tallies under a nested
+  /// "cache" object (policy "off" with zero tallies when memoization is
+  /// disabled). Always emitted, so cached and uncached runs stay
+  /// schema-compatible.
+  void SetCacheStats(const std::string& policy, uint64_t hits,
+                     uint64_t misses, uint64_t evictions,
+                     double saved_hours);
+
   /// Full report, including Registry::Global().Snapshot() as "metrics".
   Json ToJson() const;
 
@@ -69,6 +77,11 @@ class BenchReport {
   uint64_t retried_executions_ = 0;
   uint64_t quarantined_graphlets_ = 0;
   double failed_hours_ = 0.0;
+  std::string cache_policy_ = "off";
+  uint64_t cache_hits_ = 0;
+  uint64_t cache_misses_ = 0;
+  uint64_t cache_evictions_ = 0;
+  double cache_saved_hours_ = 0.0;
 };
 
 }  // namespace mlprov::obs

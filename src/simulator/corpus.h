@@ -1,6 +1,13 @@
 #ifndef MLPROV_SIMULATOR_CORPUS_H_
 #define MLPROV_SIMULATOR_CORPUS_H_
 
+/// The simulated stand-in for the paper's study corpus (Section 2.2): a
+/// vector of per-pipeline provenance traces plus their span-statistics
+/// side tables. Invariants: every trace in a corpus is self-contained
+/// (no cross-pipeline artifact or execution ids); traces are ordered by
+/// pipeline_id, and a corpus generated with the same (CorpusConfig,
+/// seed) is byte-identical regardless of thread count.
+
 #include <unordered_map>
 #include <vector>
 

@@ -1,6 +1,16 @@
 #ifndef MLPROV_SIMULATOR_CORPUS_GENERATOR_H_
 #define MLPROV_SIMULATOR_CORPUS_GENERATOR_H_
 
+/// Corpus-level driver for the pipeline simulator (Section 2.2's
+/// selection criteria). Invariants: each corpus slot draws from its own
+/// Rng::Derive(seed, pipeline_id, attempt) stream, so generation
+/// parallelizes over pipelines with byte-identical output at any
+/// --threads=N, and a smaller corpus is a strict prefix of a larger one
+/// with the same seed. Non-qualifying samples (never trained or never
+/// pushed) are re-drawn up to a bounded attempt count; their discarded
+/// simulations still flush obs metrics, so registry tallies may exceed
+/// corpus-observed tallies.
+
 #include "simulator/corpus.h"
 #include "simulator/cost_model.h"
 #include "simulator/pipeline_config.h"

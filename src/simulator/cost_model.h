@@ -1,6 +1,13 @@
 #ifndef MLPROV_SIMULATOR_COST_MODEL_H_
 #define MLPROV_SIMULATOR_COST_MODEL_H_
 
+/// Operator compute-cost model in machine-hours (Section 3.3, Figure 7).
+/// Invariants: costs are a deterministic function of the pipeline's data
+/// shape and the provided Rng stream; the corpus-level aggregate is
+/// calibrated so data analysis+validation vs. training cost lands near
+/// the paper's reported ratio. Execution `compute_cost` properties are
+/// written once at creation and never mutated by later analyses.
+
 #include "common/rng.h"
 #include "metadata/types.h"
 #include "simulator/pipeline_config.h"

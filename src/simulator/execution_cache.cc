@@ -1,0 +1,139 @@
+#include "simulator/execution_cache.h"
+
+#include <algorithm>
+
+namespace mlprov::sim {
+
+namespace {
+
+inline constexpr uint64_t kFnvOffset = 0xCBF29CE484222325ull;
+inline constexpr uint64_t kFnvPrime = 0x100000001B3ull;
+
+/// FNV-1a over the 8 bytes of `value`, least-significant first.
+uint64_t FnvMix(uint64_t h, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (value >> (8 * i)) & 0xFFull;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+common::StatusOr<CachePolicy> ParseCachePolicy(const std::string& text) {
+  if (text == "off") return CachePolicy::kOff;
+  if (text == "lru") return CachePolicy::kLru;
+  if (text == "unbounded") return CachePolicy::kUnbounded;
+  return common::Status::InvalidArgument(
+      "unknown cache policy '" + text + "' (expected off|lru|unbounded)");
+}
+
+const char* ToString(CachePolicy policy) {
+  switch (policy) {
+    case CachePolicy::kOff:
+      return "off";
+    case CachePolicy::kLru:
+      return "lru";
+    case CachePolicy::kUnbounded:
+      return "unbounded";
+  }
+  return "off";
+}
+
+ExecutionCache::ExecutionCache(CachePolicy policy, int capacity)
+    : policy_(policy),
+      capacity_(static_cast<size_t>(std::max(1, capacity))) {}
+
+void ExecutionCache::TagArtifact(metadata::ArtifactId id,
+                                 uint64_t fingerprint) {
+  if (!enabled()) return;
+  fingerprints_[id] = fingerprint;
+}
+
+uint64_t ExecutionCache::FingerprintOf(metadata::ArtifactId id) const {
+  const auto it = fingerprints_.find(id);
+  if (it != fingerprints_.end()) return it->second;
+  // Untagged content is unique by construction; salt the raw id so it can
+  // never collide with an OutputFingerprint-derived value in practice.
+  return FnvMix(kFnvOffset ^ 0x517CC1B727220A95ull,
+                static_cast<uint64_t>(id));
+}
+
+uint64_t ExecutionCache::Key(
+    metadata::ExecutionType type, uint64_t config_salt,
+    const std::vector<metadata::ArtifactId>& inputs) const {
+  uint64_t h = FnvMix(kFnvOffset, static_cast<uint64_t>(type));
+  h = FnvMix(h, config_salt);
+  // Sorted fingerprints: input identity is a *set* property — the order in
+  // which the simulator happens to link input events must not matter.
+  std::vector<uint64_t> fps;
+  fps.reserve(inputs.size());
+  for (const metadata::ArtifactId id : inputs) {
+    fps.push_back(FingerprintOf(id));
+  }
+  std::sort(fps.begin(), fps.end());
+  for (const uint64_t fp : fps) h = FnvMix(h, fp);
+  return h;
+}
+
+uint64_t ExecutionCache::OutputFingerprint(uint64_t key, int index) {
+  return FnvMix(FnvMix(kFnvOffset ^ 0x2545F4914F6CDD1Dull, key),
+                static_cast<uint64_t>(index));
+}
+
+bool ExecutionCache::Probe(uint64_t key) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  lru_.splice(lru_.begin(), lru_, it->second);  // touch
+  return true;
+}
+
+bool ExecutionCache::Lookup(uint64_t key) {
+  if (!enabled()) return false;
+  const bool hit = Probe(key);
+  if (hit) {
+    ++stats_.hits;
+  } else {
+    ++stats_.misses;
+  }
+  return hit;
+}
+
+bool ExecutionCache::LookupAccumulator(uint64_t key) {
+  if (!enabled()) return false;
+  const bool hit = Probe(key);
+  if (hit) {
+    ++stats_.span_hits;
+  } else {
+    ++stats_.span_misses;
+  }
+  return hit;
+}
+
+void ExecutionCache::Insert(uint64_t key) {
+  if (!enabled()) return;
+  if (Probe(key)) return;  // already present; Probe refreshed recency
+  lru_.push_front(key);
+  entries_[key] = lru_.begin();
+  EvictIfNeeded();
+}
+
+void ExecutionCache::Invalidate(uint64_t key) {
+  if (!enabled()) return;
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  lru_.erase(it->second);
+  entries_.erase(it);
+  ++stats_.invalidations;
+}
+
+void ExecutionCache::EvictIfNeeded() {
+  if (policy_ != CachePolicy::kLru) return;
+  while (entries_.size() > capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace mlprov::sim

@@ -1,0 +1,130 @@
+#ifndef MLPROV_SIMULATOR_EXECUTION_CACHE_H_
+#define MLPROV_SIMULATOR_EXECUTION_CACHE_H_
+
+/// Content-addressed execution memoization (paper §6, "reducing redundant
+/// computation across runs"): successive graphlets in a production pipeline
+/// frequently re-execute operators whose inputs and configuration are
+/// byte-identical — stale retrains, debugging re-analysis, parallel A/B
+/// trainers — so memoizing execution results removes a large share of the
+/// corpus's compute hours without changing any output.
+///
+/// An invocation's cache key is the FNV-1a fingerprint of
+/// (operator type, per-operator config hash, sorted input-artifact content
+/// fingerprints). Artifact fingerprints are themselves content-addressed:
+/// an operator's outputs are fingerprinted from the *key of the invocation
+/// that produced them*, so a re-produced artifact (new MLMD id, identical
+/// content) hashes equal to its original and hits chain through the DAG
+/// (same trainer key => same model fingerprint => the downstream evaluator
+/// hits too).
+///
+/// Invariants (enforced by tests/simulator_cache_test.cc):
+///  - The cache is per-pipeline, derives all state deterministically, and
+///    draws no randomness: results are byte-identical at any --threads=N.
+///  - CachePolicy::kOff leaves the simulation byte-identical to a build
+///    without the cache.
+///  - A fired failpoint bypasses and invalidates its invocation's entry,
+///    so orchestrator retries never serve a poisoned hit.
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "metadata/types.h"
+
+namespace mlprov::sim {
+
+/// Memoization policy for operator executions.
+enum class CachePolicy : uint8_t {
+  kOff = 0,        // never consult or populate the cache
+  kLru = 1,        // bounded: evict least-recently-used past capacity
+  kUnbounded = 2,  // never evict (the paper's opportunity upper bound)
+};
+
+/// Parses "off" | "lru" | "unbounded" (the --cache_policy= vocabulary).
+common::StatusOr<CachePolicy> ParseCachePolicy(const std::string& text);
+const char* ToString(CachePolicy policy);
+
+/// Per-pipeline memoization cache for operator invocations. Entries carry
+/// no payload: the simulator re-synthesizes outputs on a hit (their content
+/// is fully determined by the key), so an entry records only "this exact
+/// computation already ran". Not thread-safe by design — one instance per
+/// simulated pipeline, mirroring the per-pipeline Rng and FaultInjector.
+class ExecutionCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;           // full-invocation hits (zero-cost)
+    uint64_t misses = 0;         // full-invocation misses (executed)
+    uint64_t evictions = 0;      // LRU entries dropped at capacity
+    uint64_t invalidations = 0;  // entries dropped by fired faults
+    uint64_t partial_hits = 0;   // executions with >0 accumulator reuse
+    uint64_t span_hits = 0;      // per-span analyzer-accumulator hits
+    uint64_t span_misses = 0;
+    double saved_hours = 0.0;    // machine-hours not paid thanks to hits
+  };
+
+  ExecutionCache(CachePolicy policy, int capacity);
+
+  bool enabled() const { return policy_ != CachePolicy::kOff; }
+  CachePolicy policy() const { return policy_; }
+  size_t size() const { return entries_.size(); }
+  const Stats& stats() const { return stats_; }
+
+  /// Records the content fingerprint of an artifact. No-op when disabled.
+  void TagArtifact(metadata::ArtifactId id, uint64_t fingerprint);
+
+  /// Content fingerprint of an artifact. Untagged artifacts (pre-cache
+  /// corpora, source data) fall back to a mix of the raw id, which keeps
+  /// them distinct from every tagged fingerprint.
+  uint64_t FingerprintOf(metadata::ArtifactId id) const;
+
+  /// FNV-1a key of one operator invocation over the *sorted* input
+  /// fingerprints, so input link order does not affect identity.
+  uint64_t Key(metadata::ExecutionType type, uint64_t config_salt,
+               const std::vector<metadata::ArtifactId>& inputs) const;
+
+  /// Content fingerprint of the `index`-th output of invocation `key`.
+  static uint64_t OutputFingerprint(uint64_t key, int index);
+
+  /// Full-invocation probe; counts hits/misses and touches LRU recency.
+  bool Lookup(uint64_t key);
+
+  /// Per-span analyzer-accumulator probe (tf.Transform-style partial
+  /// reuse); counted separately so full-hit accounting stays exact.
+  bool LookupAccumulator(uint64_t key);
+
+  /// Inserts (or touches) an entry, evicting LRU past capacity.
+  void Insert(uint64_t key);
+
+  /// Drops an entry if present (fired fault => the prior result may not
+  /// be trustworthy for retries of this invocation).
+  void Invalidate(uint64_t key);
+
+  /// Credits hours avoided by a full hit (the cost the execution would
+  /// have been charged at this moment, jitter and health multipliers
+  /// included).
+  void CreditSavedHours(double hours) { stats_.saved_hours += hours; }
+
+  /// Credits the reused fraction of a partially-memoized execution.
+  void CreditPartialSavedHours(double hours) {
+    stats_.saved_hours += hours;
+    ++stats_.partial_hits;
+  }
+
+ private:
+  bool Probe(uint64_t key);
+  void EvictIfNeeded();
+
+  CachePolicy policy_;
+  size_t capacity_;
+  Stats stats_;
+  /// LRU bookkeeping: most-recent at the front.
+  std::list<uint64_t> lru_;
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> entries_;
+  std::unordered_map<metadata::ArtifactId, uint64_t> fingerprints_;
+};
+
+}  // namespace mlprov::sim
+
+#endif  // MLPROV_SIMULATOR_EXECUTION_CACHE_H_

@@ -1,6 +1,16 @@
 #ifndef MLPROV_SIMULATOR_PIPELINE_CONFIG_H_
 #define MLPROV_SIMULATOR_PIPELINE_CONFIG_H_
 
+/// Configuration of the simulated pipeline population (paper §2-§3): the
+/// per-pipeline `PipelineConfig` sampled by `SamplePipelineConfig` and the
+/// population-level `CorpusConfig` whose defaults are calibrated so the
+/// generated corpus reproduces the paper's Figures 3-9 and Tables 1-2
+/// (see DESIGN.md "Calibration targets").
+///
+/// Invariants: sampling draws only from the `Rng` passed in, so a config
+/// is a pure function of (CorpusConfig, id, rng state); every probability
+/// field is a calibration target — changing a default changes the corpus
+/// byte-for-byte and must be re-validated against the bench suite.
 #include <cstdint>
 #include <vector>
 
@@ -8,6 +18,7 @@
 #include "common/rng.h"
 #include "dataspan/span_stats.h"
 #include "metadata/types.h"
+#include "simulator/execution_cache.h"
 
 namespace mlprov::sim {
 
@@ -232,6 +243,16 @@ struct CorpusConfig {
   /// retry_backoff_hours * retry_backoff_multiplier^attempt.
   double retry_backoff_hours = 0.25;
   double retry_backoff_multiplier = 2.0;
+
+  // --- Execution memoization (Section 6 optimization opportunity) ---
+  /// Content-addressed operator-result caching. kOff (the default) keeps
+  /// the simulation byte-identical to pre-cache builds; kLru bounds each
+  /// pipeline's cache to `cache_capacity` entries; kUnbounded measures
+  /// the paper's full memoization opportunity.
+  CachePolicy cache_policy = CachePolicy::kOff;
+  /// Per-pipeline entry bound under kLru (full invocation entries plus
+  /// per-span analyzer accumulators).
+  int cache_capacity = 1024;
 };
 
 /// Samples one pipeline's configuration from the population.

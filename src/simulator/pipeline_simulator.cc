@@ -38,6 +38,11 @@ std::string FailpointNameFor(ExecutionType type) {
 /// decisions independent of the pipeline's own rng_ and span_gen_ draws.
 constexpr uint64_t kFaultStreamSalt = 0xFA171FA171FA171Full;
 
+/// Distinguishes a Transform's per-span analyzer-accumulator cache keys
+/// from its full-window invocation key (they would collide at window
+/// size 1 otherwise).
+constexpr uint64_t kSpanAccumulatorSalt = 0xACC0ACC0ACC0ACC0ull;
+
 /// Anonymized per-span feature names, mirroring the paper's obfuscation
 /// (Appendix B: "with all terms anonymized"): name equality is destroyed
 /// across spans, so Eq. 2's name term rarely fires in corpus analysis,
@@ -64,7 +69,13 @@ PipelineSimulator::PipelineSimulator(const CorpusConfig& corpus_config,
       span_gen_(config.Schema(), common::Rng(config.seed ^ 0xABCDEF)),
       injector_(&corpus_config.fault_plan,
                 common::Rng::Derive(config.seed, kFaultStreamSalt)
-                    .NextUint64()) {
+                    .NextUint64()),
+      cache_(corpus_config.cache_policy, corpus_config.cache_capacity),
+      // The pipeline's seed stands in for its data-source + static
+      // operator-configuration identity: the cache is per-pipeline, so
+      // only *dynamic* per-invocation state (code version, input
+      // contents) needs to enter each key beyond this salt.
+      cache_config_salt_(config.seed) {
   if (common::kFailpointsEnabled && !corpus_.fault_plan.empty()) {
     const common::FailpointSpec* any = corpus_.fault_plan.Find("exec.any");
     for (int t = 0; t < metadata::kNumExecutionTypes; ++t) {
@@ -79,27 +90,59 @@ PipelineSimulator::PipelineSimulator(const CorpusConfig& corpus_config,
 template <typename PrepareFn>
 PipelineSimulator::OpResult PipelineSimulator::RunOperator(
     PipelineTrace& trace, ExecutionType type, Timestamp start,
-    double cost_hours, bool base_succeeded, PrepareFn&& prepare) {
+    double cost_hours, bool base_succeeded, uint64_t config_salt,
+    const std::vector<ArtifactId>& inputs, PrepareFn&& prepare,
+    double precached_fraction) {
   OpResult result;
+  if (cache_.enabled()) {
+    result.key = cache_.Key(type, config_salt ^ cache_config_salt_, inputs);
+  }
   const common::FailpointSpec* spec =
       op_faults_[static_cast<size_t>(type)];
   if (spec == nullptr || !base_succeeded ||
       !MLPROV_FAILPOINT(injector_, spec)) {
     // Fast path: no armed failpoint fired (baseline failures from the
-    // calibrated Bernoulli model stay single-shot). This emits exactly
-    // the pre-retry sequence, so a disabled or never-firing plan yields
-    // byte-identical traces.
-    result.exec = AddExecution(trace, type, start, cost_hours,
+    // calibrated Bernoulli model stay single-shot). With the cache off
+    // this emits exactly the pre-retry sequence, so a disabled or
+    // never-firing plan yields byte-identical traces.
+    // Pushes deploy a model — a side effect, not a pure computation — so
+    // kPusher is never memoized.
+    const bool cacheable = cache_.enabled() && base_succeeded &&
+                           type != ExecutionType::kPusher;
+    if (cacheable && cache_.Lookup(result.key)) {
+      result.exec = AddExecution(trace, type, start, cost_hours,
+                                 /*succeeded=*/true, /*cached=*/true);
+      prepare(result.exec, start);
+      result.succeeded = true;
+      result.cache_hit = true;
+      result.end = trace.store.GetExecution(result.exec)->end_time;
+      result.attempts = 1;
+      cache_.CreditSavedHours(cost_hours);
+      return result;
+    }
+    double charged = cost_hours;
+    if (cacheable && precached_fraction > 0.0) {
+      // Partial reuse (tf.Transform-style): per-span analyzer
+      // accumulators covering `precached_fraction` of the inputs are
+      // already cached, so only the remainder is computed.
+      charged = cost_hours * (1.0 - precached_fraction);
+      cache_.CreditPartialSavedHours(cost_hours - charged);
+    }
+    result.exec = AddExecution(trace, type, start, charged,
                                base_succeeded);
     prepare(result.exec, start);
     result.succeeded = base_succeeded;
     result.end = trace.store.GetExecution(result.exec)->end_time;
     result.attempts = 1;
+    if (cacheable) cache_.Insert(result.key);
     return result;
   }
-  // The failpoint fired: the orchestrator pays for the failed attempt,
-  // then retries with exponential backoff. Transient faults re-roll per
+  // The failpoint fired: drop any existing entry for this invocation and
+  // never populate one — a poisoned result must not be served to retries.
+  // The orchestrator pays for the failed attempt, then retries with
+  // exponential backoff at full cost. Transient faults re-roll per
   // attempt; persistent faults doom every retry of this invocation.
+  cache_.Invalidate(result.key);
   ExecutionId first = metadata::kInvalidId;
   Timestamp attempt_start = start;
   const int max_attempts = 1 + std::max(0, corpus_.max_retries);
@@ -146,20 +189,24 @@ ExecutionId PipelineSimulator::AddExecution(PipelineTrace& trace,
                                             ExecutionType type,
                                             Timestamp start,
                                             double cost_hours,
-                                            bool succeeded) {
+                                            bool succeeded, bool cached) {
   metadata::Execution exec;
   exec.type = type;
   exec.start_time = start;
   // Wall-clock duration: a fraction of the machine-hours (operators run
-  // distributed), at least a minute.
+  // distributed), at least a minute. The jitter draw happens even for
+  // cache-served executions so the Rng stream stays aligned with the
+  // cache-off run (corpora then differ only in costs and timestamps).
+  const double jitter = rng_.Uniform(0.15, 0.5);
   const double duration_hours =
-      std::max(cost_hours * rng_.Uniform(0.15, 0.5), 1.0 / 60.0);
+      cached ? 1.0 / 60.0 : std::max(cost_hours * jitter, 1.0 / 60.0);
   exec.end_time =
       start + static_cast<Timestamp>(duration_hours * kSecondsPerHour);
   exec.succeeded = succeeded;
-  exec.compute_cost = cost_hours;
+  exec.compute_cost = cached ? 0.0 : cost_hours;
+  if (cached) exec.properties["cache_hit"] = static_cast<int64_t>(1);
   MLPROV_COUNTER_INC("sim.executions");
-  if (type == ExecutionType::kTrainer) {
+  if (type == ExecutionType::kTrainer && !cached) {
     MLPROV_HISTOGRAM_RECORD("sim.trainer_cost_hours", cost_hours);
   }
   const ExecutionId id = trace.store.PutExecution(std::move(exec));
@@ -191,9 +238,13 @@ void PipelineSimulator::IngestSpans(Timestamp now, int count,
   for (int i = 0; i < count; ++i) {
     const double cost = cost_model_->Cost(ExecutionType::kExampleGen,
                                           config_, unhealthy_, rng_);
-    const OpResult gen_result =
-        RunOperator(trace, ExecutionType::kExampleGen, now, cost, true,
-                    [](ExecutionId, Timestamp) {});
+    // Each ingestion reads a fresh slice of the data source, so the span
+    // number salts the key: ExampleGen is never served from the cache,
+    // but its key content-addresses the produced span for downstream use.
+    const OpResult gen_result = RunOperator(
+        trace, ExecutionType::kExampleGen, now, cost, true,
+        static_cast<uint64_t>(next_span_number_), {},
+        [](ExecutionId, Timestamp) {});
     if (!gen_result.succeeded) continue;  // span lost; no downstream
     MLPROV_COUNTER_INC("sim.spans_ingested");
     const ExecutionId gen = gen_result.exec;
@@ -201,6 +252,8 @@ void PipelineSimulator::IngestSpans(Timestamp now, int count,
     const ArtifactId span =
         AddArtifact(trace, ArtifactType::kExamples, created);
     Link(trace, gen, span, EventKind::kOutput, created);
+    cache_.TagArtifact(span,
+                       ExecutionCache::OutputFingerprint(gen_result.key, 0));
 
     metadata::Artifact* a = trace.store.MutableArtifact(span);
     a->properties["span"] = next_span_number_;
@@ -224,7 +277,7 @@ void PipelineSimulator::IngestSpans(Timestamp now, int count,
           ExecutionType::kStatisticsGen, config_, unhealthy_, rng_);
       const OpResult sg_result = RunOperator(
           trace, ExecutionType::kStatisticsGen, created, stats_cost, true,
-          [&](ExecutionId sg, Timestamp s) {
+          /*config_salt=*/0, {span}, [&](ExecutionId sg, Timestamp s) {
             Link(trace, sg, span, EventKind::kInput, s);
           });
       if (!sg_result.succeeded) continue;  // no stats, no schema chain
@@ -233,6 +286,9 @@ void PipelineSimulator::IngestSpans(Timestamp now, int count,
       const ArtifactId stats_artifact =
           AddArtifact(trace, ArtifactType::kExampleStatistics, sg_end);
       Link(trace, sg, stats_artifact, EventKind::kOutput, sg_end);
+      cache_.TagArtifact(
+          stats_artifact,
+          ExecutionCache::OutputFingerprint(sg_result.key, 0));
 
       if (config_.has_schema_gen &&
           schema_artifact_ == metadata::kInvalidId) {
@@ -240,6 +296,7 @@ void PipelineSimulator::IngestSpans(Timestamp now, int count,
             ExecutionType::kSchemaGen, config_, unhealthy_, rng_);
         const OpResult schema_result = RunOperator(
             trace, ExecutionType::kSchemaGen, sg_end, schema_cost, true,
+            /*config_salt=*/0, {stats_artifact},
             [&](ExecutionId schema_gen, Timestamp s) {
               Link(trace, schema_gen, stats_artifact, EventKind::kInput,
                    s);
@@ -250,6 +307,9 @@ void PipelineSimulator::IngestSpans(Timestamp now, int count,
               AddArtifact(trace, ArtifactType::kSchema, schema_end);
           Link(trace, schema_result.exec, schema_artifact_,
                EventKind::kOutput, schema_end);
+          cache_.TagArtifact(
+              schema_artifact_,
+              ExecutionCache::OutputFingerprint(schema_result.key, 0));
         }
         // On failure schema_artifact_ stays invalid: the next span's
         // trigger re-attempts schema inference.
@@ -262,8 +322,11 @@ void PipelineSimulator::IngestSpans(Timestamp now, int count,
           schema_artifact_ != metadata::kInvalidId) {
         const double v_cost = cost_model_->Cost(
             ExecutionType::kExampleValidator, config_, unhealthy_, rng_);
+        // The frozen schema is configuration, not a provenance edge (see
+        // above), so it enters the key as a salt instead of an input.
         const OpResult v_result = RunOperator(
             trace, ExecutionType::kExampleValidator, sg_end, v_cost, true,
+            cache_.FingerprintOf(schema_artifact_), {stats_artifact},
             [&](ExecutionId validator, Timestamp s) {
               Link(trace, validator, stats_artifact, EventKind::kInput,
                    s);
@@ -370,8 +433,12 @@ void PipelineSimulator::DoTrigger(Timestamp now, PipelineTrace& trace) {
   if (unhealthy_ && config_.has_statistics_gen) {
     const double rerun_cost = cost_model_->Cost(
         ExecutionType::kStatisticsGen, config_, unhealthy_, rng_);
+    // Same key as the span's ingestion-time StatisticsGen: the debug
+    // rerun recomputes statistics that are already cached, so with the
+    // cache on it is (almost) always a hit — a pure §6 redundancy.
     const OpResult rerun = RunOperator(
         trace, ExecutionType::kStatisticsGen, now, rerun_cost, true,
+        /*config_salt=*/0, {window_.back()},
         [&](ExecutionId id, Timestamp s) {
           Link(trace, id, window_.back(), EventKind::kInput, s);
         });
@@ -379,6 +446,8 @@ void PipelineSimulator::DoTrigger(Timestamp now, PipelineTrace& trace) {
       const ArtifactId rerun_stats = AddArtifact(
           trace, ArtifactType::kExampleStatistics, rerun.end);
       Link(trace, rerun.exec, rerun_stats, EventKind::kOutput, rerun.end);
+      cache_.TagArtifact(rerun_stats,
+                         ExecutionCache::OutputFingerprint(rerun.key, 0));
     }
   }
 
@@ -390,9 +459,28 @@ void PipelineSimulator::DoTrigger(Timestamp now, PipelineTrace& trace) {
         corpus_.transform_failure_prob *
         (unhealthy_ ? corpus_.unhealthy_failure_multiplier : 1.0);
     const bool transform_base_failed = rng_.Bernoulli(fail_prob);
+    const std::vector<ArtifactId> window_inputs(window_.begin(),
+                                                window_.end());
+    // Per-span analyzer accumulators (tf.Transform-style partial reuse):
+    // spans already analyzed by an earlier Transform of this pipeline
+    // contribute cached accumulators, so a window that merely slid by one
+    // span only pays for the new span's analysis pass.
+    double precached = 0.0;
+    if (cache_.enabled() && !transform_base_failed) {
+      int covered = 0;
+      for (const ArtifactId span : window_) {
+        if (cache_.LookupAccumulator(cache_.Key(
+                ExecutionType::kTransform, kSpanAccumulatorSalt, {span}))) {
+          ++covered;
+        }
+      }
+      precached = static_cast<double>(covered) /
+                  static_cast<double>(window_.size());
+    }
     const OpResult transform_result = RunOperator(
         trace, ExecutionType::kTransform, now, cost,
-        !transform_base_failed, [&](ExecutionId transform, Timestamp s) {
+        !transform_base_failed, /*config_salt=*/0, window_inputs,
+        [&](ExecutionId transform, Timestamp s) {
           for (ArtifactId span : window_) {
             Link(trace, transform, span, EventKind::kInput, s);
           }
@@ -425,7 +513,8 @@ void PipelineSimulator::DoTrigger(Timestamp now, PipelineTrace& trace) {
                                 metadata::ToString(a)] = uses;
             }
           }
-        });
+        },
+        precached);
     transform_failed = !transform_result.succeeded;
     if (!transform_failed) {
       const Timestamp t_end = transform_result.end;
@@ -437,6 +526,19 @@ void PipelineSimulator::DoTrigger(Timestamp now, PipelineTrace& trace) {
           AddArtifact(trace, ArtifactType::kTransformedExamples, t_end);
       Link(trace, transform_result.exec, transformed, EventKind::kOutput,
            t_end);
+      cache_.TagArtifact(
+          transform_graph,
+          ExecutionCache::OutputFingerprint(transform_result.key, 0));
+      cache_.TagArtifact(
+          transformed,
+          ExecutionCache::OutputFingerprint(transform_result.key, 1));
+      if (cache_.enabled()) {
+        // Publish this window's per-span accumulators for future reuse.
+        for (const ArtifactId span : window_) {
+          cache_.Insert(cache_.Key(ExecutionType::kTransform,
+                                   kSpanAccumulatorSalt, {span}));
+        }
+      }
     }
   }
   if (transform_failed) {
@@ -448,9 +550,13 @@ void PipelineSimulator::DoTrigger(Timestamp now, PipelineTrace& trace) {
   if (config_.has_tuner && (trainers_emitted_ == 0 || rng_.Bernoulli(0.1))) {
     const double cost = cost_model_->Cost(ExecutionType::kTuner, config_,
                                           unhealthy_, rng_);
+    const std::vector<ArtifactId> tuner_inputs =
+        transformed != metadata::kInvalidId
+            ? std::vector<ArtifactId>{transformed}
+            : std::vector<ArtifactId>(window_.begin(), window_.end());
     const OpResult tuner = RunOperator(
-        trace, ExecutionType::kTuner, now, cost, true,
-        [&](ExecutionId id, Timestamp s) {
+        trace, ExecutionType::kTuner, now, cost, true, /*config_salt=*/0,
+        tuner_inputs, [&](ExecutionId id, Timestamp s) {
           if (transformed != metadata::kInvalidId) {
             Link(trace, id, transformed, EventKind::kInput, s);
           } else {
@@ -463,6 +569,8 @@ void PipelineSimulator::DoTrigger(Timestamp now, PipelineTrace& trace) {
       hyperparams =
           AddArtifact(trace, ArtifactType::kHyperparameters, tuner.end);
       Link(trace, tuner.exec, hyperparams, EventKind::kOutput, tuner.end);
+      cache_.TagArtifact(hyperparams,
+                         ExecutionCache::OutputFingerprint(tuner.key, 0));
       tuner_ran = true;
     }
   }
@@ -472,8 +580,8 @@ void PipelineSimulator::DoTrigger(Timestamp now, PipelineTrace& trace) {
     const double cost = cost_model_->Cost(ExecutionType::kCustom, config_,
                                           unhealthy_, rng_);
     const OpResult custom = RunOperator(
-        trace, ExecutionType::kCustom, now, cost, true,
-        [&](ExecutionId id, Timestamp s) {
+        trace, ExecutionType::kCustom, now, cost, true, /*config_salt=*/0,
+        {window_.back()}, [&](ExecutionId id, Timestamp s) {
           Link(trace, id, window_.back(), EventKind::kInput, s);
         });
     if (custom.succeeded) {
@@ -499,11 +607,29 @@ void PipelineSimulator::DoTrigger(Timestamp now, PipelineTrace& trace) {
     const double cost = cost_model_->Cost(ExecutionType::kTrainer, config_,
                                           unhealthy_, rng_);
     const Timestamp start = now + k * 60;  // stagger parallel trainers
+    // Trainer identity = code version (the architecture and model type
+    // never change mid-pipeline and live in the per-pipeline salt) over
+    // its full input closure. A warm start reads the previous model, so
+    // it naturally enters the inputs below and a warm retrain is *not* a
+    // cache hit — continuing training is a genuinely new computation.
+    std::vector<ArtifactId> trainer_inputs;
+    if (transformed != metadata::kInvalidId) {
+      trainer_inputs = {transformed, transform_graph};
+    } else {
+      trainer_inputs.assign(window_.begin(), window_.end());
+    }
+    if (hyperparams != metadata::kInvalidId) {
+      trainer_inputs.push_back(hyperparams);
+    }
+    if (config_.warm_start && last_model_ != metadata::kInvalidId) {
+      trainer_inputs.push_back(last_model_);
+    }
     // Each attempt (including retries of injected faults) is a distinct
     // Trainer execution anchoring its own graphlet, with its inputs
     // linked in full — retried work shows up as measurable waste.
     const OpResult trainer_result = RunOperator(
         trace, ExecutionType::kTrainer, start, cost, !trainer_failed,
+        static_cast<uint64_t>(code_version_), trainer_inputs,
         [&](ExecutionId trainer, Timestamp s) {
           MLPROV_COUNTER_INC("sim.trainers");
           ++trainers_emitted_;
@@ -553,6 +679,10 @@ void PipelineSimulator::DoTrigger(Timestamp now, PipelineTrace& trace) {
     const ArtifactId model =
         AddArtifact(trace, ArtifactType::kModel, trained);
     Link(trace, trainer, model, EventKind::kOutput, trained);
+    // A model re-trained from identical inputs and code fingerprints
+    // equal to its predecessor, so downstream validation chains hit too.
+    cache_.TagArtifact(
+        model, ExecutionCache::OutputFingerprint(trainer_result.key, 0));
     last_model_ = model;
 
     // Latent model quality drives validation and pushing. Quality peaks
@@ -600,6 +730,7 @@ void PipelineSimulator::DoTrigger(Timestamp now, PipelineTrace& trace) {
                                               config_, unhealthy_, rng_);
       const OpResult ev = RunOperator(
           trace, ExecutionType::kEvaluator, cursor, e_cost, true,
+          /*config_salt=*/0, {model, window_.back()},
           [&](ExecutionId id, Timestamp s) {
             Link(trace, id, model, EventKind::kInput, s);
             Link(trace, id, window_.back(), EventKind::kInput, s);
@@ -610,6 +741,8 @@ void PipelineSimulator::DoTrigger(Timestamp now, PipelineTrace& trace) {
         evaluation =
             AddArtifact(trace, ArtifactType::kModelEvaluation, cursor);
         Link(trace, ev.exec, evaluation, EventKind::kOutput, cursor);
+        cache_.TagArtifact(evaluation,
+                           ExecutionCache::OutputFingerprint(ev.key, 0));
       }
     }
     // An evaluator that never completed cannot bless the model.
@@ -629,8 +762,13 @@ void PipelineSimulator::DoTrigger(Timestamp now, PipelineTrace& trace) {
     if (config_.has_model_validator) {
       const double v_cost = cost_model_->Cost(
           ExecutionType::kModelValidator, config_, unhealthy_, rng_);
+      std::vector<ArtifactId> validator_inputs = {model};
+      if (evaluation != metadata::kInvalidId) {
+        validator_inputs.push_back(evaluation);
+      }
       const OpResult validator = RunOperator(
           trace, ExecutionType::kModelValidator, cursor, v_cost, true,
+          /*config_salt=*/0, validator_inputs,
           [&](ExecutionId id, Timestamp s) {
             Link(trace, id, model, EventKind::kInput, s);
             if (evaluation != metadata::kInvalidId) {
@@ -654,7 +792,7 @@ void PipelineSimulator::DoTrigger(Timestamp now, PipelineTrace& trace) {
           ExecutionType::kInfraValidator, config_, unhealthy_, rng_);
       const OpResult infra = RunOperator(
           trace, ExecutionType::kInfraValidator, cursor, i_cost, true,
-          [&](ExecutionId id, Timestamp s) {
+          /*config_salt=*/0, {model}, [&](ExecutionId id, Timestamp s) {
             Link(trace, id, model, EventKind::kInput, s);
           });
       cursor = infra.end;
@@ -681,7 +819,7 @@ void PipelineSimulator::DoTrigger(Timestamp now, PipelineTrace& trace) {
                                               config_, unhealthy_, rng_);
       const OpResult pusher = RunOperator(
           trace, ExecutionType::kPusher, cursor, p_cost, true,
-          [&](ExecutionId id, Timestamp s) {
+          /*config_salt=*/0, {model}, [&](ExecutionId id, Timestamp s) {
             Link(trace, id, model, EventKind::kInput, s);
           });
       cursor = pusher.end;
@@ -728,6 +866,20 @@ PipelineTrace PipelineSimulator::Run() {
     DoTrigger(now, trace);
     const double interval = mean_interval * rng_.LogNormal(0.0, 0.45);
     now += std::max<Timestamp>(60, static_cast<Timestamp>(interval));
+  }
+  if (cache_.enabled()) {
+    // One flush per pipeline: the registry merges per-pipeline deltas
+    // deterministically regardless of ParallelFor interleaving.
+    const ExecutionCache::Stats& cs = cache_.stats();
+    (void)cs;  // referenced only through macros, which may compile out
+    MLPROV_COUNTER_ADD("cache.hits", cs.hits);
+    MLPROV_COUNTER_ADD("cache.misses", cs.misses);
+    MLPROV_COUNTER_ADD("cache.evictions", cs.evictions);
+    MLPROV_COUNTER_ADD("cache.invalidations", cs.invalidations);
+    MLPROV_COUNTER_ADD("cache.partial_hits", cs.partial_hits);
+    MLPROV_COUNTER_ADD("cache.span_hits", cs.span_hits);
+    MLPROV_COUNTER_ADD("cache.span_misses", cs.span_misses);
+    MLPROV_GAUGE_ADD("cache.saved_hours", cs.saved_hours);
   }
   return trace;
 }

@@ -1,8 +1,21 @@
 #ifndef MLPROV_SIMULATOR_PIPELINE_SIMULATOR_H_
 #define MLPROV_SIMULATOR_PIPELINE_SIMULATOR_H_
 
+/// Discrete-event simulator of one production pipeline (paper §2.1, §4.3):
+/// emits MLMD-style traces with the paper's node/edge vocabulary. This is
+/// the substrate every analysis consumes; see the class comment below.
+///
+/// Invariants the rest of the stack depends on (test-enforced):
+///  - Determinism: all randomness comes from per-pipeline derived streams,
+///    so a trace is a pure function of (CorpusConfig, PipelineConfig) and
+///    identical at any --threads=N.
+///  - Every Trainer execution — including failed retry attempts and
+///    cache-served hits — anchors exactly one graphlet after segmentation.
+///  - Disarmed fault plans and CachePolicy::kOff leave traces
+///    byte-identical to builds that predate those subsystems.
 #include <array>
 #include <deque>
+#include <vector>
 
 #include "common/failpoints.h"
 #include "common/rng.h"
@@ -10,6 +23,7 @@
 #include "metadata/types.h"
 #include "simulator/corpus.h"
 #include "simulator/cost_model.h"
+#include "simulator/execution_cache.h"
 #include "simulator/pipeline_config.h"
 
 namespace mlprov::sim {
@@ -42,7 +56,7 @@ class PipelineSimulator {
     bool transform_failed = false;
   };
 
-  /// Outcome of one (possibly retried) operator invocation.
+  /// Outcome of one (possibly retried or memoized) operator invocation.
   struct OpResult {
     /// The final attempt's execution (earlier attempts are distinct MLMD
     /// executions linked back via "retry_of").
@@ -51,6 +65,14 @@ class PipelineSimulator {
     /// End time of the final attempt.
     metadata::Timestamp end = 0;
     int attempts = 0;
+    /// True when the invocation was served from the execution cache (the
+    /// recorded execution is zero-cost and carries cache_hit=1).
+    bool cache_hit = false;
+    /// Content-addressed invocation key (0 when the cache is off); the
+    /// caller fingerprints output artifacts from it via
+    /// ExecutionCache::OutputFingerprint so identical results re-produced
+    /// later hash equal and hits chain through the DAG.
+    uint64_t key = 0;
   };
 
   void DoTrigger(metadata::Timestamp now, PipelineTrace& trace);
@@ -59,23 +81,45 @@ class PipelineSimulator {
   void IngestSpans(metadata::Timestamp now, int count,
                    PipelineTrace& trace);
 
+  /// `cached=true` records a zero-cost execution served from the
+  /// execution cache: compute_cost 0, a one-minute lookup duration, and a
+  /// cache_hit=1 property. The per-execution duration jitter draw is
+  /// still consumed so the pipeline's Rng stream stays aligned with the
+  /// cache-off run — cached and uncached corpora then differ only in
+  /// costs and timestamps, never in structure.
   metadata::ExecutionId AddExecution(PipelineTrace& trace,
                                      metadata::ExecutionType type,
                                      metadata::Timestamp start,
-                                     double cost_hours, bool succeeded);
+                                     double cost_hours, bool succeeded,
+                                     bool cached = false);
 
-  /// Emits one operator invocation with orchestrator retry semantics.
-  /// `prepare(id, start)` links inputs and sets properties on each
-  /// attempt's execution. When no failpoint is armed for `type` (or the
-  /// calibrated baseline already failed it via `base_succeeded`), this is
-  /// exactly one AddExecution + prepare — byte-identical to the
-  /// retry-free emission sequence. Injected failures are retried up to
-  /// CorpusConfig::max_retries times with exponential backoff; every
-  /// attempt is a distinct execution whose cost is charged in full.
+  /// Emits one operator invocation with memoization and orchestrator
+  /// retry semantics. `prepare(id, start)` links inputs and sets
+  /// properties on each attempt's execution (it also runs on cache hits,
+  /// so provenance edges and graphlet anchoring are identical either
+  /// way). `config_salt` + `inputs` form the invocation's
+  /// content-addressed cache key; `precached_fraction` discounts the
+  /// executed cost by the share of per-span analyzer accumulators already
+  /// cached (tf.Transform-style partial reuse).
+  ///
+  /// Order of concerns, each preserving a byte-identity contract:
+  ///  1. The armed failpoint rolls exactly as in cache-off builds; a
+  ///     fired fault bypasses the cache, invalidates the key, and takes
+  ///     the retry path at full cost (a poisoned result must never be
+  ///     served to a retry).
+  ///  2. Otherwise a cache hit emits one zero-cost execution and credits
+  ///     cache.saved_hours with the full would-be cost.
+  ///  3. A miss executes as before and populates the cache on success.
+  /// With no failpoint armed and the cache off this is exactly one
+  /// AddExecution + prepare — byte-identical to the pre-cache,
+  /// pre-retry emission sequence.
   template <typename PrepareFn>
   OpResult RunOperator(PipelineTrace& trace, metadata::ExecutionType type,
                        metadata::Timestamp start, double cost_hours,
-                       bool base_succeeded, PrepareFn&& prepare);
+                       bool base_succeeded, uint64_t config_salt,
+                       const std::vector<metadata::ArtifactId>& inputs,
+                       PrepareFn&& prepare,
+                       double precached_fraction = 0.0);
   metadata::ArtifactId AddArtifact(PipelineTrace& trace,
                                    metadata::ArtifactType type,
                                    metadata::Timestamp create_time);
@@ -94,6 +138,12 @@ class PipelineSimulator {
   common::FaultInjector injector_;
   std::array<const common::FailpointSpec*, metadata::kNumExecutionTypes>
       op_faults_ = {};
+  /// Per-pipeline content-addressed memoization cache (never shared
+  /// across ParallelFor pipelines; draws no randomness).
+  ExecutionCache cache_;
+  /// Static per-pipeline salt folded into every cache key: data-source
+  /// identity and operator configuration that never changes mid-run.
+  uint64_t cache_config_salt_ = 0;
 
   // Mutable simulation state.
   std::deque<metadata::ArtifactId> window_;  // recent span artifacts

@@ -1,0 +1,367 @@
+// Execution-memoization tests (ISSUE 4): content-addressed cache
+// semantics (LRU, unbounded, invalidation), hit/miss/eviction accounting,
+// byte-identity of --cache_policy=off with the default build, thread-count
+// invariance with the cache on, structural equivalence of cached and
+// uncached corpora, and the fired-fault bypass guarantee.
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/failpoints.h"
+#include "common/parallel.h"
+#include "core/graphlet_analysis.h"
+#include "metadata/serialization.h"
+#include "metadata/trace_validator.h"
+#include "obs/metrics.h"
+#include "simulator/corpus_generator.h"
+#include "simulator/execution_cache.h"
+#include "simulator/pipeline_simulator.h"
+
+namespace mlprov {
+namespace {
+
+sim::CorpusConfig SmallConfig() {
+  sim::CorpusConfig config;
+  config.num_pipelines = 12;
+  config.seed = 777;
+  config.horizon_days = 45.0;
+  return config;
+}
+
+sim::CorpusConfig CachedConfig(sim::CachePolicy policy,
+                               int capacity = 1024) {
+  sim::CorpusConfig config = SmallConfig();
+  config.cache_policy = policy;
+  config.cache_capacity = capacity;
+  return config;
+}
+
+std::string CorpusFingerprint(const sim::Corpus& corpus) {
+  std::string fp;
+  for (const sim::PipelineTrace& trace : corpus.pipelines) {
+    fp += metadata::SerializeStore(trace.store);
+  }
+  return fp;
+}
+
+double TotalCost(const sim::Corpus& corpus) {
+  double total = 0.0;
+  for (const sim::PipelineTrace& trace : corpus.pipelines) {
+    for (const metadata::Execution& e : trace.store.executions()) {
+      total += e.compute_cost;
+    }
+  }
+  return total;
+}
+
+size_t CountCacheHits(const sim::Corpus& corpus) {
+  size_t hits = 0;
+  for (const sim::PipelineTrace& trace : corpus.pipelines) {
+    for (const metadata::Execution& e : trace.store.executions()) {
+      hits += e.properties.count("cache_hit");
+    }
+  }
+  return hits;
+}
+
+TEST(ExecutionCacheTest, ParsePolicy) {
+  EXPECT_EQ(*sim::ParseCachePolicy("off"), sim::CachePolicy::kOff);
+  EXPECT_EQ(*sim::ParseCachePolicy("lru"), sim::CachePolicy::kLru);
+  EXPECT_EQ(*sim::ParseCachePolicy("unbounded"),
+            sim::CachePolicy::kUnbounded);
+  EXPECT_FALSE(sim::ParseCachePolicy("LRU").ok());
+  EXPECT_FALSE(sim::ParseCachePolicy("").ok());
+  EXPECT_STREQ(sim::ToString(sim::CachePolicy::kLru), "lru");
+}
+
+TEST(ExecutionCacheTest, KeyIgnoresInputOrder) {
+  sim::ExecutionCache cache(sim::CachePolicy::kUnbounded, 0);
+  cache.TagArtifact(1, 0xAAAA);
+  cache.TagArtifact(2, 0xBBBB);
+  const uint64_t forward =
+      cache.Key(metadata::ExecutionType::kTrainer, 7, {1, 2});
+  const uint64_t backward =
+      cache.Key(metadata::ExecutionType::kTrainer, 7, {2, 1});
+  EXPECT_EQ(forward, backward);
+  // ...but operator type, salt, and input identity all matter.
+  EXPECT_NE(forward,
+            cache.Key(metadata::ExecutionType::kEvaluator, 7, {1, 2}));
+  EXPECT_NE(forward,
+            cache.Key(metadata::ExecutionType::kTrainer, 8, {1, 2}));
+  EXPECT_NE(forward, cache.Key(metadata::ExecutionType::kTrainer, 7, {1}));
+}
+
+TEST(ExecutionCacheTest, RetaggedArtifactChangesKey) {
+  sim::ExecutionCache cache(sim::CachePolicy::kUnbounded, 0);
+  cache.TagArtifact(1, 0xAAAA);
+  const uint64_t before =
+      cache.Key(metadata::ExecutionType::kTrainer, 0, {1});
+  cache.TagArtifact(1, 0xCCCC);
+  EXPECT_NE(before, cache.Key(metadata::ExecutionType::kTrainer, 0, {1}));
+}
+
+TEST(ExecutionCacheTest, LruEvictsLeastRecentlyUsed) {
+  sim::ExecutionCache cache(sim::CachePolicy::kLru, 2);
+  cache.Insert(100);
+  cache.Insert(200);
+  EXPECT_TRUE(cache.Lookup(100));  // touch: 200 is now least recent
+  cache.Insert(300);               // evicts 200
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_TRUE(cache.Lookup(100));
+  EXPECT_TRUE(cache.Lookup(300));
+  EXPECT_FALSE(cache.Lookup(200));
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ExecutionCacheTest, UnboundedNeverEvicts) {
+  sim::ExecutionCache cache(sim::CachePolicy::kUnbounded, 1);
+  for (uint64_t key = 0; key < 100; ++key) cache.Insert(key);
+  EXPECT_EQ(cache.size(), 100u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(ExecutionCacheTest, OffNeverStores) {
+  sim::ExecutionCache cache(sim::CachePolicy::kOff, 1024);
+  cache.Insert(100);
+  EXPECT_FALSE(cache.Lookup(100));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);  // disabled probes are not misses
+}
+
+TEST(ExecutionCacheTest, InvalidateDropsEntry) {
+  sim::ExecutionCache cache(sim::CachePolicy::kUnbounded, 0);
+  cache.Insert(100);
+  cache.Invalidate(100);
+  EXPECT_FALSE(cache.Lookup(100));
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  cache.Invalidate(100);  // absent: no-op
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+}
+
+TEST(ExecutionCacheTest, StatsCountHitsAndMisses) {
+  sim::ExecutionCache cache(sim::CachePolicy::kUnbounded, 0);
+  EXPECT_FALSE(cache.Lookup(5));
+  cache.Insert(5);
+  EXPECT_TRUE(cache.Lookup(5));
+  EXPECT_TRUE(cache.Lookup(5));
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  cache.CreditSavedHours(1.5);
+  cache.CreditPartialSavedHours(0.5);
+  EXPECT_DOUBLE_EQ(cache.stats().saved_hours, 2.0);
+  EXPECT_EQ(cache.stats().partial_hits, 1u);
+}
+
+TEST(SimulatorCacheTest, PolicyOffIsByteIdenticalToDefault) {
+  // The seed contract: --cache_policy=off (any capacity) produces the
+  // exact corpus a build without the cache subsystem produced.
+  sim::CorpusConfig off = CachedConfig(sim::CachePolicy::kOff, 3);
+  const std::string with_off_policy =
+      CorpusFingerprint(sim::GenerateCorpus(off));
+  const std::string default_config =
+      CorpusFingerprint(sim::GenerateCorpus(SmallConfig()));
+  EXPECT_EQ(with_off_policy, default_config);
+}
+
+TEST(SimulatorCacheTest, CachedCorpusDeterministicAcrossThreadCounts) {
+  std::string baseline;
+  for (const int threads : {1, 4, 8}) {
+    common::SetGlobalThreads(threads);
+    const std::string fp = CorpusFingerprint(
+        sim::GenerateCorpus(CachedConfig(sim::CachePolicy::kUnbounded)));
+    if (baseline.empty()) {
+      baseline = fp;
+    } else {
+      EXPECT_EQ(fp, baseline)
+          << "cached corpus diverged at " << threads << " threads";
+    }
+  }
+  common::SetGlobalThreads(1);
+}
+
+TEST(SimulatorCacheTest, CachingPreservesTraceStructure) {
+  // The cache changes costs and timestamps, never structure: same
+  // executions (count, type, success, order), same artifacts, same hit
+  // pattern on every run.
+  const sim::Corpus off = sim::GenerateCorpus(SmallConfig());
+  const sim::Corpus cached =
+      sim::GenerateCorpus(CachedConfig(sim::CachePolicy::kUnbounded));
+  ASSERT_EQ(cached.pipelines.size(), off.pipelines.size());
+  for (size_t p = 0; p < off.pipelines.size(); ++p) {
+    const auto& a = off.pipelines[p].store;
+    const auto& b = cached.pipelines[p].store;
+    ASSERT_EQ(b.num_executions(), a.num_executions());
+    ASSERT_EQ(b.num_artifacts(), a.num_artifacts());
+    for (size_t i = 0; i < a.executions().size(); ++i) {
+      EXPECT_EQ(b.executions()[i].type, a.executions()[i].type);
+      EXPECT_EQ(b.executions()[i].succeeded, a.executions()[i].succeeded);
+    }
+  }
+}
+
+TEST(SimulatorCacheTest, HitsAreZeroCostAndAccounted) {
+  obs::Registry::Global().Reset();
+  const sim::Corpus cached =
+      sim::GenerateCorpus(CachedConfig(sim::CachePolicy::kUnbounded));
+  size_t hits = 0;
+  for (const sim::PipelineTrace& trace : cached.pipelines) {
+    for (const metadata::Execution& e : trace.store.executions()) {
+      if (e.properties.count("cache_hit") > 0) {
+        ++hits;
+        EXPECT_TRUE(e.succeeded);
+        EXPECT_DOUBLE_EQ(e.compute_cost, 0.0);
+      }
+    }
+  }
+  EXPECT_GT(hits, 0u) << "the calibrated corpus has redundant work; an "
+                         "unbounded cache must serve some of it";
+  if (obs::kMetricsEnabled) {
+    // GE, not EQ: GenerateCorpus re-simulates non-qualifying pipelines
+    // (Section 2.2 filter) and the discarded attempts flushed their
+    // tallies too — same convention as the failure counters.
+    EXPECT_GE(obs::Registry::Global().GetCounter("cache.hits")->Value(),
+              hits);
+    EXPECT_GT(
+        obs::Registry::Global().GetGauge("cache.saved_hours")->Value(),
+        0.0);
+  }
+}
+
+TEST(SimulatorCacheTest, SavedHoursMatchCostDeltaExactly) {
+  // The credited saving must equal the actual drop in recorded compute
+  // cost — the accounting and the corpus must never drift apart. Uses
+  // SimulatePipeline directly: one pipeline, no qualify-retry loop, so
+  // the registry holds exactly this trace's tallies.
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  sim::PipelineConfig pc;
+  pc.pipeline_id = 1;
+  pc.seed = 999;
+  pc.lifespan_days = 60.0;
+  pc.triggers_per_day = 2.0;
+  pc.window_spans = 3;
+  pc.parallel_trainers = 2;
+  pc.retrain_same_data_prob = 0.3;  // plenty of stale retrains
+  pc.analyzers = {metadata::AnalyzerType::kVocabulary};
+  const sim::CostModel cost_model;
+  auto trace_cost = [](const sim::PipelineTrace& trace) {
+    double total = 0.0;
+    for (const metadata::Execution& e : trace.store.executions()) {
+      total += e.compute_cost;
+    }
+    return total;
+  };
+  const double baseline =
+      trace_cost(sim::SimulatePipeline(SmallConfig(), pc, cost_model));
+  obs::Registry::Global().Reset();
+  const sim::PipelineTrace cached = sim::SimulatePipeline(
+      CachedConfig(sim::CachePolicy::kUnbounded), pc, cost_model);
+  const double credited =
+      obs::Registry::Global().GetGauge("cache.saved_hours")->Value();
+  EXPECT_GT(credited, 0.0);
+  EXPECT_NEAR(credited, baseline - trace_cost(cached),
+              1e-6 * std::max(1.0, baseline));
+  size_t hits = 0;
+  for (const metadata::Execution& e : cached.store.executions()) {
+    hits += e.properties.count("cache_hit");
+  }
+  EXPECT_EQ(obs::Registry::Global().GetCounter("cache.hits")->Value(),
+            hits);
+}
+
+TEST(SimulatorCacheTest, UnboundedSavesAtLeastAsMuchAsTinyLru) {
+  const double baseline = TotalCost(sim::GenerateCorpus(SmallConfig()));
+  const double tiny_lru =
+      TotalCost(sim::GenerateCorpus(CachedConfig(sim::CachePolicy::kLru, 2)));
+  const double unbounded = TotalCost(
+      sim::GenerateCorpus(CachedConfig(sim::CachePolicy::kUnbounded)));
+  EXPECT_LE(unbounded, tiny_lru);
+  EXPECT_LT(unbounded, baseline);
+  EXPECT_LE(tiny_lru, baseline);
+}
+
+TEST(SimulatorCacheTest, TinyLruEvictsUnderPressure) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  obs::Registry::Global().Reset();
+  const sim::Corpus corpus =
+      sim::GenerateCorpus(CachedConfig(sim::CachePolicy::kLru, 2));
+  (void)corpus;
+  EXPECT_GT(obs::Registry::Global().GetCounter("cache.evictions")->Value(),
+            0u);
+}
+
+TEST(SimulatorCacheTest, CachedTracesSegmentAndValidateClean) {
+  const sim::Corpus corpus =
+      sim::GenerateCorpus(CachedConfig(sim::CachePolicy::kUnbounded));
+  ASSERT_GT(CountCacheHits(corpus), 0u);
+  const metadata::TraceValidator validator;
+  for (const sim::PipelineTrace& trace : corpus.pipelines) {
+    const auto report = validator.Validate(trace.store);
+    EXPECT_FALSE(report.NeedsQuarantine()) << report.Summary();
+  }
+  // Every trainer execution — including cache-served ones — anchors
+  // exactly one graphlet.
+  const core::SegmentedCorpus segmented = core::SegmentCorpus(corpus);
+  for (size_t p = 0; p < corpus.pipelines.size(); ++p) {
+    const auto trainers = corpus.pipelines[p].store.ExecutionsOfType(
+        metadata::ExecutionType::kTrainer);
+    const core::SegmentedPipeline& sp = segmented.pipelines[p];
+    EXPECT_EQ(sp.quarantined_graphlets, 0u);
+    ASSERT_EQ(sp.graphlets.size(), trainers.size());
+    std::set<metadata::ExecutionId> anchors;
+    for (const core::Graphlet& g : sp.graphlets) {
+      EXPECT_TRUE(anchors.insert(g.trainer).second);
+    }
+    for (const metadata::ExecutionId t : trainers) {
+      EXPECT_EQ(anchors.count(t), 1u);
+    }
+  }
+}
+
+TEST(SimulatorCacheTest, FiredFaultsAreNeverServedFromCache) {
+  if (!common::kFailpointsEnabled) GTEST_SKIP() << "failpoints compiled out";
+  sim::CorpusConfig config = CachedConfig(sim::CachePolicy::kUnbounded);
+  auto plan = common::FaultPlan::Parse(
+      "exec.trainer:transient:0.25,exec.transform:persistent:0.05");
+  ASSERT_TRUE(plan.ok());
+  config.fault_plan = *plan;
+  config.max_retries = 2;
+  const sim::Corpus corpus = sim::GenerateCorpus(config);
+  size_t faulted = 0, hits = 0;
+  for (const sim::PipelineTrace& trace : corpus.pipelines) {
+    for (const metadata::Execution& e : trace.store.executions()) {
+      const bool hit = e.properties.count("cache_hit") > 0;
+      hits += hit;
+      // A cache-served execution is by definition successful, and a
+      // retry attempt (of a fired fault) must re-execute at full cost.
+      if (hit) {
+        EXPECT_TRUE(e.succeeded);
+        EXPECT_EQ(e.properties.count("retry_of"), 0u);
+        EXPECT_EQ(e.properties.count("retry_attempt"), 0u);
+      }
+      if (!e.succeeded) {
+        ++faulted;
+        EXPECT_FALSE(hit);
+        EXPECT_GT(e.compute_cost, 0.0)
+            << "failed attempts pay full cost, never a cached discount";
+      }
+    }
+  }
+  EXPECT_GT(faulted, 0u);
+  EXPECT_GT(hits, 0u);
+}
+
+TEST(SimulatorCacheTest, FaultInjectedCachedCorpusIsReproducible) {
+  sim::CorpusConfig config = CachedConfig(sim::CachePolicy::kLru, 64);
+  auto plan = common::FaultPlan::Parse("exec.any:transient:0.1");
+  ASSERT_TRUE(plan.ok());
+  config.fault_plan = *plan;
+  const std::string a = CorpusFingerprint(sim::GenerateCorpus(config));
+  const std::string b = CorpusFingerprint(sim::GenerateCorpus(config));
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace mlprov
