@@ -33,10 +33,10 @@ int Run(int argc, char** argv) {
                            "Figure 10: freshness vs waste tradeoff");
   const core::SegmentedCorpus segmented = core::SegmentCorpus(ctx.corpus);
   const core::WasteDataset dataset =
-      core::BuildWasteDataset(ctx.corpus, segmented, {});
+      *core::BuildWasteDataset(ctx.corpus, segmented);
   core::MitigationOptions options;
   options.forest.num_trees =
-      static_cast<int>(ctx.flags.GetInt("trees", 50));
+      ctx.options.trees;
   core::WasteMitigation mitigation(&dataset, options);
 
   std::printf("model freshness when eliminating X of the wasted "

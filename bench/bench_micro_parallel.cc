@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "bench/micro_common.h"
+#include "bench/report_common.h"
 #include "common/parallel.h"
 #include "metadata/serialization.h"
 #include "simulator/corpus_generator.h"
@@ -69,11 +70,8 @@ uint64_t CorpusFingerprint(const sim::Corpus& corpus) {
 /// corpus_gen.seconds_t{1,2,4,8}, corpus_gen.speedup_8, and a
 /// determinism verdict comparing fingerprints across thread counts.
 void ScalingSweep(const common::Flags& flags, obs::BenchReport& report) {
-  sim::CorpusConfig config;
-  config.num_pipelines =
-      static_cast<int>(flags.GetInt("pipelines", 120));
-  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
-  config.horizon_days = flags.GetDouble("horizon_days", 130.0);
+  const sim::CorpusConfig config =
+      bench::Options::Parse(flags, /*default_pipelines=*/120).config;
 
   const std::vector<int> thread_counts = {1, 2, 4, 8};
   double seconds_t1 = 0.0;

@@ -19,10 +19,10 @@ int Run(int argc, char** argv) {
                            "Section 5.3.2: scheduler policy replay");
   const core::SegmentedCorpus segmented = core::SegmentCorpus(ctx.corpus);
   const core::WasteDataset dataset =
-      core::BuildWasteDataset(ctx.corpus, segmented, {});
+      *core::BuildWasteDataset(ctx.corpus, segmented);
   core::MitigationOptions options;
   options.forest.num_trees =
-      static_cast<int>(ctx.flags.GetInt("trees", 50));
+      ctx.options.trees;
   core::WasteMitigation mitigation(&dataset, options);
 
   using T = common::TextTable;

@@ -14,7 +14,7 @@ int Run(int argc, char** argv) {
                            400);
   const core::SegmentedCorpus segmented = core::SegmentCorpus(ctx.corpus);
   const core::PushDriverStats stats =
-      core::ComputePushDrivers(ctx.corpus, segmented);
+      *core::ComputePushDrivers(ctx.corpus, segmented);
 
   using T = common::TextTable;
   T table({"", "mu_pushed", "mu_unpushed", "mu (all)"});

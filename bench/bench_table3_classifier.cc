@@ -15,9 +15,9 @@ int Run(int argc, char** argv) {
   bench::ReportContext ctx(argc, argv,
                            "Table 3: waste-mitigation classifiers");
   const core::SegmentedCorpus segmented = core::SegmentCorpus(ctx.corpus);
-  core::FeatureOptions feature_options;
+  core::WasteDatasetOptions dataset_options;
   const core::WasteDataset dataset =
-      core::BuildWasteDataset(ctx.corpus, segmented, feature_options);
+      *core::BuildWasteDataset(ctx.corpus, segmented, dataset_options);
   std::printf("Section 5 dataset: %zu graphlets from %zu non-warm-start "
               "pipelines, %.0f%%/%.0f%% unpushed/pushed\n"
               "(paper: 420k graphlets, 2827 pipelines, 80%%/20%%)\n\n",
@@ -27,7 +27,7 @@ int Run(int argc, char** argv) {
 
   core::MitigationOptions options;
   options.forest.num_trees =
-      static_cast<int>(ctx.flags.GetInt("trees", 50));
+      ctx.options.trees;
   core::WasteMitigation mitigation(&dataset, options);
 
   using T = common::TextTable;

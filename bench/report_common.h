@@ -47,25 +47,49 @@ namespace mlprov::bench {
 ///   --cache_policy=P   off (default) | lru | unbounded
 ///   --cache_capacity=N per-pipeline LRU entry bound (only under lru)
 ///
-/// The destructor writes `BENCH_<name>.json` containing the corpus shape,
-/// wall times, whatever key values the binary recorded via
-/// `ctx.report.Set(...)`, and a snapshot of the obs metrics registry.
-struct ReportContext {
-  common::Flags flags;
-  sim::CorpusConfig config;
-  sim::Corpus corpus;
-  double generation_seconds = 0.0;
-  obs::BenchReport report;
+/// Dies with exit code 2 on a present-but-malformed integer flag; the
+/// bench binaries prefer a loud early exit over a silently ignored typo.
+inline int64_t IntFlagOrDie(const common::Flags& flags,
+                            const std::string& name, int64_t def) {
+  const common::StatusOr<int64_t> value = flags.GetIntStrict(name, def);
+  if (!value.ok()) {
+    std::fprintf(stderr, "error: %s\n", value.status().ToString().c_str());
+    std::exit(2);
+  }
+  return *value;
+}
 
-  ReportContext(int argc, char** argv, const char* title,
-                int default_pipelines = 600)
-      : flags(argc, argv),
-        report(obs::BenchReport::NameFromArgv0(argc > 0 ? argv[0] : "")) {
-    report.SetCommandLine(argc, argv);
-    config.num_pipelines =
-        static_cast<int>(flags.GetInt("pipelines", default_pipelines));
-    config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
-    config.horizon_days = flags.GetDouble("horizon_days", 130.0);
+/// Every flag the bench mains understand, parsed and validated in one
+/// place (integers via Flags::GetIntStrict, enums via their parsers).
+/// ReportContext consumes this; binaries read their extras (e.g. --trees)
+/// from here instead of re-parsing ctx.flags ad hoc.
+struct Options {
+  sim::CorpusConfig config;
+  /// Resolved global thread count (--threads=, default: hardware).
+  int threads = 1;
+  bool measure_speedup = false;
+  std::string trace_out;
+  std::string report_dir = ".";
+  bool write_report = true;
+  /// Forest size for the classifier/tradeoff benches (--trees=).
+  int trees = 50;
+  /// Streaming-ingestion flags (bench_stream_ingest):
+  ///   --stream_seal_grace_hours=H  watermark grace before sealing
+  ///   --stream_policy=V            input | input_pre | input_pre_trainer
+  ///   --stream_naive_pipelines=N   cap for the naive re-segmentation
+  ///                                baseline (it is quadratic)
+  double stream_seal_grace_hours = 48.0;
+  std::string stream_policy = "input";
+  int stream_naive_pipelines = 12;
+
+  static Options Parse(const common::Flags& flags,
+                       int default_pipelines = 600) {
+    Options options;
+    options.config.num_pipelines = static_cast<int>(
+        IntFlagOrDie(flags, "pipelines", default_pipelines));
+    options.config.seed =
+        static_cast<uint64_t>(IntFlagOrDie(flags, "seed", 42));
+    options.config.horizon_days = flags.GetDouble("horizon_days", 130.0);
     if (const std::string plan_text = flags.GetString("fault_plan", "");
         !plan_text.empty()) {
       common::StatusOr<common::FaultPlan> plan =
@@ -75,10 +99,10 @@ struct ReportContext {
                      plan.status().ToString().c_str());
         std::exit(2);
       }
-      config.fault_plan = std::move(*plan);
+      options.config.fault_plan = std::move(*plan);
     }
-    config.max_retries =
-        static_cast<int>(flags.GetInt("max_retries", config.max_retries));
+    options.config.max_retries = static_cast<int>(IntFlagOrDie(
+        flags, "max_retries", options.config.max_retries));
     {
       const common::StatusOr<sim::CachePolicy> policy =
           sim::ParseCachePolicy(flags.GetString("cache_policy", "off"));
@@ -87,21 +111,56 @@ struct ReportContext {
                      policy.status().ToString().c_str());
         std::exit(2);
       }
-      config.cache_policy = *policy;
+      options.config.cache_policy = *policy;
     }
-    config.cache_capacity = static_cast<int>(
-        flags.GetInt("cache_capacity", config.cache_capacity));
-    trace_out_ = flags.GetString("trace_out", "");
-    report_dir_ = flags.GetString("report_dir", ".");
-    write_report_ = !flags.GetBool("no_report", false);
+    options.config.cache_capacity = static_cast<int>(IntFlagOrDie(
+        flags, "cache_capacity", options.config.cache_capacity));
+    options.trace_out = flags.GetString("trace_out", "");
+    options.report_dir = flags.GetString("report_dir", ".");
+    options.write_report = !flags.GetBool("no_report", false);
     const common::StatusOr<int> threads = common::ThreadsFromFlags(flags);
     if (!threads.ok()) {
       std::fprintf(stderr, "error: %s\n",
                    threads.status().ToString().c_str());
       std::exit(2);
     }
-    common::SetGlobalThreads(*threads);
-    const bool measure_speedup = flags.GetBool("measure_speedup", false);
+    options.threads = *threads;
+    options.measure_speedup = flags.GetBool("measure_speedup", false);
+    options.trees = static_cast<int>(IntFlagOrDie(flags, "trees", 50));
+    options.stream_seal_grace_hours =
+        flags.GetDouble("stream_seal_grace_hours", 48.0);
+    options.stream_policy = flags.GetString("stream_policy", "input");
+    options.stream_naive_pipelines = static_cast<int>(
+        IntFlagOrDie(flags, "stream_naive_pipelines", 12));
+    return options;
+  }
+};
+
+/// The destructor writes `BENCH_<name>.json` containing the corpus shape,
+/// wall times, whatever key values the binary recorded via
+/// `ctx.report.Set(...)`, and a snapshot of the obs metrics registry.
+struct ReportContext {
+  common::Flags flags;
+  Options options;
+  /// Alias of options.config (legacy name most binaries use).
+  sim::CorpusConfig config;
+  sim::Corpus corpus;
+  double generation_seconds = 0.0;
+  obs::BenchReport report;
+
+  ReportContext(int argc, char** argv, const char* title,
+                int default_pipelines = 600)
+      : flags(argc, argv),
+        options(Options::Parse(flags, default_pipelines)),
+        config(options.config),
+        report(obs::BenchReport::NameFromArgv0(argc > 0 ? argv[0] : "")) {
+    report.SetCommandLine(argc, argv);
+    trace_out_ = options.trace_out;
+    report_dir_ = options.report_dir;
+    write_report_ = options.write_report;
+    common::SetGlobalThreads(options.threads);
+    const int threads = options.threads;
+    const bool measure_speedup = options.measure_speedup;
     if (!trace_out_.empty()) {
       obs::TraceRecorder::Global().Enable();
     }
@@ -111,7 +170,7 @@ struct ReportContext {
         "%d thread(s)\n",
         config.num_pipelines,
         static_cast<unsigned long long>(config.seed), config.horizon_days,
-        *threads);
+        threads);
     if (!config.fault_plan.empty()) {
       std::printf("fault plan: %s (max %d retries)\n",
                   config.fault_plan.ToString().c_str(),
@@ -123,7 +182,7 @@ struct ReportContext {
                   config.cache_capacity);
     }
     double sequential_seconds = 0.0;
-    if (measure_speedup && *threads > 1) {
+    if (measure_speedup && threads > 1) {
       // The derived per-pipeline RNG streams make the corpus identical at
       // any thread count, so a throwaway single-thread run is a valid
       // baseline for the same corpus.
@@ -132,7 +191,7 @@ struct ReportContext {
       const sim::Corpus baseline = sim::GenerateCorpus(config);
       sequential_seconds = seq.Seconds();
       (void)baseline;
-      common::SetGlobalThreads(*threads);
+      common::SetGlobalThreads(threads);
     }
     const auto start = std::chrono::steady_clock::now();
     corpus = sim::GenerateCorpus(config);
@@ -151,10 +210,10 @@ struct ReportContext {
     if (sequential_seconds > 0.0 && generation_seconds > 0.0) {
       speedup = sequential_seconds / generation_seconds;
       std::printf("corpus generation speedup at %d threads: %.2fx\n\n",
-                  *threads, speedup);
+                  threads, speedup);
       report.Set("corpus_gen.sequential_seconds", sequential_seconds);
     }
-    report.SetParallelism(*threads, speedup);
+    report.SetParallelism(threads, speedup);
   }
 
   ~ReportContext() {

@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
 
   const core::SegmentedCorpus segmented = core::SegmentCorpus(corpus);
   const core::WasteDataset dataset =
-      core::BuildWasteDataset(corpus, segmented, {});
+      *core::BuildWasteDataset(corpus, segmented);
   if (dataset.data.NumRows() == 0) {
     std::fprintf(stderr,
                  "error: no usable graphlets to learn from (%zu "

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Header self-sufficiency check: every public header under src/ must
+# compile as its own translation unit (no hidden dependency on includes
+# a particular .cc happens to pull in first). This is what makes the
+# library surface consumable piecemeal — e.g. a downstream tool that
+# wants stream/session.h must not be forced to discover an include
+# order by trial and error.
+#
+# Usage: scripts/check_header_selfcontained.sh [repo-root]  (default: cwd)
+set -euo pipefail
+
+root="${1:-.}"
+cd "$root"
+
+cxx="${CXX:-g++}"
+failed=0
+count=0
+for header in $(find src -name '*.h' | sort); do
+  count=$((count + 1))
+  if ! "$cxx" -std=c++20 -fsyntax-only -I src -x c++ "$header" 2>/tmp/header_check_err; then
+    echo "NOT SELF-CONTAINED: $header" >&2
+    sed 's/^/    /' /tmp/header_check_err >&2
+    failed=1
+  fi
+done
+
+if [ "$failed" -ne 0 ]; then
+  echo "header self-sufficiency check FAILED" >&2
+  exit 1
+fi
+echo "header self-sufficiency check ok: ${count} headers compile standalone"

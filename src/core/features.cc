@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <array>
+#include <iterator>
+#include <utility>
 
 #include "common/parallel.h"
 #include "common/stats.h"
@@ -20,6 +22,26 @@ constexpr ExecutionType kPreTypes[] = {
 constexpr ExecutionType kPostTypes[] = {ExecutionType::kEvaluator,
                                         ExecutionType::kModelValidator,
                                         ExecutionType::kInfraValidator};
+
+/// Stage-cost type lists (Table 3's intervention points).
+const std::vector<ExecutionType>& InputTypes() {
+  static const std::vector<ExecutionType> types = {
+      ExecutionType::kExampleGen, ExecutionType::kStatisticsGen,
+      ExecutionType::kSchemaGen, ExecutionType::kExampleValidator};
+  return types;
+}
+const std::vector<ExecutionType>& PreTypes() {
+  static const std::vector<ExecutionType> types = {
+      ExecutionType::kTransform, ExecutionType::kTuner,
+      ExecutionType::kCustom};
+  return types;
+}
+const std::vector<ExecutionType>& PostTypes() {
+  static const std::vector<ExecutionType> types = {
+      ExecutionType::kEvaluator, ExecutionType::kModelValidator,
+      ExecutionType::kInfraValidator};
+  return types;
+}
 
 /// Shape statistics for one operator type within a graphlet.
 struct OpShape {
@@ -97,17 +119,14 @@ std::vector<size_t> WasteDataset::ColumnsFor(
   return columns;
 }
 
-WasteDataset BuildWasteDataset(const sim::Corpus& corpus,
-                               const SegmentedCorpus& segmented,
-                               const FeatureOptions& options) {
-  WasteDataset out;
+GraphletFeaturizer::Schema GraphletFeaturizer::BuildSchema(
+    const FeatureOptions& options) {
+  Schema schema;
   const int window = std::max(1, options.history_window);
-
-  // Assemble the schema: names + group-column registry.
-  std::vector<std::string> names;
   auto add_column = [&](FeatureGroup group, const std::string& name) {
-    out.group_columns[static_cast<size_t>(group)].push_back(names.size());
-    names.push_back(name);
+    schema.group_columns[static_cast<size_t>(group)].push_back(
+        schema.names.size());
+    schema.names.push_back(name);
   };
   for (int t = 0; t < metadata::kNumModelTypes; ++t) {
     add_column(FeatureGroup::kModelInfo,
@@ -119,8 +138,7 @@ WasteDataset BuildWasteDataset(const sim::Corpus& corpus,
                "architecture_" + std::to_string(a));
   }
   for (int l = 1; l <= window; ++l) {
-    add_column(FeatureGroup::kInputData,
-               "jaccard_" + std::to_string(l));
+    add_column(FeatureGroup::kInputData, "jaccard_" + std::to_string(l));
     add_column(FeatureGroup::kInputData,
                "dataset_sim_" + std::to_string(l));
   }
@@ -153,22 +171,153 @@ WasteDataset BuildWasteDataset(const sim::Corpus& corpus,
     add_column(FeatureGroup::kShapePost, base + "_avg_in");
     add_column(FeatureGroup::kShapePost, base + "_avg_out");
   }
-  out.data = ml::Dataset(names);
+  return schema;
+}
 
-  const std::vector<ExecutionType> input_types = {
-      ExecutionType::kExampleGen, ExecutionType::kStatisticsGen,
-      ExecutionType::kSchemaGen, ExecutionType::kExampleValidator};
-  const std::vector<ExecutionType> pre_types = {ExecutionType::kTransform,
-                                                ExecutionType::kTuner,
-                                                ExecutionType::kCustom};
-  const std::vector<ExecutionType> post_types = {
-      ExecutionType::kEvaluator, ExecutionType::kModelValidator,
-      ExecutionType::kInfraValidator};
+GraphletFeaturizer::GraphletFeaturizer(
+    const metadata::MetadataStore* store,
+    const std::unordered_map<metadata::ArtifactId, dataspan::SpanStats>*
+        span_stats,
+    const FeatureOptions& options)
+    : store_(store),
+      span_stats_(span_stats),
+      options_(options),
+      window_(std::max(1, options.history_window)),
+      calc_(options.similarity.feature_options) {
+  num_columns_ = BuildSchema(options_).names.size();
+}
+
+std::vector<double> GraphletFeaturizer::Row(const Graphlet& g) {
+  std::vector<double> row(num_columns_, 0.0);
+  size_t col = 0;
+  // Model info one-hots.
+  for (int t = 0; t < metadata::kNumModelTypes; ++t) {
+    row[col++] = static_cast<int>(g.model_type) == t ? 1.0 : 0.0;
+  }
+  for (int a = 0; a < 5; ++a) {
+    row[col++] = g.architecture == a ? 1.0 : 0.0;
+  }
+  // History features (history_.back() is lag 1).
+  double jaccard_1 = 0.0, dsim_1 = 0.0;
+  for (int l = 1; l <= window_; ++l) {
+    if (history_.size() >= static_cast<size_t>(l)) {
+      const Graphlet& prev = history_[history_.size() - static_cast<size_t>(l)];
+      const double jaccard = GraphletJaccard(g, prev);
+      const double dsim = GraphletDatasetSimilarity(
+          *span_stats_, g, prev, calc_,
+          options_.similarity.positional_features);
+      row[col++] = jaccard;
+      row[col++] = dsim;
+      if (l == 1) {
+        jaccard_1 = jaccard;
+        dsim_1 = dsim;
+      }
+    } else {
+      row[col++] = 0.0;
+      row[col++] = 0.0;
+    }
+  }
+  row[col++] = jaccard_baseline_.count()
+                   ? jaccard_1 - jaccard_baseline_.mean()
+                   : 0.0;
+  row[col++] = dsim_baseline_.count() ? dsim_1 - dsim_baseline_.mean() : 0.0;
+  row[col++] =
+      !history_.empty()
+          ? std::min(1000.0,
+                     static_cast<double>(g.trainer_start -
+                                         history_.back().trainer_start) /
+                         3600.0)
+          : 0.0;
+  for (int l = 1; l <= window_; ++l) {
+    if (history_.size() >= static_cast<size_t>(l)) {
+      const Graphlet& prev = history_[history_.size() - static_cast<size_t>(l)];
+      row[col++] = g.code_version == prev.code_version ? 1.0 : 0.0;
+    } else {
+      row[col++] = 1.0;
+    }
+  }
+  // Shape features (the trailing columns of the schema).
+  UpdateShapeColumns(g, &row);
+  return row;
+}
+
+void GraphletFeaturizer::UpdateShapeColumns(
+    const Graphlet& g, std::vector<double>* row) const {
+  constexpr size_t kShapeColumns =
+      (std::size(kPreTypes) + 1 + std::size(kPostTypes)) * 3;
+  size_t col = num_columns_ - kShapeColumns;
+  auto write = [&](ExecutionType type) {
+    const OpShape shape = ShapeOf(*store_, g.executions, type);
+    (*row)[col++] = shape.count;
+    (*row)[col++] = shape.avg_in;
+    (*row)[col++] = shape.avg_out;
+  };
+  for (ExecutionType t : kPreTypes) write(t);
+  write(ExecutionType::kTrainer);
+  for (ExecutionType t : kPostTypes) write(t);
+}
+
+void GraphletFeaturizer::Advance(const Graphlet& g) {
+  // Recomputing the lag-1 similarities here (rather than caching them
+  // from Row) keeps Row/Advance independently callable; the similarity
+  // calculator's pairwise cache makes the second evaluation cheap, and
+  // the values are deterministic, so NextRow's baselines are identical
+  // to the pre-split single-pass computation.
+  if (!history_.empty()) {
+    const Graphlet& prev = history_.back();
+    jaccard_baseline_.Add(GraphletJaccard(g, prev));
+    dsim_baseline_.Add(GraphletDatasetSimilarity(
+        *span_stats_, g, prev, calc_,
+        options_.similarity.positional_features));
+  }
+  history_.push_back(g);
+  if (history_.size() > static_cast<size_t>(window_)) history_.pop_front();
+  ++rows_;
+}
+
+std::array<double, 4> GraphletFeaturizer::StageCosts(
+    const Graphlet& g) const {
+  // Ingestion + data analysis run once per span and are shared by all
+  // graphlets touching the window; amortize them per graphlet so the
+  // Table 3 feature-cost column reflects the *incremental* cost of
+  // reaching each intervention point.
+  const double span_share =
+      1.0 /
+      static_cast<double>(std::max<size_t>(1, g.input_spans.size()));
+  std::array<double, 4> costs = {};
+  costs[0] = StageCost(*store_, g.executions, InputTypes()) * span_share;
+  costs[1] = costs[0] + StageCost(*store_, g.executions, PreTypes());
+  costs[2] = costs[1] + g.trainer_cost;
+  costs[3] = costs[2] + StageCost(*store_, g.executions, PostTypes());
+  return costs;
+}
+
+common::StatusOr<WasteDataset> BuildWasteDataset(
+    const sim::Corpus& corpus, const SegmentedCorpus& segmented,
+    const WasteDatasetOptions& options) {
+  const FeatureOptions& features = options.features;
+  if (features.history_window < 1) {
+    return common::Status::InvalidArgument(
+        "history_window must be >= 1, got " +
+        std::to_string(features.history_window));
+  }
+  const auto& sim_weights = features.similarity.feature_options;
+  if (sim_weights.alpha + sim_weights.beta <= 0.0) {
+    return common::Status::InvalidArgument(
+        "similarity weights alpha + beta must be > 0");
+  }
+  WasteDataset out;
+  GraphletFeaturizer::Schema schema =
+      GraphletFeaturizer::BuildSchema(features);
+  out.group_columns = schema.group_columns;
+  out.data = ml::Dataset(schema.names);
 
   // Feature rows are built per pipeline in parallel (the EMD similarity
   // lags dominate), then appended to the dataset sequentially in pipeline
   // order so row order and every derived statistic match the sequential
-  // build exactly.
+  // build exactly. Each pipeline replays its graphlets through a fresh
+  // GraphletFeaturizer — the same incremental path the streaming online
+  // scorer uses.
   struct PipelineBlock {
     std::vector<std::vector<double>> rows;
     std::vector<int> labels;
@@ -180,118 +329,27 @@ WasteDataset BuildWasteDataset(const sim::Corpus& corpus,
   common::ParallelFor(
       segmented.pipelines.size(),
       [&](size_t p) {
-    const SegmentedPipeline& sp = segmented.pipelines[p];
-    PipelineBlock& block = blocks[p];
-    const sim::PipelineTrace& trace = corpus.pipelines[sp.pipeline_index];
-    if (options.exclude_warmstart_pipelines && trace.config.warm_start) {
-      return;
-    }
-    if (sp.graphlets.empty()) return;
-    block.counted = true;
-    std::vector<double> row(names.size(), 0.0);
-    similarity::SpanSimilarityCalculator calc(
-        options.similarity.feature_options);
-    // Trailing means for the *_rel_1 features.
-    common::RunningStats jaccard_baseline, dsim_baseline;
-    for (size_t i = 0; i < sp.graphlets.size(); ++i) {
-      const Graphlet& g = sp.graphlets[i];
-      std::fill(row.begin(), row.end(), 0.0);
-      size_t col = 0;
-      // Model info one-hots.
-      for (int t = 0; t < metadata::kNumModelTypes; ++t) {
-        row[col++] =
-            static_cast<int>(g.model_type) == t ? 1.0 : 0.0;
-      }
-      for (int a = 0; a < 5; ++a) {
-        row[col++] = g.architecture == a ? 1.0 : 0.0;
-      }
-      // History features.
-      double jaccard_1 = 0.0, dsim_1 = 0.0;
-      for (int l = 1; l <= window; ++l) {
-        if (i >= static_cast<size_t>(l)) {
-          const Graphlet& prev = sp.graphlets[i - static_cast<size_t>(l)];
-          const double jaccard = GraphletJaccard(g, prev);
-          const double dsim = GraphletDatasetSimilarity(
-              trace, g, prev, calc,
-              options.similarity.positional_features);
-          row[col++] = jaccard;
-          row[col++] = dsim;
-          if (l == 1) {
-            jaccard_1 = jaccard;
-            dsim_1 = dsim;
+        const SegmentedPipeline& sp = segmented.pipelines[p];
+        PipelineBlock& block = blocks[p];
+        const sim::PipelineTrace& trace =
+            corpus.pipelines[sp.pipeline_index];
+        if (features.exclude_warmstart_pipelines &&
+            trace.config.warm_start) {
+          return;
+        }
+        if (sp.graphlets.empty()) return;
+        block.counted = true;
+        GraphletFeaturizer featurizer(&trace.store, &trace.span_stats,
+                                      features);
+        for (const Graphlet& g : sp.graphlets) {
+          block.rows.push_back(featurizer.NextRow(g));
+          block.labels.push_back(g.pushed ? 1 : 0);
+          block.total_cost.push_back(g.TotalCost());
+          const std::array<double, 4> costs = featurizer.StageCosts(g);
+          for (int s = 0; s < 4; ++s) {
+            block.stage_cost[s].push_back(costs[s]);
           }
-        } else {
-          row[col++] = 0.0;
-          row[col++] = 0.0;
         }
-      }
-      row[col++] =
-          jaccard_baseline.count() ? jaccard_1 - jaccard_baseline.mean()
-                                   : 0.0;
-      row[col++] =
-          dsim_baseline.count() ? dsim_1 - dsim_baseline.mean() : 0.0;
-      row[col++] =
-          i >= 1 ? std::min(
-                       1000.0,
-                       static_cast<double>(
-                           g.trainer_start -
-                           sp.graphlets[i - 1].trainer_start) /
-                           3600.0)
-                 : 0.0;
-      if (i >= 1) {
-        jaccard_baseline.Add(jaccard_1);
-        dsim_baseline.Add(dsim_1);
-      }
-      for (int l = 1; l <= window; ++l) {
-        if (i >= static_cast<size_t>(l)) {
-          const Graphlet& prev = sp.graphlets[i - static_cast<size_t>(l)];
-          row[col++] = g.code_version == prev.code_version ? 1.0 : 0.0;
-        } else {
-          row[col++] = 1.0;
-        }
-      }
-      // Shape features.
-      for (ExecutionType t : kPreTypes) {
-        const OpShape shape = ShapeOf(trace.store, g.executions, t);
-        row[col++] = shape.count;
-        row[col++] = shape.avg_in;
-        row[col++] = shape.avg_out;
-      }
-      {
-        const OpShape shape =
-            ShapeOf(trace.store, g.executions, ExecutionType::kTrainer);
-        row[col++] = shape.count;
-        row[col++] = shape.avg_in;
-        row[col++] = shape.avg_out;
-      }
-      for (ExecutionType t : kPostTypes) {
-        const OpShape shape = ShapeOf(trace.store, g.executions, t);
-        row[col++] = shape.count;
-        row[col++] = shape.avg_in;
-        row[col++] = shape.avg_out;
-      }
-      block.rows.push_back(row);
-      block.labels.push_back(g.pushed ? 1 : 0);
-      block.total_cost.push_back(g.TotalCost());
-      // Ingestion + data analysis run once per span and are shared by all
-      // graphlets touching the window; amortize them per graphlet so the
-      // Table 3 feature-cost column reflects the *incremental* cost of
-      // reaching each intervention point.
-      const double span_share =
-          1.0 / static_cast<double>(std::max<size_t>(1,
-                                                     g.input_spans.size()));
-      const double s0 =
-          StageCost(trace.store, g.executions, input_types) * span_share;
-      const double s1 =
-          s0 + StageCost(trace.store, g.executions, pre_types);
-      const double s2 = s1 + g.trainer_cost;
-      const double s3 =
-          s2 + StageCost(trace.store, g.executions, post_types);
-      block.stage_cost[0].push_back(s0);
-      block.stage_cost[1].push_back(s1);
-      block.stage_cost[2].push_back(s2);
-      block.stage_cost[3].push_back(s3);
-    }
       },
       /*grain=*/1);
   for (size_t p = 0; p < blocks.size(); ++p) {

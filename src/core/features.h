@@ -10,11 +10,17 @@
 /// grouped splits never leak a pipeline across train/test.
 
 #include <array>
+#include <deque>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "common/stats.h"
+#include "common/status.h"
 #include "core/graphlet_analysis.h"
+#include "dataspan/span_stats.h"
 #include "ml/dataset.h"
+#include "similarity/span_similarity.h"
 
 namespace mlprov::core {
 
@@ -74,10 +80,105 @@ struct WasteDataset {
       const std::vector<FeatureGroup>& groups) const;
 };
 
-/// Builds the waste-mitigation dataset from a segmented corpus.
-WasteDataset BuildWasteDataset(const sim::Corpus& corpus,
-                               const SegmentedCorpus& segmented,
-                               const FeatureOptions& options = {});
+/// Incremental graphlet featurization: the per-pipeline row builder
+/// behind BuildWasteDataset, exposed so the streaming online scorer can
+/// featurize graphlets as they seal. Feed graphlets of ONE pipeline in
+/// segmentation order; NextRow maintains the same history window,
+/// trailing similarity baselines, and shared similarity cache the batch
+/// build keeps per pipeline, so a row-for-row replay of a segmented
+/// pipeline is bit-identical to the batch dataset's rows.
+class GraphletFeaturizer {
+ public:
+  struct Schema {
+    std::vector<std::string> names;
+    /// Column indices per feature group (same registry as WasteDataset).
+    std::array<std::vector<size_t>, kNumFeatureGroups> group_columns;
+  };
+  /// The column layout BuildWasteDataset emits for `options`.
+  static Schema BuildSchema(const FeatureOptions& options);
+
+  /// `store` and `span_stats` describe the pipeline's (possibly still
+  /// growing) trace; both are borrowed and must outlive the featurizer.
+  GraphletFeaturizer(
+      const metadata::MetadataStore* store,
+      const std::unordered_map<metadata::ArtifactId, dataspan::SpanStats>*
+          span_stats,
+      const FeatureOptions& options = {});
+
+  /// Featurizes the pipeline's next graphlet and advances the history
+  /// state. Rows are ordered like BuildSchema's names.
+  std::vector<double> NextRow(const Graphlet& graphlet) {
+    std::vector<double> row = Row(graphlet);
+    Advance(graphlet);
+    return row;
+  }
+
+  /// Featurizes against the current history WITHOUT advancing it. The
+  /// online scorer probes the same graphlet at several intervention
+  /// points as it grows; only the settled graphlet is committed.
+  std::vector<double> Row(const Graphlet& graphlet);
+
+  /// Commits the graphlet to the history window and the similarity
+  /// baselines. Row(g) followed by Advance(g) is bit-identical to the
+  /// batch NextRow(g).
+  void Advance(const Graphlet& graphlet);
+
+  /// Rewrites only the operator-shape columns (kShapePre / kShapeTrainer
+  /// / kShapePost) of a previously computed row against the graphlet's
+  /// current members. The online scorer captures history and input
+  /// features once, when they become observable, and refreshes the shape
+  /// as the graphlet grows toward later intervention points.
+  void UpdateShapeColumns(const Graphlet& graphlet,
+                          std::vector<double>* row) const;
+
+  /// Cumulative pipeline cost by feature stage for this graphlet:
+  /// [input, +pre-trainer, +trainer, +validation] (Table 3 accounting).
+  std::array<double, 4> StageCosts(const Graphlet& graphlet) const;
+
+  size_t rows_emitted() const { return rows_; }
+
+ private:
+  const metadata::MetadataStore* store_;
+  const std::unordered_map<metadata::ArtifactId, dataspan::SpanStats>*
+      span_stats_;
+  FeatureOptions options_;
+  int window_;
+  size_t num_columns_;
+  similarity::SpanSimilarityCalculator calc_;
+  /// Trailing means for the *_rel_1 deviation features.
+  common::RunningStats jaccard_baseline_;
+  common::RunningStats dsim_baseline_;
+  /// The `window_` most recent graphlets, most recent last.
+  std::deque<Graphlet> history_;
+  size_t rows_ = 0;
+};
+
+struct WasteDatasetOptions {
+  FeatureOptions features;
+};
+
+/// Builds the waste-mitigation dataset from a segmented corpus. Fails
+/// with InvalidArgument on unusable options (non-positive history
+/// window, degenerate similarity weights).
+common::StatusOr<WasteDataset> BuildWasteDataset(
+    const sim::Corpus& corpus, const SegmentedCorpus& segmented,
+    const WasteDatasetOptions& options = {});
+
+/// Deprecated: pre-streaming signature, kept for one release. Forwards
+/// to the WasteDatasetOptions overload with the legacy clamping of the
+/// history window.
+[[deprecated("use the WasteDatasetOptions overload")]]
+inline WasteDataset BuildWasteDataset(const sim::Corpus& corpus,
+                                      const SegmentedCorpus& segmented,
+                                      const FeatureOptions& options) {
+  WasteDatasetOptions wrapped;
+  wrapped.features = options;
+  if (wrapped.features.history_window < 1) {
+    wrapped.features.history_window = 1;
+  }
+  auto result = BuildWasteDataset(corpus, segmented, wrapped);
+  return result.ok() ? std::move(result).value() : WasteDataset{};
+}
 
 }  // namespace mlprov::core
 

@@ -8,6 +8,8 @@
 #include "metadata/trace_validator.h"
 #include "metadata/types.h"
 #include "obs/metrics.h"
+#include "stream/replay.h"
+#include "stream/session.h"
 
 namespace mlprov::core {
 
@@ -59,7 +61,21 @@ SegmentedCorpus SegmentCorpus(const sim::Corpus& corpus,
                   .size();
           return;
         }
-        sp.graphlets = SegmentTrace(store, options);
+        // Batch segmentation is a replay of the trace through the
+        // streaming session — the batch surface is a thin wrapper over
+        // the incremental one, and the session's Finish() is guaranteed
+        // byte-identical to SegmentTrace. Traces that pass validation
+        // but still violate the feed contract fall back to the direct
+        // batch path (same result by the identity guarantee).
+        stream::SessionOptions session_options;
+        session_options.segmenter.segmentation = options;
+        stream::ProvenanceSession session(session_options);
+        if (stream::ReplayTrace(corpus.pipelines[i], session).ok()) {
+          auto result = session.Finish();
+          sp.graphlets = std::move(result.value().graphlets);
+        } else {
+          sp.graphlets = SegmentTrace(store, options);
+        }
         if (report.truncated_graphlets > 0) {
           // Drop graphlets whose trainer lost its input events — their
           // span lineage (and thus every similarity/waste statistic) is
@@ -93,17 +109,26 @@ double GraphletJaccard(const Graphlet& a, const Graphlet& b) {
 double GraphletDatasetSimilarity(
     const sim::PipelineTrace& trace, const Graphlet& a, const Graphlet& b,
     similarity::SpanSimilarityCalculator& calc, bool positional_features) {
+  return GraphletDatasetSimilarity(trace.span_stats, a, b, calc,
+                                   positional_features);
+}
+
+double GraphletDatasetSimilarity(
+    const std::unordered_map<metadata::ArtifactId, dataspan::SpanStats>&
+        span_stats,
+    const Graphlet& a, const Graphlet& b,
+    similarity::SpanSimilarityCalculator& calc, bool positional_features) {
   std::vector<const dataspan::SpanStats*> spans_a, spans_b;
   std::vector<int64_t> keys_a, keys_b;
   for (metadata::ArtifactId id : a.input_spans) {
-    auto it = trace.span_stats.find(id);
-    if (it == trace.span_stats.end()) continue;
+    auto it = span_stats.find(id);
+    if (it == span_stats.end()) continue;
     spans_a.push_back(&it->second);
     keys_a.push_back(id);
   }
   for (metadata::ArtifactId id : b.input_spans) {
-    auto it = trace.span_stats.find(id);
-    if (it == trace.span_stats.end()) continue;
+    auto it = span_stats.find(id);
+    if (it == span_stats.end()) continue;
     spans_b.push_back(&it->second);
     keys_b.push_back(id);
   }
@@ -292,9 +317,14 @@ WasteEstimate EstimateWaste(const sim::Corpus& corpus,
   return estimate;
 }
 
-PushDriverStats ComputePushDrivers(const sim::Corpus& corpus,
-                                   const SegmentedCorpus& segmented,
-                                   const SimilarityOptions& options) {
+common::StatusOr<PushDriverStats> ComputePushDrivers(
+    const sim::Corpus& corpus, const SegmentedCorpus& segmented,
+    const PushDriverOptions& push_options) {
+  const SimilarityOptions& options = push_options.similarity;
+  if (options.feature_options.alpha + options.feature_options.beta <= 0.0) {
+    return common::Status::InvalidArgument(
+        "similarity weights alpha + beta must be > 0");
+  }
   PushDriverStats stats;
   // Same two-phase shape as ComputeSimilarityTable: the EMD-heavy pair
   // similarities run per pipeline in parallel, then the RunningStats are

@@ -10,10 +10,13 @@
 /// counted and excluded rather than silently dropped.
 
 #include <array>
+#include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "core/graphlet.h"
 #include "core/segmentation.h"
+#include "dataspan/span_stats.h"
 #include "similarity/span_similarity.h"
 #include "simulator/corpus.h"
 
@@ -141,9 +144,27 @@ struct PushDriverStats {
   double code_match_all = 0.0;
 };
 
-PushDriverStats ComputePushDrivers(const sim::Corpus& corpus,
-                                   const SegmentedCorpus& segmented,
-                                   const SimilarityOptions& options = {});
+struct PushDriverOptions {
+  SimilarityOptions similarity;
+};
+
+/// Table 2 push drivers. Fails with InvalidArgument on degenerate
+/// similarity weights (alpha + beta must be positive).
+common::StatusOr<PushDriverStats> ComputePushDrivers(
+    const sim::Corpus& corpus, const SegmentedCorpus& segmented,
+    const PushDriverOptions& options = {});
+
+/// Deprecated: pre-streaming signature, kept for one release. Forwards
+/// to the PushDriverOptions overload.
+[[deprecated("use the PushDriverOptions overload")]]
+inline PushDriverStats ComputePushDrivers(const sim::Corpus& corpus,
+                                          const SegmentedCorpus& segmented,
+                                          const SimilarityOptions& options) {
+  PushDriverOptions wrapped;
+  wrapped.similarity = options;
+  auto result = ComputePushDrivers(corpus, segmented, wrapped);
+  return result.ok() ? std::move(result).value() : PushDriverStats{};
+}
 
 /// Shared helper: Eq.-3 dataset similarity between two graphlets of the
 /// same pipeline, using (and filling) the calculator's cache.
@@ -151,6 +172,15 @@ double GraphletDatasetSimilarity(const sim::PipelineTrace& trace,
                                  const Graphlet& a, const Graphlet& b,
                                  similarity::SpanSimilarityCalculator& calc,
                                  bool positional_features = false);
+
+/// Same, over a bare span-statistics side table — the form streaming
+/// consumers hold (a session accumulates the map record by record).
+double GraphletDatasetSimilarity(
+    const std::unordered_map<metadata::ArtifactId, dataspan::SpanStats>&
+        span_stats,
+    const Graphlet& a, const Graphlet& b,
+    similarity::SpanSimilarityCalculator& calc,
+    bool positional_features = false);
 
 /// Jaccard similarity of the two graphlets' input span sets (Sec 4.2.1).
 double GraphletJaccard(const Graphlet& a, const Graphlet& b);

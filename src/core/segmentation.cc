@@ -143,13 +143,26 @@ Graphlet Finalize(const MetadataStore& store, ExecutionId trainer,
   return g;
 }
 
-Graphlet ExtractOne(const MetadataStore& store, ExecutionId trainer,
-                    const SegmentationOptions& options,
-                    std::vector<char>& exec_in,
-                    std::vector<char>& artifact_in,
-                    std::vector<char>& exec_is_descendant,
-                    std::vector<ExecutionId>& touched_execs,
-                    std::vector<ArtifactId>& touched_artifacts) {
+}  // namespace
+
+Graphlet GraphletExtractor::Extract(const MetadataStore& store,
+                                    ExecutionId trainer) {
+  const SegmentationOptions& options = options_;
+  // Grow-only scratch: the streaming segmenter extracts against a store
+  // that gains nodes between calls. Fresh slots are zero-initialized,
+  // matching the reset-after-use invariant of the existing slots.
+  if (exec_in_.size() < store.num_executions() + 1) {
+    exec_in_.resize(store.num_executions() + 1, 0);
+    exec_is_descendant_.resize(store.num_executions() + 1, 0);
+  }
+  if (artifact_in_.size() < store.num_artifacts() + 1) {
+    artifact_in_.resize(store.num_artifacts() + 1, 0);
+  }
+  std::vector<char>& exec_in = exec_in_;
+  std::vector<char>& artifact_in = artifact_in_;
+  std::vector<char>& exec_is_descendant = exec_is_descendant_;
+  std::vector<ExecutionId>& touched_execs = touched_execs_;
+  std::vector<ArtifactId>& touched_artifacts = touched_artifacts_;
   touched_execs.clear();
   touched_artifacts.clear();
   auto add_exec = [&](ExecutionId id, bool descendant) {
@@ -268,8 +281,6 @@ Graphlet ExtractOne(const MetadataStore& store, ExecutionId trainer,
   return g;
 }
 
-}  // namespace
-
 std::vector<Graphlet> SegmentTrace(const MetadataStore& store,
                                    const SegmentationOptions& options) {
   MLPROV_SPAN(segment_span, "core.SegmentTrace");
@@ -287,18 +298,12 @@ std::vector<Graphlet> SegmentTrace(const MetadataStore& store,
               return ea.end_time != eb.end_time ? ea.end_time < eb.end_time
                                                 : a < b;
             });
-  std::vector<char> exec_in(store.num_executions() + 1, 0);
-  std::vector<char> artifact_in(store.num_artifacts() + 1, 0);
-  std::vector<char> exec_is_descendant(store.num_executions() + 1, 0);
-  std::vector<ExecutionId> touched_execs;
-  std::vector<ArtifactId> touched_artifacts;
+  GraphletExtractor extractor(options);
 
   std::vector<Graphlet> graphlets;
   graphlets.reserve(trainers.size());
   for (ExecutionId trainer : trainers) {
-    graphlets.push_back(ExtractOne(store, trainer, options, exec_in,
-                                   artifact_in, exec_is_descendant,
-                                   touched_execs, touched_artifacts));
+    graphlets.push_back(extractor.Extract(store, trainer));
     MLPROV_HISTOGRAM_RECORD("core.graphlet_nodes",
                             graphlets.back().executions.size() +
                                 graphlets.back().artifacts.size());

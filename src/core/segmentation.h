@@ -29,6 +29,34 @@ struct SegmentationOptions {
   bool cut_ancestors_at_trainers = true;
 };
 
+/// Reusable single-trainer graphlet extractor: the BFS kernel behind
+/// SegmentTrace, exposed so incremental consumers (the streaming
+/// segmenter) can re-extract one trainer's graphlet against a *growing*
+/// store. Owns its scratch bitmaps; they are grown lazily, so the same
+/// extractor instance stays valid as the store gains nodes. Extraction
+/// always reflects the store's current contents — calling Extract twice
+/// for the same trainer after the store grew returns the grown graphlet.
+class GraphletExtractor {
+ public:
+  explicit GraphletExtractor(const SegmentationOptions& options = {})
+      : options_(options) {}
+
+  /// Extracts the graphlet anchored at `trainer` (rules a/b/c of
+  /// Appendix A) from the store's current contents.
+  Graphlet Extract(const metadata::MetadataStore& store,
+                   metadata::ExecutionId trainer);
+
+ private:
+  SegmentationOptions options_;
+  // Scratch bitmaps indexed by node id; reset after every extraction via
+  // the touched lists, so Extract is O(graphlet size) amortized.
+  std::vector<char> exec_in_;
+  std::vector<char> artifact_in_;
+  std::vector<char> exec_is_descendant_;
+  std::vector<metadata::ExecutionId> touched_execs_;
+  std::vector<metadata::ArtifactId> touched_artifacts_;
+};
+
 /// Extracts all model graphlets of a trace, one per Trainer execution,
 /// ordered chronologically by trainer end time (the paper's notion of
 /// consecutive graphlets). Runs in time linear in the total size of the

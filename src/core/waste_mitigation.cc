@@ -62,11 +62,6 @@ std::vector<FeatureGroup> GroupsFor(Variant variant) {
   return {};
 }
 
-namespace {
-
-/// Index of the cumulative stage cost needed to obtain a variant's
-/// features: 0 input, 1 +pre-trainer, 2 +trainer, 3 +validators.
-/// Shared by the Table 3 feature-cost column and the policy replay.
 size_t StageOf(Variant variant) {
   switch (variant) {
     case Variant::kInput:
@@ -88,8 +83,6 @@ size_t StageOf(Variant variant) {
   return 3;
 }
 
-}  // namespace
-
 WasteMitigation::WasteMitigation(const WasteDataset* dataset,
                                  const MitigationOptions& options)
     : dataset_(dataset), options_(options) {
@@ -98,43 +91,53 @@ WasteMitigation::WasteMitigation(const WasteDataset* dataset,
       dataset_->data.GroupSplit(options_.train_fraction, rng);
 }
 
+TrainedVariant WasteMitigation::Train(Variant variant) const {
+  TrainedVariant trained;
+  trained.variant = variant;
+  trained.columns = dataset_->ColumnsFor(GroupsFor(variant));
+  const ml::Dataset projected =
+      dataset_->data.SelectFeatures(trained.columns);
+
+  trained.forest = ml::RandomForest(options_.forest);
+  trained.forest.Fit(projected, train_rows_);
+
+  // Pick the decision threshold on the training split (the post-hoc
+  // thresholding of Section 5.1). Forest inference is read-only, so the
+  // predict loop fills indexed slots in parallel; the output vectors are
+  // ordered by row index either way, identical to the sequential loop.
+  std::vector<double> train_scores(train_rows_.size());
+  std::vector<int> train_labels(train_rows_.size());
+  common::ParallelFor(train_rows_.size(), [&](size_t i) {
+    const size_t row = train_rows_[i];
+    train_scores[i] = trained.forest.PredictProba(projected, row);
+    train_labels[i] = projected.Label(row);
+  });
+  const auto roc = ml::RocCurve(train_scores, train_labels);
+  double best_ba = 0.0;
+  trained.threshold = 0.5;
+  for (const ml::RocPoint& p : roc) {
+    const double ba = 0.5 * (p.tpr + (1.0 - p.fpr));
+    if (ba > best_ba && std::isfinite(p.threshold)) {
+      best_ba = ba;
+      trained.threshold = p.threshold;
+    }
+  }
+  return trained;
+}
+
 VariantResult WasteMitigation::Evaluate(Variant variant) const {
   MLPROV_SPAN(eval_span, "core.WasteMitigation.Evaluate");
   MLPROV_SPAN_ARG(eval_span, "variant", ToString(variant));
   MLPROV_COUNTER_INC("core.variant_evaluations");
   VariantResult result;
   result.variant = variant;
-  const std::vector<size_t> columns =
-      dataset_->ColumnsFor(GroupsFor(variant));
-  const ml::Dataset projected = dataset_->data.SelectFeatures(columns);
+  const TrainedVariant trained = Train(variant);
+  const ml::Dataset projected =
+      dataset_->data.SelectFeatures(trained.columns);
+  const ml::RandomForest& forest = trained.forest;
+  result.threshold = trained.threshold;
 
-  ml::RandomForest forest(options_.forest);
-  forest.Fit(projected, train_rows_);
-
-  // Pick the decision threshold on the training split (the post-hoc
-  // thresholding of Section 5.1), then evaluate on the held-out
-  // pipelines.
-  // Forest inference is read-only, so both predict loops fill indexed
-  // slots in parallel; the output vectors are ordered by row index either
-  // way, identical to the sequential loops.
-  std::vector<double> train_scores(train_rows_.size());
-  std::vector<int> train_labels(train_rows_.size());
-  common::ParallelFor(train_rows_.size(), [&](size_t i) {
-    const size_t row = train_rows_[i];
-    train_scores[i] = forest.PredictProba(projected, row);
-    train_labels[i] = projected.Label(row);
-  });
-  const auto roc = ml::RocCurve(train_scores, train_labels);
-  double best_ba = 0.0;
-  result.threshold = 0.5;
-  for (const ml::RocPoint& p : roc) {
-    const double ba = 0.5 * (p.tpr + (1.0 - p.fpr));
-    if (ba > best_ba && std::isfinite(p.threshold)) {
-      best_ba = ba;
-      result.threshold = p.threshold;
-    }
-  }
-
+  // Evaluate on the held-out pipelines.
   result.scores.resize(test_rows_.size());
   result.labels.resize(test_rows_.size());
   result.costs.resize(test_rows_.size());

@@ -36,6 +36,12 @@ const char* ToString(Variant variant);
 /// Feature groups used by a variant.
 std::vector<FeatureGroup> GroupsFor(Variant variant);
 
+/// Index of the cumulative stage cost needed to obtain a variant's
+/// features: 0 input, 1 +pre-trainer, 2 +trainer, 3 +validators.
+/// Shared by the Table 3 feature-cost column, the policy replay, and
+/// the streaming scorer's avoided-hours accounting.
+size_t StageOf(Variant variant);
+
 /// Result of training and evaluating one variant.
 struct VariantResult {
   Variant variant = Variant::kInput;
@@ -58,6 +64,19 @@ struct MitigationOptions {
   ml::RandomForest::Options forest;
 };
 
+/// A variant's trained model, detached from the evaluation flow so
+/// streaming consumers can score single rows online: the forest, the
+/// dataset columns it reads, and the threshold chosen on the training
+/// split.
+struct TrainedVariant {
+  Variant variant = Variant::kInput;
+  /// Dataset column indices the forest was fitted on, sorted. A row to
+  /// score must be projected to exactly these columns in this order.
+  std::vector<size_t> columns;
+  ml::RandomForest forest = ml::RandomForest(ml::RandomForest::Options());
+  double threshold = 0.5;
+};
+
 /// Splits rows by pipeline, trains a Random Forest per variant on the
 /// selected feature columns, and evaluates on the held-out pipelines.
 class WasteMitigation {
@@ -69,6 +88,11 @@ class WasteMitigation {
   const std::vector<size_t>& test_rows() const { return test_rows_; }
 
   VariantResult Evaluate(Variant variant) const;
+
+  /// Fits the variant's forest on the training split and picks its
+  /// decision threshold there (max balanced accuracy on the train ROC) —
+  /// the training half of Evaluate, reusable for online scoring.
+  TrainedVariant Train(Variant variant) const;
 
  private:
   const WasteDataset* dataset_;

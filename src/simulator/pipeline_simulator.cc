@@ -7,6 +7,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "simulator/provenance_sink.h"
 
 namespace mlprov::sim {
 
@@ -851,6 +852,11 @@ PipelineTrace PipelineSimulator::Run() {
   metadata::Context ctx;
   ctx.name = "pipeline-" + std::to_string(config_.pipeline_id);
   context_ = trace.store.PutContext(std::move(ctx));
+  // Live feed: drained at trigger boundaries, when every node created by
+  // the trigger has its final property values (no mutation escapes the
+  // creating trigger), so each record is complete when it leaves.
+  ProvenanceFeeder feeder(sink_);
+  if (sink_ != nullptr) feeder.Flush(trace);
 
   const double lifespan_seconds = config_.lifespan_days * kSecondsPerDay;
   const double start_headroom =
@@ -864,9 +870,11 @@ PipelineTrace PipelineSimulator::Run() {
   while (now < end &&
          trainers_emitted_ < corpus_.max_graphlets_per_pipeline) {
     DoTrigger(now, trace);
+    if (sink_ != nullptr) feeder.Flush(trace);
     const double interval = mean_interval * rng_.LogNormal(0.0, 0.45);
     now += std::max<Timestamp>(60, static_cast<Timestamp>(interval));
   }
+  if (sink_ != nullptr) feeder.Finish(trace);
   if (cache_.enabled()) {
     // One flush per pipeline: the registry merges per-pipeline deltas
     // deterministically regardless of ParallelFor interleaving.
@@ -886,8 +894,10 @@ PipelineTrace PipelineSimulator::Run() {
 
 PipelineTrace SimulatePipeline(const CorpusConfig& corpus_config,
                                const PipelineConfig& config,
-                               const CostModel& cost_model) {
+                               const CostModel& cost_model,
+                               ProvenanceSink* sink) {
   PipelineSimulator simulator(corpus_config, config, &cost_model);
+  simulator.set_sink(sink);
   return simulator.Run();
 }
 

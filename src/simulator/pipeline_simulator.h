@@ -28,6 +28,8 @@
 
 namespace mlprov::sim {
 
+class ProvenanceSink;
+
 /// Discrete-event simulator of one continuous production pipeline. Each
 /// trigger ingests fresh data spans, re-runs data analysis/validation and
 /// pre-processing, trains one or more (parallel) models on a rolling
@@ -49,6 +51,13 @@ class PipelineSimulator {
   /// Runs the pipeline over its lifespan and returns the trace. The trace
   /// contains one Context holding all executions.
   PipelineTrace Run();
+
+  /// Attaches a live provenance sink (not owned; may be null). The
+  /// discrete-event loop drains the trace into it at trigger boundaries
+  /// via ProvenanceFeeder, so the sink observes the same causal feed a
+  /// post-hoc replay of the finished trace produces — cache hits,
+  /// retries, and fault-failed attempts flow through unchanged.
+  void set_sink(ProvenanceSink* sink) { sink_ = sink; }
 
  private:
   struct TriggerOutcome {
@@ -144,6 +153,8 @@ class PipelineSimulator {
   /// Static per-pipeline salt folded into every cache key: data-source
   /// identity and operator configuration that never changes mid-run.
   uint64_t cache_config_salt_ = 0;
+  /// Live provenance feed (optional; see set_sink).
+  ProvenanceSink* sink_ = nullptr;
 
   // Mutable simulation state.
   std::deque<metadata::ArtifactId> window_;  // recent span artifacts
@@ -163,10 +174,12 @@ class PipelineSimulator {
   int64_t next_span_number_ = 0;
 };
 
-/// Convenience: simulate a full pipeline from its config.
+/// Convenience: simulate a full pipeline from its config. The optional
+/// sink observes the live provenance feed as the pipeline executes.
 PipelineTrace SimulatePipeline(const CorpusConfig& corpus_config,
                                const PipelineConfig& config,
-                               const CostModel& cost_model);
+                               const CostModel& cost_model,
+                               ProvenanceSink* sink = nullptr);
 
 }  // namespace mlprov::sim
 

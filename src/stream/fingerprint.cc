@@ -1,0 +1,63 @@
+#include "stream/fingerprint.h"
+
+#include <cstring>
+
+namespace mlprov::stream {
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+void Mix(uint64_t& h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= kFnvPrime;
+  }
+}
+
+void MixDouble(uint64_t& h, double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  Mix(h, bits);
+}
+
+template <typename T>
+void MixVector(uint64_t& h, const std::vector<T>& values) {
+  Mix(h, values.size());
+  for (const T& value : values) Mix(h, static_cast<uint64_t>(value));
+}
+
+}  // namespace
+
+uint64_t FingerprintGraphlet(const core::Graphlet& g) {
+  uint64_t h = kFnvOffset;
+  Mix(h, static_cast<uint64_t>(g.trainer));
+  MixVector(h, g.executions);
+  MixVector(h, g.artifacts);
+  MixVector(h, g.input_spans);
+  Mix(h, static_cast<uint64_t>(g.model));
+  Mix(h, static_cast<uint64_t>(g.pushed));
+  Mix(h, static_cast<uint64_t>(g.trainer_succeeded));
+  Mix(h, static_cast<uint64_t>(g.warm_start));
+  Mix(h, static_cast<uint64_t>(g.trainer_start));
+  Mix(h, static_cast<uint64_t>(g.trainer_end));
+  Mix(h, static_cast<uint64_t>(g.start_time));
+  Mix(h, static_cast<uint64_t>(g.end_time));
+  MixDouble(h, g.pre_trainer_cost);
+  MixDouble(h, g.trainer_cost);
+  MixDouble(h, g.post_trainer_cost);
+  Mix(h, static_cast<uint64_t>(g.code_version));
+  Mix(h, static_cast<uint64_t>(g.model_type));
+  Mix(h, static_cast<uint64_t>(g.architecture));
+  return h;
+}
+
+uint64_t FingerprintGraphlets(const std::vector<core::Graphlet>& graphlets) {
+  uint64_t h = kFnvOffset;
+  Mix(h, graphlets.size());
+  for (const core::Graphlet& g : graphlets) Mix(h, FingerprintGraphlet(g));
+  return h;
+}
+
+}  // namespace mlprov::stream

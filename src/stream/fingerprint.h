@@ -1,0 +1,25 @@
+#ifndef MLPROV_STREAM_FINGERPRINT_H_
+#define MLPROV_STREAM_FINGERPRINT_H_
+
+/// Content fingerprints over segmented graphlets. The equivalence tests
+/// and bench_stream_ingest compare streaming and batch segmentation by
+/// fingerprint: two graphlet vectors hash equal iff every field of every
+/// graphlet (membership, spans, costs, flags, timestamps, ordering)
+/// matches bit-for-bit.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graphlet.h"
+
+namespace mlprov::stream {
+
+/// FNV-1a over every field of the graphlet, doubles by bit pattern.
+uint64_t FingerprintGraphlet(const core::Graphlet& graphlet);
+
+/// Order-sensitive combination over a segmented sequence.
+uint64_t FingerprintGraphlets(const std::vector<core::Graphlet>& graphlets);
+
+}  // namespace mlprov::stream
+
+#endif  // MLPROV_STREAM_FINGERPRINT_H_

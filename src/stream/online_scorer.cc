@@ -1,0 +1,60 @@
+#include "stream/online_scorer.h"
+
+#include <utility>
+
+#include "ml/dataset.h"
+
+namespace mlprov::stream {
+
+common::StatusOr<OnlineScorer> OnlineScorer::Train(
+    const core::WasteDataset& dataset, const OnlineScorerOptions& options) {
+  if (dataset.data.NumRows() == 0) {
+    return common::Status::InvalidArgument(
+        "OnlineScorer::Train: empty waste dataset");
+  }
+  const size_t policy = static_cast<size_t>(options.policy_variant);
+  if (policy >= kStreamingVariants.size()) {
+    return common::Status::InvalidArgument(
+        "OnlineScorer::Train: policy variant must be a streaming variant "
+        "(Input, Input+Pre, Input+Pre+Trainer), got " +
+        std::string(core::ToString(options.policy_variant)));
+  }
+  OnlineScorer scorer;
+  scorer.options_ = options;
+  const core::GraphletFeaturizer::Schema schema =
+      core::GraphletFeaturizer::BuildSchema(options.features);
+  if (schema.names.size() != dataset.data.NumFeatures()) {
+    return common::Status::InvalidArgument(
+        "OnlineScorer::Train: feature options disagree with the dataset "
+        "schema (" +
+        std::to_string(schema.names.size()) + " vs " +
+        std::to_string(dataset.data.NumFeatures()) + " columns)");
+  }
+  const core::WasteMitigation mitigation(&dataset, options.mitigation);
+  for (size_t v = 0; v < kStreamingVariants.size(); ++v) {
+    scorer.variants_[v] = mitigation.Train(kStreamingVariants[v]);
+    for (size_t col : scorer.variants_[v].columns) {
+      scorer.projected_names_[v].push_back(schema.names[col]);
+    }
+  }
+  return scorer;
+}
+
+double OnlineScorer::Score(core::Variant variant,
+                           const std::vector<double>& row) const {
+  const size_t v = static_cast<size_t>(variant);
+  const core::TrainedVariant& trained = variants_[v];
+  std::vector<double> projected(trained.columns.size());
+  for (size_t j = 0; j < trained.columns.size(); ++j) {
+    projected[j] = row[trained.columns[j]];
+  }
+  ml::Dataset single(projected_names_[v]);
+  single.AddRow(projected, /*label=*/0);
+  return trained.forest.PredictProba(single, 0);
+}
+
+double OnlineScorer::Threshold(core::Variant variant) const {
+  return variants_[static_cast<size_t>(variant)].threshold;
+}
+
+}  // namespace mlprov::stream

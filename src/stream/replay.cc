@@ -1,0 +1,14 @@
+#include "stream/replay.h"
+
+#include "simulator/provenance_sink.h"
+
+namespace mlprov::stream {
+
+common::Status ReplayTrace(const sim::PipelineTrace& trace,
+                           ProvenanceSession& session) {
+  sim::ProvenanceFeeder feeder(&session);
+  feeder.Finish(trace);
+  return session.status();
+}
+
+}  // namespace mlprov::stream

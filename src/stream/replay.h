@@ -1,0 +1,24 @@
+#ifndef MLPROV_STREAM_REPLAY_H_
+#define MLPROV_STREAM_REPLAY_H_
+
+/// Replays finished traces through a streaming session. A replay
+/// produces exactly the record sequence a live sink attached to the
+/// producing simulator observes (ProvenanceFeeder emits the same feed
+/// either way), so batch wrappers built on ReplayTrace inherit every
+/// streaming guarantee.
+
+#include "common/status.h"
+#include "simulator/corpus.h"
+#include "stream/session.h"
+
+namespace mlprov::stream {
+
+/// Feeds every record of `trace` into `session` in feed order and
+/// returns the session's (sticky) status. The session is left
+/// unfinished so callers can keep ingesting or call Finish().
+common::Status ReplayTrace(const sim::PipelineTrace& trace,
+                           ProvenanceSession& session);
+
+}  // namespace mlprov::stream
+
+#endif  // MLPROV_STREAM_REPLAY_H_

@@ -1,0 +1,278 @@
+#include "stream/session.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "core/waste_mitigation.h"
+#include "obs/metrics.h"
+
+namespace mlprov::stream {
+
+using common::Status;
+using sim::ProvenanceRecord;
+
+ProvenanceSession::ProvenanceSession(const SessionOptions& options)
+    : options_(options), segmenter_(&store_, options.segmenter) {
+  if (options_.scorer != nullptr) {
+    featurizer_.emplace(&store_, &span_stats_,
+                        options_.scorer->feature_options());
+  }
+}
+
+Status ProvenanceSession::Ingest(const ProvenanceRecord& record) {
+  if (finished_) {
+    return Status::FailedPrecondition(
+        "ProvenanceSession: record ingested after Finish()");
+  }
+  if (!status_.ok()) return status_;  // poisoned: first violation is sticky
+  Status status = IngestImpl(record);
+  if (!status.ok()) status_ = status;
+  // Any record can advance the watermark past a trainer's grace period;
+  // settle the decisions of cells the segmenter just sealed.
+  if (status.ok() && options_.scorer != nullptr) SettleSealed();
+  return status;
+}
+
+Status ProvenanceSession::IngestImpl(const ProvenanceRecord& record) {
+  ++counts_.records;
+  MLPROV_COUNTER_INC("stream.records");
+  switch (record.kind) {
+    case ProvenanceRecord::Kind::kContext: {
+      metadata::ContextId assigned = store_.PutContext(record.context);
+      if (record.context.id != metadata::kInvalidId &&
+          record.context.id != assigned) {
+        return Status::InvalidArgument(
+            "context id " + std::to_string(record.context.id) +
+            " out of order (expected " + std::to_string(assigned) + ")");
+      }
+      context_ = assigned;
+      ++counts_.contexts;
+      return Status::Ok();
+    }
+    case ProvenanceRecord::Kind::kExecution: {
+      metadata::ExecutionId expected =
+          static_cast<metadata::ExecutionId>(store_.num_executions()) + 1;
+      if (record.execution.id != expected) {
+        return Status::InvalidArgument(
+            "execution id " + std::to_string(record.execution.id) +
+            " out of order (expected " + std::to_string(expected) + ")");
+      }
+      store_.PutExecution(record.execution);
+      if (context_ != metadata::kInvalidId) {
+        MLPROV_RETURN_IF_ERROR(store_.AddToContext(context_, expected));
+      }
+      segmenter_.OnExecution(record.execution);
+      ++counts_.executions;
+      return Status::Ok();
+    }
+    case ProvenanceRecord::Kind::kArtifact: {
+      metadata::ArtifactId expected =
+          static_cast<metadata::ArtifactId>(store_.num_artifacts()) + 1;
+      if (record.artifact.id != expected) {
+        return Status::InvalidArgument(
+            "artifact id " + std::to_string(record.artifact.id) +
+            " out of order (expected " + std::to_string(expected) + ")");
+      }
+      store_.PutArtifact(record.artifact);
+      if (context_ != metadata::kInvalidId) {
+        MLPROV_RETURN_IF_ERROR(
+            store_.AddArtifactToContext(context_, expected));
+      }
+      if (record.span_stats != nullptr) {
+        span_stats_.emplace(expected, *record.span_stats);
+      }
+      segmenter_.OnArtifact(record.artifact);
+      ++counts_.artifacts;
+      return Status::Ok();
+    }
+    case ProvenanceRecord::Kind::kEvent: {
+      Status put = store_.PutEvent(record.event);
+      if (!put.ok()) {
+        return Status::InvalidArgument(
+            "event before its endpoints (execution " +
+            std::to_string(record.event.execution) + ", artifact " +
+            std::to_string(record.event.artifact) + "): " + put.message());
+      }
+      segmenter_.OnEvent(record.event);
+      ++counts_.events;
+      MLPROV_COUNTER_INC("stream.links");
+      if (options_.scorer != nullptr) ScoreTriggers(record.event);
+      return Status::Ok();
+    }
+  }
+  return Status::Internal("unknown provenance record kind");
+}
+
+common::StatusOr<SessionResult> ProvenanceSession::Finish() {
+  if (!status_.ok()) return status_;
+  if (finished_) {
+    return Status::FailedPrecondition("ProvenanceSession: double Finish()");
+  }
+  finished_ = true;
+  SessionResult result;
+  result.graphlets = segmenter_.Finish();
+  if (options_.scorer != nullptr) {
+    // Finish() extracted every dirty cell, so the remaining unsettled
+    // decisions (cells still inside the seal grace at end of feed) can
+    // settle against up-to-date graphlets.
+    EnsureCellScoring();
+    SettleSealed();
+    for (size_t cell = 0; cell < segmenter_.num_cells(); ++cell) {
+      Settle(cell);
+    }
+    result.decisions = decisions_;
+    result.waste = waste_;
+  }
+  return result;
+}
+
+void ProvenanceSession::EnsureCellScoring() {
+  if (cell_scoring_.size() < segmenter_.num_cells()) {
+    cell_scoring_.resize(segmenter_.num_cells());
+    decisions_.resize(segmenter_.num_cells());
+  }
+}
+
+void ProvenanceSession::ScoreTriggers(const metadata::Event& event) {
+  EnsureCellScoring();
+  if (event.kind == metadata::EventKind::kOutput) {
+    // A trainer's first output: its inputs and every pre-trainer
+    // operator already streamed by (events follow both endpoints).
+    const size_t cell = segmenter_.CellOf(event.execution);
+    if (cell != SIZE_MAX && !cell_scoring_[cell].early_scored) {
+      EarlyScore(cell);
+    }
+    return;
+  }
+  // An input event consuming a trainer-produced artifact is the first
+  // post-trainer descendant: the trainer's own shape is now complete.
+  for (metadata::ExecutionId producer : store_.ProducersOf(event.artifact)) {
+    if (producer == event.execution) continue;
+    const size_t cell = segmenter_.CellOf(producer);
+    if (cell == SIZE_MAX) continue;
+    if (!cell_scoring_[cell].early_scored) EarlyScore(cell);
+    if (!cell_scoring_[cell].trainer_scored) TrainerScore(cell);
+  }
+}
+
+void ProvenanceSession::EarlyScore(size_t cell) {
+  const core::Graphlet& g = segmenter_.ExtractNow(cell);
+  CellScoring& scoring = cell_scoring_[cell];
+  scoring.row = featurizer_->Row(g);
+  // Commit to history immediately, in intervention order: the history
+  // and baseline features a *later* graphlet reads from this one
+  // (input spans, code version, trainer start) are already final here,
+  // so the common sequential case matches the batch featurization
+  // row for row.
+  featurizer_->Advance(g);
+  ScoreDecision& d = decisions_[cell];
+  d.trainer = segmenter_.CellTrainer(cell);
+  for (core::Variant variant :
+       {core::Variant::kInput, core::Variant::kInputPre}) {
+    const size_t v = static_cast<size_t>(variant);
+    d.variant_scores[v] = options_.scorer->Score(variant, scoring.row);
+    d.variant_scored[v] = true;
+  }
+  scoring.early_scored = true;
+  AdoptPolicy(d);
+}
+
+void ProvenanceSession::TrainerScore(size_t cell) {
+  const core::Graphlet& g = segmenter_.ExtractNow(cell);
+  CellScoring& scoring = cell_scoring_[cell];
+  // The trainer's shape is now complete; input/history features stay as
+  // captured at the early intervention point.
+  featurizer_->UpdateShapeColumns(g, &scoring.row);
+  ScoreDecision& d = decisions_[cell];
+  d.trainer = segmenter_.CellTrainer(cell);
+  const size_t v = static_cast<size_t>(core::Variant::kInputPreTrainer);
+  d.variant_scores[v] =
+      options_.scorer->Score(core::Variant::kInputPreTrainer, scoring.row);
+  d.variant_scored[v] = true;
+  scoring.trainer_scored = true;
+  AdoptPolicy(d);
+}
+
+void ProvenanceSession::AdoptPolicy(ScoreDecision& decision) {
+  const core::Variant policy = options_.scorer->policy_variant();
+  const size_t v = static_cast<size_t>(policy);
+  decision.variant = policy;
+  if (!decision.variant_scored[v]) return;
+  decision.score = decision.variant_scores[v];
+  decision.threshold = options_.scorer->Threshold(policy);
+  decision.abort = decision.score < decision.threshold;
+}
+
+void ProvenanceSession::SettleSealed() {
+  EnsureCellScoring();
+  for (size_t cell : segmenter_.TakeSealed()) {
+    Settle(cell);
+  }
+}
+
+void ProvenanceSession::Settle(size_t cell) {
+  CellScoring& scoring = cell_scoring_[cell];
+  if (scoring.settled) return;
+  // Seal-time and Finish-time extraction leave the cell clean, so the
+  // cached graphlet is the final one.
+  const core::Graphlet& g = segmenter_.CellGraphlet(cell);
+  ScoreDecision& d = decisions_[cell];
+  d.trainer = segmenter_.CellTrainer(cell);
+  // Variants whose intervention point never streamed (failed trainers
+  // produce no model, so neither trigger fires) are scored late, on the
+  // final graphlet; variant_scored stays false to record the lateness.
+  if (!scoring.early_scored) {
+    scoring.row = featurizer_->Row(g);
+    featurizer_->Advance(g);
+  } else if (!scoring.trainer_scored) {
+    featurizer_->UpdateShapeColumns(g, &scoring.row);
+  }
+  if (!scoring.early_scored || !scoring.trainer_scored) {
+    for (size_t v = 0; v < kStreamingVariants.size(); ++v) {
+      if (!d.variant_scored[v]) {
+        d.variant_scores[v] =
+            options_.scorer->Score(kStreamingVariants[v], scoring.row);
+      }
+    }
+    const size_t policy =
+        static_cast<size_t>(options_.scorer->policy_variant());
+    if (!d.variant_scored[policy]) {
+      d.variant = options_.scorer->policy_variant();
+      d.score = d.variant_scores[policy];
+      d.threshold = options_.scorer->Threshold(d.variant);
+      d.abort = d.score < d.threshold;
+    }
+  }
+  d.settled = true;
+  d.pushed = g.pushed;
+  const std::array<double, 4> costs = featurizer_->StageCosts(g);
+  if (d.abort) {
+    d.avoided_hours = std::max(
+        0.0, costs[3] - costs[core::StageOf(d.variant)]);
+    d.lost_push = d.pushed;
+    ++waste_.aborts;
+    waste_.avoided_hours += d.avoided_hours;
+    MLPROV_COUNTER_INC("stream.aborts");
+    if (d.lost_push) {
+      ++waste_.lost_pushes;
+      MLPROV_COUNTER_INC("stream.lost_pushes");
+    }
+  }
+  ++waste_.decisions;
+  MLPROV_COUNTER_INC("stream.decisions");
+  MLPROV_GAUGE_ADD("waste.avoided_hours", d.avoided_hours);
+  scoring.row.clear();
+  scoring.row.shrink_to_fit();
+  scoring.settled = true;
+}
+
+SessionStats ProvenanceSession::stats() const {
+  SessionStats stats = counts_;
+  stats.segmenter = segmenter_.stats();
+  return stats;
+}
+
+}  // namespace mlprov::stream

@@ -1,0 +1,153 @@
+#ifndef MLPROV_STREAM_SESSION_H_
+#define MLPROV_STREAM_SESSION_H_
+
+/// The streaming analysis surface: a ProvenanceSession consumes an
+/// ordered MLMD event feed — one record at a time, live from a running
+/// simulator (sim::ProvenanceSink) or replayed from a finished trace
+/// (ReplayTrace) — and maintains the incremental segmenter plus the
+/// optional online waste scorer over the growing trace. Batch analysis
+/// is a thin wrapper over this: core::SegmentCorpus replays each
+/// pipeline through a session, and Finish() is guaranteed byte-identical
+/// to core::SegmentTrace on the same feed.
+///
+/// Error model: Ingest validates the feed-order contract documented in
+/// simulator/provenance_sink.h (dense ids in order, events after their
+/// endpoints, nothing after Finish). The first violation poisons the
+/// session — the error is sticky, later Ingest calls return it
+/// unchanged, and Finish surfaces it instead of results.
+///
+/// Online scoring: when SessionOptions carries a trained OnlineScorer,
+/// the session featurizes each graphlet at its intervention points
+/// (see online_scorer.h) and settles one abort/continue ScoreDecision
+/// per graphlet when its cell seals, with avoided-hours accounting.
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/features.h"
+#include "core/graphlet.h"
+#include "dataspan/span_stats.h"
+#include "metadata/metadata_store.h"
+#include "simulator/provenance_sink.h"
+#include "stream/online_scorer.h"
+#include "stream/streaming_segmenter.h"
+
+namespace mlprov::stream {
+
+struct SessionOptions {
+  StreamingSegmenterOptions segmenter;
+  /// Optional trained scorer (borrowed; must outlive the session; may be
+  /// shared across sessions — scoring is const). When null, the session
+  /// only segments.
+  const OnlineScorer* scorer = nullptr;
+};
+
+struct SessionStats {
+  size_t records = 0;
+  size_t contexts = 0;
+  size_t executions = 0;
+  size_t artifacts = 0;
+  size_t events = 0;
+  StreamingSegmenter::Stats segmenter;
+};
+
+/// Everything a finished session knows about its pipeline.
+struct SessionResult {
+  /// All graphlets in segmentation order — byte-identical to
+  /// core::SegmentTrace over the replicated store.
+  std::vector<core::Graphlet> graphlets;
+  /// One settled decision per graphlet, in cell (trainer-arrival) order.
+  /// Empty unless an OnlineScorer was attached.
+  std::vector<ScoreDecision> decisions;
+  WasteAccounting waste;
+};
+
+class ProvenanceSession : public sim::ProvenanceSink {
+ public:
+  explicit ProvenanceSession(const SessionOptions& options = {});
+
+  /// Consumes the next record of the feed. Returns the first violation
+  /// of the feed contract (sticky); OK records update the replicated
+  /// store and the incremental segmenter.
+  common::Status Ingest(const sim::ProvenanceRecord& record);
+
+  /// ProvenanceSink adapter for live feeds: Ingest with the error
+  /// latched into status() (a sink callback cannot fail upstream).
+  void OnRecord(const sim::ProvenanceRecord& record) override {
+    (void)Ingest(record);
+  }
+
+  /// Ends the feed and returns the final analysis. Further Ingest calls
+  /// fail with FailedPrecondition. Surfaces the sticky error, if any.
+  common::StatusOr<SessionResult> Finish();
+
+  /// The replicated trace. Ids, adjacency, and properties match the
+  /// producing store exactly (the feed-order contract makes dense id
+  /// reassignment reproduce them).
+  const metadata::MetadataStore& store() const { return store_; }
+  const std::unordered_map<metadata::ArtifactId, dataspan::SpanStats>&
+  span_stats() const {
+    return span_stats_;
+  }
+
+  const common::Status& status() const { return status_; }
+  bool finished() const { return finished_; }
+  SessionStats stats() const;
+
+  StreamingSegmenter& segmenter() { return segmenter_; }
+  const StreamingSegmenter& segmenter() const { return segmenter_; }
+
+  /// Live view of the scorer's settled accounting (final totals are in
+  /// the SessionResult).
+  const WasteAccounting& waste() const { return waste_; }
+
+ private:
+  common::Status IngestImpl(const sim::ProvenanceRecord& record);
+
+  // --- online scoring (no-ops when options_.scorer is null) ---
+  /// Grows the per-cell scoring state to the segmenter's cell count.
+  void EnsureCellScoring();
+  /// Fires intervention-point scoring triggered by `event`.
+  void ScoreTriggers(const metadata::Event& event);
+  /// Scores the Input and Input+Pre variants (trainer inputs and
+  /// pre-trainer shape are observable).
+  void EarlyScore(size_t cell);
+  /// Scores Input+Pre+Trainer (trainer shape complete).
+  void TrainerScore(size_t cell);
+  /// Copies the policy variant's score into the decision once available.
+  void AdoptPolicy(ScoreDecision& decision);
+  /// Drains newly sealed cells and settles their decisions.
+  void SettleSealed();
+  void Settle(size_t cell);
+
+  SessionOptions options_;
+  metadata::MetadataStore store_;
+  std::unordered_map<metadata::ArtifactId, dataspan::SpanStats> span_stats_;
+  StreamingSegmenter segmenter_;  // observes store_; declared after it
+  metadata::ContextId context_ = metadata::kInvalidId;
+  bool finished_ = false;
+  common::Status status_;
+  SessionStats counts_;
+
+  /// Featurizes over store_/span_stats_; engaged iff a scorer is set.
+  std::optional<core::GraphletFeaturizer> featurizer_;
+  struct CellScoring {
+    bool early_scored = false;
+    bool trainer_scored = false;
+    bool settled = false;
+    /// Full-schema row captured at the first intervention point; later
+    /// probes refresh only its shape columns (history and input features
+    /// stay as observed — that is the point of online scoring).
+    std::vector<double> row;
+  };
+  std::vector<CellScoring> cell_scoring_;  // parallel to segmenter cells
+  std::vector<ScoreDecision> decisions_;   // parallel to segmenter cells
+  WasteAccounting waste_;
+};
+
+}  // namespace mlprov::stream
+
+#endif  // MLPROV_STREAM_SESSION_H_

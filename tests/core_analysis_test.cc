@@ -187,7 +187,7 @@ TEST(WasteEstimateTest, ConservativeBoundAboveThirty) {
 
 TEST(PushDriversTest, NoLargeMarginalDifference) {
   const PushDriverStats stats =
-      ComputePushDrivers(TestCorpus(), TestSegmented());
+      *ComputePushDrivers(TestCorpus(), TestSegmented());
   // Table 2: code match is high overall and similar across classes.
   EXPECT_GT(stats.code_match_all, 0.6);
   EXPECT_LT(std::abs(stats.code_match_pushed - stats.code_match_unpushed),

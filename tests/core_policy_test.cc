@@ -22,7 +22,7 @@ const Fixture& TestFixture() {
     config.seed = 31337;
     f->corpus = sim::GenerateCorpus(config);
     f->segmented = SegmentCorpus(f->corpus);
-    f->dataset = BuildWasteDataset(f->corpus, f->segmented, {});
+    f->dataset = *BuildWasteDataset(f->corpus, f->segmented);
     f->options.forest.num_trees = 15;
     return f;
   }();

@@ -26,7 +26,7 @@ const Fixture& TestFixture() {
     config.seed = 999;
     f->corpus = sim::GenerateCorpus(config);
     f->segmented = SegmentCorpus(f->corpus);
-    f->dataset = BuildWasteDataset(f->corpus, f->segmented, {});
+    f->dataset = *BuildWasteDataset(f->corpus, f->segmented);
     return f;
   }();
   return *fixture;
