@@ -218,11 +218,24 @@ int Run(int argc, char** argv) {
   }
   stream::WasteAccounting waste;
   double scoring_seconds = 0.0;
+  // Aggregated session-health snapshot for the report's "health" object.
+  uint64_t health_records = 0, health_cells = 0, health_sealed = 0;
+  uint64_t health_open = 0, health_reseals = 0, health_decisions = 0;
+  uint64_t health_pending = 0, health_poisoned = 0;
+  double max_seal_lag_hours = 0.0;
   for (const sim::PipelineTrace& trace : ctx.corpus.pipelines) {
     stream::SessionOptions options;
     options.segmenter.seal_grace_hours =
         ctx.options.stream_seal_grace_hours;
     options.scorer = &*scorer;
+    // One scoring session per trace: safe to close the causal flows the
+    // simulator's trainer spans opened (phases 1 and 2 replayed the same
+    // traces without flows, so each flow finishes exactly once).
+    options.emit_flows = true;
+    char session_name[32];
+    std::snprintf(session_name, sizeof(session_name), "p%lld",
+                  static_cast<long long>(trace.config.pipeline_id));
+    options.name = session_name;
     stream::ProvenanceSession session(options);
     const auto t0 = Clock::now();
     const common::Status replayed = stream::ReplayTrace(trace, session);
@@ -233,10 +246,36 @@ int Run(int argc, char** argv) {
       std::fprintf(stderr, "error: scoring replay failed\n");
       return 1;
     }
+    session.PublishHealth();
+    const stream::SessionHealth health = session.Health();
+    health_records += health.records;
+    health_cells += health.cells;
+    health_sealed += health.sealed;
+    health_open += health.open_cells;
+    health_reseals += health.reseals;
+    health_decisions += health.decisions;
+    health_pending += health.pending_decisions;
+    health_poisoned += health.poisoned ? 1 : 0;
+    max_seal_lag_hours = std::max(max_seal_lag_hours, health.seal_lag_hours);
     waste.decisions += result->waste.decisions;
     waste.aborts += result->waste.aborts;
     waste.lost_pushes += result->waste.lost_pushes;
     waste.avoided_hours += result->waste.avoided_hours;
+  }
+  {
+    obs::Json health = obs::Json::Object();
+    health.Set("sessions",
+               static_cast<uint64_t>(ctx.corpus.pipelines.size()));
+    health.Set("records", health_records);
+    health.Set("cells", health_cells);
+    health.Set("sealed", health_sealed);
+    health.Set("open_cells", health_open);
+    health.Set("reseals", health_reseals);
+    health.Set("decisions", health_decisions);
+    health.Set("pending_decisions", health_pending);
+    health.Set("poisoned", health_poisoned);
+    health.Set("max_seal_lag_hours", max_seal_lag_hours);
+    ctx.report.SetHealth(std::move(health));
   }
   std::printf(
       "online scoring (policy %s, grace %.0fh): %zu decisions, "

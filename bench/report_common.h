@@ -15,7 +15,9 @@
 #include "common/stats.h"
 #include "common/table.h"
 #include "core/graphlet_analysis.h"
+#include "obs/flight_recorder.h"
 #include "obs/report.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "simulator/corpus_generator.h"
 
@@ -81,6 +83,15 @@ struct Options {
   double stream_seal_grace_hours = 48.0;
   std::string stream_policy = "input";
   int stream_naive_pipelines = 12;
+  /// Observability-plane flags (every report binary):
+  ///   --metrics_timeline=FILE  arm the PeriodicSampler and write the
+  ///                            JSON metrics time-series there
+  ///   --metrics_interval=N     records between timeline samples
+  ///   --flight_recorder=DIR    where flight_<session>.json post-mortems
+  ///                            land (also installs the crash handler)
+  std::string metrics_timeline;
+  int64_t metrics_interval = 4096;
+  std::string flight_recorder;
 
   static Options Parse(const common::Flags& flags,
                        int default_pipelines = 600) {
@@ -132,6 +143,10 @@ struct Options {
     options.stream_policy = flags.GetString("stream_policy", "input");
     options.stream_naive_pipelines = static_cast<int>(
         IntFlagOrDie(flags, "stream_naive_pipelines", 12));
+    options.metrics_timeline = flags.GetString("metrics_timeline", "");
+    options.metrics_interval =
+        IntFlagOrDie(flags, "metrics_interval", 4096);
+    options.flight_recorder = flags.GetString("flight_recorder", "");
     return options;
   }
 };
@@ -163,6 +178,18 @@ struct ReportContext {
     const bool measure_speedup = options.measure_speedup;
     if (!trace_out_.empty()) {
       obs::TraceRecorder::Global().Enable();
+    }
+    metrics_timeline_ = options.metrics_timeline;
+    if (!metrics_timeline_.empty()) {
+      obs::PeriodicSampler::Options sampler;
+      sampler.interval_records = static_cast<uint64_t>(
+          options.metrics_interval > 0 ? options.metrics_interval : 1);
+      sampler.flush_path = metrics_timeline_;
+      obs::PeriodicSampler::Global().Enable(sampler);
+    }
+    if (!options.flight_recorder.empty()) {
+      obs::SetFlightRecorderDir(options.flight_recorder);
+      obs::FlightRecorder::InstallCrashHandler();
     }
     std::printf("=== %s ===\n", title);
     std::printf(
@@ -236,6 +263,24 @@ struct ReportContext {
                          registry.GetCounter("cache.misses")->Value(),
                          registry.GetCounter("cache.evictions")->Value(),
                          registry.GetGauge("cache.saved_hours")->Value());
+    auto& sampler = obs::PeriodicSampler::Global();
+    if (sampler.enabled()) {
+      // One final sample so the timeline always covers the whole run
+      // (and is non-empty even when fewer than --metrics_interval
+      // records streamed — or none, in MLPROV_OBS_NOOP builds).
+      sampler.SampleNow("final");
+      report.SetTimeline(sampler.ToJson());
+      if (!metrics_timeline_.empty()) {
+        const auto status = sampler.WriteTo(metrics_timeline_);
+        if (status.ok()) {
+          std::printf("wrote %s (%zu timeline samples)\n",
+                      metrics_timeline_.c_str(), sampler.NumSamples());
+        } else {
+          std::fprintf(stderr, "warning: %s\n",
+                       status.ToString().c_str());
+        }
+      }
+    }
     if (write_report_) {
       const auto status = report.WriteTo(report_dir_);
       if (status.ok()) {
@@ -265,6 +310,7 @@ struct ReportContext {
  private:
   obs::Stopwatch wall_;
   std::string trace_out_;
+  std::string metrics_timeline_;
   std::string report_dir_;
   bool write_report_ = true;
 };

@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file emitted by --trace_out=.
+
+Structural checks (always on):
+  * top-level object has a "traceEvents" array with at least one event
+  * every complete ("X") event carries name/cat/ts/dur/pid/tid with
+    non-negative ts and dur
+  * every duration ("B"/"E") pair balances per (pid, tid) stack
+  * every flow event ("s"/"t"/"f") carries an id; per flow id the
+    sequence must start with "s", never continue after "f", and keep
+    non-decreasing timestamps ("t"/"f" before any "s", or any event
+    after "f", is an error; an "s" with no closing "f" is only a
+    warning -- aborted work legitimately leaves dangling flows)
+  * metadata ("M") events carry args.name
+
+Semantic checks (opt-in, used by CI on a fault-injected cache-enabled
+bench run):
+  --expect-chain  at least one complete causal chain on category
+                  "flow.causal": exec (s) -> arrival (t) -> seal (t)
+                  -> decision (f)
+  --expect-retry  at least one retry link on "flow.retry":
+                  attempt (s) -> retry (f)
+  --expect-cache  at least one memoization link on "flow.cache":
+                  origin (s) -> hit (f)
+
+Exit status: 0 when every check passes (warnings allowed), 1 otherwise.
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+FLOW_PHASES = ("s", "t", "f")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="path to a --trace_out= JSON file")
+    parser.add_argument("--expect-chain", action="store_true",
+                        help="require a complete causal chain")
+    parser.add_argument("--expect-retry", action="store_true",
+                        help="require a retry flow link")
+    parser.add_argument("--expect-cache", action="store_true",
+                        help="require a cache-hit flow link")
+    args = parser.parse_args()
+
+    with open(args.trace, encoding="utf-8") as fh:
+        trace = json.load(fh)
+
+    errors = []
+    warnings = []
+
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        print(f"error: {args.trace}: empty or missing traceEvents",
+              file=sys.stderr)
+        return 1
+
+    spans = 0
+    metadata = 0
+    stacks = collections.defaultdict(list)  # (pid, tid) -> [names]
+    flows = collections.defaultdict(list)   # (cat, id) -> [(ph, name, ts)]
+
+    for i, event in enumerate(events):
+        where = f"event {i}"
+        ph = event.get("ph")
+        if ph is None:
+            errors.append(f"{where}: missing ph")
+            continue
+        if ph == "X":
+            spans += 1
+            missing = {"name", "cat", "ts", "dur", "pid", "tid"} - set(event)
+            if missing:
+                errors.append(f"{where} (X {event.get('name')}): "
+                              f"missing {sorted(missing)}")
+                continue
+            if event["ts"] < 0 or event["dur"] < 0:
+                errors.append(f"{where} (X {event['name']}): negative "
+                              f"ts/dur {event['ts']}/{event['dur']}")
+        elif ph == "B":
+            stacks[(event.get("pid"), event.get("tid"))].append(
+                event.get("name"))
+        elif ph == "E":
+            stack = stacks[(event.get("pid"), event.get("tid"))]
+            if not stack:
+                errors.append(f"{where}: E without matching B")
+            else:
+                stack.pop()
+        elif ph in FLOW_PHASES:
+            missing = {"name", "cat", "ts", "pid", "tid", "id"} - set(event)
+            if missing:
+                errors.append(f"{where} ({ph} {event.get('name')}): "
+                              f"missing {sorted(missing)}")
+                continue
+            if ph == "f" and event.get("bp") != "e":
+                errors.append(f"{where} (f {event['name']}): missing "
+                              f'bp:"e" (enclosing-slice binding)')
+            flows[(event["cat"], event["id"])].append(
+                (ph, event["name"], event["ts"]))
+        elif ph == "M":
+            metadata += 1
+            if "name" not in event.get("args", {}):
+                errors.append(f"{where}: metadata event without args.name")
+        else:
+            warnings.append(f"{where}: unknown phase {ph!r}")
+
+    for key, stack in stacks.items():
+        if stack:
+            errors.append(f"pid/tid {key}: {len(stack)} unclosed B events "
+                          f"(top: {stack[-1]})")
+
+    # Flow discipline per (category, bind id).
+    dangling = 0
+    for (cat, flow_id), steps in flows.items():
+        label = f"flow {cat}/{flow_id:#x}"
+        finished = False
+        last_ts = None
+        if steps[0][0] != "s":
+            errors.append(f"{label}: starts with {steps[0][0]!r} "
+                          f"({steps[0][1]}), not 's'")
+            continue
+        for ph, name, ts in steps:
+            if finished:
+                errors.append(f"{label}: {ph} ({name}) after finish")
+                break
+            if last_ts is not None and ts < last_ts:
+                errors.append(f"{label}: timestamps regress at "
+                              f"{ph} ({name}): {ts} < {last_ts}")
+            last_ts = ts
+            if ph == "f":
+                finished = True
+        if not finished:
+            dangling += 1
+    if dangling:
+        warnings.append(f"{dangling} flows never finish (dangling 's'; "
+                        f"expected for aborted or still-open work)")
+
+    def have_sequence(category: str, sequence: list) -> bool:
+        for (cat, _), steps in flows.items():
+            if cat != category:
+                continue
+            if [(ph, name) for ph, name, _ in steps] == sequence:
+                return True
+        return False
+
+    if args.expect_chain and not have_sequence(
+            "flow.causal",
+            [("s", "exec"), ("t", "arrival"), ("t", "seal"),
+             ("f", "decision")]):
+        errors.append("no complete causal chain "
+                      "exec -> arrival -> seal -> decision on flow.causal")
+    if args.expect_retry and not have_sequence(
+            "flow.retry", [("s", "attempt"), ("f", "retry")]):
+        errors.append("no retry link attempt -> retry on flow.retry")
+    if args.expect_cache and not have_sequence(
+            "flow.cache", [("s", "origin"), ("f", "hit")]):
+        errors.append("no cache link origin -> hit on flow.cache")
+
+    for message in warnings:
+        print(f"warning: {message}")
+    for message in errors:
+        print(f"error: {message}", file=sys.stderr)
+    counts = collections.Counter(ph for steps in flows.values()
+                                 for ph, _, _ in steps)
+    print(f"{args.trace}: {spans} spans, {len(flows)} flows "
+          f"({counts.get('s', 0)} s / {counts.get('t', 0)} t / "
+          f"{counts.get('f', 0)} f), {metadata} metadata events, "
+          f"{len(errors)} errors, {len(warnings)} warnings")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,7 @@
 #include "common/stats.h"
 #include "metadata/trace_validator.h"
 #include "metadata/types.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "stream/replay.h"
 #include "stream/session.h"
@@ -59,6 +60,26 @@ SegmentedCorpus SegmentCorpus(const sim::Corpus& corpus,
           sp.quarantined_graphlets =
               store.ExecutionsOfType(metadata::ExecutionType::kTrainer)
                   .size();
+#ifndef MLPROV_OBS_NOOP
+          // Quarantine is a flight-recorder trigger: persist what the
+          // validator saw so the post-mortem names the trace and issues
+          // (no-op without a --flight_recorder= directory).
+          if (!obs::FlightRecorderDir().empty()) {
+            obs::FlightRecorder flight("quarantine_p" + std::to_string(i));
+            obs::Json detail = obs::Json::Object();
+            detail.Set("pipeline_index", static_cast<uint64_t>(i));
+            detail.Set("quarantined_graphlets",
+                       static_cast<uint64_t>(sp.quarantined_graphlets));
+            obs::Json issues = obs::Json::Array();
+            for (const metadata::TraceIssue& issue : report.issues) {
+              issues.Push(issue.detail);
+            }
+            detail.Set("issues", std::move(issues));
+            flight.NoteError("trace quarantined: " + report.Summary(),
+                             std::move(detail));
+            (void)flight.Dump();
+          }
+#endif
           return;
         }
         // Batch segmentation is a replay of the trace through the

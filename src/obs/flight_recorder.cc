@@ -1,0 +1,180 @@
+#include "obs/flight_recorder.h"
+
+#include <csignal>
+#include <cstdio>
+#include <unordered_set>
+
+#include "obs/trace.h"
+
+namespace mlprov::obs {
+
+namespace {
+
+/// Live-recorder set + the process-wide dump directory. A leaked mutex /
+/// set so destructors racing with process teardown stay safe.
+std::mutex& RegistryMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+std::unordered_set<FlightRecorder*>& LiveRecorders() {
+  static auto* live = new std::unordered_set<FlightRecorder*>();
+  return *live;
+}
+
+std::string& GlobalDir() {
+  static std::string* dir = new std::string();
+  return *dir;
+}
+
+std::string SanitizeName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' ||
+                    c == '-';
+    out.push_back(ok ? c : '_');
+  }
+  return out.empty() ? std::string("session") : out;
+}
+
+void CrashHandler(int signum) {
+  FlightRecorder::DumpAll();
+  std::signal(signum, SIG_DFL);
+  std::raise(signum);
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::string name)
+    : FlightRecorder(std::move(name), Options()) {}
+
+FlightRecorder::FlightRecorder(std::string name, Options options)
+    : name_(std::move(name)), options_(options) {
+  records_.resize(options_.capacity);
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  LiveRecorders().insert(this);
+}
+
+FlightRecorder::~FlightRecorder() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  LiveRecorders().erase(this);
+}
+
+void FlightRecorder::Note(const char* kind, Json detail) {
+  Json entry = Json::Object();
+  std::lock_guard<std::mutex> lock(mu_);
+  entry.Set("seq", next_seq_++);
+  entry.Set("ts_us", TraceRecorder::ProcessEpochMicros());
+  entry.Set("kind", kind);
+  entry.Set("detail", std::move(detail));
+  entries_.push_back(std::move(entry));
+  while (entries_.size() > options_.capacity) entries_.pop_front();
+}
+
+void FlightRecorder::NoteError(const std::string& message, Json detail) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    failed_ = true;
+    if (error_.empty()) error_ = message;
+  }
+  Json wrapped = Json::Object();
+  wrapped.Set("message", message);
+  wrapped.Set("context", std::move(detail));
+  Note("error", std::move(wrapped));
+}
+
+bool FlightRecorder::failed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failed_;
+}
+
+uint64_t FlightRecorder::NumNoted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+Json FlightRecorder::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json j = Json::Object();
+  j.Set("session", name_);
+  j.Set("failed", failed_);
+  j.Set("error", error_);
+  j.Set("noted", next_seq_);
+  j.Set("records_noted", record_seq_);
+  j.Set("capacity", static_cast<uint64_t>(options_.capacity));
+  Json records = Json::Array();
+  if (!records_.empty()) {
+    const uint64_t count =
+        record_seq_ < records_.size() ? record_seq_ : records_.size();
+    for (uint64_t i = record_seq_ - count; i < record_seq_; ++i) {
+      const RecordNote& note = records_[i % records_.size()];
+      Json r = Json::Object();
+      r.Set("seq", note.seq);
+      r.Set("kind", std::string(1, note.kind));
+      r.Set("id", note.id);
+      r.Set("time", note.time);
+      records.Push(std::move(r));
+    }
+  }
+  j.Set("records", std::move(records));
+  Json entries = Json::Array();
+  for (const Json& entry : entries_) entries.Push(entry);
+  j.Set("entries", std::move(entries));
+  return j;
+}
+
+common::Status FlightRecorder::Dump(const std::string& dir) const {
+  std::string target = dir;
+  if (target.empty()) target = FlightRecorderDir();
+  if (target.empty()) return common::Status::Ok();
+  const std::string path =
+      target + "/flight_" + SanitizeName(name_) + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return common::Status::InvalidArgument("cannot open flight file: " +
+                                           path);
+  }
+  const std::string text = ToJson().Dump(2);
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (written != text.size()) {
+    return common::Status::Internal("short write to flight file: " + path);
+  }
+  return common::Status::Ok();
+}
+
+void FlightRecorder::DumpAll(const std::string& dir) {
+  // Resolve the directory before taking the registry lock: Dump() with
+  // an empty dir would re-enter FlightRecorderDir() and self-deadlock.
+  std::string target = dir;
+  if (target.empty()) target = FlightRecorderDir();
+  if (target.empty()) return;
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  for (const FlightRecorder* recorder : LiveRecorders()) {
+    (void)recorder->Dump(target);
+  }
+}
+
+void FlightRecorder::InstallCrashHandler() {
+  static const bool installed = [] {
+    std::signal(SIGSEGV, CrashHandler);
+    std::signal(SIGABRT, CrashHandler);
+    std::signal(SIGBUS, CrashHandler);
+    return true;
+  }();
+  (void)installed;
+}
+
+void SetFlightRecorderDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  GlobalDir() = dir;
+}
+
+std::string FlightRecorderDir() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  return GlobalDir();
+}
+
+}  // namespace mlprov::obs

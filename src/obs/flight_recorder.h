@@ -1,0 +1,126 @@
+#ifndef MLPROV_OBS_FLIGHT_RECORDER_H_
+#define MLPROV_OBS_FLIGHT_RECORDER_H_
+
+/// Flight recorder: a fixed-size ring of the most recent notable moments
+/// (ingested records, span events, errors) kept per session, dumped to
+/// `flight_<session>.json` when something goes wrong — a sticky-error
+/// poisoning, a validator quarantine, or a fatal signal. The point is
+/// post-mortem context: the last K things that happened before the
+/// failure, with the failure itself as the final entry.
+///
+/// Recorders register themselves in a process-wide live set on
+/// construction, so DumpAll() (and the crash handler it backs) can
+/// persist every active session's ring without anyone threading recorder
+/// pointers through call stacks.
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/json.h"
+
+namespace mlprov::obs {
+
+class FlightRecorder {
+ public:
+  struct Options {
+    /// Ring capacity: the recorder keeps the last `capacity` entries.
+    size_t capacity = 64;
+  };
+
+  /// `name` becomes the dump filename stem: flight_<name>.json. Names
+  /// are sanitized to [A-Za-z0-9_.-] when forming the path.
+  explicit FlightRecorder(std::string name);
+  FlightRecorder(std::string name, Options options);
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Appends one entry to the ring (evicting the oldest past capacity).
+  /// `kind` is a short tag ("record", "span", "error", ...); `detail` is
+  /// arbitrary structured context.
+  void Note(const char* kind, Json detail);
+
+  /// Hot-path variant for the per-record tail: a preallocated POD ring,
+  /// no allocation and no lock (the feed is single-writer by design —
+  /// one session per pipeline; the crash-handler reader is best-effort).
+  /// `kind` is a one-letter record tag ('C'ontext, 'E'xecution,
+  /// 'A'rtifact, e'V'ent), `id` the record's node id, `time` its
+  /// simulated timestamp.
+  void NoteRecord(char kind, int64_t id, int64_t time) {
+    if (records_.empty()) return;
+    RecordNote& slot = records_[record_seq_ % records_.size()];
+    slot.seq = record_seq_++;
+    slot.kind = kind;
+    slot.id = id;
+    slot.time = time;
+  }
+
+  /// Marks the recorder failed and appends an "error" entry carrying the
+  /// message plus `detail`. Failed recorders are what Dump() reports in
+  /// its "failed" field; the ring itself keeps recording.
+  void NoteError(const std::string& message, Json detail = Json::Object());
+
+  bool failed() const;
+  uint64_t NumNoted() const;
+  uint64_t NumRecordsNoted() const { return record_seq_; }
+
+  /// {"session":..,"failed":..,"error":..,"noted":..,"records_noted":..,
+  ///  "capacity":..,
+  ///  "records":[{"seq":..,"kind":..,"id":..,"time":..},..],
+  ///  "entries":[{"seq":..,"ts_us":..,"kind":..,"detail":..},..]}
+  /// with both rings in sequence order, oldest first.
+  Json ToJson() const;
+
+  /// Writes ToJson() to `<dir>/flight_<sanitized name>.json`. Empty
+  /// `dir` means the process-wide FlightRecorderDir(); if that is also
+  /// empty the dump is skipped (Ok) — recording is always on, persisting
+  /// is opt-in via --flight_recorder=.
+  common::Status Dump(const std::string& dir = std::string()) const;
+
+  /// Dumps every live recorder into `dir` (or FlightRecorderDir()).
+  /// Best-effort: failures to write one recorder do not stop the rest.
+  static void DumpAll(const std::string& dir = std::string());
+
+  /// Installs SIGSEGV/SIGABRT/SIGBUS handlers that DumpAll() into the
+  /// configured directory, restore the previous disposition, and
+  /// re-raise. Dumping allocates and locks, which is not strictly
+  /// async-signal-safe — acceptable for a best-effort post-mortem on a
+  /// path that is about to terminate the process anyway. Idempotent.
+  static void InstallCrashHandler();
+
+ private:
+  struct RecordNote {
+    uint64_t seq = 0;
+    char kind = 0;
+    int64_t id = 0;
+    int64_t time = 0;
+  };
+
+  const std::string name_;
+  const Options options_;
+  /// Per-record tail: fixed ring, single-writer, no lock (see
+  /// NoteRecord). Sized to capacity at construction.
+  std::vector<RecordNote> records_;
+  uint64_t record_seq_ = 0;
+  mutable std::mutex mu_;
+  uint64_t next_seq_ = 0;
+  bool failed_ = false;
+  std::string error_;
+  std::deque<Json> entries_;
+};
+
+/// Process-wide default dump directory (the --flight_recorder= flag).
+/// Empty (the default) disables persistence; recorders still run.
+void SetFlightRecorderDir(const std::string& dir);
+std::string FlightRecorderDir();
+
+}  // namespace mlprov::obs
+
+#endif  // MLPROV_OBS_FLIGHT_RECORDER_H_

@@ -158,6 +158,19 @@ Json Registry::Snapshot() const {
   return snapshot;
 }
 
+void Registry::Collect(std::vector<MetricSample>* out) const {
+  out->clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  out->reserve(counters_.size() + gauges_.size());
+  for (const auto& [name, counter] : counters_) {
+    out->push_back(MetricSample{
+        name, static_cast<double>(counter->Value()), /*is_counter=*/true});
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out->push_back(MetricSample{name, gauge->Value(), /*is_counter=*/false});
+  }
+}
+
 void Registry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();

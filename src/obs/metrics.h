@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/histogram.h"
 #include "obs/json.h"
@@ -89,6 +90,15 @@ class HistogramMetric {
   double max_ = 0.0;
 };
 
+/// One scalar instrument reading, produced by Registry::Collect. The
+/// flat form is what the PeriodicSampler deltas against — no Json
+/// allocation on the sampling path.
+struct MetricSample {
+  std::string name;
+  double value = 0.0;
+  bool is_counter = false;  // false: gauge
+};
+
 /// Process-wide named-instrument registry. Instruments are created on
 /// first use and never deleted, so call sites may cache the returned
 /// pointer (the MLPROV_* macros below do this with a static local).
@@ -110,6 +120,13 @@ class Registry {
   /// {"counters":{..},"gauges":{..},"histograms":{..}}; sections with no
   /// instruments are omitted.
   Json Snapshot() const;
+
+  /// Lock-cheap scalar snapshot: appends every counter and gauge reading
+  /// to `out` (cleared first) in name order. Holds the registry mutex
+  /// only to walk the instrument maps; each read is one relaxed atomic
+  /// load. Histograms are excluded — they are not cheap to summarize and
+  /// the timeline is a scalar time-series.
+  void Collect(std::vector<MetricSample>* out) const;
 
   /// Zeroes every instrument. Cached pointers stay valid.
   void Reset();

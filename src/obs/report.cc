@@ -49,6 +49,12 @@ void BenchReport::SetCacheStats(const std::string& policy, uint64_t hits,
   cache_saved_hours_ = saved_hours;
 }
 
+void BenchReport::SetTimeline(Json timeline) {
+  timeline_ = std::move(timeline);
+}
+
+void BenchReport::SetHealth(Json health) { health_ = std::move(health); }
+
 void BenchReport::SetCommandLine(int argc, char** argv) {
   command_ = Json::Array();
   for (int i = 0; i < argc; ++i) command_.Push(std::string(argv[i]));
@@ -79,6 +85,21 @@ Json BenchReport::ToJson() const {
   cache.Set("evictions", cache_evictions_);
   cache.Set("saved_hours", cache_saved_hours_);
   report.Set("cache", cache);
+  if (timeline_.is_object()) {
+    report.Set("timeline", timeline_);
+  } else {
+    Json timeline = Json::Object();
+    timeline.Set("enabled", false);
+    timeline.Set("samples", 0);
+    report.Set("timeline", timeline);
+  }
+  if (health_.is_object()) {
+    report.Set("health", health_);
+  } else {
+    Json health = Json::Object();
+    health.Set("sessions", 0);
+    report.Set("health", health);
+  }
   if (corpus_.size() > 0) report.Set("corpus", corpus_);
   report.Set("results", results_);
   report.Set("metrics", Registry::Global().Snapshot());

@@ -52,6 +52,16 @@ class BenchReport {
                      uint64_t misses, uint64_t evictions,
                      double saved_hours);
 
+  /// Records the run's metrics timeline (PeriodicSampler::ToJson()).
+  /// Always emitted: reports without a sampler carry
+  /// {"enabled":false,"samples":0}, keeping the schema stable.
+  void SetTimeline(Json timeline);
+
+  /// Records the run's per-session health snapshot (aggregated
+  /// SessionHealth values). Always emitted: reports without sessions
+  /// carry {"sessions":0}.
+  void SetHealth(Json health);
+
   /// Full report, including Registry::Global().Snapshot() as "metrics".
   Json ToJson() const;
 
@@ -82,6 +92,8 @@ class BenchReport {
   uint64_t cache_misses_ = 0;
   uint64_t cache_evictions_ = 0;
   double cache_saved_hours_ = 0.0;
+  Json timeline_;
+  Json health_;
 };
 
 }  // namespace mlprov::obs

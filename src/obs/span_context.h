@@ -1,0 +1,77 @@
+#ifndef MLPROV_OBS_SPAN_CONTEXT_H_
+#define MLPROV_OBS_SPAN_CONTEXT_H_
+
+/// Causal span identity for the live observability plane. A SpanContext
+/// names one span inside one logical trace (trace id = DeriveTraceId of
+/// the pipeline id and its per-simulation seed; span id = the MLMD
+/// execution id the span materialized). Contexts are *derived*, never
+/// allocated: both sides of the provenance feed compute the same ids
+/// from the same record, so flow events emitted by the simulator, the
+/// streaming session, and the online scorer bind without any shared
+/// mutable state — and byte-identically at any --threads=N.
+///
+/// Flow bind ids hash (trace, span, kind, hop) through FNV-1a so the
+/// three causal edge kinds (causal chain, retry hop, cache hit) of the
+/// same execution never collide in the Chrome trace id namespace.
+
+#include <cstdint>
+#include <initializer_list>
+
+namespace mlprov::obs {
+
+struct SpanContext {
+  /// DeriveTraceId(pipeline id, seed); 0 marks an invalid (absent)
+  /// context.
+  uint64_t trace_id = 0;
+  /// The MLMD execution id this span materialized.
+  uint64_t span_id = 0;
+  /// Enclosing span (0 = root). Retries carry their first attempt here.
+  uint64_t parent_span_id = 0;
+
+  bool valid() const { return trace_id != 0; }
+};
+
+/// The three causal edge kinds the plane records as Chrome-trace flows.
+enum class FlowKind : uint64_t {
+  /// operator execution -> session arrival -> graphlet seal -> decision.
+  kCausal = 1,
+  /// failed attempt -> the retry attempt it spawned (one hop per retry).
+  kRetry = 2,
+  /// cache-populating execution -> the hit served from its entry.
+  kCache = 3,
+};
+
+/// Trace id of one pipeline *simulation*. Salting with the simulation's
+/// seed keeps flow ids from distinct simulations of the same pipeline
+/// slot apart: corpus generation may discard and re-simulate a slot
+/// (qualify retries draw a fresh per-attempt seed), and the discarded
+/// attempt's spans are already in the recorder. Never returns 0, the
+/// invalid-context sentinel.
+inline uint64_t DeriveTraceId(uint64_t pipeline_id, uint64_t seed) {
+  uint64_t h = 0xCBF29CE484222325ull;  // FNV-1a over the two words
+  for (uint64_t word : {pipeline_id, seed}) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (word >> (8 * i)) & 0xFFu;
+      h *= 0x100000001B3ull;
+    }
+  }
+  return h == 0 ? 1 : h;
+}
+
+/// Deterministic Chrome-trace flow id for one causal edge of one span.
+inline uint64_t FlowBindId(const SpanContext& ctx, FlowKind kind,
+                           uint64_t hop = 0) {
+  uint64_t h = 0xCBF29CE484222325ull;  // FNV-1a over the four words
+  for (uint64_t word : {ctx.trace_id, ctx.span_id,
+                        static_cast<uint64_t>(kind), hop}) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (word >> (8 * i)) & 0xFFu;
+      h *= 0x100000001B3ull;
+    }
+  }
+  return h;
+}
+
+}  // namespace mlprov::obs
+
+#endif  // MLPROV_OBS_SPAN_CONTEXT_H_

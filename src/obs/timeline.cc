@@ -1,0 +1,219 @@
+#include "obs/timeline.h"
+
+#include <cctype>
+#include <cstdio>
+
+#include "obs/trace.h"
+
+namespace mlprov::obs {
+
+PeriodicSampler& PeriodicSampler::Global() {
+  static PeriodicSampler* sampler = new PeriodicSampler();
+  return *sampler;
+}
+
+void PeriodicSampler::Enable(const Options& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_ = options;
+  if (options_.interval_records == 0) options_.interval_records = 1;
+  if (options_.capacity == 0) options_.capacity = 1;
+  samples_.clear();
+  last_.clear();
+  next_seq_ = 0;
+  evicted_ = 0;
+  last_flush_us_ = 0;
+  observed_.store(0, std::memory_order_relaxed);
+  interval_.store(options_.interval_records, std::memory_order_relaxed);
+  // Seed the delta baseline with current readings so the first sample
+  // reports movement since enablement, not since process start.
+  Registry::Global().Collect(&last_);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void PeriodicSampler::Disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void PeriodicSampler::SampleNow(const char* reason) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  SampleLocked(reason);
+}
+
+void PeriodicSampler::SampleLocked(const char* reason) {
+  Registry::Global().Collect(&scratch_);
+  Json sample = Json::Object();
+  sample.Set("seq", next_seq_++);
+  sample.Set("reason", reason);
+  sample.Set("ts_us", TraceRecorder::ProcessEpochMicros());
+  sample.Set("records", observed_.load(std::memory_order_relaxed));
+  Json counters = Json::Object();
+  Json gauges = Json::Object();
+  // Both Collect() outputs are in (counters, gauges) name order, but an
+  // instrument can be created between samples, so walk `last_` with its
+  // own cursor instead of assuming index alignment.
+  size_t li = 0;
+  for (const MetricSample& cur : scratch_) {
+    if (cur.is_counter) {
+      double prev = 0.0;
+      while (li < last_.size() && last_[li].is_counter &&
+             last_[li].name < cur.name) {
+        ++li;
+      }
+      if (li < last_.size() && last_[li].is_counter &&
+          last_[li].name == cur.name) {
+        prev = last_[li].value;
+        ++li;
+      }
+      counters.Set(cur.name, cur.value - prev);
+    } else {
+      gauges.Set(cur.name, cur.value);
+    }
+  }
+  sample.Set("counters", std::move(counters));
+  sample.Set("gauges", std::move(gauges));
+  last_ = scratch_;
+  samples_.push_back(std::move(sample));
+  while (samples_.size() > options_.capacity) {
+    samples_.pop_front();
+    ++evicted_;
+  }
+  if (!options_.flush_path.empty()) {
+    const uint64_t now_us = TraceRecorder::ProcessEpochMicros();
+    if (last_flush_us_ == 0 ||
+        now_us - last_flush_us_ >= options_.min_flush_interval_ms * 1000) {
+      last_flush_us_ = now_us;
+      (void)WriteLocked(options_.flush_path);
+    }
+  }
+}
+
+size_t PeriodicSampler::NumSamples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_.size();
+}
+
+Json PeriodicSampler::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json timeline = Json::Object();
+  timeline.Set("enabled", enabled_.load(std::memory_order_relaxed));
+  timeline.Set("interval_records", interval_.load(std::memory_order_relaxed));
+  timeline.Set("capacity", static_cast<uint64_t>(options_.capacity));
+  timeline.Set("evicted", evicted_);
+  Json samples = Json::Array();
+  for (const Json& sample : samples_) samples.Push(sample);
+  timeline.Set("samples", std::move(samples));
+  return timeline;
+}
+
+common::Status PeriodicSampler::WriteTo(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return WriteLocked(path);
+}
+
+common::Status PeriodicSampler::WriteLocked(const std::string& path) const {
+  Json timeline = Json::Object();
+  timeline.Set("enabled", enabled_.load(std::memory_order_relaxed));
+  timeline.Set("interval_records", interval_.load(std::memory_order_relaxed));
+  timeline.Set("capacity", static_cast<uint64_t>(options_.capacity));
+  timeline.Set("evicted", evicted_);
+  Json samples = Json::Array();
+  for (const Json& sample : samples_) samples.Push(sample);
+  timeline.Set("samples", std::move(samples));
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return common::Status::InvalidArgument("cannot open timeline file: " +
+                                           path);
+  }
+  const std::string text = timeline.Dump(2);
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (written != text.size()) {
+    return common::Status::Internal("short write to timeline file: " + path);
+  }
+  return common::Status::Ok();
+}
+
+void PeriodicSampler::Reset() {
+  enabled_.store(false, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  options_ = Options();
+  samples_.clear();
+  last_.clear();
+  scratch_.clear();
+  next_seq_ = 0;
+  evicted_ = 0;
+  last_flush_us_ = 0;
+  observed_.store(0, std::memory_order_relaxed);
+  interval_.store(options_.interval_records, std::memory_order_relaxed);
+}
+
+namespace {
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "mlprov_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                    c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void AppendNumber(std::string* out, double v) {
+  char buf[64];
+  // %.17g round-trips doubles; integral values render without exponent.
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      v >= -1e15 && v <= 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(static_cast<int64_t>(v)));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string ExpositionText(const Registry& registry) {
+  // Scalars come via Collect (name order); histograms via Snapshot since
+  // their summaries are only exposed as JSON.
+  std::vector<MetricSample> scalars;
+  registry.Collect(&scalars);
+  std::string out;
+  for (const MetricSample& s : scalars) {
+    const std::string name = PrometheusName(s.name);
+    out += "# TYPE " + name + (s.is_counter ? " counter\n" : " gauge\n");
+    out += name + " ";
+    AppendNumber(&out, s.value);
+    out += "\n";
+  }
+  const Json snapshot = registry.Snapshot();
+  if (const Json* hists = snapshot.Find("histograms")) {
+    for (const auto& [raw_name, hist] : hists->members()) {
+      const std::string name = PrometheusName(raw_name);
+      out += "# TYPE " + name + " summary\n";
+      for (const char* q : {"p50", "p90", "p99"}) {
+        if (const Json* v = hist.Find(q)) {
+          out += name + "{quantile=\"0." + std::string(q + 1) + "\"} ";
+          AppendNumber(&out, v->AsDouble());
+          out += "\n";
+        }
+      }
+      if (const Json* sum = hist.Find("sum")) {
+        out += name + "_sum ";
+        AppendNumber(&out, sum->AsDouble());
+        out += "\n";
+      }
+      if (const Json* count = hist.Find("count")) {
+        out += name + "_count ";
+        AppendNumber(&out, count->AsDouble());
+        out += "\n";
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mlprov::obs

@@ -1,0 +1,129 @@
+#ifndef MLPROV_OBS_TIMELINE_H_
+#define MLPROV_OBS_TIMELINE_H_
+
+/// Time-series metrics for the live observability plane.
+///
+/// The PeriodicSampler turns the cumulative Registry into a bounded
+/// in-memory ring of *delta* samples: every `interval_records` observed
+/// records (stream ingests, by convention) it captures how far every
+/// counter moved since the previous sample plus each gauge's current
+/// value. The ring is exported as a JSON timeline (`--metrics_timeline=`
+/// on every report bench) that `obs_top` tails, and the registry itself
+/// can be rendered as Prometheus-style text exposition (ExpositionText)
+/// for scrape-shaped consumers.
+///
+/// Hot-path contract: Observe() is one relaxed atomic add plus an
+/// integer division when the sampler is enabled, and a single relaxed
+/// load when it is not. Sampling itself (every N records) walks the
+/// registry under its mutex. The MLPROV_SAMPLER_OBSERVE macro compiles
+/// out entirely under -DMLPROV_OBS_NOOP, like every other obs call site.
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace mlprov::obs {
+
+class PeriodicSampler {
+ public:
+  struct Options {
+    /// Records between samples (--metrics_interval=; must be >= 1).
+    uint64_t interval_records = 4096;
+    /// Ring capacity: oldest samples are evicted past this (bounded
+    /// memory no matter how long the run).
+    size_t capacity = 4096;
+    /// When non-empty, the timeline JSON is rewritten here on a sample
+    /// (rate-limited to min_flush_interval_ms) so `obs_top --timeline=`
+    /// can tail a live run. WriteTo() always produces a final copy.
+    std::string flush_path;
+    /// Minimum milliseconds between flush rewrites.
+    uint64_t min_flush_interval_ms = 200;
+  };
+
+  PeriodicSampler() = default;
+  PeriodicSampler(const PeriodicSampler&) = delete;
+  PeriodicSampler& operator=(const PeriodicSampler&) = delete;
+
+  static PeriodicSampler& Global();
+
+  /// Arms the sampler (clears any previous samples and delta state).
+  void Enable(const Options& options);
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Hot-path tick: counts `n` observed records and captures a sample
+  /// whenever the cumulative count crosses an interval boundary.
+  void Observe(uint64_t n = 1) {
+    if (!enabled_.load(std::memory_order_relaxed)) return;
+    const uint64_t prev = observed_.fetch_add(n, std::memory_order_relaxed);
+    const uint64_t interval = interval_.load(std::memory_order_relaxed);
+    if ((prev + n) / interval != prev / interval) SampleNow("interval");
+  }
+
+  /// Captures one sample immediately (used for the final flush and by
+  /// tests). No-op when disabled.
+  void SampleNow(const char* reason = "manual");
+
+  size_t NumSamples() const;
+  uint64_t ObservedRecords() const {
+    return observed_.load(std::memory_order_relaxed);
+  }
+
+  /// {"enabled":..,"interval_records":..,"capacity":..,"evicted":..,
+  ///  "samples":[{"seq":..,"reason":..,"ts_us":..,"records":..,
+  ///              "counters":{name:delta,..},"gauges":{name:value,..}},..]}
+  /// Sample timestamps share the TraceRecorder's process epoch, and both
+  /// "seq" and "records" are monotone across samples.
+  Json ToJson() const;
+
+  /// Writes the timeline JSON (pretty-printed) to `path`.
+  common::Status WriteTo(const std::string& path) const;
+
+  /// Disables and forgets all samples and delta state.
+  void Reset();
+
+ private:
+  void SampleLocked(const char* reason);
+  common::Status WriteLocked(const std::string& path) const;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> observed_{0};
+  std::atomic<uint64_t> interval_{4096};
+
+  mutable std::mutex mu_;
+  Options options_;
+  uint64_t next_seq_ = 0;
+  uint64_t evicted_ = 0;
+  uint64_t last_flush_us_ = 0;
+  std::deque<Json> samples_;
+  /// Previous counter readings, for delta computation.
+  std::vector<MetricSample> last_;
+  std::vector<MetricSample> scratch_;
+};
+
+/// Renders the registry as Prometheus-style text exposition: one
+/// `# TYPE` line per instrument, names sanitized to the Prometheus
+/// alphabet and prefixed "mlprov_" (e.g. stream.records ->
+/// mlprov_stream_records). Histograms render as summaries
+/// (_count/_sum plus p50/p90/p99 quantile samples).
+std::string ExpositionText(const Registry& registry);
+
+}  // namespace mlprov::obs
+
+/// Hot-path sampling tick; compiled out under -DMLPROV_OBS_NOOP so the
+/// noop build pays nothing (and its timelines stay empty).
+#ifndef MLPROV_OBS_NOOP
+#define MLPROV_SAMPLER_OBSERVE(n) \
+  ::mlprov::obs::PeriodicSampler::Global().Observe((n))
+#else
+#define MLPROV_SAMPLER_OBSERVE(n) ((void)0)
+#endif
+
+#endif  // MLPROV_OBS_TIMELINE_H_

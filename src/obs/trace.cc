@@ -1,27 +1,80 @@
 #include "obs/trace.h"
 
+#include <algorithm>
 #include <cstdio>
+
+#include "obs/metrics.h"
 
 namespace mlprov::obs {
 
-TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+namespace {
+
+/// One monotonic epoch for the whole process: captured on first use, so
+/// every recorder, timeline sample, and flight-recorder entry shares a
+/// timebase and cross-source timestamps are directly comparable.
+std::chrono::steady_clock::time_point ProcessEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+/// All exported records carry this constant pid: the plane traces one
+/// process, and a stable value keeps traces from repeated runs
+/// diffable (the OS pid would differ every run).
+constexpr int64_t kTracePid = 1;
+
+}  // namespace
+
+TraceRecorder::TraceRecorder() { (void)ProcessEpoch(); }
 
 TraceRecorder& TraceRecorder::Global() {
   static TraceRecorder* recorder = new TraceRecorder();
   return *recorder;
 }
 
-uint64_t TraceRecorder::NowMicros() const {
+uint64_t TraceRecorder::ProcessEpochMicros() {
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now() - epoch_)
+          std::chrono::steady_clock::now() - ProcessEpoch())
           .count());
 }
 
 void TraceRecorder::Record(TraceEvent event) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mu_);
-  events_.push_back(std::move(event));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (events_.size() < max_events_.load(std::memory_order_relaxed)) {
+      events_.push_back(std::move(event));
+      return;
+    }
+  }
+  // Buffer full: drop, count, and warn exactly once (a runaway trace
+  // must never exhaust memory or spam the log).
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+  if (kMetricsEnabled) {
+    static Counter* dropped_counter =
+        Registry::Global().GetCounter("obs.dropped_events");
+    dropped_counter->Increment();
+  }
+  if (!drop_warned_.exchange(true, std::memory_order_relaxed)) {
+    std::fprintf(stderr,
+                 "warning: obs trace buffer full (%zu events); further "
+                 "events are dropped (obs.dropped_events counts them)\n",
+                 max_events_.load(std::memory_order_relaxed));
+  }
+}
+
+void TraceRecorder::RecordFlow(char ph, const char* name,
+                               const char* category, uint64_t bind_id) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.ph = ph;
+  event.ts_us = ProcessEpochMicros();
+  event.tid = CurrentThreadId();
+  event.flow_id = bind_id;
+  Record(std::move(event));
 }
 
 size_t TraceRecorder::NumEvents() const {
@@ -37,6 +90,8 @@ std::vector<TraceEvent> TraceRecorder::Events() const {
 void TraceRecorder::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   events_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+  drop_warned_.store(false, std::memory_order_relaxed);
 }
 
 uint32_t TraceRecorder::CurrentThreadId() {
@@ -47,29 +102,53 @@ uint32_t TraceRecorder::CurrentThreadId() {
 }
 
 Json TraceRecorder::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
   Json events = Json::Array();
   {
     // Process-name metadata record helps Perfetto label the track.
     Json meta = Json::Object();
     meta.Set("name", "process_name");
     meta.Set("ph", "M");
-    meta.Set("pid", 1);
+    meta.Set("pid", kTracePid);
     meta.Set("tid", 0);
     Json args = Json::Object();
     args.Set("name", "mlprov");
     meta.Set("args", std::move(args));
     events.Push(std::move(meta));
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  // One thread_name metadata record per tid observed, so every event's
+  // track is labeled and cross-thread flows render against named rows.
+  std::vector<uint32_t> tids;
+  for (const TraceEvent& e : events_) tids.push_back(e.tid);
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  for (uint32_t tid : tids) {
+    Json meta = Json::Object();
+    meta.Set("name", "thread_name");
+    meta.Set("ph", "M");
+    meta.Set("pid", kTracePid);
+    meta.Set("tid", static_cast<int64_t>(tid));
+    Json args = Json::Object();
+    args.Set("name", "mlprov-" + std::to_string(tid));
+    meta.Set("args", std::move(args));
+    events.Push(std::move(meta));
+  }
   for (const TraceEvent& e : events_) {
     Json record = Json::Object();
     record.Set("name", e.name);
     record.Set("cat", e.category);
-    record.Set("ph", "X");
-    record.Set("pid", 1);
+    record.Set("ph", std::string(1, e.ph));
+    record.Set("pid", kTracePid);
     record.Set("tid", static_cast<int64_t>(e.tid));
     record.Set("ts", e.ts_us);
-    record.Set("dur", e.dur_us);
+    if (e.ph == 'X') {
+      record.Set("dur", e.dur_us);
+    } else {
+      record.Set("id", e.flow_id);
+      // Bind flow finishes to the enclosing slice, the convention the
+      // Chrome trace viewer expects for arrows that end *inside* work.
+      if (e.ph == 'f') record.Set("bp", "e");
+    }
     if (!e.args.empty()) {
       Json args = Json::Object();
       for (const auto& [key, value] : e.args) args.Set(key, value);

@@ -30,20 +30,36 @@ class Stopwatch {
   std::chrono::steady_clock::time_point start_;
 };
 
-/// One completed span ("ph":"X" in the Chrome trace-event format).
+/// One trace record. ph 'X' is a completed span; 's'/'t'/'f' are flow
+/// start/step/finish events binding causally-linked spans across threads
+/// (and across the simulator -> session boundary) via `flow_id`.
 struct TraceEvent {
   std::string name;
   std::string category;
-  uint64_t ts_us = 0;   // start, microseconds since recorder epoch
-  uint64_t dur_us = 0;  // duration, microseconds
+  char ph = 'X';
+  uint64_t ts_us = 0;   // start, microseconds since the process epoch
+  uint64_t dur_us = 0;  // duration, microseconds (ph 'X' only)
   uint32_t tid = 0;
+  uint64_t flow_id = 0;  // bind id (ph 's'/'t'/'f' only)
   std::vector<std::pair<std::string, Json>> args;
 };
 
-/// Collects spans and exports them as Chrome trace-event JSON, viewable
-/// in Perfetto or chrome://tracing. Disabled by default: recording costs
-/// one relaxed atomic load per span until Enable() is called (bench
-/// binaries enable it when --trace_out= is passed).
+/// Collects spans and flow events and exports them as Chrome trace-event
+/// JSON, viewable in Perfetto or chrome://tracing. Disabled by default:
+/// recording costs one relaxed atomic load per span until Enable() is
+/// called (bench binaries enable it when --trace_out= is passed).
+///
+/// Timestamps come from a single process-wide monotonic epoch
+/// (ProcessEpochMicros), so events recorded by different recorders, the
+/// PeriodicSampler timeline, and flight-recorder entries all share one
+/// timebase. Every exported record carries the same constant pid and the
+/// recorder's dense per-process tid, so cross-thread flows bind
+/// correctly and traces from repeated runs diff cleanly.
+///
+/// The event buffer is bounded (set_max_events, default 1<<20): once
+/// full, further events are dropped and counted in the
+/// "obs.dropped_events" registry counter, with a single warning logged
+/// at the first drop — a runaway trace can never exhaust memory.
 class TraceRecorder {
  public:
   TraceRecorder();
@@ -58,18 +74,40 @@ class TraceRecorder {
     return enabled_.load(std::memory_order_relaxed);
   }
 
-  /// Microseconds since the recorder's epoch (its construction).
-  uint64_t NowMicros() const;
+  /// Microseconds since the process-wide monotonic epoch.
+  static uint64_t ProcessEpochMicros();
+  /// Alias of ProcessEpochMicros (kept for call-site readability).
+  uint64_t NowMicros() const { return ProcessEpochMicros(); }
 
-  /// Appends one completed span; dropped when the recorder is disabled.
+  /// Appends one record; dropped when the recorder is disabled or the
+  /// bounded buffer is full (counted in obs.dropped_events).
   void Record(TraceEvent event);
+
+  /// Records a flow event (ph 's', 't', or 'f') at the current time on
+  /// the calling thread. `bind_id` links the phases of one flow; see
+  /// obs/span_context.h for the id derivation.
+  void RecordFlow(char ph, const char* name, const char* category,
+                  uint64_t bind_id);
+
+  /// Bounded-buffer control; events beyond the cap are dropped.
+  void set_max_events(size_t max_events) {
+    max_events_.store(max_events, std::memory_order_relaxed);
+  }
+  size_t max_events() const {
+    return max_events_.load(std::memory_order_relaxed);
+  }
+  /// Events dropped by the bounded buffer since the last Clear().
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
 
   size_t NumEvents() const;
   std::vector<TraceEvent> Events() const;
   void Clear();
 
-  /// {"displayTimeUnit":"ms","traceEvents":[...]} with a process_name
-  /// metadata record first, then one "ph":"X" record per span.
+  /// {"displayTimeUnit":"ms","traceEvents":[...]} with process_name and
+  /// per-tid thread_name metadata records first, then one record per
+  /// span/flow event.
   Json ToJson() const;
   common::Status WriteTo(const std::string& path) const;
 
@@ -79,7 +117,9 @@ class TraceRecorder {
 
  private:
   std::atomic<bool> enabled_{false};
-  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<size_t> max_events_{1u << 20};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<bool> drop_warned_{false};
   mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
 };

@@ -111,11 +111,21 @@ bool ExecutionCache::LookupAccumulator(uint64_t key) {
 }
 
 void ExecutionCache::Insert(uint64_t key) {
+  Insert(key, metadata::kInvalidId);
+}
+
+void ExecutionCache::Insert(uint64_t key, metadata::ExecutionId origin) {
   if (!enabled()) return;
+  if (origin != metadata::kInvalidId) origins_[key] = origin;
   if (Probe(key)) return;  // already present; Probe refreshed recency
   lru_.push_front(key);
   entries_[key] = lru_.begin();
   EvictIfNeeded();
+}
+
+metadata::ExecutionId ExecutionCache::OriginOf(uint64_t key) const {
+  const auto it = origins_.find(key);
+  return it != origins_.end() ? it->second : metadata::kInvalidId;
 }
 
 void ExecutionCache::Invalidate(uint64_t key) {
@@ -124,12 +134,14 @@ void ExecutionCache::Invalidate(uint64_t key) {
   if (it == entries_.end()) return;
   lru_.erase(it->second);
   entries_.erase(it);
+  origins_.erase(key);
   ++stats_.invalidations;
 }
 
 void ExecutionCache::EvictIfNeeded() {
   if (policy_ != CachePolicy::kLru) return;
   while (entries_.size() > capacity_) {
+    origins_.erase(lru_.back());
     entries_.erase(lru_.back());
     lru_.pop_back();
     ++stats_.evictions;

@@ -94,8 +94,16 @@ class ExecutionCache {
   /// reuse); counted separately so full-hit accounting stays exact.
   bool LookupAccumulator(uint64_t key);
 
-  /// Inserts (or touches) an entry, evicting LRU past capacity.
+  /// Inserts (or touches) an entry, evicting LRU past capacity. The
+  /// two-argument form records the MLMD execution id that produced the
+  /// entry, so a later hit can name its origin span in trace exports
+  /// (accumulator keys use the one-argument form and carry no origin).
   void Insert(uint64_t key);
+  void Insert(uint64_t key, metadata::ExecutionId origin);
+
+  /// Execution id recorded when `key` was inserted; kInvalidId when the
+  /// entry is absent or was inserted without an origin.
+  metadata::ExecutionId OriginOf(uint64_t key) const;
 
   /// Drops an entry if present (fired fault => the prior result may not
   /// be trustworthy for retries of this invocation).
@@ -122,6 +130,8 @@ class ExecutionCache {
   /// LRU bookkeeping: most-recent at the front.
   std::list<uint64_t> lru_;
   std::unordered_map<uint64_t, std::list<uint64_t>::iterator> entries_;
+  /// Producing execution per entry, kept in lockstep with entries_.
+  std::unordered_map<uint64_t, metadata::ExecutionId> origins_;
   std::unordered_map<metadata::ArtifactId, uint64_t> fingerprints_;
 };
 

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "obs/span_context.h"
 #include "obs/trace.h"
 #include "simulator/provenance_sink.h"
 
@@ -43,6 +44,88 @@ constexpr uint64_t kFaultStreamSalt = 0xFA171FA171FA171Full;
 /// from its full-window invocation key (they would collide at window
 /// size 1 otherwise).
 constexpr uint64_t kSpanAccumulatorSalt = 0xACC0ACC0ACC0ACC0ull;
+
+#ifndef MLPROV_OBS_NOOP
+/// Emits the causal-trace records for one operator attempt: an 'X' span
+/// plus the flow events that stitch the cross-layer chain. Flow ids are
+/// derived from (pipeline id, execution id) — see obs/span_context.h —
+/// so the downstream session/scorer can bind to them without shared
+/// state, and traces are identical at any thread count. Flow volume is
+/// bounded: causal starts only for successful Trainer executions (the
+/// spans the streaming plane consumes), retry hops only on fault paths,
+/// cache hops only on hits. All of it is gated on the recorder being
+/// enabled (--trace_out=), so untraced runs pay one relaxed load.
+void EmitExecSpan(const PipelineTrace& trace,
+                  metadata::ExecutionType type,
+                  metadata::ExecutionId exec_id, int attempt, bool cached,
+                  bool succeeded, metadata::ExecutionId retry_prev,
+                  metadata::ExecutionId cache_origin, bool will_retry) {
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  if (!recorder.enabled()) return;
+  const uint64_t trace_id = obs::DeriveTraceId(
+      static_cast<uint64_t>(trace.config.pipeline_id), trace.config.seed);
+  // kInvalidId is 0, the SpanContext "no parent" sentinel.
+  const obs::SpanContext ctx{trace_id, static_cast<uint64_t>(exec_id),
+                             static_cast<uint64_t>(retry_prev)};
+  obs::TraceEvent event;
+  event.name = "exec.run";
+  event.category = "sim.exec";
+  event.ph = 'X';
+  event.ts_us = obs::TraceRecorder::ProcessEpochMicros();
+  event.dur_us = 1;
+  event.tid = obs::TraceRecorder::CurrentThreadId();
+  event.args.emplace_back(
+      "pipeline", obs::Json(static_cast<int64_t>(trace.config.pipeline_id)));
+  event.args.emplace_back("exec", obs::Json(exec_id));
+  event.args.emplace_back("type", obs::Json(metadata::ToString(type)));
+  event.args.emplace_back("attempt", obs::Json(attempt));
+  if (cached) event.args.emplace_back("cache_hit", obs::Json(true));
+  if (!succeeded) event.args.emplace_back("failed", obs::Json(true));
+  recorder.Record(std::move(event));
+  if (type == metadata::ExecutionType::kTrainer && succeeded) {
+    // Causal chain start: the streaming session marks this flow at
+    // arrival ('t'), the segmenter at seal ('t'), the scorer at the
+    // abort/continue decision ('f').
+    recorder.RecordFlow('s', "exec", "flow.causal",
+                        obs::FlowBindId(ctx, obs::FlowKind::kCausal));
+  }
+  if (retry_prev != metadata::kInvalidId) {
+    // This attempt finishes the retry hop the failed attempt started.
+    const obs::SpanContext prev{trace_id,
+                                static_cast<uint64_t>(retry_prev), 0};
+    recorder.RecordFlow('f', "retry", "flow.retry",
+                        obs::FlowBindId(prev, obs::FlowKind::kRetry));
+  }
+  if (will_retry) {
+    recorder.RecordFlow('s', "attempt", "flow.retry",
+                        obs::FlowBindId(ctx, obs::FlowKind::kRetry));
+  }
+  if (cached) {
+    // Both phases of the cache hop are emitted at hit time: the
+    // populating execution may predate tracing (or sit behind a dropped
+    // buffer entry), so a populate-time 's' could dangle. The origin
+    // execution id travels in the args instead.
+    obs::TraceEvent origin;
+    origin.name = "origin";
+    origin.category = "flow.cache";
+    origin.ph = 's';
+    origin.ts_us = obs::TraceRecorder::ProcessEpochMicros();
+    origin.tid = obs::TraceRecorder::CurrentThreadId();
+    origin.flow_id = obs::FlowBindId(ctx, obs::FlowKind::kCache);
+    if (cache_origin != metadata::kInvalidId) {
+      origin.args.emplace_back("origin_exec", obs::Json(cache_origin));
+    }
+    recorder.Record(std::move(origin));
+    recorder.RecordFlow('f', "hit", "flow.cache",
+                        obs::FlowBindId(ctx, obs::FlowKind::kCache));
+  }
+}
+#else
+inline void EmitExecSpan(const PipelineTrace&, metadata::ExecutionType,
+                         metadata::ExecutionId, int, bool, bool,
+                         metadata::ExecutionId, metadata::ExecutionId,
+                         bool) {}
+#endif  // MLPROV_OBS_NOOP
 
 /// Anonymized per-span feature names, mirroring the paper's obfuscation
 /// (Appendix B: "with all terms anonymized"): name equality is destroyed
@@ -119,6 +202,9 @@ PipelineSimulator::OpResult PipelineSimulator::RunOperator(
       result.end = trace.store.GetExecution(result.exec)->end_time;
       result.attempts = 1;
       cache_.CreditSavedHours(cost_hours);
+      EmitExecSpan(trace, type, result.exec, /*attempt=*/0,
+                   /*cached=*/true, /*succeeded=*/true, metadata::kInvalidId,
+                   cache_.OriginOf(result.key), /*will_retry=*/false);
       return result;
     }
     double charged = cost_hours;
@@ -135,7 +221,10 @@ PipelineSimulator::OpResult PipelineSimulator::RunOperator(
     result.succeeded = base_succeeded;
     result.end = trace.store.GetExecution(result.exec)->end_time;
     result.attempts = 1;
-    if (cacheable) cache_.Insert(result.key);
+    if (cacheable) cache_.Insert(result.key, result.exec);
+    EmitExecSpan(trace, type, result.exec, /*attempt=*/0,
+                 /*cached=*/false, base_succeeded, metadata::kInvalidId,
+                 metadata::kInvalidId, /*will_retry=*/false);
     return result;
   }
   // The failpoint fired: drop any existing entry for this invocation and
@@ -156,6 +245,8 @@ PipelineSimulator::OpResult PipelineSimulator::RunOperator(
                                         cost_hours, !attempt_fails);
     prepare(id, attempt_start);
     metadata::Execution* exec = trace.store.MutableExecution(id);
+    const ExecutionId retry_prev =
+        first != metadata::kInvalidId ? result.exec : metadata::kInvalidId;
     if (first == metadata::kInvalidId) {
       first = id;
     } else {
@@ -165,6 +256,10 @@ PipelineSimulator::OpResult PipelineSimulator::RunOperator(
     result.exec = id;
     result.end = exec->end_time;
     ++result.attempts;
+    const bool will_retry = attempt_fails && attempt + 1 < max_attempts;
+    EmitExecSpan(trace, type, id, attempt, /*cached=*/false,
+                 !attempt_fails, retry_prev, metadata::kInvalidId,
+                 will_retry);
     if (!attempt_fails) {
       result.succeeded = true;
       return result;

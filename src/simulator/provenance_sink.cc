@@ -13,6 +13,12 @@ void ProvenanceFeeder::EmitExecutionsUpTo(const PipelineTrace& trace,
     ProvenanceRecord record;
     record.kind = ProvenanceRecord::Kind::kExecution;
     record.execution = executions[static_cast<size_t>(next_execution_) - 1];
+    // Causal span identity: the ids are derived (seed-salted pipeline
+    // trace id, execution id), never allocated, so the feed is identical
+    // at any thread count and matches the spans the simulator emitted.
+    record.span.trace_id = obs::DeriveTraceId(
+        static_cast<uint64_t>(trace.config.pipeline_id), trace.config.seed);
+    record.span.span_id = static_cast<uint64_t>(next_execution_);
     ++next_execution_;
     ++records_emitted_;
     sink_->OnRecord(record);

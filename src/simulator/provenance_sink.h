@@ -22,6 +22,7 @@
 
 #include "dataspan/span_stats.h"
 #include "metadata/metadata_store.h"
+#include "obs/span_context.h"
 #include "simulator/corpus.h"
 
 namespace mlprov::sim {
@@ -39,6 +40,12 @@ struct ProvenanceRecord {
   /// (the Section 2.2 per-span summary statistics). Borrowed from the
   /// producing trace; valid only for the duration of the sink call.
   const dataspan::SpanStats* span_stats = nullptr;
+  /// Causal span identity for kExecution records: trace id = pipeline
+  /// id + 1, span id = the execution's MLMD id. Invalid (all zero) for
+  /// other kinds. Downstream stages (segmenter seal, scorer decision)
+  /// emit flow events against these ids to stitch the cross-layer causal
+  /// chain in trace exports.
+  obs::SpanContext span;
 };
 
 /// Receives provenance records as a pipeline materializes them. Sinks are

@@ -8,14 +8,47 @@
 
 #include "core/waste_mitigation.h"
 #include "obs/metrics.h"
+#include "obs/span_context.h"
+#include "obs/timeline.h"
+#include "obs/trace.h"
 
 namespace mlprov::stream {
 
 using common::Status;
 using sim::ProvenanceRecord;
 
+namespace {
+
+#ifndef MLPROV_OBS_NOOP
+/// One-letter flight-recorder tag + (id, time) of a feed record.
+struct RecordDigest {
+  char kind = '?';
+  int64_t id = 0;
+  int64_t time = 0;
+};
+
+RecordDigest DigestOf(const ProvenanceRecord& record) {
+  switch (record.kind) {
+    case ProvenanceRecord::Kind::kContext:
+      return {'C', record.context.id, 0};
+    case ProvenanceRecord::Kind::kExecution:
+      return {'E', record.execution.id, record.execution.end_time};
+    case ProvenanceRecord::Kind::kArtifact:
+      return {'A', record.artifact.id, record.artifact.create_time};
+    case ProvenanceRecord::Kind::kEvent:
+      return {'V', record.event.execution, record.event.time};
+  }
+  return {};
+}
+#endif  // MLPROV_OBS_NOOP
+
+}  // namespace
+
 ProvenanceSession::ProvenanceSession(const SessionOptions& options)
-    : options_(options), segmenter_(&store_, options.segmenter) {
+    : options_(options),
+      flight_(options.name.empty() ? std::string("session") : options.name,
+              obs::FlightRecorder::Options{options.flight_capacity}),
+      segmenter_(&store_, options.segmenter) {
   if (options_.scorer != nullptr) {
     featurizer_.emplace(&store_, &span_stats_,
                         options_.scorer->feature_options());
@@ -29,16 +62,44 @@ Status ProvenanceSession::Ingest(const ProvenanceRecord& record) {
   }
   if (!status_.ok()) return status_;  // poisoned: first violation is sticky
   Status status = IngestImpl(record);
-  if (!status.ok()) status_ = status;
+  if (!status.ok()) {
+    status_ = status;
+    RecordPoisoning(record);
+  }
   // Any record can advance the watermark past a trainer's grace period;
   // settle the decisions of cells the segmenter just sealed.
   if (status.ok() && options_.scorer != nullptr) SettleSealed();
   return status;
 }
 
+void ProvenanceSession::RecordPoisoning(const ProvenanceRecord& record) {
+#ifndef MLPROV_OBS_NOOP
+  const RecordDigest digest = DigestOf(record);
+  obs::Json violating = obs::Json::Object();
+  violating.Set("kind", std::string(1, digest.kind));
+  violating.Set("id", digest.id);
+  violating.Set("time", digest.time);
+  violating.Set("record_index", static_cast<uint64_t>(counts_.records));
+  flight_.NoteError(status_.message(), std::move(violating));
+  MLPROV_COUNTER_INC("stream.poisoned_sessions");
+  // Persist immediately (no-op without a --flight_recorder= directory):
+  // a poisoned session's owner may never reach a clean shutdown path.
+  (void)flight_.Dump();
+#else
+  (void)record;
+#endif
+}
+
 Status ProvenanceSession::IngestImpl(const ProvenanceRecord& record) {
   ++counts_.records;
   MLPROV_COUNTER_INC("stream.records");
+  MLPROV_SAMPLER_OBSERVE(1);
+#ifndef MLPROV_OBS_NOOP
+  {
+    const RecordDigest digest = DigestOf(record);
+    flight_.NoteRecord(digest.kind, digest.id, digest.time);
+  }
+#endif
   switch (record.kind) {
     case ProvenanceRecord::Kind::kContext: {
       metadata::ContextId assigned = store_.PutContext(record.context);
@@ -66,6 +127,24 @@ Status ProvenanceSession::IngestImpl(const ProvenanceRecord& record) {
       }
       segmenter_.OnExecution(record.execution);
       ++counts_.executions;
+#ifndef MLPROV_OBS_NOOP
+      if (record.span.valid()) {
+        if (trace_id_ == 0) trace_id_ = record.span.trace_id;
+        // Mark the causal flow at arrival: only trainer executions start
+        // one (see EmitExecSpan in the simulator), and only succeeded
+        // ones — failed attempts never get a flow start.
+        if (options_.emit_flows &&
+            record.execution.type == metadata::ExecutionType::kTrainer &&
+            record.execution.succeeded) {
+          obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+          if (recorder.enabled()) {
+            recorder.RecordFlow(
+                't', "arrival", "flow.causal",
+                obs::FlowBindId(record.span, obs::FlowKind::kCausal));
+          }
+        }
+      }
+#endif
       return Status::Ok();
     }
     case ProvenanceRecord::Kind::kArtifact: {
@@ -246,6 +325,24 @@ void ProvenanceSession::Settle(size_t cell) {
       d.abort = d.score < d.threshold;
     }
   }
+#ifndef MLPROV_OBS_NOOP
+  // Close the causal chain: graphlet seal ('t') then the settled
+  // abort/continue decision ('f') against the flow the producing trainer
+  // execution started. Failed trainers never started one, so they emit
+  // nothing (matching EmitExecSpan on the simulator side).
+  if (options_.emit_flows && trace_id_ != 0) {
+    obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+    const auto trainer = store_.GetExecution(d.trainer);
+    if (recorder.enabled() && trainer.ok() && trainer.value().succeeded) {
+      const obs::SpanContext ctx{trace_id_,
+                                 static_cast<uint64_t>(d.trainer), 0};
+      const uint64_t bind_id =
+          obs::FlowBindId(ctx, obs::FlowKind::kCausal);
+      recorder.RecordFlow('t', "seal", "flow.causal", bind_id);
+      recorder.RecordFlow('f', "decision", "flow.causal", bind_id);
+    }
+  }
+#endif
   d.settled = true;
   d.pushed = g.pushed;
   const std::array<double, 4> costs = featurizer_->StageCosts(g);
@@ -264,6 +361,16 @@ void ProvenanceSession::Settle(size_t cell) {
   ++waste_.decisions;
   MLPROV_COUNTER_INC("stream.decisions");
   MLPROV_GAUGE_ADD("waste.avoided_hours", d.avoided_hours);
+#ifndef MLPROV_OBS_NOOP
+  {
+    // Per-graphlet (not per-record) cadence, so the Json cost is noise.
+    obs::Json detail = obs::Json::Object();
+    detail.Set("trainer", d.trainer);
+    detail.Set("abort", d.abort);
+    detail.Set("score", d.score);
+    flight_.Note("decision", std::move(detail));
+  }
+#endif
   scoring.row.clear();
   scoring.row.shrink_to_fit();
   scoring.settled = true;
@@ -273,6 +380,84 @@ SessionStats ProvenanceSession::stats() const {
   SessionStats stats = counts_;
   stats.segmenter = segmenter_.stats();
   return stats;
+}
+
+obs::Json SessionHealth::ToJson() const {
+  obs::Json j = obs::Json::Object();
+  j.Set("name", name);
+  j.Set("records", records);
+  j.Set("watermark", static_cast<int64_t>(watermark));
+  j.Set("seal_lag_hours", seal_lag_hours);
+  j.Set("cells", cells);
+  j.Set("sealed", sealed);
+  j.Set("open_cells", open_cells);
+  j.Set("reseals", reseals);
+  j.Set("extractions", extractions);
+  j.Set("decisions", decisions);
+  j.Set("pending_decisions", pending_decisions);
+  j.Set("poisoned", poisoned);
+  j.Set("finished", finished);
+  return j;
+}
+
+SessionHealth ProvenanceSession::Health() const {
+  SessionHealth h;
+  h.name = options_.name;
+  h.records = counts_.records;
+  h.watermark = segmenter_.watermark();
+  const metadata::Timestamp oldest = segmenter_.OldestUnsealedTrainerEnd();
+  if (oldest != 0 && h.watermark > oldest) {
+    h.seal_lag_hours = static_cast<double>(h.watermark - oldest) /
+                       metadata::kSecondsPerHour;
+  }
+  const StreamingSegmenter::Stats& seg = segmenter_.stats();
+  h.cells = seg.cells;
+  h.sealed = seg.sealed;
+  h.open_cells = segmenter_.NumOpenCells();
+  h.reseals = seg.reseals;
+  h.extractions = seg.extractions;
+  h.decisions = waste_.decisions;
+  h.pending_decisions =
+      options_.scorer != nullptr && h.cells > h.decisions
+          ? h.cells - h.decisions
+          : 0;
+  h.poisoned = !status_.ok();
+  h.finished = finished_;
+  return h;
+}
+
+void ProvenanceSession::PublishHealth() {
+  if (!obs::kMetricsEnabled) return;
+  if (options_.name.empty()) return;
+  static constexpr const char* kFields[] = {
+      "records",     "watermark_hours", "seal_lag_hours",
+      "cells",       "sealed",          "open_cells",
+      "reseals",     "decisions",       "pending_decisions",
+      "poisoned",
+  };
+  if (health_gauges_.empty()) {
+    const std::string prefix = "session." + options_.name + ".";
+    for (const char* field : kFields) {
+      health_gauges_.push_back(
+          obs::Registry::Global().GetGauge(prefix + field));
+    }
+  }
+  const SessionHealth h = Health();
+  const double values[] = {
+      static_cast<double>(h.records),
+      static_cast<double>(h.watermark) / metadata::kSecondsPerHour,
+      h.seal_lag_hours,
+      static_cast<double>(h.cells),
+      static_cast<double>(h.sealed),
+      static_cast<double>(h.open_cells),
+      static_cast<double>(h.reseals),
+      static_cast<double>(h.decisions),
+      static_cast<double>(h.pending_decisions),
+      h.poisoned ? 1.0 : 0.0,
+  };
+  for (size_t i = 0; i < health_gauges_.size(); ++i) {
+    health_gauges_[i]->Set(values[i]);
+  }
 }
 
 }  // namespace mlprov::stream

@@ -22,7 +22,9 @@
 /// per graphlet when its cell seals, with avoided-hours accounting.
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -31,6 +33,9 @@
 #include "core/graphlet.h"
 #include "dataspan/span_stats.h"
 #include "metadata/metadata_store.h"
+#include "obs/flight_recorder.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 #include "simulator/provenance_sink.h"
 #include "stream/online_scorer.h"
 #include "stream/streaming_segmenter.h"
@@ -43,6 +48,46 @@ struct SessionOptions {
   /// shared across sessions — scoring is const). When null, the session
   /// only segments.
   const OnlineScorer* scorer = nullptr;
+  /// Session name: the flight-recorder dump stem (flight_<name>.json)
+  /// and the "session.<name>.*" health-gauge prefix. Empty keeps the
+  /// flight recorder under a generic stem and skips gauge publication.
+  std::string name;
+  /// Flight-recorder ring sizes: last `flight_capacity` ingested records
+  /// plus the same number of span/error entries.
+  size_t flight_capacity = 64;
+  /// Emit causal flow events (arrival/seal/decision) binding this
+  /// session's work to the producing simulator spans. Off by default:
+  /// a trace replayed through *two* sessions would finish the same flow
+  /// twice, so exactly one session per trace should opt in (the bench
+  /// scoring phase, the causality tests).
+  bool emit_flows = false;
+};
+
+/// Point-in-time health snapshot of one session — the "is this stream
+/// keeping up?" surface published into the metric registry and rendered
+/// by the obs_top example.
+struct SessionHealth {
+  std::string name;
+  uint64_t records = 0;
+  /// Max feed timestamp observed (simulated seconds).
+  metadata::Timestamp watermark = 0;
+  /// Hours between the watermark and the oldest unsealed trainer's end:
+  /// how far behind the stream the slowest pending decision is. 0 when
+  /// every cell is sealed.
+  double seal_lag_hours = 0.0;
+  uint64_t cells = 0;
+  uint64_t sealed = 0;
+  uint64_t open_cells = 0;
+  uint64_t reseals = 0;
+  uint64_t extractions = 0;
+  /// Decisions settled / still pending (both 0 without a scorer).
+  uint64_t decisions = 0;
+  uint64_t pending_decisions = 0;
+  /// Sticky feed-contract violation latched (see ProvenanceSession).
+  bool poisoned = false;
+  bool finished = false;
+
+  obs::Json ToJson() const;
 };
 
 struct SessionStats {
@@ -97,6 +142,19 @@ class ProvenanceSession : public sim::ProvenanceSink {
   bool finished() const { return finished_; }
   SessionStats stats() const;
 
+  /// Point-in-time health snapshot (cheap: counters plus one O(cells)
+  /// scan for the seal lag).
+  SessionHealth Health() const;
+
+  /// Publishes Health() into the global registry as "session.<name>.*"
+  /// gauges. No-op when the session is unnamed or metrics are compiled
+  /// out. Gauge pointers are resolved once and cached.
+  void PublishHealth();
+
+  /// The session's flight recorder (last K records + span/error events;
+  /// dumped on poisoning, and by FlightRecorder::DumpAll on crashes).
+  const obs::FlightRecorder& flight_recorder() const { return flight_; }
+
   StreamingSegmenter& segmenter() { return segmenter_; }
   const StreamingSegmenter& segmenter() const { return segmenter_; }
 
@@ -106,6 +164,9 @@ class ProvenanceSession : public sim::ProvenanceSink {
 
  private:
   common::Status IngestImpl(const sim::ProvenanceRecord& record);
+  /// Latches the violation into the flight recorder (with the violating
+  /// record as context) and dumps it if a dump directory is configured.
+  void RecordPoisoning(const sim::ProvenanceRecord& record);
 
   // --- online scoring (no-ops when options_.scorer is null) ---
   /// Grows the per-cell scoring state to the segmenter's cell count.
@@ -124,6 +185,12 @@ class ProvenanceSession : public sim::ProvenanceSink {
   void Settle(size_t cell);
 
   SessionOptions options_;
+  obs::FlightRecorder flight_;
+  /// Causal trace id of the feed (pipeline id + 1), latched from the
+  /// first execution record carrying a valid span context; 0 until then.
+  uint64_t trace_id_ = 0;
+  /// Cached "session.<name>.*" gauges, resolved on first PublishHealth.
+  std::vector<obs::Gauge*> health_gauges_;
   metadata::MetadataStore store_;
   std::unordered_map<metadata::ArtifactId, dataspan::SpanStats> span_stats_;
   StreamingSegmenter segmenter_;  // observes store_; declared after it

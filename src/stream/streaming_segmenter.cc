@@ -168,6 +168,23 @@ void StreamingSegmenter::CheckSeals() {
   }
 }
 
+size_t StreamingSegmenter::NumOpenCells() const {
+  size_t open = 0;
+  for (const Cell& cell : cells_) {
+    if (!cell.sealed) ++open;
+  }
+  return open;
+}
+
+Timestamp StreamingSegmenter::OldestUnsealedTrainerEnd() const {
+  Timestamp oldest = 0;
+  for (const Cell& cell : cells_) {
+    if (cell.sealed) continue;
+    if (oldest == 0 || cell.trainer_end < oldest) oldest = cell.trainer_end;
+  }
+  return oldest;
+}
+
 std::vector<size_t> StreamingSegmenter::TakeSealed() {
   std::vector<size_t> sealed;
   sealed.swap(newly_sealed_);

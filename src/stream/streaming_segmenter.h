@@ -107,6 +107,17 @@ class StreamingSegmenter {
   const Stats& stats() const { return stats_; }
   metadata::Timestamp watermark() const { return watermark_; }
 
+  /// Earliest trainer end time among unsealed cells, or 0 when every
+  /// cell is sealed (or none exist). The distance from this to the
+  /// watermark is the session's seal lag — the health signal for "how
+  /// far behind the stream are decisions?". O(cells); health snapshots
+  /// are not per-record.
+  metadata::Timestamp OldestUnsealedTrainerEnd() const;
+
+  /// Cells currently unsealed (a sealed-then-reopened cell counts once,
+  /// unlike stats().sealed which counts seal *events*). O(cells).
+  size_t NumOpenCells() const;
+
  private:
   struct Cell {
     metadata::ExecutionId trainer = metadata::kInvalidId;

@@ -1,0 +1,129 @@
+#include "obs/report.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/json.h"
+
+namespace mlprov::obs {
+namespace {
+
+/// Serializes the report and parses it back through the strict parser,
+/// so every schema assertion below holds for the bytes a consumer of
+/// BENCH_*.json actually reads, not for the in-memory Json tree.
+Json RoundTrip(const BenchReport& report) {
+  const auto parsed = Json::Parse(report.ToJson().Dump(2));
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return parsed.ok() ? *parsed : Json();
+}
+
+TEST(ObsReportTest, DefaultTimelineHealthAndCacheObjects) {
+  BenchReport report("roundtrip_defaults");
+  const Json back = RoundTrip(report);
+
+  // Reports without a sampler or sessions still carry schema-stable
+  // placeholder objects, so downstream tooling never branches on key
+  // presence.
+  const Json* timeline = back.Find("timeline");
+  ASSERT_NE(timeline, nullptr);
+  ASSERT_TRUE(timeline->is_object());
+  EXPECT_FALSE(timeline->Find("enabled")->AsBool(true));
+  EXPECT_EQ(timeline->Find("samples")->AsInt(-1), 0);
+
+  const Json* health = back.Find("health");
+  ASSERT_NE(health, nullptr);
+  ASSERT_TRUE(health->is_object());
+  EXPECT_EQ(health->Find("sessions")->AsInt(-1), 0);
+
+  const Json* cache = back.Find("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(cache->Find("policy")->AsString(), "off");
+  EXPECT_EQ(cache->Find("hits")->AsInt(-1), 0);
+}
+
+TEST(ObsReportTest, TimelineObjectRoundTrips) {
+  BenchReport report("roundtrip_timeline");
+
+  Json sample = Json::Object();
+  sample.Set("seq", static_cast<int64_t>(0));
+  sample.Set("reason", "interval");
+  sample.Set("ts_us", static_cast<int64_t>(1234));
+  sample.Set("records", static_cast<int64_t>(4096));
+  Json counters = Json::Object();
+  counters.Set("stream.records", static_cast<int64_t>(4096));
+  sample.Set("counters", std::move(counters));
+  Json gauges = Json::Object();
+  gauges.Set("session.p0.seal_lag_hours", 12.5);
+  sample.Set("gauges", std::move(gauges));
+
+  Json timeline = Json::Object();
+  timeline.Set("enabled", true);
+  timeline.Set("interval_records", static_cast<int64_t>(4096));
+  timeline.Set("capacity", static_cast<int64_t>(64));
+  timeline.Set("evicted", static_cast<int64_t>(0));
+  Json samples = Json::Array();
+  samples.Push(std::move(sample));
+  timeline.Set("samples", std::move(samples));
+  report.SetTimeline(std::move(timeline));
+
+  const Json back = RoundTrip(report);
+  const Json* parsed = back.Find("timeline");
+  ASSERT_NE(parsed, nullptr);
+  EXPECT_TRUE(parsed->Find("enabled")->AsBool(false));
+  EXPECT_EQ(parsed->Find("interval_records")->AsInt(), 4096);
+  const Json* parsed_samples = parsed->Find("samples");
+  ASSERT_NE(parsed_samples, nullptr);
+  ASSERT_EQ(parsed_samples->size(), 1u);
+  const Json& s = parsed_samples->at(0);
+  EXPECT_EQ(s.Find("reason")->AsString(), "interval");
+  EXPECT_EQ(s.Find("records")->AsInt(), 4096);
+  EXPECT_EQ(s.Find("counters")->Find("stream.records")->AsInt(), 4096);
+  EXPECT_DOUBLE_EQ(
+      s.Find("gauges")->Find("session.p0.seal_lag_hours")->AsDouble(),
+      12.5);
+}
+
+TEST(ObsReportTest, HealthObjectRoundTrips) {
+  BenchReport report("roundtrip_health");
+
+  Json health = Json::Object();
+  health.Set("sessions", static_cast<int64_t>(24));
+  health.Set("records", static_cast<int64_t>(120000));
+  health.Set("cells", static_cast<int64_t>(980));
+  health.Set("sealed", static_cast<int64_t>(950));
+  health.Set("open_cells", static_cast<int64_t>(30));
+  health.Set("reseals", static_cast<int64_t>(17));
+  health.Set("decisions", static_cast<int64_t>(940));
+  health.Set("pending_decisions", static_cast<int64_t>(40));
+  health.Set("poisoned", static_cast<int64_t>(0));
+  health.Set("max_seal_lag_hours", 72.25);
+  report.SetHealth(std::move(health));
+
+  const Json back = RoundTrip(report);
+  const Json* parsed = back.Find("health");
+  ASSERT_NE(parsed, nullptr);
+  EXPECT_EQ(parsed->Find("sessions")->AsInt(), 24);
+  EXPECT_EQ(parsed->Find("records")->AsInt(), 120000);
+  EXPECT_EQ(parsed->Find("open_cells")->AsInt(), 30);
+  EXPECT_EQ(parsed->Find("pending_decisions")->AsInt(), 40);
+  EXPECT_DOUBLE_EQ(parsed->Find("max_seal_lag_hours")->AsDouble(), 72.25);
+}
+
+TEST(ObsReportTest, CacheObjectRoundTripsWithTallies) {
+  BenchReport report("roundtrip_cache");
+  report.SetCacheStats("unbounded", /*hits=*/321, /*misses=*/123,
+                       /*evictions=*/7, /*saved_hours=*/4567.5);
+
+  const Json back = RoundTrip(report);
+  const Json* cache = back.Find("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(cache->Find("policy")->AsString(), "unbounded");
+  EXPECT_EQ(cache->Find("hits")->AsInt(), 321);
+  EXPECT_EQ(cache->Find("misses")->AsInt(), 123);
+  EXPECT_EQ(cache->Find("evictions")->AsInt(), 7);
+  EXPECT_DOUBLE_EQ(cache->Find("saved_hours")->AsDouble(), 4567.5);
+}
+
+}  // namespace
+}  // namespace mlprov::obs

@@ -1,0 +1,215 @@
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "core/features.h"
+#include "core/graphlet_analysis.h"
+#include "core/waste_mitigation.h"
+#include "obs/metrics.h"
+#include "obs/span_context.h"
+#include "obs/trace.h"
+#include "simulator/corpus_generator.h"
+#include "stream/fingerprint.h"
+#include "stream/online_scorer.h"
+#include "stream/replay.h"
+#include "stream/session.h"
+
+namespace mlprov::obs {
+namespace {
+
+/// Fault-injected, cache-enabled corpus: every causal edge kind (chain,
+/// retry hop, cache hit) occurs.
+sim::CorpusConfig EvalConfig() {
+  sim::CorpusConfig config;
+  config.num_pipelines = 8;
+  config.seed = 910;
+  config.horizon_days = 45.0;
+  auto plan = common::FaultPlan::Parse("exec.trainer:transient:0.3");
+  EXPECT_TRUE(plan.ok()) << plan.status();
+  config.fault_plan = *plan;
+  config.max_retries = 3;
+  config.cache_policy = sim::CachePolicy::kUnbounded;
+  return config;
+}
+
+/// One flow step as recorded: (ph, name) in emission order per bind id.
+using FlowSteps =
+    std::map<std::pair<std::string, uint64_t>,
+             std::vector<std::pair<char, std::string>>>;
+
+struct TraceSummary {
+  FlowSteps flows;
+  uint64_t corpus_fingerprint = 0;
+  size_t retry_links = 0;
+  size_t cache_links = 0;
+  size_t complete_chains = 0;
+};
+
+/// Simulates the corpus, trains a scorer on a separate corpus, replays
+/// every trace through a flow-emitting scoring session, and summarizes
+/// the flows the recorder captured.
+TraceSummary RunTraced(int threads) {
+  common::SetGlobalThreads(threads);
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Clear();
+  recorder.Enable();
+
+  const sim::Corpus corpus = sim::GenerateCorpus(EvalConfig());
+
+  sim::CorpusConfig train_config;
+  train_config.num_pipelines = 16;
+  train_config.seed = 900;
+  train_config.horizon_days = 45.0;
+  const sim::Corpus train_corpus = sim::GenerateCorpus(train_config);
+  const auto segmented = core::SegmentCorpus(train_corpus);
+  const auto dataset = core::BuildWasteDataset(train_corpus, segmented);
+  EXPECT_TRUE(dataset.ok()) << dataset.status();
+  const auto scorer = stream::OnlineScorer::Train(*dataset);
+  EXPECT_TRUE(scorer.ok()) << scorer.status();
+
+  TraceSummary summary;
+  std::vector<core::Graphlet> all_graphlets;
+  for (const sim::PipelineTrace& trace : corpus.pipelines) {
+    stream::SessionOptions options;
+    options.scorer = &*scorer;
+    options.emit_flows = true;
+    stream::ProvenanceSession session(options);
+    EXPECT_TRUE(stream::ReplayTrace(trace, session).ok());
+    auto result = session.Finish();
+    EXPECT_TRUE(result.ok()) << result.status();
+    for (core::Graphlet& g : result->graphlets) {
+      all_graphlets.push_back(std::move(g));
+    }
+  }
+  summary.corpus_fingerprint = stream::FingerprintGraphlets(all_graphlets);
+
+  for (const TraceEvent& event : recorder.Events()) {
+    if (event.ph != 's' && event.ph != 't' && event.ph != 'f') continue;
+    summary.flows[{event.category, event.flow_id}].emplace_back(
+        event.ph, event.name);
+  }
+  recorder.Disable();
+  recorder.Clear();
+  common::SetGlobalThreads(1);
+
+  for (const auto& [key, steps] : summary.flows) {
+    const auto& [category, id] = key;
+    if (category == "flow.retry" &&
+        steps == std::vector<std::pair<char, std::string>>(
+                     {{'s', "attempt"}, {'f', "retry"}})) {
+      ++summary.retry_links;
+    }
+    if (category == "flow.cache" &&
+        steps == std::vector<std::pair<char, std::string>>(
+                     {{'s', "origin"}, {'f', "hit"}})) {
+      ++summary.cache_links;
+    }
+    if (category == "flow.causal" &&
+        steps == std::vector<std::pair<char, std::string>>(
+                     {{'s', "exec"},
+                      {'t', "arrival"},
+                      {'t', "seal"},
+                      {'f', "decision"}})) {
+      ++summary.complete_chains;
+    }
+  }
+  return summary;
+}
+
+class ObsSpanTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    TraceRecorder::Global().Disable();
+    TraceRecorder::Global().Clear();
+    common::SetGlobalThreads(1);
+  }
+};
+
+TEST_F(ObsSpanTest, FlowBindIdsAreKindAndHopDisjoint) {
+  const SpanContext ctx{7, 42, 0};
+  EXPECT_NE(FlowBindId(ctx, FlowKind::kCausal),
+            FlowBindId(ctx, FlowKind::kRetry));
+  EXPECT_NE(FlowBindId(ctx, FlowKind::kRetry),
+            FlowBindId(ctx, FlowKind::kCache));
+  EXPECT_NE(FlowBindId(ctx, FlowKind::kCausal, 0),
+            FlowBindId(ctx, FlowKind::kCausal, 1));
+  // Deterministic: same inputs, same id.
+  EXPECT_EQ(FlowBindId(ctx, FlowKind::kCausal),
+            FlowBindId(SpanContext{7, 42, 99}, FlowKind::kCausal));
+  // Seed-salted trace ids never collide with the invalid sentinel.
+  EXPECT_NE(DeriveTraceId(0, 0), 0u);
+  EXPECT_NE(DeriveTraceId(3, 111), DeriveTraceId(3, 112));
+}
+
+TEST_F(ObsSpanTest, FaultedAndCachedRunProducesLinkedFlows) {
+  if (!kMetricsEnabled) {
+    GTEST_SKIP() << "span instrumentation compiled out (MLPROV_OBS_NOOP)";
+  }
+  const TraceSummary summary = RunTraced(/*threads=*/1);
+
+  // The fault plan forces trainer retries; the unbounded cache serves
+  // repeat invocations; every settled decision closes its causal chain.
+  EXPECT_GT(summary.retry_links, 0u);
+  EXPECT_GT(summary.cache_links, 0u);
+  EXPECT_GT(summary.complete_chains, 0u);
+
+  // Flow discipline: every flow starts with 's' and never continues
+  // after 'f'.
+  for (const auto& [key, steps] : summary.flows) {
+    ASSERT_FALSE(steps.empty());
+    EXPECT_EQ(steps.front().first, 's')
+        << key.first << "/" << key.second << " starts with "
+        << steps.front().second;
+    bool finished = false;
+    for (const auto& [ph, name] : steps) {
+      EXPECT_FALSE(finished) << key.first << "/" << key.second << ": "
+                             << name << " after finish";
+      if (ph == 'f') finished = true;
+    }
+  }
+}
+
+TEST_F(ObsSpanTest, FlowLinkageIsThreadCountInvariant) {
+  const TraceSummary base = RunTraced(/*threads=*/1);
+  for (int threads : {4, 8}) {
+    const TraceSummary parallel = RunTraced(threads);
+    // The corpus is byte-identical at any thread count...
+    EXPECT_EQ(parallel.corpus_fingerprint, base.corpus_fingerprint)
+        << "threads=" << threads;
+    // ...and so is the *linkage*: the same bind ids carry the same step
+    // sequences (event interleaving across ids may differ, the causal
+    // structure may not).
+    EXPECT_EQ(parallel.flows, base.flows) << "threads=" << threads;
+    EXPECT_EQ(parallel.retry_links, base.retry_links);
+    EXPECT_EQ(parallel.cache_links, base.cache_links);
+    EXPECT_EQ(parallel.complete_chains, base.complete_chains);
+  }
+}
+
+TEST_F(ObsSpanTest, BoundedBufferCountsDrops) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Clear();
+  const size_t old_max = recorder.max_events();
+  recorder.set_max_events(4);
+  recorder.Enable();
+  for (int i = 0; i < 10; ++i) {
+    TraceEvent event;
+    event.name = "drop_test";
+    event.category = "test";
+    recorder.Record(std::move(event));
+  }
+  EXPECT_EQ(recorder.NumEvents(), 4u);
+  EXPECT_EQ(recorder.dropped(), 6u);
+  recorder.Disable();
+  recorder.Clear();
+  recorder.set_max_events(old_max);
+  EXPECT_EQ(recorder.dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace mlprov::obs

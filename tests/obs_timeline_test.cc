@@ -1,0 +1,244 @@
+#include "obs/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/flight_recorder.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace mlprov::obs {
+namespace {
+
+/// Fresh registry state per test: the global registry is process-wide
+/// and other suites in this binary increment it.
+class TimelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Registry::Global().Reset(); }
+  void TearDown() override {
+    PeriodicSampler::Global().Reset();
+    Registry::Global().Reset();
+  }
+};
+
+TEST_F(TimelineTest, DisabledSamplerObservesNothing) {
+  PeriodicSampler sampler;
+  sampler.Observe(100);
+  EXPECT_EQ(sampler.NumSamples(), 0u);
+  EXPECT_EQ(sampler.ObservedRecords(), 0u);
+  const Json timeline = sampler.ToJson();
+  EXPECT_FALSE(timeline.Find("enabled")->AsBool(true));
+  EXPECT_EQ(timeline.Find("samples")->size(), 0u);
+}
+
+TEST_F(TimelineTest, IntervalCrossingCapturesDeltaSamples) {
+  Counter* counter = Registry::Global().GetCounter("test.ticks");
+  counter->Add(10);  // pre-existing total becomes the baseline
+
+  PeriodicSampler sampler;
+  PeriodicSampler::Options options;
+  options.interval_records = 100;
+  sampler.Enable(options);
+
+  counter->Add(7);
+  sampler.Observe(99);  // below the interval: no sample
+  EXPECT_EQ(sampler.NumSamples(), 0u);
+  sampler.Observe(1);  // crosses 100
+  ASSERT_EQ(sampler.NumSamples(), 1u);
+  counter->Add(5);
+  sampler.Observe(250);  // crosses 200 and 300 in one tick: one sample
+  ASSERT_EQ(sampler.NumSamples(), 2u);
+
+  const Json timeline = sampler.ToJson();
+  EXPECT_TRUE(timeline.Find("enabled")->AsBool(false));
+  const Json* samples = timeline.Find("samples");
+  ASSERT_EQ(samples->size(), 2u);
+  // Counters are *deltas* against the previous sample (the Enable()
+  // baseline for the first), not cumulative totals.
+  EXPECT_EQ(samples->at(0).Find("counters")->Find("test.ticks")->AsInt(),
+            7);
+  EXPECT_EQ(samples->at(1).Find("counters")->Find("test.ticks")->AsInt(),
+            5);
+  // seq and records are monotone.
+  EXPECT_EQ(samples->at(0).Find("seq")->AsInt(), 0);
+  EXPECT_EQ(samples->at(1).Find("seq")->AsInt(), 1);
+  EXPECT_LT(samples->at(0).Find("records")->AsInt(),
+            samples->at(1).Find("records")->AsInt());
+  EXPECT_LE(samples->at(0).Find("ts_us")->AsInt(),
+            samples->at(1).Find("ts_us")->AsInt());
+}
+
+TEST_F(TimelineTest, GaugesReportCurrentValueNotDelta) {
+  Gauge* gauge = Registry::Global().GetGauge("test.lag");
+  PeriodicSampler sampler;
+  PeriodicSampler::Options options;
+  options.interval_records = 1;
+  sampler.Enable(options);
+
+  gauge->Set(3.5);
+  sampler.Observe(1);
+  gauge->Set(2.0);
+  sampler.Observe(1);
+
+  const Json timeline = sampler.ToJson();
+  const Json* samples = timeline.Find("samples");
+  ASSERT_EQ(samples->size(), 2u);
+  EXPECT_DOUBLE_EQ(
+      samples->at(0).Find("gauges")->Find("test.lag")->AsDouble(), 3.5);
+  EXPECT_DOUBLE_EQ(
+      samples->at(1).Find("gauges")->Find("test.lag")->AsDouble(), 2.0);
+}
+
+TEST_F(TimelineTest, RingEvictsOldestPastCapacity) {
+  PeriodicSampler sampler;
+  PeriodicSampler::Options options;
+  options.interval_records = 1;
+  options.capacity = 4;
+  sampler.Enable(options);
+  for (int i = 0; i < 10; ++i) sampler.Observe(1);
+
+  const Json timeline = sampler.ToJson();
+  const Json* samples = timeline.Find("samples");
+  ASSERT_EQ(samples->size(), 4u);
+  EXPECT_EQ(timeline.Find("evicted")->AsInt(), 6);
+  // The survivors are the *newest* samples, still in seq order.
+  EXPECT_EQ(samples->at(0).Find("seq")->AsInt(), 6);
+  EXPECT_EQ(samples->at(3).Find("seq")->AsInt(), 9);
+}
+
+TEST_F(TimelineTest, CountersCreatedMidRunAppearInNextDelta) {
+  PeriodicSampler sampler;
+  PeriodicSampler::Options options;
+  options.interval_records = 1;
+  sampler.Enable(options);
+  sampler.Observe(1);
+  // A counter born after the baseline snapshot must still be picked up.
+  Registry::Global().GetCounter("test.born_late")->Add(3);
+  sampler.Observe(1);
+
+  const Json timeline = sampler.ToJson();
+  const Json* samples = timeline.Find("samples");
+  ASSERT_EQ(samples->size(), 2u);
+  EXPECT_EQ(samples->at(0).Find("counters")->Find("test.born_late"),
+            nullptr);
+  EXPECT_EQ(
+      samples->at(1).Find("counters")->Find("test.born_late")->AsInt(), 3);
+}
+
+TEST_F(TimelineTest, WriteToProducesParseableTimeline) {
+  const std::string path =
+      ::testing::TempDir() + "/timeline_writeto_test.json";
+  PeriodicSampler sampler;
+  PeriodicSampler::Options options;
+  options.interval_records = 1;
+  sampler.Enable(options);
+  sampler.Observe(1);
+  sampler.SampleNow("final");
+  ASSERT_TRUE(sampler.WriteTo(path).ok());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const auto parsed = Json::Parse(buffer.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("samples")->size(), 2u);
+  EXPECT_EQ(
+      parsed->Find("samples")->at(1).Find("reason")->AsString(), "final");
+  std::remove(path.c_str());
+}
+
+TEST_F(TimelineTest, ExpositionTextRendersRegistry) {
+  // Direct registry calls (not the macros) so the rendering is
+  // exercised even in a MLPROV_OBS_NOOP build.
+  Registry::Global().GetCounter("stream.records")->Add(42);
+  Registry::Global().GetGauge("session.p0.seal_lag_hours")->Set(1.5);
+  Registry::Global().GetHistogram("test.latency")->Record(3.0);
+
+  const std::string text = ExpositionText(Registry::Global());
+  EXPECT_NE(text.find("# TYPE mlprov_stream_records counter"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("mlprov_stream_records 42"), std::string::npos);
+  EXPECT_NE(
+      text.find("# TYPE mlprov_session_p0_seal_lag_hours gauge"),
+      std::string::npos);
+  EXPECT_NE(text.find("mlprov_test_latency_count"), std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos);
+  // Prometheus text format: every line is name[{labels}] value.
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST_F(TimelineTest, FlightRecorderKeepsLastKRecords) {
+  FlightRecorder::Options options;
+  options.capacity = 4;
+  FlightRecorder flight("ring_test", options);
+  for (int i = 0; i < 10; ++i) {
+    flight.NoteRecord('E', i, 100 * i);
+  }
+  EXPECT_EQ(flight.NumRecordsNoted(), 10u);
+
+  const Json dump = flight.ToJson();
+  const Json* records = dump.Find("records");
+  ASSERT_EQ(records->size(), 4u);
+  // Oldest-first within the surviving window [6, 10).
+  EXPECT_EQ(records->at(0).Find("seq")->AsInt(), 6);
+  EXPECT_EQ(records->at(0).Find("id")->AsInt(), 6);
+  EXPECT_EQ(records->at(3).Find("seq")->AsInt(), 9);
+  EXPECT_EQ(records->at(3).Find("time")->AsInt(), 900);
+  EXPECT_EQ(records->at(0).Find("kind")->AsString(), "E");
+}
+
+TEST_F(TimelineTest, FlightRecorderNoteErrorMarksFailed) {
+  FlightRecorder flight("error_test");
+  EXPECT_FALSE(flight.failed());
+  Json detail = Json::Object();
+  detail.Set("record_index", static_cast<int64_t>(17));
+  flight.NoteError("watermark regressed", std::move(detail));
+  EXPECT_TRUE(flight.failed());
+
+  const Json dump = flight.ToJson();
+  EXPECT_TRUE(dump.Find("failed")->AsBool(false));
+  EXPECT_EQ(dump.Find("error")->AsString(), "watermark regressed");
+  const Json* entries = dump.Find("entries");
+  ASSERT_GE(entries->size(), 1u);
+  const Json& last = entries->at(entries->size() - 1);
+  EXPECT_EQ(last.Find("kind")->AsString(), "error");
+  EXPECT_EQ(last.Find("detail")->Find("message")->AsString(),
+            "watermark regressed");
+  EXPECT_EQ(
+      last.Find("detail")->Find("context")->Find("record_index")->AsInt(),
+      17);
+}
+
+TEST_F(TimelineTest, FlightRecorderDumpWritesSanitizedFile) {
+  const std::string dir = ::testing::TempDir();
+  FlightRecorder flight("weird/name with spaces");
+  flight.NoteRecord('C', 1, 0);
+  ASSERT_TRUE(flight.Dump(dir).ok());
+
+  std::ifstream in(dir + "/flight_weird_name_with_spaces.json");
+  ASSERT_TRUE(in.good());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const auto parsed = Json::Parse(buffer.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("session")->AsString(), "weird/name with spaces");
+  std::remove((dir + "/flight_weird_name_with_spaces.json").c_str());
+}
+
+TEST_F(TimelineTest, FlightRecorderDumpSkippedWithoutDir) {
+  // No explicit dir and no process-wide dir: recording is always on,
+  // persistence is opt-in.
+  SetFlightRecorderDir("");
+  FlightRecorder flight("no_dir");
+  flight.NoteRecord('C', 1, 0);
+  EXPECT_TRUE(flight.Dump().ok());
+}
+
+}  // namespace
+}  // namespace mlprov::obs

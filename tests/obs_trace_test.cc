@@ -99,22 +99,32 @@ void ValidateChromeTrace(const Json& root, size_t expected_spans) {
   const Json* events = root.Find("traceEvents");
   ASSERT_NE(events, nullptr);
   ASSERT_TRUE(events->is_array());
-  // First record is process_name metadata, the rest are complete spans.
-  ASSERT_EQ(events->size(), expected_spans + 1);
+  // Metadata comes first: a process_name record, then one thread_name
+  // record per observed tid; the rest are complete spans.
+  ASSERT_GE(events->size(), expected_spans + 1);
   const Json& meta = events->at(0);
   EXPECT_EQ(meta.Find("ph")->AsString(), "M");
   EXPECT_EQ(meta.Find("name")->AsString(), "process_name");
+  size_t spans = 0;
   for (size_t i = 1; i < events->size(); ++i) {
     const Json& e = events->at(i);
-    EXPECT_EQ(e.Find("ph")->AsString(), "X");
     ASSERT_NE(e.Find("name"), nullptr);
     EXPECT_TRUE(e.Find("name")->is_string());
+    EXPECT_TRUE(e.Find("pid")->is_number());
+    EXPECT_TRUE(e.Find("tid")->is_number());
+    if (e.Find("ph")->AsString() == "M") {
+      EXPECT_EQ(e.Find("name")->AsString(), "thread_name");
+      EXPECT_TRUE(e.Find("args")->Find("name")->is_string());
+      EXPECT_EQ(spans, 0u) << "metadata interleaved with spans";
+      continue;
+    }
+    ++spans;
+    EXPECT_EQ(e.Find("ph")->AsString(), "X");
     EXPECT_TRUE(e.Find("cat")->is_string());
     EXPECT_TRUE(e.Find("ts")->is_number());
     EXPECT_TRUE(e.Find("dur")->is_number());
-    EXPECT_TRUE(e.Find("pid")->is_number());
-    EXPECT_TRUE(e.Find("tid")->is_number());
   }
+  EXPECT_EQ(spans, expected_spans);
 }
 
 TEST(TraceRecorderTest, ToJsonIsValidChromeTraceFormat) {

@@ -1,0 +1,273 @@
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "metadata/types.h"
+#include "obs/flight_recorder.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "simulator/provenance_sink.h"
+#include "stream/session.h"
+
+namespace mlprov::stream {
+namespace {
+
+using metadata::ArtifactId;
+using metadata::ArtifactType;
+using metadata::EventKind;
+using metadata::ExecutionId;
+using metadata::ExecutionType;
+using metadata::Timestamp;
+using sim::ProvenanceRecord;
+
+constexpr Timestamp kHour = metadata::kSecondsPerHour;
+
+ProvenanceRecord ContextRecord(metadata::ContextId id,
+                               const std::string& name) {
+  ProvenanceRecord record;
+  record.kind = ProvenanceRecord::Kind::kContext;
+  record.context.id = id;
+  record.context.name = name;
+  return record;
+}
+
+ProvenanceRecord ExecRecord(ExecutionId id, ExecutionType type,
+                            Timestamp start, Timestamp end,
+                            bool succeeded = true) {
+  ProvenanceRecord record;
+  record.kind = ProvenanceRecord::Kind::kExecution;
+  record.execution.id = id;
+  record.execution.type = type;
+  record.execution.start_time = start;
+  record.execution.end_time = end;
+  record.execution.compute_cost = 1.0;
+  record.execution.succeeded = succeeded;
+  return record;
+}
+
+ProvenanceRecord ArtifactRecord(ArtifactId id, ArtifactType type,
+                                Timestamp created) {
+  ProvenanceRecord record;
+  record.kind = ProvenanceRecord::Kind::kArtifact;
+  record.artifact.id = id;
+  record.artifact.type = type;
+  record.artifact.create_time = created;
+  return record;
+}
+
+ProvenanceRecord EventRecord(ExecutionId exec, ArtifactId artifact,
+                             EventKind kind, Timestamp time) {
+  ProvenanceRecord record;
+  record.kind = ProvenanceRecord::Kind::kEvent;
+  record.event = {exec, artifact, kind, time};
+  return record;
+}
+
+/// Two-trainer feed: trainer 2 ends at 10h, trainer 4 at 90h, and a
+/// trailing artifact advances the watermark to 100h — past trainer 2's
+/// 24h grace (sealed) but inside trainer 4's (open, 10h of lag).
+void FeedTwoTrainers(ProvenanceSession& session) {
+  ASSERT_TRUE(session.Ingest(ContextRecord(1, "pipeline_h")).ok());
+  ASSERT_TRUE(session
+                  .Ingest(ExecRecord(1, ExecutionType::kExampleGen, 0,
+                                     1 * kHour))
+                  .ok());
+  ASSERT_TRUE(
+      session.Ingest(ArtifactRecord(1, ArtifactType::kExamples, 1 * kHour))
+          .ok());
+  ASSERT_TRUE(
+      session.Ingest(EventRecord(1, 1, EventKind::kOutput, 1 * kHour))
+          .ok());
+  ASSERT_TRUE(session
+                  .Ingest(ExecRecord(2, ExecutionType::kTrainer, 2 * kHour,
+                                     10 * kHour))
+                  .ok());
+  ASSERT_TRUE(
+      session.Ingest(EventRecord(2, 1, EventKind::kInput, 2 * kHour)).ok());
+  ASSERT_TRUE(session
+                  .Ingest(ArtifactRecord(2, ArtifactType::kModel,
+                                         10 * kHour))
+                  .ok());
+  ASSERT_TRUE(
+      session.Ingest(EventRecord(2, 2, EventKind::kOutput, 10 * kHour))
+          .ok());
+  ASSERT_TRUE(session
+                  .Ingest(ExecRecord(3, ExecutionType::kExampleGen,
+                                     80 * kHour, 81 * kHour))
+                  .ok());
+  ASSERT_TRUE(session
+                  .Ingest(ArtifactRecord(3, ArtifactType::kExamples,
+                                         81 * kHour))
+                  .ok());
+  ASSERT_TRUE(
+      session.Ingest(EventRecord(3, 3, EventKind::kOutput, 81 * kHour))
+          .ok());
+  ASSERT_TRUE(session
+                  .Ingest(ExecRecord(4, ExecutionType::kTrainer, 82 * kHour,
+                                     90 * kHour))
+                  .ok());
+  ASSERT_TRUE(
+      session.Ingest(EventRecord(4, 3, EventKind::kInput, 82 * kHour))
+          .ok());
+  ASSERT_TRUE(session
+                  .Ingest(ArtifactRecord(4, ArtifactType::kModel,
+                                         100 * kHour))
+                  .ok());
+  ASSERT_TRUE(
+      session.Ingest(EventRecord(4, 4, EventKind::kOutput, 100 * kHour))
+          .ok());
+}
+
+SessionOptions HealthOptions(const std::string& name) {
+  SessionOptions options;
+  options.name = name;
+  options.segmenter.seal_grace_hours = 24.0;
+  return options;
+}
+
+TEST(StreamHealthTest, HealthTracksFeedMidStream) {
+  ProvenanceSession session(HealthOptions("mid"));
+  FeedTwoTrainers(session);
+
+  const SessionHealth health = session.Health();
+  EXPECT_EQ(health.name, "mid");
+  EXPECT_EQ(health.records, 15u);
+  EXPECT_EQ(health.watermark, 100 * kHour);
+  EXPECT_EQ(health.cells, 2u);
+  EXPECT_EQ(health.sealed, 1u);
+  EXPECT_EQ(health.open_cells, 1u);
+  // Trainer 4 ended at 90h, watermark is 100h: ten hours of seal lag.
+  EXPECT_DOUBLE_EQ(health.seal_lag_hours, 10.0);
+  // No scorer: nothing to decide.
+  EXPECT_EQ(health.decisions, 0u);
+  EXPECT_EQ(health.pending_decisions, 0u);
+  EXPECT_FALSE(health.poisoned);
+  EXPECT_FALSE(health.finished);
+
+  // ToJson carries every field.
+  const obs::Json j = health.ToJson();
+  EXPECT_EQ(j.Find("name")->AsString(), "mid");
+  EXPECT_EQ(j.Find("records")->AsInt(), 15);
+  EXPECT_DOUBLE_EQ(j.Find("seal_lag_hours")->AsDouble(), 10.0);
+  EXPECT_EQ(j.Find("open_cells")->AsInt(), 1);
+  EXPECT_FALSE(j.Find("poisoned")->AsBool(true));
+}
+
+TEST(StreamHealthTest, HealthAfterFinish) {
+  ProvenanceSession session(HealthOptions("fin"));
+  FeedTwoTrainers(session);
+  ASSERT_TRUE(session.Finish().ok());
+
+  const SessionHealth health = session.Health();
+  EXPECT_TRUE(health.finished);
+  EXPECT_EQ(health.cells, 2u);
+}
+
+TEST(StreamHealthTest, PublishHealthExportsGauges) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  ProvenanceSession session(HealthOptions("ht1"));
+  FeedTwoTrainers(session);
+  session.PublishHealth();
+
+  obs::Registry& registry = obs::Registry::Global();
+  EXPECT_DOUBLE_EQ(registry.GetGauge("session.ht1.records")->Value(),
+                   15.0);
+  EXPECT_DOUBLE_EQ(
+      registry.GetGauge("session.ht1.seal_lag_hours")->Value(), 10.0);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("session.ht1.open_cells")->Value(),
+                   1.0);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("session.ht1.poisoned")->Value(),
+                   0.0);
+
+  // Republishing after more progress updates in place (same gauges).
+  ASSERT_TRUE(session.Finish().ok());
+  session.PublishHealth();
+  EXPECT_DOUBLE_EQ(registry.GetGauge("session.ht1.records")->Value(),
+                   15.0);
+}
+
+TEST(StreamHealthTest, UnnamedSessionPublishesNothing) {
+  SessionOptions options;
+  options.segmenter.seal_grace_hours = 24.0;
+  ProvenanceSession session(options);
+  FeedTwoTrainers(session);
+  session.PublishHealth();  // no name: must not mint "session.." gauges
+
+  const obs::Json snapshot = obs::Registry::Global().Snapshot();
+  const obs::Json* gauges = snapshot.Find("gauges");
+  if (gauges != nullptr) {
+    for (const auto& [name, value] : gauges->members()) {
+      EXPECT_NE(name.substr(0, 9), "session..") << name;
+    }
+  }
+}
+
+TEST(StreamHealthTest, PoisonedSessionDumpsFlightFile) {
+  const std::string dir = ::testing::TempDir();
+  obs::SetFlightRecorderDir(dir);
+
+  SessionOptions options = HealthOptions("poison_test");
+  options.flight_capacity = 8;
+  ProvenanceSession session(options);
+  ASSERT_TRUE(session.Ingest(ContextRecord(1, "pipeline_p")).ok());
+  ASSERT_TRUE(session
+                  .Ingest(ExecRecord(1, ExecutionType::kExampleGen, 0,
+                                     1 * kHour))
+                  .ok());
+  // Feed-order violation: execution id 5 when 2 is expected.
+  const common::Status poisoned =
+      session.Ingest(ExecRecord(5, ExecutionType::kTrainer, 2 * kHour,
+                                3 * kHour));
+  EXPECT_FALSE(poisoned.ok());
+  EXPECT_TRUE(session.Health().poisoned);
+  if (!obs::kMetricsEnabled) {
+    obs::SetFlightRecorderDir("");
+    GTEST_SKIP() << "flight persistence compiled out (MLPROV_OBS_NOOP)";
+  }
+  EXPECT_TRUE(session.flight_recorder().failed());
+  obs::SetFlightRecorderDir("");
+
+  // The dump happened at poisoning time and captures the violating
+  // record as the error entry (plus the record tail up to it).
+  const std::string path = dir + "/flight_poison_test.json";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const auto parsed = obs::Json::Parse(buffer.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("session")->AsString(), "poison_test");
+  EXPECT_TRUE(parsed->Find("failed")->AsBool(false));
+  const obs::Json* entries = parsed->Find("entries");
+  ASSERT_GE(entries->size(), 1u);
+  const obs::Json& error = entries->at(entries->size() - 1);
+  EXPECT_EQ(error.Find("kind")->AsString(), "error");
+  const obs::Json* context = error.Find("detail")->Find("context");
+  ASSERT_NE(context, nullptr);
+  EXPECT_EQ(context->Find("kind")->AsString(), "E");
+  EXPECT_EQ(context->Find("id")->AsInt(), 5);
+  // The record ring ends with the violating record itself.
+  const obs::Json* records = parsed->Find("records");
+  ASSERT_GE(records->size(), 1u);
+  const obs::Json& last = records->at(records->size() - 1);
+  EXPECT_EQ(last.Find("kind")->AsString(), "E");
+  EXPECT_EQ(last.Find("id")->AsInt(), 5);
+
+  std::remove(path.c_str());
+}
+
+TEST(StreamHealthTest, PendingDecisionsRequireScorer) {
+  // Without a scorer, cells never become decisions and none are pending;
+  // the bench's scoring sessions cover the scorer-armed path.
+  ProvenanceSession session(HealthOptions("nopend"));
+  FeedTwoTrainers(session);
+  const SessionHealth health = session.Health();
+  EXPECT_EQ(health.pending_decisions, 0u);
+}
+
+}  // namespace
+}  // namespace mlprov::stream
