@@ -1,0 +1,124 @@
+// Microbenchmarks for the trace serialization substrate: text vs MLPB
+// binary serialize/deserialize throughput over a simulated pipeline
+// trace, the zero-copy cursor walk, and the on-disk size ratio (recorded
+// in the report by the extra hook).
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench/micro_common.h"
+#include "common/rng.h"
+#include "metadata/binary_serialization.h"
+#include "metadata/serialization.h"
+#include "simulator/pipeline_simulator.h"
+
+namespace mlprov {
+namespace {
+
+/// One deterministic simulated pipeline trace, shared by every benchmark
+/// (the store's shape is what the format is optimized for).
+const metadata::MetadataStore& BenchStore() {
+  static const metadata::MetadataStore* store = [] {
+    sim::CorpusConfig corpus_config;
+    corpus_config.seed = 7;
+    common::Rng rng(corpus_config.seed);
+    sim::PipelineConfig config =
+        sim::SamplePipelineConfig(corpus_config, 0, rng);
+    config.lifespan_days = 30.0;
+    auto* trace = new sim::PipelineTrace(
+        sim::SimulatePipeline(corpus_config, config, sim::CostModel()));
+    return &trace->store;
+  }();
+  return *store;
+}
+
+const std::string& TextCorpus() {
+  static const std::string* text =
+      new std::string(metadata::SerializeStore(BenchStore()));
+  return *text;
+}
+
+const std::string& BinaryCorpus() {
+  static const std::string* binary =
+      new std::string(metadata::SerializeStoreBinary(BenchStore()));
+  return *binary;
+}
+
+void BM_SerializeText(benchmark::State& state) {
+  const metadata::MetadataStore& store = BenchStore();
+  size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string out = metadata::SerializeStore(store);
+    bytes = out.size();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes) * state.iterations());
+}
+BENCHMARK(BM_SerializeText);
+
+void BM_SerializeBinary(benchmark::State& state) {
+  const metadata::MetadataStore& store = BenchStore();
+  size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string out = metadata::SerializeStoreBinary(store);
+    bytes = out.size();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes) * state.iterations());
+}
+BENCHMARK(BM_SerializeBinary);
+
+void BM_DeserializeText(benchmark::State& state) {
+  const std::string& text = TextCorpus();
+  for (auto _ : state) {
+    auto store = metadata::DeserializeStore(text);
+    benchmark::DoNotOptimize(store.ok());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(text.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_DeserializeText);
+
+void BM_DeserializeBinary(benchmark::State& state) {
+  const std::string& binary = BinaryCorpus();
+  for (auto _ : state) {
+    auto store = metadata::DeserializeStoreBinary(binary);
+    benchmark::DoNotOptimize(store.ok());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(binary.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_DeserializeBinary);
+
+void BM_CursorWalk(benchmark::State& state) {
+  const std::string& binary = BinaryCorpus();
+  for (auto _ : state) {
+    auto cursor = metadata::BinaryStoreCursor::Open(binary);
+    size_t records = 0;
+    metadata::RecordRef record;
+    while (cursor.ok() && cursor->Next(&record)) ++records;
+    benchmark::DoNotOptimize(records);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(binary.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_CursorWalk);
+
+}  // namespace
+}  // namespace mlprov
+
+int main(int argc, char** argv) {
+  return mlprov::bench::MicrobenchMain(
+      argc, argv,
+      [](const mlprov::common::Flags&, mlprov::obs::BenchReport& report) {
+        const std::string& text = mlprov::TextCorpus();
+        const std::string& binary = mlprov::BinaryCorpus();
+        report.Set("size.text_bytes", static_cast<int64_t>(text.size()));
+        report.Set("size.binary_bytes",
+                   static_cast<int64_t>(binary.size()));
+        report.Set("size.ratio",
+                   binary.empty()
+                       ? 0.0
+                       : static_cast<double>(text.size()) / binary.size());
+      });
+}

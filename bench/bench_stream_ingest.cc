@@ -15,6 +15,8 @@
 #include "core/features.h"
 #include "core/segmentation.h"
 #include "core/waste_mitigation.h"
+#include "metadata/binary_serialization.h"
+#include "metadata/serialization.h"
 #include "simulator/provenance_sink.h"
 #include "stream/fingerprint.h"
 #include "stream/online_scorer.h"
@@ -294,7 +296,142 @@ int Run(int argc, char** argv) {
                  static_cast<int64_t>(waste.lost_pushes));
   ctx.report.Set("scoring.avoided_hours", waste.avoided_hours);
   ctx.report.Set("scoring.seconds", scoring_seconds);
-  return identical ? 0 : 1;
+
+  // ---- Phase 4: serialized-corpus ingest, text vs binary zero-copy. ----
+  // A session fed from a serialized corpus: the text path materializes a
+  // MetadataStore (parse + copy every string) and replays it; the binary
+  // path walks the MLPB columns with BinaryStoreCursor and hands
+  // zero-copy RecordRef views straight to Ingest. Both must produce
+  // byte-identical replicas and fingerprints — asserted below, along with
+  // the lossless text -> binary -> text round trip.
+  std::vector<std::string> texts, binaries;
+  texts.reserve(ctx.corpus.pipelines.size());
+  binaries.reserve(ctx.corpus.pipelines.size());
+  size_t text_bytes = 0, binary_bytes = 0;
+  bool round_trip_identical = true;
+  for (const sim::PipelineTrace& trace : ctx.corpus.pipelines) {
+    texts.push_back(metadata::SerializeStore(trace.store));
+    binaries.push_back(metadata::SerializeStoreBinary(trace.store));
+    text_bytes += texts.back().size();
+    binary_bytes += binaries.back().size();
+    auto decoded = metadata::DeserializeStoreBinary(binaries.back());
+    round_trip_identical =
+        round_trip_identical && decoded.ok() &&
+        metadata::SerializeStore(*decoded) == texts.back();
+  }
+
+  // Decode stage: serialized bytes -> record stream. This is the work
+  // the binary format removes; the text side must build the whole store
+  // before a single record can be replayed.
+  size_t serialized_records = 0;
+  double text_decode_seconds = 0.0;
+  for (const std::string& text : texts) {
+    const auto t0 = Clock::now();
+    auto store = metadata::DeserializeStore(text);
+    text_decode_seconds +=
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    if (!store.ok()) {
+      std::fprintf(stderr, "error: text decode: %s\n",
+                   store.status().ToString().c_str());
+      return 1;
+    }
+  }
+  double binary_decode_seconds = 0.0;
+  for (const std::string& binary : binaries) {
+    const auto t0 = Clock::now();
+    auto cursor = metadata::BinaryStoreCursor::Open(binary);
+    size_t n = 0;
+    metadata::RecordRef record;
+    while (cursor.ok() && cursor->Next(&record)) ++n;
+    binary_decode_seconds +=
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    if (!cursor.ok() || !cursor->status().ok()) {
+      std::fprintf(stderr, "error: binary decode failed\n");
+      return 1;
+    }
+    serialized_records += n;
+  }
+
+  // End-to-end stage: serialized bytes -> finished analysis.
+  bool formats_identical = true;
+  double text_e2e_seconds = 0.0, binary_e2e_seconds = 0.0;
+  std::vector<uint64_t> text_prints(texts.size());
+  for (size_t i = 0; i < texts.size(); ++i) {
+    const auto t0 = Clock::now();
+    auto store = metadata::DeserializeStore(texts[i]);
+    stream::ProvenanceSession session;
+    if (!store.ok() || !stream::ReplayStore(*store, session).ok()) {
+      std::fprintf(stderr, "error: text replay failed\n");
+      return 1;
+    }
+    auto result = session.Finish();
+    text_e2e_seconds +=
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    if (!result.ok()) return 1;
+    text_prints[i] = stream::FingerprintGraphlets(result->graphlets);
+  }
+  for (size_t i = 0; i < binaries.size(); ++i) {
+    const auto t0 = Clock::now();
+    auto cursor = metadata::BinaryStoreCursor::Open(binaries[i]);
+    stream::ProvenanceSession session;
+    metadata::RecordRef record;
+    bool ok = cursor.ok();
+    while (ok && cursor->Next(&record)) {
+      ok = session.Ingest(record).ok();
+    }
+    auto result = session.Finish();
+    binary_e2e_seconds +=
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    if (!ok || !cursor->status().ok() || !result.ok()) {
+      std::fprintf(stderr, "error: binary replay failed\n");
+      return 1;
+    }
+    formats_identical =
+        formats_identical &&
+        stream::FingerprintGraphlets(result->graphlets) == text_prints[i];
+  }
+
+  const double decode_ratio = binary_decode_seconds > 0.0
+                                  ? text_decode_seconds / binary_decode_seconds
+                                  : 0.0;
+  const double e2e_ratio =
+      binary_e2e_seconds > 0.0 ? text_e2e_seconds / binary_e2e_seconds : 0.0;
+  const double size_ratio =
+      binary_bytes > 0 ? static_cast<double>(text_bytes) / binary_bytes : 0.0;
+  std::printf(
+      "serialized ingest (%zu records): decode %.3fs text vs %.3fs binary "
+      "-> %.1fx record throughput (acceptance: >= 10x)\n",
+      serialized_records, text_decode_seconds, binary_decode_seconds,
+      decode_ratio);
+  std::printf(
+      "end-to-end (decode + session + finish): %.3fs text vs %.3fs binary "
+      "-> %.1fx\n",
+      text_e2e_seconds, binary_e2e_seconds, e2e_ratio);
+  std::printf("corpus size: %.1f MB text vs %.1f MB binary (%.1fx)\n",
+              text_bytes / 1e6, binary_bytes / 1e6, size_ratio);
+  std::printf("text -> binary -> text round trip: %s\n",
+              round_trip_identical ? "IDENTICAL" : "MISMATCH — BUG");
+  std::printf("analyses across formats: %s\n\n",
+              formats_identical ? "IDENTICAL" : "MISMATCH — BUG");
+  ctx.report.Set("serialized.records",
+                 static_cast<int64_t>(serialized_records));
+  ctx.report.Set("serialized.text_decode_seconds", text_decode_seconds);
+  ctx.report.Set("serialized.binary_decode_seconds", binary_decode_seconds);
+  ctx.report.Set("serialized.binary_records_per_sec",
+                 binary_decode_seconds > 0.0
+                     ? serialized_records / binary_decode_seconds
+                     : 0.0);
+  ctx.report.Set("serialized.throughput_ratio", decode_ratio);
+  ctx.report.Set("serialized.text_e2e_seconds", text_e2e_seconds);
+  ctx.report.Set("serialized.binary_e2e_seconds", binary_e2e_seconds);
+  ctx.report.Set("serialized.e2e_ratio", e2e_ratio);
+  ctx.report.Set("serialized.text_bytes", static_cast<int64_t>(text_bytes));
+  ctx.report.Set("serialized.binary_bytes",
+                 static_cast<int64_t>(binary_bytes));
+  ctx.report.Set("serialized.size_ratio", size_ratio);
+  ctx.report.Set("serialized.round_trip_identical", round_trip_identical);
+  ctx.report.Set("serialized.formats_identical", formats_identical);
+  return identical && round_trip_identical && formats_identical ? 0 : 1;
 }
 
 }  // namespace

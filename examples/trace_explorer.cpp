@@ -12,8 +12,11 @@
 #include <utility>
 #include <variant>
 
+#include <chrono>
+
 #include "common/flags.h"
 #include "core/segmentation.h"
+#include "metadata/binary_serialization.h"
 #include "metadata/serialization.h"
 #include "metadata/trace.h"
 #include "metadata/trace_validator.h"
@@ -89,12 +92,13 @@ int ExploreStore(const metadata::MetadataStore& store) {
   return 0;
 }
 
-// Loads a user-supplied trace: strict parse first, then a lenient parse
-// plus repair, so a partially corrupted file still explores (with the
-// damage reported) while garbage is rejected outright.
+// Loads a user-supplied trace: strict parse first (the format — text or
+// MLPB binary — is auto-detected from the magic bytes), then a lenient
+// parse plus repair, so a partially corrupted file still explores (with
+// the damage reported) while garbage is rejected outright.
 common::StatusOr<metadata::MetadataStore> LoadUserTrace(
-    const std::string& path) {
-  auto strict = metadata::LoadStore(path);
+    const std::string& path, metadata::StoreFormat* format) {
+  auto strict = metadata::LoadStore(path, format);
   if (strict.ok()) return strict;
   std::fprintf(stderr, "warning: strict parse failed (%s); retrying "
                "leniently\n",
@@ -104,7 +108,14 @@ common::StatusOr<metadata::MetadataStore> LoadUserTrace(
   std::ostringstream buf;
   buf << in.rdbuf();
   metadata::LenientStats stats;
-  auto lenient = metadata::DeserializeStoreLenient(buf.str(), &stats);
+  const bool binary = metadata::IsBinaryStore(buf.str());
+  if (format != nullptr) {
+    *format = binary ? metadata::StoreFormat::kBinary
+                     : metadata::StoreFormat::kText;
+  }
+  auto lenient =
+      binary ? metadata::DeserializeStoreBinaryLenient(buf.str(), &stats)
+             : metadata::DeserializeStoreLenient(buf.str(), &stats);
   if (!lenient.ok()) return lenient;
   std::fprintf(stderr,
                "warning: lenient parse skipped %zu malformed line(s), "
@@ -135,16 +146,25 @@ int main(int argc, char** argv) {
   // simulating a fresh one.
   const std::string load_path = flags.GetString("load", "");
   if (!load_path.empty()) {
-    auto loaded = LoadUserTrace(load_path);
+    metadata::StoreFormat format = metadata::StoreFormat::kText;
+    const auto t0 = std::chrono::steady_clock::now();
+    auto loaded = LoadUserTrace(load_path, &format);
+    const double load_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
     if (!loaded.ok()) {
       std::fprintf(stderr, "error: cannot load trace from %s: %s\n",
                    load_path.c_str(),
                    loaded.status().ToString().c_str());
       return 1;
     }
-    std::printf("loaded %s: %zu executions, %zu artifacts, %zu events\n",
-                load_path.c_str(), loaded->num_executions(),
-                loaded->num_artifacts(), loaded->num_events());
+    std::printf(
+        "loaded %s (%s format, %.3fs): %zu executions, %zu artifacts, "
+        "%zu events\n",
+        load_path.c_str(),
+        format == metadata::StoreFormat::kBinary ? "binary" : "text",
+        load_seconds, loaded->num_executions(), loaded->num_artifacts(),
+        loaded->num_events());
     return ExploreStore(*loaded);
   }
 
@@ -164,9 +184,24 @@ int main(int argc, char** argv) {
   sim::PipelineTrace trace =
       sim::SimulatePipeline(corpus_config, config, sim::CostModel());
 
-  // Round-trip the trace through the text serialization.
-  const std::string path = "/tmp/mlprov_trace_example.txt";
-  if (auto status = metadata::SaveStore(trace.store, path); !status.ok()) {
+  // Round-trip the trace through the chosen serialization
+  // (--corpus_format=text|binary; load always auto-detects).
+  const std::string format_name = flags.GetString("corpus_format", "text");
+  if (format_name != "text" && format_name != "binary") {
+    std::fprintf(stderr,
+                 "error: --corpus_format must be text | binary, got "
+                 "\"%s\"\n",
+                 format_name.c_str());
+    return 2;
+  }
+  const metadata::StoreFormat format =
+      format_name == "binary" ? metadata::StoreFormat::kBinary
+                              : metadata::StoreFormat::kText;
+  const std::string path = format == metadata::StoreFormat::kBinary
+                               ? "/tmp/mlprov_trace_example.mlpb"
+                               : "/tmp/mlprov_trace_example.txt";
+  if (auto status = metadata::SaveStore(trace.store, path, format);
+      !status.ok()) {
     std::fprintf(stderr, "error: save failed: %s\n",
                  status.ToString().c_str());
     return 1;
@@ -177,9 +212,9 @@ int main(int argc, char** argv) {
                  loaded.status().ToString().c_str());
     return 1;
   }
-  std::printf("trace saved to %s and reloaded: %zu executions, %zu "
-              "artifacts, %zu events\n",
-              path.c_str(), loaded->num_executions(),
+  std::printf("trace saved to %s (%s format) and reloaded: %zu "
+              "executions, %zu artifacts, %zu events\n",
+              path.c_str(), format_name.c_str(), loaded->num_executions(),
               loaded->num_artifacts(), loaded->num_events());
 
   const int code = ExploreStore(trace.store);

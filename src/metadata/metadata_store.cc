@@ -31,6 +31,69 @@ ContextId MetadataStore::PutContext(Context context) {
   return contexts_.back().id;
 }
 
+namespace {
+// Properties arrive sorted by key from the wire format, so the end hint
+// makes map construction linear; an unsorted span still inserts
+// correctly, just without the hint paying off.
+void FillProperties(std::map<std::string, PropertyValue>& out,
+                    std::span<const PropertyRef> properties) {
+  auto hint = out.end();
+  for (const PropertyRef& p : properties) {
+    hint = out.insert_or_assign(hint, std::string(p.key),
+                                MaterializeProperty(p.value));
+  }
+}
+}  // namespace
+
+ArtifactId MetadataStore::PutArtifactBorrowed(
+    ArtifactType type, Timestamp create_time,
+    std::span<const PropertyRef> properties) {
+  Artifact& a = artifacts_.emplace_back();
+  a.id = static_cast<ArtifactId>(artifacts_.size());
+  a.type = type;
+  a.create_time = create_time;
+  FillProperties(a.properties, properties);
+  artifact_producers_.emplace_back();
+  artifact_consumers_.emplace_back();
+  return a.id;
+}
+
+ExecutionId MetadataStore::PutExecutionBorrowed(
+    ExecutionType type, Timestamp start_time, Timestamp end_time,
+    bool succeeded, double compute_cost,
+    std::span<const PropertyRef> properties) {
+  Execution& e = executions_.emplace_back();
+  e.id = static_cast<ExecutionId>(executions_.size());
+  e.type = type;
+  e.start_time = start_time;
+  e.end_time = end_time;
+  e.succeeded = succeeded;
+  e.compute_cost = compute_cost;
+  FillProperties(e.properties, properties);
+  exec_inputs_.emplace_back();
+  exec_outputs_.emplace_back();
+  return e.id;
+}
+
+ContextId MetadataStore::PutContextBorrowed(std::string_view name) {
+  Context& c = contexts_.emplace_back();
+  c.id = static_cast<ContextId>(contexts_.size());
+  c.name.assign(name);
+  return c.id;
+}
+
+void MetadataStore::Reserve(size_t artifacts, size_t executions,
+                            size_t events, size_t contexts) {
+  artifacts_.reserve(artifacts);
+  artifact_producers_.reserve(artifacts);
+  artifact_consumers_.reserve(artifacts);
+  executions_.reserve(executions);
+  exec_inputs_.reserve(executions);
+  exec_outputs_.reserve(executions);
+  events_.reserve(events);
+  contexts_.reserve(contexts);
+}
+
 common::Status MetadataStore::PutEvent(const Event& event) {
   if (!ValidExecution(event.execution)) {
     return common::Status::NotFound("unknown execution in event");

@@ -2,7 +2,9 @@
 #define MLPROV_METADATA_METADATA_STORE_H_
 
 #include <map>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -72,6 +74,25 @@ class MetadataStore {
   ExecutionId PutExecution(Execution execution);
   /// Inserts a context.
   ContextId PutContext(Context context);
+
+  // Borrowed-view inserts for the zero-copy ingest path (the binary
+  // corpus cursor, see metadata/binary_serialization.h): the node is
+  // constructed in place and every string is copied exactly once, at
+  // this ownership boundary — no intermediate owned record. `properties`
+  // must be sorted by key (the wire format guarantees it); views only
+  // need to live for the duration of the call.
+  ArtifactId PutArtifactBorrowed(ArtifactType type, Timestamp create_time,
+                                 std::span<const PropertyRef> properties);
+  ExecutionId PutExecutionBorrowed(ExecutionType type, Timestamp start_time,
+                                   Timestamp end_time, bool succeeded,
+                                   double compute_cost,
+                                   std::span<const PropertyRef> properties);
+  ContextId PutContextBorrowed(std::string_view name);
+
+  /// Pre-sizes the node and adjacency vectors (deserializers know the
+  /// final counts up front; everything still works without this).
+  void Reserve(size_t artifacts, size_t executions, size_t events,
+               size_t contexts);
 
   /// Records an input/output event. Fails if either endpoint is unknown.
   common::Status PutEvent(const Event& event);

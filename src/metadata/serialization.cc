@@ -3,8 +3,11 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
+
+#include "metadata/binary_serialization.h"
 
 namespace mlprov::metadata {
 
@@ -122,12 +125,16 @@ void AppendProperties(const std::map<std::string, PropertyValue>& props,
 
 }  // namespace
 
-std::string SerializeStore(const MetadataStore& store) {
-  std::string out = "MLPROVSTORE v1\n";
+void SerializeStoreTo(const MetadataStore& store, std::ostream& out) {
+  out << "MLPROVSTORE v1\n";
+  // One node (plus its properties) is buffered at a time, so the peak
+  // footprint is a single record regardless of corpus size.
+  std::string line;
   for (const Artifact& a : store.artifacts()) {
-    out += "A " + std::to_string(static_cast<int>(a.type)) + ' ' +
+    line = "A " + std::to_string(static_cast<int>(a.type)) + ' ' +
            std::to_string(a.create_time) + '\n';
-    AppendProperties(a.properties, 'a', a.id, out);
+    AppendProperties(a.properties, 'a', a.id, line);
+    out << line;
   }
   for (const Execution& e : store.executions()) {
     char buf[128];
@@ -136,25 +143,30 @@ std::string SerializeStore(const MetadataStore& store) {
                   static_cast<long long>(e.start_time),
                   static_cast<long long>(e.end_time),
                   e.succeeded ? 1 : 0, e.compute_cost);
-    out += buf;
-    AppendProperties(e.properties, 'e', e.id, out);
+    line = buf;
+    AppendProperties(e.properties, 'e', e.id, line);
+    out << line;
   }
   for (const Event& ev : store.events()) {
-    out += "V " + std::to_string(ev.execution) + ' ' +
-           std::to_string(ev.artifact) + ' ' +
-           std::to_string(static_cast<int>(ev.kind)) + ' ' +
-           std::to_string(ev.time) + '\n';
+    out << "V " << ev.execution << ' ' << ev.artifact << ' '
+        << static_cast<int>(ev.kind) << ' ' << ev.time << '\n';
   }
   for (const Context& c : store.contexts()) {
-    out += "C " + Escape(c.name) + '\n';
+    line = "C " + Escape(c.name) + '\n';
     for (ExecutionId e : c.executions) {
-      out += "CE " + std::to_string(c.id) + ' ' + std::to_string(e) + '\n';
+      line += "CE " + std::to_string(c.id) + ' ' + std::to_string(e) + '\n';
     }
     for (ArtifactId a : c.artifacts) {
-      out += "CA " + std::to_string(c.id) + ' ' + std::to_string(a) + '\n';
+      line += "CA " + std::to_string(c.id) + ' ' + std::to_string(a) + '\n';
     }
+    out << line;
   }
-  return out;
+}
+
+std::string SerializeStore(const MetadataStore& store) {
+  std::ostringstream out;
+  SerializeStoreTo(store, out);
+  return std::move(out).str();
 }
 
 namespace {
@@ -163,10 +175,8 @@ namespace {
 // mode skips/coerces and tallies the damage. Stream extraction of
 // numbers never throws (overflow just sets failbit), so the only
 // hazards are the enum casts and stoll/stod — both handled here.
-common::StatusOr<MetadataStore> ParseStore(const std::string& text,
-                                           bool lenient,
+common::StatusOr<MetadataStore> ParseStore(std::istream& in, bool lenient,
                                            LenientStats* stats) {
-  std::istringstream in(text);
   std::string line;
   if (!std::getline(in, line) || line != "MLPROVSTORE v1") {
     return common::Status::InvalidArgument("bad store header");
@@ -349,29 +359,47 @@ common::StatusOr<MetadataStore> ParseStore(const std::string& text,
 }  // namespace
 
 common::StatusOr<MetadataStore> DeserializeStore(const std::string& text) {
-  return ParseStore(text, /*lenient=*/false, nullptr);
+  std::istringstream in(text);
+  return ParseStore(in, /*lenient=*/false, nullptr);
 }
 
 common::StatusOr<MetadataStore> DeserializeStoreLenient(
     const std::string& text, LenientStats* stats) {
-  return ParseStore(text, /*lenient=*/true, stats);
+  std::istringstream in(text);
+  return ParseStore(in, /*lenient=*/true, stats);
 }
 
-common::Status SaveStore(const MetadataStore& store,
-                         const std::string& path) {
+common::Status SaveStore(const MetadataStore& store, const std::string& path,
+                         StoreFormat format) {
   std::ofstream out(path, std::ios::binary);
   if (!out) return common::Status::Internal("cannot open " + path);
-  out << SerializeStore(store);
+  if (format == StoreFormat::kBinary) {
+    MLPROV_RETURN_IF_ERROR(SaveStoreBinary(store, out));
+  } else {
+    SerializeStoreTo(store, out);
+  }
   if (!out) return common::Status::Internal("write failed: " + path);
   return common::Status::Ok();
 }
 
-common::StatusOr<MetadataStore> LoadStore(const std::string& path) {
+common::StatusOr<MetadataStore> LoadStore(const std::string& path,
+                                          StoreFormat* format) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return common::Status::NotFound("cannot open " + path);
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  return DeserializeStore(buf.str());
+  // Auto-detect from the leading magic: "MLPB" is binary, everything
+  // else (including a short or empty file) goes through the text parser.
+  char magic[sizeof(kBinaryStoreMagic)] = {};
+  in.read(magic, sizeof(magic));
+  const bool binary =
+      in.gcount() == sizeof(magic) &&
+      std::memcmp(magic, kBinaryStoreMagic, sizeof(magic)) == 0;
+  in.clear();
+  in.seekg(0);
+  if (format != nullptr) {
+    *format = binary ? StoreFormat::kBinary : StoreFormat::kText;
+  }
+  if (binary) return LoadStoreBinary(in);
+  return ParseStore(in, /*lenient=*/false, nullptr);
 }
 
 }  // namespace mlprov::metadata

@@ -46,9 +46,29 @@ struct LenientStats {
 common::StatusOr<MetadataStore> DeserializeStoreLenient(
     const std::string& text, LenientStats* stats = nullptr);
 
-/// File variants.
-common::Status SaveStore(const MetadataStore& store, const std::string& path);
-common::StatusOr<MetadataStore> LoadStore(const std::string& path);
+/// On-disk representations of a serialized store. kText is the
+/// line-oriented format above; kBinary is the columnar MLPB format in
+/// metadata/binary_serialization.h. The two are lossless siblings:
+/// text -> binary -> text round-trips byte-identically.
+enum class StoreFormat {
+  kText,
+  kBinary,
+};
+
+/// Streaming text serialization: identical bytes to SerializeStore, but
+/// written through `out` one record at a time instead of materializing
+/// the whole corpus in memory.
+void SerializeStoreTo(const MetadataStore& store, std::ostream& out);
+
+/// File variants. Both stream section-/line-at-a-time, so peak memory
+/// stays bounded by the store itself rather than by the serialized file.
+/// LoadStore auto-detects the format from the leading magic bytes
+/// ("MLPB" = binary, anything else is parsed as text) and reports which
+/// one it found through the optional `format` out-parameter.
+common::Status SaveStore(const MetadataStore& store, const std::string& path,
+                         StoreFormat format = StoreFormat::kText);
+common::StatusOr<MetadataStore> LoadStore(const std::string& path,
+                                          StoreFormat* format = nullptr);
 
 }  // namespace mlprov::metadata
 

@@ -65,9 +65,12 @@ ValidationReport Scan(const MetadataStore& store) {
            "execution type " + std::to_string(static_cast<int>(e.type)));
     }
     if (e.end_time < e.start_time) {
+      // Hostile times can span the whole int64 range; the magnitude of
+      // the inversion always fits uint64, so subtract unsigned.
       Note(report, TraceIssueKind::kTimeInversion, e.id,
            "execution ends " +
-               std::to_string(e.start_time - e.end_time) +
+               std::to_string(static_cast<uint64_t>(e.start_time) -
+                              static_cast<uint64_t>(e.end_time)) +
                "s before it starts");
     }
     if (e.type == ExecutionType::kTrainer &&

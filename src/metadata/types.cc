@@ -2,6 +2,18 @@
 
 namespace mlprov::metadata {
 
+PropertyValue MaterializeProperty(const PropertyValueRef& value) {
+  if (const int64_t* i = std::get_if<int64_t>(&value)) return *i;
+  if (const double* d = std::get_if<double>(&value)) return *d;
+  return std::string(std::get<std::string_view>(value));
+}
+
+PropertyValueRef BorrowProperty(const PropertyValue& value) {
+  if (const int64_t* i = std::get_if<int64_t>(&value)) return *i;
+  if (const double* d = std::get_if<double>(&value)) return *d;
+  return std::string_view(std::get<std::string>(value));
+}
+
 OperatorGroup GroupOf(ExecutionType type) {
   switch (type) {
     case ExecutionType::kExampleGen:

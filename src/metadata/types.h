@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <variant>
 
 namespace mlprov::metadata {
@@ -97,6 +98,24 @@ enum class EventKind : uint8_t {
 
 /// Property values attached to artifacts and executions.
 using PropertyValue = std::variant<int64_t, double, std::string>;
+
+/// Borrowed counterpart of PropertyValue for the zero-copy ingest path:
+/// string payloads reference an external buffer (a serialized corpus, an
+/// arena) that must stay alive for the duration of the call receiving it.
+using PropertyValueRef = std::variant<int64_t, double, std::string_view>;
+
+/// One borrowed (key, value) property of a record view. Ownership is
+/// transferred exactly once, at store insertion (see
+/// MetadataStore::PutArtifactBorrowed and friends).
+struct PropertyRef {
+  std::string_view key;
+  PropertyValueRef value;
+};
+
+/// Owned copy of a borrowed property value.
+PropertyValue MaterializeProperty(const PropertyValueRef& value);
+/// Borrowed view of an owned property value.
+PropertyValueRef BorrowProperty(const PropertyValue& value);
 
 /// Maps an execution type to its Figure 6/7 operator group.
 OperatorGroup GroupOf(ExecutionType type);

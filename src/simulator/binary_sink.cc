@@ -1,0 +1,246 @@
+#include "simulator/binary_sink.h"
+
+#include <utility>
+#include <variant>
+
+#include "metadata/binary_serialization.h"
+
+namespace mlprov::sim {
+
+using metadata::binwire::AppendSvarint;
+using metadata::binwire::AppendVarint;
+
+namespace {
+
+int64_t WrapSub(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) -
+                              static_cast<uint64_t>(b));
+}
+
+void AppendDouble(std::string& out, double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  __builtin_memcpy(&bits, &value, sizeof(bits));
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((bits >> (8 * i)) & 0xFF));
+  }
+}
+
+void AppendColumn(std::string& section, const std::string& column) {
+  AppendVarint(section, column.size());
+  section.append(column);
+}
+
+void AppendFramed(std::string& out, char tag, const std::string& payload) {
+  out.push_back(tag);
+  AppendVarint(out, payload.size());
+  out.append(payload);
+}
+
+}  // namespace
+
+uint64_t BinaryTraceSink::InternId(const std::string& s) {
+  const auto [it, inserted] =
+      intern_index_.try_emplace(s, intern_table_.size());
+  if (inserted) intern_table_.push_back(s);
+  return it->second;
+}
+
+void BinaryTraceSink::SetBit(std::string& bitmap, size_t row) {
+  const size_t byte = row >> 3;
+  if (bitmap.size() <= byte) bitmap.resize(byte + 1, '\0');
+  bitmap[byte] = static_cast<char>(static_cast<uint8_t>(bitmap[byte]) |
+                                   (1u << (row & 7)));
+}
+
+template <typename Node>
+void BinaryTraceSink::BufferProperties(const Node& node,
+                                       bool artifact_owner) {
+  std::vector<PropRow>& rows = artifact_owner ? aprops_ : eprops_;
+  for (const auto& [key, value] : node.properties) {
+    PropRow row;
+    row.owner = node.id;
+    row.key = InternId(key);
+    if (const int64_t* i = std::get_if<int64_t>(&value)) {
+      row.tag = 'i';
+      row.int_value = *i;
+    } else if (const double* d = std::get_if<double>(&value)) {
+      row.tag = 'd';
+      row.double_value = *d;
+    } else {
+      row.tag = 's';
+      row.string_value = InternId(std::get<std::string>(value));
+    }
+    rows.push_back(row);
+  }
+}
+
+void BinaryTraceSink::OnRecord(const ProvenanceRecord& record) {
+  ++records_;
+  switch (record.kind) {
+    case ProvenanceRecord::Kind::kContext: {
+      ContextAcc acc;
+      acc.name_id = InternId(record.context.name);
+      contexts_.push_back(std::move(acc));
+      return;
+    }
+    case ProvenanceRecord::Kind::kExecution: {
+      const metadata::Execution& e = record.execution;
+      e_types_.push_back(static_cast<char>(e.type));
+      AppendSvarint(e_starts_, WrapSub(e.start_time, e_prev_start_));
+      e_prev_start_ = e.start_time;
+      AppendSvarint(e_durs_, WrapSub(e.end_time, e.start_time));
+      if (e.succeeded) SetBit(e_succ_, static_cast<size_t>(n_executions_));
+      AppendDouble(e_costs_, e.compute_cost);
+      ++n_executions_;
+      BufferProperties(e, /*artifact_owner=*/false);
+      if (!contexts_.empty()) {
+        contexts_.back().executions.push_back(e.id);
+      }
+      return;
+    }
+    case ProvenanceRecord::Kind::kArtifact: {
+      const metadata::Artifact& a = record.artifact;
+      a_types_.push_back(static_cast<char>(a.type));
+      AppendSvarint(a_times_, WrapSub(a.create_time, a_prev_time_));
+      a_prev_time_ = a.create_time;
+      ++n_artifacts_;
+      BufferProperties(a, /*artifact_owner=*/true);
+      if (!contexts_.empty()) {
+        contexts_.back().artifacts.push_back(a.id);
+      }
+      return;
+    }
+    case ProvenanceRecord::Kind::kEvent: {
+      const metadata::Event& ev = record.event;
+      AppendSvarint(v_execs_, WrapSub(ev.execution, v_prev_exec_));
+      v_prev_exec_ = ev.execution;
+      AppendSvarint(v_arts_, WrapSub(ev.artifact, v_prev_art_));
+      v_prev_art_ = ev.artifact;
+      if (ev.kind == metadata::EventKind::kOutput) {
+        SetBit(v_kinds_, static_cast<size_t>(n_events_));
+      }
+      AppendSvarint(v_times_, WrapSub(ev.time, v_prev_time_));
+      v_prev_time_ = ev.time;
+      ++n_events_;
+      return;
+    }
+  }
+}
+
+std::string BinaryTraceSink::Finalize() const {
+  // Remap arrival-order intern ids to the serializer's canonical
+  // first-use order: artifact property rows (key then string value),
+  // then execution property rows, then context names.
+  std::vector<uint64_t> remap(intern_table_.size(), 0);
+  std::vector<char> mapped(intern_table_.size(), 0);
+  std::vector<uint64_t> canonical;  // canonical id -> arrival id
+  canonical.reserve(intern_table_.size());
+  const auto canon = [&](uint64_t arrival) {
+    if (!mapped[arrival]) {
+      mapped[arrival] = 1;
+      remap[arrival] = canonical.size();
+      canonical.push_back(arrival);
+    }
+  };
+  for (const PropRow& r : aprops_) {
+    canon(r.key);
+    if (r.tag == 's') canon(r.string_value);
+  }
+  for (const PropRow& r : eprops_) {
+    canon(r.key);
+    if (r.tag == 's') canon(r.string_value);
+  }
+  for (const ContextAcc& c : contexts_) canon(c.name_id);
+
+  std::string out(metadata::kBinaryStoreMagic,
+                  sizeof(metadata::kBinaryStoreMagic));
+  out.push_back(static_cast<char>(metadata::kBinaryStoreVersion));
+  std::string payload;
+  AppendVarint(payload, canonical.size());
+  for (const uint64_t arrival : canonical) {
+    const std::string& s = intern_table_[arrival];
+    AppendVarint(payload, s.size());
+    payload.append(s);
+  }
+  AppendFramed(out, 'S', payload);
+
+  payload.clear();
+  AppendVarint(payload, n_artifacts_);
+  AppendColumn(payload, a_types_);
+  AppendColumn(payload, a_times_);
+  AppendFramed(out, 'A', payload);
+
+  payload.clear();
+  AppendVarint(payload, n_executions_);
+  AppendColumn(payload, e_types_);
+  AppendColumn(payload, e_starts_);
+  AppendColumn(payload, e_durs_);
+  // Bitmaps are grown lazily by SetBit; pad to the declared shape.
+  std::string bitmap = e_succ_;
+  bitmap.resize((static_cast<size_t>(n_executions_) + 7) / 8, '\0');
+  AppendColumn(payload, bitmap);
+  AppendColumn(payload, e_costs_);
+  AppendFramed(out, 'E', payload);
+
+  payload.clear();
+  AppendVarint(payload, n_events_);
+  AppendColumn(payload, v_execs_);
+  AppendColumn(payload, v_arts_);
+  bitmap = v_kinds_;
+  bitmap.resize((static_cast<size_t>(n_events_) + 7) / 8, '\0');
+  AppendColumn(payload, bitmap);
+  AppendColumn(payload, v_times_);
+  AppendFramed(out, 'V', payload);
+
+  const auto encode_props = [&](const std::vector<PropRow>& props,
+                                char tag) {
+    payload.clear();
+    std::string rows;
+    int64_t prev_id = 0;
+    for (const PropRow& r : props) {
+      AppendVarint(rows, static_cast<uint64_t>(WrapSub(r.owner, prev_id)));
+      prev_id = r.owner;
+      AppendVarint(rows, remap[r.key]);
+      rows.push_back(r.tag);
+      if (r.tag == 'i') {
+        AppendSvarint(rows, r.int_value);
+      } else if (r.tag == 'd') {
+        AppendDouble(rows, r.double_value);
+      } else {
+        AppendVarint(rows, remap[r.string_value]);
+      }
+    }
+    AppendVarint(payload, props.size());
+    AppendColumn(payload, rows);
+    AppendFramed(out, tag, payload);
+  };
+  encode_props(aprops_, 'p');
+  encode_props(eprops_, 'q');
+
+  payload.clear();
+  std::string rows;
+  for (const ContextAcc& c : contexts_) {
+    AppendVarint(rows, remap[c.name_id]);
+    AppendVarint(rows, c.executions.size());
+    int64_t prev = 0;
+    for (const int64_t e : c.executions) {
+      AppendSvarint(rows, WrapSub(e, prev));
+      prev = e;
+    }
+    AppendVarint(rows, c.artifacts.size());
+    prev = 0;
+    for (const int64_t a : c.artifacts) {
+      AppendSvarint(rows, WrapSub(a, prev));
+      prev = a;
+    }
+  }
+  AppendVarint(payload, contexts_.size());
+  AppendColumn(payload, rows);
+  AppendFramed(out, 'C', payload);
+  return out;
+}
+
+void BinaryTraceSink::Reset() { *this = BinaryTraceSink(); }
+
+}  // namespace mlprov::sim

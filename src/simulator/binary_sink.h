@@ -1,0 +1,88 @@
+#ifndef MLPROV_SIMULATOR_BINARY_SINK_H_
+#define MLPROV_SIMULATOR_BINARY_SINK_H_
+
+/// A ProvenanceSink that emits the MLPB binary framing directly from the
+/// live feed: records are appended to the columnar section buffers as
+/// they arrive (delta/varint-encoded incrementally), and Finalize()
+/// assembles the magic + framed sections. No MetadataStore is
+/// materialized — the sink's output is byte-identical to
+/// SerializeStoreBinary over the store a ProvenanceSession replicates
+/// from the same feed, because both observe the identical record order
+/// (the feed-order contract in provenance_sink.h) and context membership
+/// is accumulated the same way (every node joins the latest context).
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "simulator/provenance_sink.h"
+
+namespace mlprov::sim {
+
+class BinaryTraceSink : public ProvenanceSink {
+ public:
+  /// Appends the record to the columnar buffers. Records must follow the
+  /// feed-order contract (dense ids in order); the sink trusts its
+  /// producer like any other sink does.
+  void OnRecord(const ProvenanceRecord& record) override;
+
+  /// Assembles and returns the complete MLPB byte string. The sink can
+  /// keep ingesting afterwards only via Reset().
+  std::string Finalize() const;
+
+  void Reset();
+
+  size_t records() const { return records_; }
+
+ private:
+  uint64_t InternId(const std::string& s);
+  template <typename Node>
+  void BufferProperties(const Node& node, bool artifact_owner);
+  void SetBit(std::string& bitmap, size_t row);
+
+  /// Owned intern table in arrival order (records are transient, unlike
+  /// a store's strings). Finalize() remaps ids to the canonical
+  /// first-use order of the serializer — artifact property rows, then
+  /// execution property rows, then context names — so the emitted bytes
+  /// match SerializeStoreBinary exactly.
+  std::vector<std::string> intern_table_;
+  std::unordered_map<std::string, uint64_t> intern_index_;
+
+  /// One buffered property row (encoding is deferred to Finalize so the
+  /// intern remap can renumber key/value ids).
+  struct PropRow {
+    int64_t owner = 0;
+    uint64_t key = 0;       // arrival-order intern id
+    char tag = 'i';         // 'i' / 'd' / 's'
+    int64_t int_value = 0;
+    double double_value = 0.0;
+    uint64_t string_value = 0;  // arrival-order intern id when tag=='s'
+  };
+  std::vector<PropRow> aprops_, eprops_;
+
+  // Per-section columnar accumulators, mirroring the serializer layout.
+  std::string a_types_, a_times_;
+  int64_t a_prev_time_ = 0;
+  uint64_t n_artifacts_ = 0;
+  std::string e_types_, e_starts_, e_durs_, e_succ_, e_costs_;
+  int64_t e_prev_start_ = 0;
+  uint64_t n_executions_ = 0;
+  std::string v_execs_, v_arts_, v_kinds_, v_times_;
+  int64_t v_prev_exec_ = 0, v_prev_art_ = 0, v_prev_time_ = 0;
+  uint64_t n_events_ = 0;
+  /// Per-context name intern id + membership, accumulated as nodes
+  /// arrive (every node joins the most recent context, matching the
+  /// replicating session).
+  struct ContextAcc {
+    uint64_t name_id = 0;
+    std::vector<int64_t> executions;
+    std::vector<int64_t> artifacts;
+  };
+  std::vector<ContextAcc> contexts_;
+  size_t records_ = 0;
+};
+
+}  // namespace mlprov::sim
+
+#endif  // MLPROV_SIMULATOR_BINARY_SINK_H_

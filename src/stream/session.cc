@@ -40,6 +40,20 @@ RecordDigest DigestOf(const ProvenanceRecord& record) {
   }
   return {};
 }
+
+RecordDigest DigestOf(const metadata::RecordRef& record) {
+  switch (record.kind) {
+    case metadata::RecordRef::Kind::kContext:
+      return {'C', record.id, 0};
+    case metadata::RecordRef::Kind::kExecution:
+      return {'E', record.id, record.end_time};
+    case metadata::RecordRef::Kind::kArtifact:
+      return {'A', record.id, record.create_time};
+    case metadata::RecordRef::Kind::kEvent:
+      return {'V', record.event.execution, record.event.time};
+  }
+  return {};
+}
 #endif  // MLPROV_OBS_NOOP
 
 }  // namespace
@@ -183,6 +197,114 @@ Status ProvenanceSession::IngestImpl(const ProvenanceRecord& record) {
     }
   }
   return Status::Internal("unknown provenance record kind");
+}
+
+common::Status ProvenanceSession::Ingest(const metadata::RecordRef& record) {
+  if (finished_) {
+    return Status::FailedPrecondition(
+        "ProvenanceSession: record ingested after Finish()");
+  }
+  if (!status_.ok()) return status_;  // poisoned: first violation is sticky
+  Status status = IngestImpl(record);
+  if (!status.ok()) {
+    status_ = status;
+    RecordPoisoning(record);
+  }
+  if (status.ok() && options_.scorer != nullptr) SettleSealed();
+  return status;
+}
+
+void ProvenanceSession::RecordPoisoning(const metadata::RecordRef& record) {
+#ifndef MLPROV_OBS_NOOP
+  const RecordDigest digest = DigestOf(record);
+  obs::Json violating = obs::Json::Object();
+  violating.Set("kind", std::string(1, digest.kind));
+  violating.Set("id", digest.id);
+  violating.Set("time", digest.time);
+  violating.Set("record_index", static_cast<uint64_t>(counts_.records));
+  flight_.NoteError(status_.message(), std::move(violating));
+  MLPROV_COUNTER_INC("stream.poisoned_sessions");
+  (void)flight_.Dump();
+#else
+  (void)record;
+#endif
+}
+
+Status ProvenanceSession::IngestImpl(const metadata::RecordRef& record) {
+  ++counts_.records;
+  MLPROV_COUNTER_INC("stream.records");
+  MLPROV_SAMPLER_OBSERVE(1);
+#ifndef MLPROV_OBS_NOOP
+  {
+    const RecordDigest digest = DigestOf(record);
+    flight_.NoteRecord(digest.kind, digest.id, digest.time);
+  }
+#endif
+  switch (record.kind) {
+    case metadata::RecordRef::Kind::kContext: {
+      const metadata::ContextId assigned =
+          store_.PutContextBorrowed(record.context_name);
+      if (record.id != metadata::kInvalidId && record.id != assigned) {
+        return Status::InvalidArgument(
+            "context id " + std::to_string(record.id) +
+            " out of order (expected " + std::to_string(assigned) + ")");
+      }
+      context_ = assigned;
+      ++counts_.contexts;
+      return Status::Ok();
+    }
+    case metadata::RecordRef::Kind::kExecution: {
+      const metadata::ExecutionId expected =
+          static_cast<metadata::ExecutionId>(store_.num_executions()) + 1;
+      if (record.id != expected) {
+        return Status::InvalidArgument(
+            "execution id " + std::to_string(record.id) +
+            " out of order (expected " + std::to_string(expected) + ")");
+      }
+      store_.PutExecutionBorrowed(record.execution_type, record.start_time,
+                                  record.end_time, record.succeeded,
+                                  record.compute_cost, record.properties);
+      if (context_ != metadata::kInvalidId) {
+        MLPROV_RETURN_IF_ERROR(store_.AddToContext(context_, expected));
+      }
+      segmenter_.OnExecution(store_.executions().back());
+      ++counts_.executions;
+      return Status::Ok();
+    }
+    case metadata::RecordRef::Kind::kArtifact: {
+      const metadata::ArtifactId expected =
+          static_cast<metadata::ArtifactId>(store_.num_artifacts()) + 1;
+      if (record.id != expected) {
+        return Status::InvalidArgument(
+            "artifact id " + std::to_string(record.id) +
+            " out of order (expected " + std::to_string(expected) + ")");
+      }
+      store_.PutArtifactBorrowed(record.artifact_type, record.create_time,
+                                 record.properties);
+      if (context_ != metadata::kInvalidId) {
+        MLPROV_RETURN_IF_ERROR(
+            store_.AddArtifactToContext(context_, expected));
+      }
+      segmenter_.OnArtifact(store_.artifacts().back());
+      ++counts_.artifacts;
+      return Status::Ok();
+    }
+    case metadata::RecordRef::Kind::kEvent: {
+      Status put = store_.PutEvent(record.event);
+      if (!put.ok()) {
+        return Status::InvalidArgument(
+            "event before its endpoints (execution " +
+            std::to_string(record.event.execution) + ", artifact " +
+            std::to_string(record.event.artifact) + "): " + put.message());
+      }
+      segmenter_.OnEvent(record.event);
+      ++counts_.events;
+      MLPROV_COUNTER_INC("stream.links");
+      if (options_.scorer != nullptr) ScoreTriggers(record.event);
+      return Status::Ok();
+    }
+  }
+  return Status::Internal("unknown record view kind");
 }
 
 common::StatusOr<SessionResult> ProvenanceSession::Finish() {

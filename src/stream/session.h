@@ -32,6 +32,7 @@
 #include "core/features.h"
 #include "core/graphlet.h"
 #include "dataspan/span_stats.h"
+#include "metadata/binary_serialization.h"
 #include "metadata/metadata_store.h"
 #include "obs/flight_recorder.h"
 #include "obs/json.h"
@@ -119,6 +120,16 @@ class ProvenanceSession : public sim::ProvenanceSink {
   /// store and the incremental segmenter.
   common::Status Ingest(const sim::ProvenanceRecord& record);
 
+  /// Zero-copy variant for the binary ingest path: consumes a borrowed
+  /// record view (see BinaryStoreCursor) under the same feed-order
+  /// contract and sticky error model. Strings are copied exactly once,
+  /// at store insertion — no intermediate owned record is built. Views
+  /// only need to live for the duration of the call. RecordRef carries
+  /// no span context or span stats, matching any serialized feed (the
+  /// text format does not persist them either), so analyses stay
+  /// byte-identical across formats.
+  common::Status Ingest(const metadata::RecordRef& record);
+
   /// ProvenanceSink adapter for live feeds: Ingest with the error
   /// latched into status() (a sink callback cannot fail upstream).
   void OnRecord(const sim::ProvenanceRecord& record) override {
@@ -164,9 +175,11 @@ class ProvenanceSession : public sim::ProvenanceSink {
 
  private:
   common::Status IngestImpl(const sim::ProvenanceRecord& record);
+  common::Status IngestImpl(const metadata::RecordRef& record);
   /// Latches the violation into the flight recorder (with the violating
   /// record as context) and dumps it if a dump directory is configured.
   void RecordPoisoning(const sim::ProvenanceRecord& record);
+  void RecordPoisoning(const metadata::RecordRef& record);
 
   // --- online scoring (no-ops when options_.scorer is null) ---
   /// Grows the per-cell scoring state to the segmenter's cell count.

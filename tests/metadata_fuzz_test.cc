@@ -12,6 +12,7 @@
 
 #include "common/rng.h"
 #include "core/segmentation.h"
+#include "metadata/binary_serialization.h"
 #include "metadata/serialization.h"
 #include "metadata/trace_validator.h"
 #include "simulator/pipeline_simulator.h"
@@ -192,6 +193,243 @@ TEST(MetadataFuzzTest, LenientParseCountsAndSalvages) {
   const auto report = repairer.ValidateAndRepair(*store);
   EXPECT_EQ(report.dropped_events, 1u);
   (void)core::SegmentTrace(*store);
+}
+
+// ---------------------------------------------------------------------
+// Binary-format mirror of the suites above (ISSUE 7): the MLPB strict
+// parser, the lenient salvage path, and the zero-copy cursor must all
+// return Status — never crash or invoke UB — under the same mutations.
+// ---------------------------------------------------------------------
+
+const std::string& SeedCorpusBinary() {
+  static const std::string* binary = [] {
+    const auto store = metadata::DeserializeStore(SeedCorpusText());
+    return new std::string(metadata::SerializeStoreBinary(*store));
+  }();
+  return *binary;
+}
+
+// Full binary crash surface on one mutant: strict parse (+ validation +
+// segmentation when accepted), lenient parse + repair + segmentation,
+// and a complete zero-copy cursor walk touching every decoded view.
+void ExpectSurvivesBinary(const std::string& mutant) {
+  const auto strict = metadata::DeserializeStoreBinary(mutant);
+  if (strict.ok()) {
+    const auto report = metadata::TraceValidator().Validate(*strict);
+    if (!report.NeedsQuarantine()) {
+      (void)core::SegmentTrace(*strict);
+    }
+  }
+  metadata::LenientStats stats;
+  auto lenient = metadata::DeserializeStoreBinaryLenient(mutant, &stats);
+  if (lenient.ok()) {
+    const metadata::TraceValidator repairer(
+        metadata::TraceValidator::Mode::kRepair);
+    (void)repairer.ValidateAndRepair(*lenient);
+    (void)core::SegmentTrace(*lenient);
+  }
+  auto cursor = metadata::BinaryStoreCursor::Open(mutant);
+  if (cursor.ok()) {
+    metadata::RecordRef record;
+    size_t consumed = 0;
+    while (cursor->Next(&record)) {
+      // Touch every borrowed view so sanitizers see any dangling bytes.
+      consumed += record.context_name.size();
+      for (const metadata::PropertyRef& p : record.properties) {
+        consumed += p.key.size();
+        if (const auto* s = std::get_if<std::string_view>(&p.value)) {
+          consumed += s->size();
+        }
+      }
+    }
+    (void)consumed;
+  }
+}
+
+TEST(MetadataBinaryFuzzTest, RoundTripIsExact) {
+  const auto store = metadata::DeserializeStoreBinary(SeedCorpusBinary());
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_EQ(metadata::SerializeStore(*store), SeedCorpusText());
+}
+
+TEST(MetadataBinaryFuzzTest, TruncationsNeverCrash) {
+  const std::string& binary = SeedCorpusBinary();
+  std::vector<size_t> cuts = {0, 1, 4, 5, 6};
+  for (int i = 1; i <= 128; ++i) {
+    cuts.push_back(binary.size() * static_cast<size_t>(i) / 129);
+  }
+  for (const size_t cut : cuts) {
+    ExpectSurvivesBinary(binary.substr(0, cut));
+  }
+}
+
+TEST(MetadataBinaryFuzzTest, ByteFlipsNeverCrash) {
+  const std::string& binary = SeedCorpusBinary();
+  for (uint64_t round = 0; round < 300; ++round) {
+    common::Rng rng = common::Rng::Derive(0xB17F11, round);
+    std::string mutant = binary;
+    const int flips = 1 + static_cast<int>(rng.NextUint64(8));
+    for (int f = 0; f < flips; ++f) {
+      const size_t pos = static_cast<size_t>(
+          rng.NextUint64(static_cast<uint64_t>(mutant.size())));
+      mutant[pos] = static_cast<char>(rng.NextUint64(256));
+    }
+    ExpectSurvivesBinary(mutant);
+  }
+}
+
+TEST(MetadataBinaryFuzzTest, ByteInsertionsAndDeletionsNeverCrash) {
+  const std::string& binary = SeedCorpusBinary();
+  for (uint64_t round = 0; round < 150; ++round) {
+    common::Rng rng = common::Rng::Derive(0xB1DE1, round);
+    std::string mutant = binary;
+    const size_t pos = static_cast<size_t>(
+        rng.NextUint64(static_cast<uint64_t>(mutant.size())));
+    if (rng.NextUint64(2) == 0) {
+      mutant.erase(pos, 1 + static_cast<size_t>(rng.NextUint64(4)));
+    } else {
+      mutant.insert(pos, 1 + static_cast<size_t>(rng.NextUint64(4)),
+                    static_cast<char>(rng.NextUint64(256)));
+    }
+    ExpectSurvivesBinary(mutant);
+  }
+}
+
+// Hand-crafted hostile payloads: varint overflow, absurd counts, lying
+// section/column lengths, hostile intern indices.
+std::string BinaryWithSections(const std::vector<std::pair<char, std::string>>&
+                                   sections) {
+  using metadata::binwire::AppendVarint;
+  std::string out(metadata::kBinaryStoreMagic,
+                  sizeof(metadata::kBinaryStoreMagic));
+  out.push_back(static_cast<char>(metadata::kBinaryStoreVersion));
+  for (const auto& [tag, payload] : sections) {
+    out.push_back(tag);
+    AppendVarint(out, payload.size());
+    out.append(payload);
+  }
+  return out;
+}
+
+TEST(MetadataBinaryFuzzTest, HostilePayloadsReturnStatusNotCrash) {
+  using metadata::binwire::AppendSvarint;
+  using metadata::binwire::AppendVarint;
+
+  // 10-byte varint with high bits set in the final byte: overflow.
+  const std::string overflow_varint(10, '\xFF');
+  // An 11-byte all-continuation varint: too wide.
+  const std::string runaway_varint(11, '\x80');
+
+  std::vector<std::string> hostile;
+  // Section length varint overflows.
+  hostile.push_back(std::string("MLPB\x01S", 6) + overflow_varint);
+  hostile.push_back(std::string("MLPB\x01S", 6) + runaway_varint);
+  // Section length far beyond the buffer.
+  {
+    std::string s("MLPB\x01S", 6);
+    AppendVarint(s, 1ull << 62);
+    hostile.push_back(s);
+  }
+  // Intern table claiming 2^60 strings (hostile reserve).
+  {
+    std::string payload;
+    AppendVarint(payload, 1ull << 60);
+    hostile.push_back(BinaryWithSections({{'S', payload}}));
+  }
+  // Intern string length larger than the section.
+  {
+    std::string payload;
+    AppendVarint(payload, 1);
+    AppendVarint(payload, 1ull << 40);
+    hostile.push_back(BinaryWithSections({{'S', payload}}));
+  }
+  // Artifact count disagreeing with the types column length.
+  {
+    std::string payload;
+    AppendVarint(payload, 100);       // claims 100 artifacts
+    AppendVarint(payload, 2);         // types column: only 2 bytes
+    payload += "\x00\x01";
+    AppendVarint(payload, 0);         // empty times column
+    hostile.push_back(BinaryWithSections({{'S', "\0"}, {'A', payload}}));
+  }
+  // Times column shorter than the row count (truncated mid-delta).
+  {
+    std::string payload;
+    AppendVarint(payload, 3);
+    AppendVarint(payload, 3);
+    payload += std::string("\x00\x00\x00", 3);
+    std::string times;
+    AppendSvarint(times, 5);  // only one delta for three rows
+    AppendVarint(payload, times.size());
+    payload += times;
+    std::string empty_interns;
+    AppendVarint(empty_interns, 0);
+    hostile.push_back(
+        BinaryWithSections({{'S', empty_interns}, {'A', payload}}));
+  }
+  // Property row with a hostile intern index and an orphan owner.
+  {
+    std::string interns;
+    AppendVarint(interns, 1);
+    AppendVarint(interns, 1);
+    interns += "k";
+    std::string rows;
+    AppendVarint(rows, 999);            // owner id delta: orphan
+    AppendVarint(rows, 1ull << 50);     // key intern index: hostile
+    rows.push_back('i');
+    AppendSvarint(rows, 42);
+    std::string payload;
+    AppendVarint(payload, 1);
+    AppendVarint(payload, rows.size());
+    payload += rows;
+    hostile.push_back(BinaryWithSections({{'S', interns}, {'p', payload}}));
+  }
+  // Event ids wrapping around int64 via huge deltas.
+  {
+    std::string col_exec, col_art, col_time;
+    AppendSvarint(col_exec, INT64_MAX);
+    AppendSvarint(col_art, INT64_MIN);
+    AppendSvarint(col_time, INT64_MAX);
+    std::string payload;
+    AppendVarint(payload, 1);
+    AppendVarint(payload, col_exec.size());
+    payload += col_exec;
+    AppendVarint(payload, col_art.size());
+    payload += col_art;
+    AppendVarint(payload, 1);
+    payload += '\x01';
+    AppendVarint(payload, col_time.size());
+    payload += col_time;
+    hostile.push_back(BinaryWithSections({{'V', payload}}));
+  }
+  // Context membership count beyond the row bytes.
+  {
+    std::string interns;
+    AppendVarint(interns, 1);
+    AppendVarint(interns, 2);
+    interns += "cx";
+    std::string rows;
+    AppendVarint(rows, 0);          // name index
+    AppendVarint(rows, 1ull << 30); // executions count: lies
+    std::string payload;
+    AppendVarint(payload, 1);
+    AppendVarint(payload, rows.size());
+    payload += rows;
+    hostile.push_back(BinaryWithSections({{'S', interns}, {'C', payload}}));
+  }
+  // Unknown section tags and duplicated sections.
+  hostile.push_back(BinaryWithSections({{'Z', "junk"}, {'Z', "junk"}}));
+  {
+    std::string empty_interns;
+    AppendVarint(empty_interns, 0);
+    hostile.push_back(BinaryWithSections(
+        {{'S', empty_interns}, {'S', empty_interns}}));
+  }
+
+  for (const std::string& mutant : hostile) {
+    ExpectSurvivesBinary(mutant);
+    EXPECT_FALSE(metadata::DeserializeStoreBinary(mutant).ok());
+  }
 }
 
 }  // namespace
