@@ -1,5 +1,6 @@
 #include "metadata/binary_serialization.h"
 
+#include <algorithm>
 #include <cstring>
 #include <istream>
 #include <map>
@@ -504,9 +505,13 @@ class StoreDecoder {
   Status DecodeEvents(Reader& r) {
     uint64_t n = 0;
     std::string_view execs_col, arts_col, kinds, times_col;
+    // Each event's execution delta is at least one svarint byte, so a
+    // count beyond the column length is a lie; checking it first also
+    // keeps (n + 7) from wrapping for n near 2^64 (which would let an
+    // empty kind bitmap pass and a hostile count reach Reserve).
     if (!r.U64(&n) || !r.Column(&execs_col) || !r.Column(&arts_col) ||
         !r.Column(&kinds) || !r.Column(&times_col) ||
-        kinds.size() != (n + 7) / 8) {
+        n > execs_col.size() || kinds.size() != (n + 7) / 8) {
       return Status::InvalidArgument("event section header corrupt");
     }
     MLPROV_RETURN_IF_ERROR(CheckFullyConsumed(r, "event section"));
@@ -638,7 +643,8 @@ class StoreDecoder {
   Status DecodeContexts(Reader& r) {
     uint64_t n = 0;
     std::string_view rows_col;
-    if (!r.U64(&n) || !r.Column(&rows_col)) {
+    // Each row is at least three bytes (name index + two counts).
+    if (!r.U64(&n) || !r.Column(&rows_col) || n > rows_col.size()) {
       return Status::InvalidArgument("context section header corrupt");
     }
     MLPROV_RETURN_IF_ERROR(CheckFullyConsumed(r, "context section"));
@@ -846,19 +852,37 @@ common::StatusOr<MetadataStore> LoadStoreBinary(std::istream& in) {
       if ((raw & 0x80) == 0) break;
     }
     // Bound hostile lengths by what the file can actually hold before
-    // allocating.
+    // allocating. Non-seekable streams (pipes, filter streambufs)
+    // report tellg() < 0; for those, grow the buffer in bounded chunks
+    // so a lying length hits the short-read check instead of forcing
+    // one huge up-front allocation.
     const auto pos = in.tellg();
-    in.seekg(0, std::ios::end);
-    const auto file_end = in.tellg();
-    in.seekg(pos);
-    if (pos < 0 || file_end < pos ||
-        len > static_cast<uint64_t>(file_end - pos)) {
-      return Status::InvalidArgument("section length exceeds file size");
-    }
-    payload.resize(static_cast<size_t>(len));
-    in.read(payload.data(), static_cast<std::streamsize>(len));
-    if (static_cast<uint64_t>(in.gcount()) != len) {
-      return Status::InvalidArgument("section truncated");
+    if (pos >= 0) {
+      in.seekg(0, std::ios::end);
+      const auto file_end = in.tellg();
+      in.seekg(pos);
+      if (file_end < pos || len > static_cast<uint64_t>(file_end - pos)) {
+        return Status::InvalidArgument(
+            "section length exceeds file size");
+      }
+      payload.resize(static_cast<size_t>(len));
+      in.read(payload.data(), static_cast<std::streamsize>(len));
+      if (static_cast<uint64_t>(in.gcount()) != len) {
+        return Status::InvalidArgument("section truncated");
+      }
+    } else {
+      constexpr uint64_t kChunk = uint64_t{1} << 20;
+      payload.clear();
+      for (uint64_t got = 0; got < len;) {
+        const uint64_t take = std::min(len - got, kChunk);
+        payload.resize(static_cast<size_t>(got + take));
+        in.read(payload.data() + got,
+                static_cast<std::streamsize>(take));
+        if (static_cast<uint64_t>(in.gcount()) != take) {
+          return Status::InvalidArgument("section truncated");
+        }
+        got += take;
+      }
     }
     MLPROV_RETURN_IF_ERROR(
         decoder.OnSection(static_cast<char>(tag), payload));
@@ -950,9 +974,13 @@ common::StatusOr<BinaryStoreCursor> BinaryStoreCursor::Open(
       }
       case 'V': {
         std::string_view execs, arts, kinds, times;
+        // n > execs.size() first: each row is at least one delta byte,
+        // and bounding n keeps (n + 7) from wrapping for hostile counts
+        // near 2^64.
         if (!section.U64(&n) || !section.Column(&execs) ||
             !section.Column(&arts) || !section.Column(&kinds) ||
-            !section.Column(&times) || kinds.size() != (n + 7) / 8) {
+            !section.Column(&times) || n > execs.size() ||
+            kinds.size() != (n + 7) / 8) {
           return Status::InvalidArgument("event section corrupt");
         }
         cursor.n_events_ = static_cast<size_t>(n);
@@ -979,7 +1007,11 @@ common::StatusOr<BinaryStoreCursor> BinaryStoreCursor::Open(
       }
       case 'C': {
         std::string_view rows_col;
-        if (!section.U64(&n) || !section.Column(&rows_col)) {
+        // Each context row is at least three bytes (name index plus two
+        // membership counts), so a count beyond the row column length
+        // is hostile; reject it before the reserve below can allocate.
+        if (!section.U64(&n) || !section.Column(&rows_col) ||
+            n > rows_col.size()) {
           return Status::InvalidArgument("context section corrupt");
         }
         Reader rows(rows_col);
@@ -1026,8 +1058,8 @@ common::StatusOr<BinaryStoreCursor> BinaryStoreCursor::Open(
   return cursor;
 }
 
-bool BinaryStoreCursor::DecodePropAhead(Range& rows, PendingProp& pending,
-                                        int64_t /*max_id*/) {
+bool BinaryStoreCursor::DecodePropAhead(Range& rows,
+                                        PendingProp& pending) {
   Reader r(std::string_view(reinterpret_cast<const char*>(rows.p),
                             static_cast<size_t>(rows.end - rows.p)));
   uint64_t id_delta = 0, key_idx = 0;
@@ -1075,7 +1107,7 @@ bool BinaryStoreCursor::DecodePropAhead(Range& rows, PendingProp& pending,
 }
 
 bool BinaryStoreCursor::GatherProps(Range& rows, PendingProp& pending,
-                                    int64_t id, int64_t /*max_id*/) {
+                                    int64_t id) {
   scratch_props_.clear();
   size_t& seen = (&rows == &aprop_rows_) ? aprops_seen_ : eprops_seen_;
   const size_t total = (&rows == &aprop_rows_) ? n_aprops_ : n_eprops_;
@@ -1083,7 +1115,7 @@ bool BinaryStoreCursor::GatherProps(Range& rows, PendingProp& pending,
     if (!pending.valid) {
       if (seen >= total) break;
       if (rows.empty()) return Fail("property rows truncated");
-      if (!DecodePropAhead(rows, pending, 0)) return false;
+      if (!DecodePropAhead(rows, pending)) return false;
       ++seen;
     }
     if (pending.id != id) {
@@ -1135,7 +1167,7 @@ bool BinaryStoreCursor::EmitExecution(RecordRef* record) {
   e_costs_.p = costs.p;
   e_prev_start_ = WrapAdd(e_prev_start_, start_delta);
   const int64_t id = next_execution_;
-  if (!GatherProps(eprop_rows_, pending_eprop_, id, 0)) return false;
+  if (!GatherProps(eprop_rows_, pending_eprop_, id)) return false;
   *record = RecordRef();
   record->kind = RecordRef::Kind::kExecution;
   record->id = id;
@@ -1164,7 +1196,7 @@ bool BinaryStoreCursor::EmitArtifact(RecordRef* record) {
   a_times_.p = times.p;
   a_prev_time_ = WrapAdd(a_prev_time_, delta);
   const int64_t id = next_artifact_;
-  if (!GatherProps(aprop_rows_, pending_aprop_, id, 0)) return false;
+  if (!GatherProps(aprop_rows_, pending_aprop_, id)) return false;
   *record = RecordRef();
   record->kind = RecordRef::Kind::kArtifact;
   record->id = id;

@@ -94,7 +94,9 @@ common::StatusOr<MetadataStore> DeserializeStoreBinaryLenient(
 /// (and read back) one at a time through a reusable buffer, so peak
 /// memory is the store plus the largest single section — never the whole
 /// serialized corpus. LoadStoreBinary is strict and expects the stream
-/// to be positioned at the magic bytes.
+/// to be positioned at the magic bytes; seekable streams bound hostile
+/// section lengths against the file size up front, non-seekable ones
+/// (pipes) fall back to chunked reads with the same truncation checks.
 common::Status SaveStoreBinary(const MetadataStore& store,
                                std::ostream& out);
 common::StatusOr<MetadataStore> LoadStoreBinary(std::istream& in);
@@ -180,11 +182,10 @@ class BinaryStoreCursor {
   bool EmitArtifact(RecordRef* record);
   bool EmitEvent(RecordRef* record);
   bool DecodeEventAhead();  // fills pending_event_
-  bool DecodePropAhead(Range& rows, PendingProp& pending, int64_t max_id);
+  bool DecodePropAhead(Range& rows, PendingProp& pending);
   /// Collects pending + following property rows for node `id` into
   /// scratch_props_.
-  bool GatherProps(Range& rows, PendingProp& pending, int64_t id,
-                   int64_t max_id);
+  bool GatherProps(Range& rows, PendingProp& pending, int64_t id);
 
   common::Status status_;
   std::vector<std::string_view> interns_;
@@ -205,7 +206,7 @@ class BinaryStoreCursor {
   // Feed state: next ids to emit and running delta accumulators.
   size_t next_context_ = 0;
   int64_t next_execution_ = 1, next_artifact_ = 1;
-  size_t next_event_ = 0, emitted_events_ = 0;
+  size_t next_event_ = 0;
   int64_t a_prev_time_ = 0;
   int64_t e_prev_start_ = 0;
   size_t e_row_ = 0, a_row_ = 0;

@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <cstdio>
+#include <istream>
+#include <streambuf>
 #include <string>
 #include <vector>
 
@@ -199,6 +201,41 @@ TEST(BinarySerializationTest, StreamingFileLoadMatchesInMemory) {
   ASSERT_TRUE(loaded.ok()) << loaded.status();
   EXPECT_EQ(SerializeStore(*loaded), SerializeStore(store));
   std::remove(path.c_str());
+}
+
+// A streambuf with the default (failing) seekoff, modeling a pipe:
+// LoadStoreBinary must fall back to chunked reads instead of bounding
+// section lengths via tellg/seekg.
+class NonSeekableBuf : public std::streambuf {
+ public:
+  explicit NonSeekableBuf(const std::string& data) : data_(data) {
+    char* p = data_.data();
+    setg(p, p, p + data_.size());
+  }
+
+ private:
+  std::string data_;
+};
+
+TEST(BinarySerializationTest, LoadsFromNonSeekableStream) {
+  const MetadataStore store = SimulatedStore();
+  const std::string binary = SerializeStoreBinary(store);
+  NonSeekableBuf buf(binary);
+  std::istream in(&buf);
+  ASSERT_EQ(in.rdbuf()->pubseekoff(0, std::ios::cur, std::ios::in),
+            std::streampos(-1));  // genuinely non-seekable
+  auto loaded = LoadStoreBinary(in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(SerializeStoreBinary(*loaded), binary);
+
+  // A lying section length on a pipe must hit the short-read check, not
+  // a 2^50-byte allocation.
+  std::string hostile(binary.substr(0, 5));  // magic + version
+  hostile.push_back('S');
+  binwire::AppendVarint(hostile, uint64_t{1} << 50);
+  NonSeekableBuf bad(hostile);
+  std::istream bad_in(&bad);
+  EXPECT_FALSE(LoadStoreBinary(bad_in).ok());
 }
 
 TEST(BinarySerializationTest, VarintHelpersRoundTrip) {

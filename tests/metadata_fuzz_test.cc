@@ -417,6 +417,41 @@ TEST(MetadataBinaryFuzzTest, HostilePayloadsReturnStatusNotCrash) {
     payload += rows;
     hostile.push_back(BinaryWithSections({{'S', interns}, {'C', payload}}));
   }
+  // Empty-but-well-formed section payloads (count 0 + ncols empty
+  // columns), for reaching a hostile later section in strict order.
+  const auto empty_section = [](int ncols) {
+    std::string s;
+    AppendVarint(s, 0);
+    for (int i = 0; i < ncols; ++i) AppendVarint(s, 0);
+    return s;
+  };
+  // Event counts in [2^64-7, 2^64-1]: the unsigned (n + 7) / 8 wraps to
+  // 0, so an empty kind bitmap matches the shape check unless n is also
+  // bounded by the delta columns; the count must never reach a reserve.
+  for (const uint64_t n :
+       {~uint64_t{0}, ~uint64_t{0} - 6, uint64_t{1} << 61}) {
+    std::string events;
+    AppendVarint(events, n);
+    for (int col = 0; col < 4; ++col) AppendVarint(events, 0);
+    hostile.push_back(BinaryWithSections({{'S', empty_section(0)},
+                                          {'A', empty_section(2)},
+                                          {'E', empty_section(5)},
+                                          {'V', events}}));
+  }
+  // Context section claiming 2^64-1 rows over an empty row column
+  // (hostile reserve in the cursor path).
+  {
+    std::string contexts;
+    AppendVarint(contexts, ~uint64_t{0});
+    AppendVarint(contexts, 0);
+    hostile.push_back(BinaryWithSections({{'S', empty_section(0)},
+                                          {'A', empty_section(2)},
+                                          {'E', empty_section(5)},
+                                          {'V', empty_section(4)},
+                                          {'p', empty_section(1)},
+                                          {'q', empty_section(1)},
+                                          {'C', contexts}}));
+  }
   // Unknown section tags and duplicated sections.
   hostile.push_back(BinaryWithSections({{'Z', "junk"}, {'Z', "junk"}}));
   {
