@@ -4,6 +4,9 @@
 // online-scoring replay with waste accounting. The batch/streaming
 // byte-identity contract is asserted on every pipeline (a perf number
 // for a wrong answer is worthless).
+#include <signal.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -22,6 +25,7 @@
 #include "stream/online_scorer.h"
 #include "stream/replay.h"
 #include "stream/session.h"
+#include "stream/supervisor.h"
 
 namespace mlprov {
 namespace {
@@ -431,7 +435,111 @@ int Run(int argc, char** argv) {
   ctx.report.Set("serialized.size_ratio", size_ratio);
   ctx.report.Set("serialized.round_trip_identical", round_trip_identical);
   ctx.report.Set("serialized.formats_identical", formats_identical);
-  return identical && round_trip_identical && formats_identical ? 0 : 1;
+
+  // ---- Phase 5: durable ingest (WAL + checkpoints), opt-in. ----
+  // With --wal_dir every pipeline journals into <dir>/p<id>/ before
+  // mutating session state. A --crash_after_records=N run SIGKILLs
+  // itself mid-ingest; re-running the same command line without the
+  // crash flag recovers from the surviving WALs/checkpoints, resumes,
+  // and must land on the exact batch fingerprints (the CI smoke).
+  bool durable_identical = true;
+  if (!ctx.options.wal_dir.empty()) {
+    const auto sync = stream::ParseWalSyncPolicy(ctx.options.wal_sync);
+    if (!sync.ok()) {
+      std::fprintf(stderr, "error: --wal_sync: %s\n",
+                   sync.status().ToString().c_str());
+      return 2;
+    }
+    int64_t crash_budget = ctx.options.crash_after_records;
+    size_t durable_records = 0;
+    double durable_seconds = 0.0;
+    uint64_t replayed = 0, recovered_sessions = 0;
+    for (const sim::PipelineTrace& trace : ctx.corpus.pipelines) {
+      RecordingSink feed;
+      sim::ProvenanceFeeder feeder(&feed);
+      feeder.Finish(trace);
+
+      stream::DurableOptions durable;
+      durable.wal.dir =
+          ctx.options.wal_dir + "/p" +
+          std::to_string(trace.config.pipeline_id);
+      durable.wal.sync = *sync;
+      durable.checkpoint_interval = static_cast<uint64_t>(
+          std::max<int64_t>(0, ctx.options.checkpoint_interval));
+      durable.session.segmenter.seal_grace_hours =
+          ctx.options.stream_seal_grace_hours;
+      auto opened = stream::DurableSession::Open(durable);
+      if (!opened.ok()) {
+        std::fprintf(stderr, "error: durable open: %s\n",
+                     opened.status().ToString().c_str());
+        return 1;
+      }
+      replayed += opened->recovery().replayed_records;
+      recovered_sessions += opened->recovery().recovered ? 1 : 0;
+      const auto t0 = Clock::now();
+      for (uint64_t i = opened->records(); i < feed.records.size(); ++i) {
+        if (crash_budget > 0 && --crash_budget == 0) {
+          // Die the hard way — no atexit, no flush, WAL tail possibly
+          // torn. Exactly the failure recovery must absorb.
+          ::kill(::getpid(), SIGKILL);
+        }
+        const common::Status status = opened->Ingest(feed.records[i]);
+        if (!status.ok()) {
+          std::fprintf(stderr, "error: durable ingest: %s\n",
+                       status.ToString().c_str());
+          return 1;
+        }
+      }
+      auto result = opened->Finish();
+      durable_seconds +=
+          std::chrono::duration<double>(Clock::now() - t0).count();
+      if (!result.ok()) {
+        std::fprintf(stderr, "error: durable finish: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      durable_records += feed.records.size();
+      durable_identical = durable_identical &&
+                          stream::FingerprintGraphlets(result->graphlets) ==
+                              stream::FingerprintGraphlets(
+                                  core::SegmentTrace(trace.store));
+    }
+    const double durable_rate = durable_seconds > 0.0
+                                    ? durable_records / durable_seconds
+                                    : 0.0;
+    std::printf(
+        "durable ingest (sync %s, checkpoint every %lld): %zu records "
+        "in %.3fs (%.0f records/s, %.2fx of plain)\n",
+        stream::ToString(*sync),
+        static_cast<long long>(ctx.options.checkpoint_interval),
+        durable_records, durable_seconds, durable_rate,
+        events_per_sec > 0.0 ? durable_rate / events_per_sec : 0.0);
+    std::printf(
+        "recovery: %llu sessions recovered, %llu records replayed\n",
+        static_cast<unsigned long long>(recovered_sessions),
+        static_cast<unsigned long long>(replayed));
+    std::printf("durable == batch segmentation: %s\n\n",
+                durable_identical ? "IDENTICAL" : "MISMATCH — BUG");
+    ctx.report.Set("durable.sync", stream::ToString(*sync));
+    ctx.report.Set("durable.checkpoint_interval",
+                   ctx.options.checkpoint_interval);
+    ctx.report.Set("durable.records",
+                   static_cast<int64_t>(durable_records));
+    ctx.report.Set("durable.seconds", durable_seconds);
+    ctx.report.Set("durable.events_per_sec", durable_rate);
+    ctx.report.Set("durable.vs_plain_ratio",
+                   events_per_sec > 0.0 ? durable_rate / events_per_sec
+                                        : 0.0);
+    ctx.report.Set("durable.identical", durable_identical);
+    ctx.report.Set("recovery.recovered_sessions",
+                   static_cast<int64_t>(recovered_sessions));
+    ctx.report.Set("recovery.replayed_records",
+                   static_cast<int64_t>(replayed));
+  }
+  return identical && round_trip_identical && formats_identical &&
+                 durable_identical
+             ? 0
+             : 1;
 }
 
 }  // namespace

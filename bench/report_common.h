@@ -92,6 +92,20 @@ struct Options {
   std::string metrics_timeline;
   int64_t metrics_interval = 4096;
   std::string flight_recorder;
+  /// Durability flags (bench_stream_ingest, bench_recovery — see
+  /// DESIGN.md "Durability & recovery"):
+  ///   --wal_dir=DIR             arm the durable-ingest phase; each
+  ///                             pipeline journals into DIR/p<id>/
+  ///   --wal_sync=P              none | interval | every
+  ///   --checkpoint_interval=N   records between checkpoints (0 = never)
+  ///   --max_session_restarts=N  supervisor restart budget
+  ///   --crash_after_records=N   SIGKILL the process after N durable
+  ///                             ingests (crash-recovery smoke; 0 = off)
+  std::string wal_dir;
+  std::string wal_sync = "interval";
+  int64_t checkpoint_interval = 256;
+  int max_session_restarts = 3;
+  int64_t crash_after_records = 0;
 
   static Options Parse(const common::Flags& flags,
                        int default_pipelines = 600) {
@@ -147,6 +161,14 @@ struct Options {
     options.metrics_interval =
         IntFlagOrDie(flags, "metrics_interval", 4096);
     options.flight_recorder = flags.GetString("flight_recorder", "");
+    options.wal_dir = flags.GetString("wal_dir", "");
+    options.wal_sync = flags.GetString("wal_sync", "interval");
+    options.checkpoint_interval =
+        IntFlagOrDie(flags, "checkpoint_interval", 256);
+    options.max_session_restarts = static_cast<int>(
+        IntFlagOrDie(flags, "max_session_restarts", 3));
+    options.crash_after_records =
+        IntFlagOrDie(flags, "crash_after_records", 0);
     return options;
   }
 };

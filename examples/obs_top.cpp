@@ -138,7 +138,8 @@ int main(int argc, char** argv) {
   const sim::Corpus corpus = sim::GenerateCorpus(config);
 
   common::TextTable table({"session", "records", "wm_h", "lag_h", "cells",
-                           "sealed", "open", "reseals", "poisoned"});
+                           "sealed", "open", "reseals", "poisoned",
+                           "recovered"});
   std::vector<stream::SessionHealth> rows;
   for (const sim::PipelineTrace& trace : corpus.pipelines) {
     stream::SessionOptions options;
@@ -167,7 +168,11 @@ int main(int argc, char** argv) {
                   common::TextTable::Num(h.seal_lag_hours, 1),
                   std::to_string(h.cells), std::to_string(h.sealed),
                   std::to_string(h.open_cells), std::to_string(h.reseals),
-                  h.poisoned ? "YES" : "no"});
+                  h.poisoned ? "YES" : "no",
+                  // Crash-recovered sessions (checkpoint restore or WAL
+                  // replay) are flagged so an operator can correlate a
+                  // lag spike with a recent restart.
+                  h.recovered ? "YES" : "no"});
   }
   std::fputs(table.Render().c_str(), stdout);
 

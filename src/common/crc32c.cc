@@ -1,0 +1,99 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace mlprov::common {
+
+namespace {
+
+/// 8 slice tables, built once at first use. Table 0 is the classic
+/// byte-at-a-time table for the reflected polynomial; table k folds a
+/// byte that is k positions further ahead in the stream.
+struct Tables {
+  std::array<std::array<uint32_t, 256>, 8> t;
+
+  Tables() {
+    constexpr uint32_t kPoly = 0x82F63B78u;  // reflected 0x1EDC6F41
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1u) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = t[0][i];
+      for (size_t k = 1; k < 8; ++k) {
+        crc = t[0][crc & 0xFFu] ^ (crc >> 8);
+        t[k][i] = crc;
+      }
+    }
+  }
+};
+
+const Tables& GetTables() {
+  static const Tables* tables = new Tables();
+  return *tables;
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+/// SSE4.2 CRC32 instruction path, compiled with a per-function target so
+/// the translation unit itself needs no -msse4.2; dispatched once at
+/// runtime via __builtin_cpu_supports.
+__attribute__((target("sse4.2"))) uint32_t Crc32cHardware(
+    uint32_t crc, const unsigned char* p, size_t size) {
+  while (size >= 8) {
+    uint64_t chunk = 0;
+    __builtin_memcpy(&chunk, p, sizeof(chunk));
+    crc = static_cast<uint32_t>(
+        __builtin_ia32_crc32di(crc, chunk));
+    p += 8;
+    size -= 8;
+  }
+  while (size-- > 0) {
+    crc = __builtin_ia32_crc32qi(crc, *p++);
+  }
+  return crc;
+}
+
+bool HasHardwareCrc() {
+  static const bool has = __builtin_cpu_supports("sse4.2");
+  return has;
+}
+#endif
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+#if defined(__x86_64__) || defined(__i386__)
+  if (HasHardwareCrc()) {
+    // The CRC32 instruction consumes little-endian 64-bit chunks, which
+    // on x86 is exactly the in-memory byte order the table path folds.
+    return ~Crc32cHardware(~crc, p, size);
+  }
+#endif
+  const Tables& tables = GetTables();
+  crc = ~crc;
+  // Process unaligned-width chunks of 8 bytes with the slice tables;
+  // byte loads (not a uint64 load) keep this endian- and
+  // alignment-agnostic, and the compiler fuses them on x86/ARM anyway.
+  while (size >= 8) {
+    const uint32_t lo = crc ^ (static_cast<uint32_t>(p[0]) |
+                               static_cast<uint32_t>(p[1]) << 8 |
+                               static_cast<uint32_t>(p[2]) << 16 |
+                               static_cast<uint32_t>(p[3]) << 24);
+    crc = tables.t[7][lo & 0xFFu] ^ tables.t[6][(lo >> 8) & 0xFFu] ^
+          tables.t[5][(lo >> 16) & 0xFFu] ^ tables.t[4][lo >> 24] ^
+          tables.t[3][p[4]] ^ tables.t[2][p[5]] ^ tables.t[1][p[6]] ^
+          tables.t[0][p[7]];
+    p += 8;
+    size -= 8;
+  }
+  while (size-- > 0) {
+    crc = tables.t[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace mlprov::common

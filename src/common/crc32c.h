@@ -1,0 +1,31 @@
+#ifndef MLPROV_COMMON_CRC32C_H_
+#define MLPROV_COMMON_CRC32C_H_
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78):
+/// the checksum guarding every WAL frame and checkpoint payload
+/// (src/stream/wal.h, src/stream/checkpoint.h). Software slice-by-8
+/// implementation — fast enough that framing, not checksumming, bounds
+/// WAL append throughput — with the standard check value
+/// Crc32c("123456789") == 0xE3069283 test-enforced.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace mlprov::common {
+
+/// Extends a running CRC-32C with `size` bytes. Seed new computations
+/// with 0 (or call the whole-buffer overloads below).
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t size);
+
+/// CRC-32C of a whole buffer.
+inline uint32_t Crc32c(const void* data, size_t size) {
+  return Crc32cExtend(0, data, size);
+}
+inline uint32_t Crc32c(std::string_view data) {
+  return Crc32cExtend(0, data.data(), data.size());
+}
+
+}  // namespace mlprov::common
+
+#endif  // MLPROV_COMMON_CRC32C_H_

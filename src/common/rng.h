@@ -74,6 +74,20 @@ class Rng {
   uint64_t s_[4];
 };
 
+/// Deterministic multiplicative backoff jitter: a factor in
+/// [1 - jitter/2, 1 + jitter/2) keyed by (seed, stream, attempt) via
+/// Rng::Derive, so delays desynchronize across independently seeded
+/// retriers (no retry storms) while staying byte-identical at any
+/// thread count — no shared RNG state is consumed. jitter <= 0
+/// disables (factor 1.0). Used by the orchestrator retry backoff and
+/// the session supervisor (DESIGN.md "Durability & recovery").
+inline double BackoffJitterFactor(uint64_t seed, uint64_t stream,
+                                  uint64_t attempt, double jitter) {
+  if (jitter <= 0.0) return 1.0;
+  return 1.0 - jitter * 0.5 +
+         jitter * Rng::Derive(seed, stream, attempt).NextDouble();
+}
+
 }  // namespace mlprov::common
 
 #endif  // MLPROV_COMMON_RNG_H_

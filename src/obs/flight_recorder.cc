@@ -1,5 +1,9 @@
 #include "obs/flight_recorder.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <unordered_set>
@@ -27,6 +31,56 @@ std::string& GlobalDir() {
   return *dir;
 }
 
+// --- fatal-signal path state -----------------------------------------
+// The signal handler may interrupt any code, including a thread holding
+// RegistryMutex, so it can touch none of the above. Everything it needs
+// lives here: a bounded lock-free array of live recorders and a dump fd
+// pre-opened by SetFlightRecorderDir. The handler's only syscall is
+// write(2); it performs no allocation, takes no lock, and calls no stdio.
+constexpr size_t kCrashSlots = 256;
+std::atomic<FlightRecorder*> g_crash_slots[kCrashSlots];
+std::atomic<int> g_crash_fd{-1};
+
+void CrashWrite(int fd, const char* data, size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n <= 0) return;  // best effort: never loop on a dead fd
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+}
+
+void CrashWriteStr(int fd, const char* s) {
+  size_t len = 0;
+  while (s[len] != '\0') ++len;
+  CrashWrite(fd, s, len);
+}
+
+/// Decimal formatting without snprintf (stdio is not signal-safe).
+void CrashWriteU64(int fd, uint64_t v) {
+  char buf[20];
+  size_t len = 0;
+  do {
+    buf[len++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  for (size_t i = 0; i < len / 2; ++i) {
+    const char tmp = buf[i];
+    buf[i] = buf[len - 1 - i];
+    buf[len - 1 - i] = tmp;
+  }
+  CrashWrite(fd, buf, len);
+}
+
+void CrashWriteI64(int fd, int64_t v) {
+  uint64_t mag = static_cast<uint64_t>(v);
+  if (v < 0) {
+    CrashWrite(fd, "-", 1);
+    mag = ~mag + 1;  // two's complement negate without signed overflow
+  }
+  CrashWriteU64(fd, mag);
+}
+
 std::string SanitizeName(const std::string& name) {
   std::string out;
   out.reserve(name.size());
@@ -40,7 +94,7 @@ std::string SanitizeName(const std::string& name) {
 }
 
 void CrashHandler(int signum) {
-  FlightRecorder::DumpAll();
+  FlightRecorder::DumpOnSignal(signum);
   std::signal(signum, SIG_DFL);
   std::raise(signum);
 }
@@ -53,11 +107,28 @@ FlightRecorder::FlightRecorder(std::string name)
 FlightRecorder::FlightRecorder(std::string name, Options options)
     : name_(std::move(name)), options_(options) {
   records_.resize(options_.capacity);
+  const std::string sanitized = SanitizeName(name_);
+  const size_t n = std::min(sanitized.size(), sizeof(crash_name_) - 1);
+  sanitized.copy(crash_name_, n);
+  crash_name_[n] = '\0';
+  // Claim a lock-free slot for the signal path; past kCrashSlots live
+  // recorders the crash dump is merely incomplete, never unsafe.
+  for (size_t i = 0; i < kCrashSlots; ++i) {
+    FlightRecorder* expected = nullptr;
+    if (g_crash_slots[i].compare_exchange_strong(
+            expected, this, std::memory_order_acq_rel)) {
+      crash_slot_ = static_cast<int>(i);
+      break;
+    }
+  }
   std::lock_guard<std::mutex> lock(RegistryMutex());
   LiveRecorders().insert(this);
 }
 
 FlightRecorder::~FlightRecorder() {
+  if (crash_slot_ >= 0) {
+    g_crash_slots[crash_slot_].store(nullptr, std::memory_order_release);
+  }
   std::lock_guard<std::mutex> lock(RegistryMutex());
   LiveRecorders().erase(this);
 }
@@ -157,6 +228,47 @@ void FlightRecorder::DumpAll(const std::string& dir) {
   }
 }
 
+void FlightRecorder::DumpOnSignal(int signum) {
+  // Async-signal-safe by construction: recorders come from the lock-free
+  // slot array, output goes to the pre-opened fd via write(2), and the
+  // integers are formatted by hand. Field reads race with live writers
+  // (NoteRecord is deliberately lock-free) — a torn ring entry in a
+  // post-mortem is acceptable; a deadlock in a signal handler is not.
+  const int fd = g_crash_fd.load(std::memory_order_acquire);
+  if (fd < 0) return;
+  CrashWriteStr(fd, "signal ");
+  CrashWriteI64(fd, signum);
+  CrashWriteStr(fd, "\n");
+  for (size_t i = 0; i < kCrashSlots; ++i) {
+    const FlightRecorder* r =
+        g_crash_slots[i].load(std::memory_order_acquire);
+    if (r == nullptr) continue;
+    CrashWriteStr(fd, "recorder ");
+    CrashWriteStr(fd, r->crash_name_);
+    CrashWriteStr(fd, " records_noted=");
+    const uint64_t seq = r->record_seq_;
+    CrashWriteU64(fd, seq);
+    CrashWriteStr(fd, "\n");
+    const size_t cap = r->records_.size();
+    if (cap == 0) continue;
+    const uint64_t count = seq < cap ? seq : cap;
+    for (uint64_t j = seq - count; j < seq; ++j) {
+      const RecordNote& note = r->records_[j % cap];
+      const char kind[2] = {note.kind != 0 ? note.kind : '?', '\0'};
+      CrashWriteStr(fd, "  ");
+      CrashWriteU64(fd, note.seq);
+      CrashWriteStr(fd, " ");
+      CrashWriteStr(fd, kind);
+      CrashWriteStr(fd, " id=");
+      CrashWriteI64(fd, note.id);
+      CrashWriteStr(fd, " time=");
+      CrashWriteI64(fd, note.time);
+      CrashWriteStr(fd, "\n");
+    }
+  }
+  ::fsync(fd);
+}
+
 void FlightRecorder::InstallCrashHandler() {
   static const bool installed = [] {
     std::signal(SIGSEGV, CrashHandler);
@@ -168,6 +280,17 @@ void FlightRecorder::InstallCrashHandler() {
 }
 
 void SetFlightRecorderDir(const std::string& dir) {
+  // Pre-open the crash-dump fd now, outside any signal context: the
+  // handler must not concatenate paths (malloc) or open files whose
+  // name lives in a lockable string. An empty dir disarms the fd.
+  int fd = -1;
+  if (!dir.empty()) {
+    const std::string path = dir + "/flight_crash.log";
+    fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                0644);
+  }
+  const int old = g_crash_fd.exchange(fd, std::memory_order_acq_rel);
+  if (old >= 0) ::close(old);
   std::lock_guard<std::mutex> lock(RegistryMutex());
   GlobalDir() = dir;
 }

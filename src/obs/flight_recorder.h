@@ -9,9 +9,11 @@
 /// failure, with the failure itself as the final entry.
 ///
 /// Recorders register themselves in a process-wide live set on
-/// construction, so DumpAll() (and the crash handler it backs) can
-/// persist every active session's ring without anyone threading recorder
-/// pointers through call stacks.
+/// construction, so DumpAll() can persist every active session's ring
+/// without anyone threading recorder pointers through call stacks. They
+/// also claim a slot in a bounded lock-free array backing the fatal-
+/// signal path: the crash handler walks that array and writes each POD
+/// record ring to a pre-opened fd with write(2) only (see DumpOnSignal).
 
 #include <cstdint>
 #include <deque>
@@ -88,12 +90,19 @@ class FlightRecorder {
   /// Best-effort: failures to write one recorder do not stop the rest.
   static void DumpAll(const std::string& dir = std::string());
 
-  /// Installs SIGSEGV/SIGABRT/SIGBUS handlers that DumpAll() into the
-  /// configured directory, restore the previous disposition, and
-  /// re-raise. Dumping allocates and locks, which is not strictly
-  /// async-signal-safe — acceptable for a best-effort post-mortem on a
-  /// path that is about to terminate the process anyway. Idempotent.
+  /// Installs SIGSEGV/SIGABRT/SIGBUS handlers that DumpOnSignal() into
+  /// the pre-opened crash fd, restore the previous disposition, and
+  /// re-raise. Idempotent.
   static void InstallCrashHandler();
+
+  /// The fatal-signal dump: writes every live recorder's POD record ring
+  /// to the fd pre-opened by SetFlightRecorderDir (flight_crash.log).
+  /// Async-signal-safe — no allocation, no locks, no stdio; the only
+  /// syscalls are write(2) and fsync(2). The full JSON rings (entries_
+  /// needs a lock) are deliberately excluded: those are persisted by the
+  /// non-signal paths (Dump on poisoning, the supervisor's post-mortem).
+  /// Callable directly for testing; a no-op when no dir is configured.
+  static void DumpOnSignal(int signum);
 
  private:
   struct RecordNote {
@@ -105,6 +114,11 @@ class FlightRecorder {
 
   const std::string name_;
   const Options options_;
+  /// Sanitized name in fixed storage plus the recorder's index in the
+  /// lock-free crash-slot array (-1 when the array was full), so the
+  /// signal handler never touches std::string or the registry mutex.
+  char crash_name_[48] = {};
+  int crash_slot_ = -1;
   /// Per-record tail: fixed ring, single-writer, no lock (see
   /// NoteRecord). Sized to capacity at construction.
   std::vector<RecordNote> records_;
@@ -118,6 +132,8 @@ class FlightRecorder {
 
 /// Process-wide default dump directory (the --flight_recorder= flag).
 /// Empty (the default) disables persistence; recorders still run.
+/// A non-empty dir also pre-opens `<dir>/flight_crash.log`, the fd the
+/// fatal-signal handler writes (see DumpOnSignal); empty disarms it.
 void SetFlightRecorderDir(const std::string& dir);
 std::string FlightRecorderDir();
 

@@ -27,8 +27,13 @@ class BinaryTraceSink : public ProvenanceSink {
   /// producer like any other sink does.
   void OnRecord(const ProvenanceRecord& record) override;
 
-  /// Assembles and returns the complete MLPB byte string. The sink can
-  /// keep ingesting afterwards only via Reset().
+  /// Assembles and returns the complete MLPB byte string for the records
+  /// ingested so far. Finalize is a pure snapshot: it never mutates the
+  /// sink, so it is idempotent (two consecutive calls return identical
+  /// bytes) and may be called mid-feed — ingestion can continue
+  /// afterwards, and a later Finalize returns the longer, equally valid
+  /// encoding that includes the new records. Reset() is only needed to
+  /// start a *different* trace from record zero.
   std::string Finalize() const;
 
   void Reset();

@@ -240,9 +240,14 @@ struct CorpusConfig {
   /// calibrated baseline Bernoulli failures above stay single-shot.
   int max_retries = 2;
   /// Exponential backoff between retry attempts:
-  /// retry_backoff_hours * retry_backoff_multiplier^attempt.
+  /// retry_backoff_hours * retry_backoff_multiplier^attempt, scaled by a
+  /// deterministic jitter factor in [1 - j/2, 1 + j/2) keyed by
+  /// (pipeline seed, invocation, attempt) via Rng::Derive — so
+  /// concurrent retriers desynchronize (no retry storms) while every
+  /// corpus stays byte-identical at any thread count. 0 disables jitter.
   double retry_backoff_hours = 0.25;
   double retry_backoff_multiplier = 2.0;
+  double retry_backoff_jitter = 0.5;
 
   // --- Execution memoization (Section 6 optimization opportunity) ---
   /// Content-addressed operator-result caching. kOff (the default) keeps

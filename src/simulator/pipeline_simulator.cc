@@ -39,6 +39,7 @@ std::string FailpointNameFor(ExecutionType type) {
 /// Seed salt for the per-pipeline fault-injection stream: keeps injector
 /// decisions independent of the pipeline's own rng_ and span_gen_ draws.
 constexpr uint64_t kFaultStreamSalt = 0xFA171FA171FA171Full;
+constexpr uint64_t kRetryJitterSalt = 0xBAC0FF0000000000ull;
 
 /// Distinguishes a Transform's per-span analyzer-accumulator cache keys
 /// from its full-window invocation key (they would collide at window
@@ -271,9 +272,16 @@ PipelineSimulator::OpResult PipelineSimulator::RunOperator(
       return result;
     }
     MLPROV_COUNTER_INC("exec.retries");
+    // Jitter is keyed by (pipeline seed, invocation, attempt), never
+    // drawn from rng_: retries perturb no other stream, and the whole
+    // corpus stays byte-identical at any thread count.
     const double backoff_hours =
         corpus_.retry_backoff_hours *
-        std::pow(corpus_.retry_backoff_multiplier, attempt);
+        std::pow(corpus_.retry_backoff_multiplier, attempt) *
+        common::BackoffJitterFactor(
+            config_.seed,
+            kRetryJitterSalt ^ static_cast<uint64_t>(first),
+            static_cast<uint64_t>(attempt), corpus_.retry_backoff_jitter);
     attempt_start =
         result.end + std::max<Timestamp>(
                          60, static_cast<Timestamp>(backoff_hours *

@@ -60,4 +60,34 @@ uint64_t FingerprintGraphlets(const std::vector<core::Graphlet>& graphlets) {
   return h;
 }
 
+uint64_t FingerprintDecisions(const std::vector<ScoreDecision>& decisions) {
+  uint64_t h = kFnvOffset;
+  Mix(h, decisions.size());
+  for (const ScoreDecision& d : decisions) {
+    Mix(h, static_cast<uint64_t>(d.trainer));
+    Mix(h, static_cast<uint64_t>(d.variant));
+    MixDouble(h, d.score);
+    MixDouble(h, d.threshold);
+    Mix(h, static_cast<uint64_t>(d.abort));
+    for (double s : d.variant_scores) MixDouble(h, s);
+    for (bool scored : d.variant_scored) Mix(h, static_cast<uint64_t>(scored));
+    Mix(h, static_cast<uint64_t>(d.settled));
+    Mix(h, static_cast<uint64_t>(d.pushed));
+    MixDouble(h, d.avoided_hours);
+    Mix(h, static_cast<uint64_t>(d.lost_push));
+  }
+  return h;
+}
+
+uint64_t FingerprintSessionResult(const SessionResult& result) {
+  uint64_t h = kFnvOffset;
+  Mix(h, FingerprintGraphlets(result.graphlets));
+  Mix(h, FingerprintDecisions(result.decisions));
+  Mix(h, result.waste.decisions);
+  Mix(h, result.waste.aborts);
+  Mix(h, result.waste.lost_pushes);
+  MixDouble(h, result.waste.avoided_hours);
+  return h;
+}
+
 }  // namespace mlprov::stream

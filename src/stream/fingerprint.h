@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/graphlet.h"
+#include "stream/session.h"
 
 namespace mlprov::stream {
 
@@ -19,6 +20,15 @@ uint64_t FingerprintGraphlet(const core::Graphlet& graphlet);
 
 /// Order-sensitive combination over a segmented sequence.
 uint64_t FingerprintGraphlets(const std::vector<core::Graphlet>& graphlets);
+
+/// FNV-1a over every field of every decision, in order. The recovery
+/// fuzzer compares crash-recovered sessions to uninterrupted ones by
+/// this hash (plus the graphlet fingerprint).
+uint64_t FingerprintDecisions(const std::vector<ScoreDecision>& decisions);
+
+/// Full-result fingerprint: graphlets + decisions + waste accounting.
+/// Equal iff the two runs produced bit-identical analysis output.
+uint64_t FingerprintSessionResult(const SessionResult& result);
 
 }  // namespace mlprov::stream
 

@@ -519,6 +519,7 @@ obs::Json SessionHealth::ToJson() const {
   j.Set("pending_decisions", pending_decisions);
   j.Set("poisoned", poisoned);
   j.Set("finished", finished);
+  j.Set("recovered", recovered);
   return j;
 }
 
@@ -545,6 +546,7 @@ SessionHealth ProvenanceSession::Health() const {
           : 0;
   h.poisoned = !status_.ok();
   h.finished = finished_;
+  h.recovered = recovered_;
   return h;
 }
 
@@ -555,7 +557,7 @@ void ProvenanceSession::PublishHealth() {
       "records",     "watermark_hours", "seal_lag_hours",
       "cells",       "sealed",          "open_cells",
       "reseals",     "decisions",       "pending_decisions",
-      "poisoned",
+      "poisoned",    "recovered",
   };
   if (health_gauges_.empty()) {
     const std::string prefix = "session." + options_.name + ".";
@@ -576,6 +578,7 @@ void ProvenanceSession::PublishHealth() {
       static_cast<double>(h.decisions),
       static_cast<double>(h.pending_decisions),
       h.poisoned ? 1.0 : 0.0,
+      h.recovered ? 1.0 : 0.0,
   };
   for (size_t i = 0; i < health_gauges_.size(); ++i) {
     health_gauges_[i]->Set(values[i]);

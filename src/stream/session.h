@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -87,6 +88,9 @@ struct SessionHealth {
   /// Sticky feed-contract violation latched (see ProvenanceSession).
   bool poisoned = false;
   bool finished = false;
+  /// Session state was rebuilt from a checkpoint + WAL replay rather
+  /// than ingested in one uninterrupted run (see stream/checkpoint.h).
+  bool recovered = false;
 
   obs::Json ToJson() const;
 };
@@ -165,6 +169,7 @@ class ProvenanceSession : public sim::ProvenanceSink {
   /// The session's flight recorder (last K records + span/error events;
   /// dumped on poisoning, and by FlightRecorder::DumpAll on crashes).
   const obs::FlightRecorder& flight_recorder() const { return flight_; }
+  obs::FlightRecorder& flight_recorder() { return flight_; }
 
   StreamingSegmenter& segmenter() { return segmenter_; }
   const StreamingSegmenter& segmenter() const { return segmenter_; }
@@ -172,6 +177,26 @@ class ProvenanceSession : public sim::ProvenanceSink {
   /// Live view of the scorer's settled accounting (final totals are in
   /// the SessionResult).
   const WasteAccounting& waste() const { return waste_; }
+
+  /// Serializes the session's complete analysis state — replicated
+  /// store, span stats, segmenter cells, watermark, seal queue, scoring
+  /// positions — into a checkpoint payload. Defined in checkpoint.cc,
+  /// which owns the durability wire format.
+  void EncodeState(std::string& out) const;
+
+  /// Rebuilds this (freshly constructed, same-options) session from an
+  /// EncodeState payload and marks it recovered. The scorer itself is
+  /// not persisted: recovery must attach the same trained scorer the
+  /// original run used (it is const shared state, like the binary).
+  common::Status RestoreState(std::string_view payload);
+
+  /// True when this session's state came from RestoreState.
+  bool recovered() const { return recovered_; }
+
+  /// Marks the session crash-recovered on the health surface. Set
+  /// implicitly by RestoreState; DurableSession also sets it when state
+  /// was rebuilt by WAL replay alone (no checkpoint existed yet).
+  void MarkRecovered() { recovered_ = true; }
 
  private:
   common::Status IngestImpl(const sim::ProvenanceRecord& record);
@@ -209,6 +234,7 @@ class ProvenanceSession : public sim::ProvenanceSink {
   StreamingSegmenter segmenter_;  // observes store_; declared after it
   metadata::ContextId context_ = metadata::kInvalidId;
   bool finished_ = false;
+  bool recovered_ = false;
   common::Status status_;
   SessionStats counts_;
 

@@ -179,6 +179,92 @@ TEST(StreamBinaryIngestTest, BinarySinkEmitsCanonicalFraming) {
   }
 }
 
+TEST(StreamBinaryIngestTest, FinalizeIsAnIdempotentSnapshot) {
+  // Finalize never mutates the sink: consecutive calls are
+  // byte-identical, and ingesting after a Finalize yields the same bytes
+  // a never-finalized sink produces over the full feed.
+  const sim::Corpus corpus = sim::GenerateCorpus(SmallConfig());
+  const sim::PipelineTrace& trace = corpus.pipelines[0];
+
+  sim::BinaryTraceSink sink;
+  sim::ProvenanceFeeder feeder(&sink);
+  feeder.Flush(trace);  // partial feed (whatever is emittable mid-run)
+  const std::string mid_a = sink.Finalize();
+  const std::string mid_b = sink.Finalize();
+  EXPECT_EQ(mid_a, mid_b);
+
+  // The mid-feed snapshot is itself a valid MLPB buffer.
+  ProvenanceSession partial;
+  EXPECT_TRUE(IngestBinary(mid_a, partial).ok());
+
+  feeder.Finish(trace);  // keep ingesting after Finalize
+  const std::string full = sink.Finalize();
+  EXPECT_EQ(full, sink.Finalize());
+
+  sim::BinaryTraceSink fresh;
+  sim::ProvenanceFeeder refeed(&fresh);
+  refeed.Finish(trace);
+  EXPECT_EQ(full, fresh.Finalize());
+  EXPECT_EQ(full, metadata::SerializeStoreBinary(trace.store));
+}
+
+TEST(StreamBinaryIngestTest, LenientSalvageOfAnyTruncatedPrefixIsSafe) {
+  // The lenient-reader property (the WAL salvage contract mirrors it,
+  // frame-exactly, in stream_wal_test): for *every* truncation point of
+  // a binary buffer, lenient deserialization must succeed, salvage at
+  // most what the intact buffer holds, never fabricate nodes the strict
+  // reader would not produce, and degrade to the byte-identical strict
+  // result at full length.
+  const sim::Corpus corpus = sim::GenerateCorpus(SmallConfig());
+  const std::string binary =
+      metadata::SerializeStoreBinary(corpus.pipelines[0].store);
+  auto full = metadata::DeserializeStoreBinary(binary);
+  ASSERT_TRUE(full.ok()) << full.status();
+
+  // A torn magic/version header is not salvageable — it must fail
+  // cleanly (no crash), not fabricate an empty store.
+  const size_t header = sizeof(metadata::kBinaryStoreMagic) + 1;
+  for (size_t len = 0; len < header; ++len) {
+    metadata::LenientStats stats;
+    EXPECT_FALSE(metadata::DeserializeStoreBinaryLenient(
+                     binary.substr(0, len), &stats)
+                     .ok())
+        << "len " << len;
+  }
+
+  const size_t step = binary.size() > 4096 ? binary.size() / 600 + 1 : 1;
+  for (size_t len = header; len <= binary.size(); len += step) {
+    metadata::LenientStats stats;
+    auto salvaged =
+        metadata::DeserializeStoreBinaryLenient(binary.substr(0, len),
+                                                &stats);
+    ASSERT_TRUE(salvaged.ok()) << "len " << len << ": "
+                               << salvaged.status();
+    EXPECT_LE(salvaged->num_executions(), full->num_executions());
+    EXPECT_LE(salvaged->num_artifacts(), full->num_artifacts());
+    EXPECT_LE(salvaged->num_contexts(), full->num_contexts());
+    EXPECT_LE(salvaged->num_events(), full->num_events());
+    // Salvaged nodes are the intact buffer's nodes (ids are dense, so
+    // position identifies them): timestamps must match field-for-field.
+    for (size_t i = 0; i < salvaged->num_executions(); ++i) {
+      EXPECT_EQ(salvaged->executions()[i].start_time,
+                full->executions()[i].start_time)
+          << "len " << len << " exec " << i;
+    }
+    for (size_t i = 0; i < salvaged->num_artifacts(); ++i) {
+      EXPECT_EQ(salvaged->artifacts()[i].create_time,
+                full->artifacts()[i].create_time)
+          << "len " << len << " artifact " << i;
+    }
+  }
+
+  metadata::LenientStats stats;
+  auto whole = metadata::DeserializeStoreBinaryLenient(binary, &stats);
+  ASSERT_TRUE(whole.ok());
+  EXPECT_EQ(stats.malformed_lines, 0u);
+  EXPECT_EQ(metadata::SerializeStore(*whole), metadata::SerializeStore(*full));
+}
+
 TEST(StreamBinaryIngestTest, OutOfOrderRecordPoisonsSession) {
   ProvenanceSession session;
   metadata::RecordRef record;

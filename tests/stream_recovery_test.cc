@@ -1,0 +1,282 @@
+/// The crash-point fuzzer: a durable session is crashed at hundreds of
+/// deterministic offsets (between records, and mid-frame via partial
+/// unsynced-tail survival), recovered, resumed, and the finished result
+/// must fingerprint byte-identical to the uninterrupted run — for every
+/// sync policy, with and without checkpoints, and at any worker thread
+/// count.
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "simulator/corpus_generator.h"
+#include "stream/fingerprint.h"
+#include "stream/supervisor.h"
+
+namespace mlprov::stream {
+namespace {
+
+namespace fs = std::filesystem;
+
+sim::CorpusConfig FuzzConfig() {
+  sim::CorpusConfig config;
+  config.num_pipelines = 2;
+  config.seed = 31337;
+  config.horizon_days = 40.0;
+  return config;
+}
+
+struct CrashCase {
+  size_t trace = 0;
+  uint64_t offset = 0;   // crash after this many ingested records
+  int keep_variant = 0;  // 0: lose tail, 1: tear mid-frame, 2: keep all
+  WalSyncPolicy sync = WalSyncPolicy::kInterval;
+  uint64_t checkpoint_interval = 16;
+};
+
+struct CrashOutcome {
+  uint64_t fingerprint = 0;
+  uint64_t recovered_records = 0;  // records() after re-Open
+  uint64_t checkpoint_records = 0;
+  uint64_t torn_tail_bytes = 0;
+  bool used_checkpoint = false;
+};
+
+class StreamRecoveryTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus_ = new sim::Corpus(sim::GenerateCorpus(FuzzConfig()));
+    expected_ = new std::vector<uint64_t>();
+    for (const sim::PipelineTrace& trace : corpus_->pipelines) {
+      ProvenanceSession session;
+      TraceRecordSource source(trace);
+      const sim::ProvenanceRecord* record = nullptr;
+      for (uint64_t i = 0; (record = source.Get(i)) != nullptr; ++i) {
+        ASSERT_TRUE(session.Ingest(*record).ok());
+      }
+      auto result = session.Finish();
+      ASSERT_TRUE(result.ok()) << result.status();
+      expected_->push_back(FingerprintSessionResult(*result));
+    }
+  }
+  static void TearDownTestSuite() {
+    delete corpus_;
+    delete expected_;
+    corpus_ = nullptr;
+    expected_ = nullptr;
+  }
+
+  static sim::Corpus* corpus_;
+  static std::vector<uint64_t>* expected_;
+};
+
+sim::Corpus* StreamRecoveryTest::corpus_ = nullptr;
+std::vector<uint64_t>* StreamRecoveryTest::expected_ = nullptr;
+
+/// Crash once at the case's offset, recover, resume to the end.
+CrashOutcome RunCase(const sim::Corpus& corpus, const CrashCase& c,
+                     const std::string& dir) {
+  CrashOutcome outcome;
+  fs::remove_all(dir);
+  TraceRecordSource source(corpus.pipelines[c.trace]);
+
+  DurableOptions options;
+  options.wal.dir = dir;
+  options.wal.sync = c.sync;
+  options.wal.sync_interval_records = 8;
+  options.wal.segment_max_bytes = 16u << 10;  // force rotations
+  options.wal.flush_threshold_bytes = 1u << 10;
+  options.checkpoint_interval = c.checkpoint_interval;
+  options.checkpoints_to_keep = 2;
+
+  auto first = DurableSession::Open(options);
+  EXPECT_TRUE(first.ok()) << first.status();
+  if (!first.ok()) return outcome;
+  while (first->records() < c.offset) {
+    const sim::ProvenanceRecord* record = source.Get(first->records());
+    if (record == nullptr) {
+      ADD_FAILURE() << "offset " << c.offset << " past the feed";
+      return outcome;
+    }
+    common::Status ingested = first->Ingest(*record);
+    EXPECT_TRUE(ingested.ok()) << ingested;
+    if (!ingested.ok()) return outcome;
+  }
+  const uint64_t unsynced = first->unsynced_wal_bytes();
+  const uint64_t keep = c.keep_variant == 0   ? 0
+                        : c.keep_variant == 1 ? unsynced / 2
+                                              : unsynced;
+  EXPECT_TRUE(first->SimulateCrash(keep).ok());
+
+  auto second = DurableSession::Open(options);
+  EXPECT_TRUE(second.ok()) << second.status();
+  if (!second.ok()) return outcome;
+  outcome.recovered_records = second->records();
+  outcome.checkpoint_records = second->recovery().checkpoint_records;
+  outcome.torn_tail_bytes = second->recovery().torn_tail_bytes;
+  outcome.used_checkpoint = second->recovery().used_checkpoint;
+  // Nothing durably applied can exceed what was ingested, and nothing
+  // below the newest checkpoint can be lost.
+  EXPECT_LE(outcome.recovered_records, c.offset);
+  EXPECT_GE(outcome.recovered_records, outcome.checkpoint_records);
+  EXPECT_EQ(second->recovery().quarantined_records, 0u);
+
+  const sim::ProvenanceRecord* record = nullptr;
+  while ((record = source.Get(second->records())) != nullptr) {
+    common::Status ingested = second->Ingest(*record);
+    EXPECT_TRUE(ingested.ok()) << ingested;
+    if (!ingested.ok()) return outcome;
+  }
+  auto result = second->Finish();
+  EXPECT_TRUE(result.ok()) << result.status();
+  if (result.ok()) outcome.fingerprint = FingerprintSessionResult(*result);
+  EXPECT_TRUE(second->session().recovered() ||
+              (c.offset == 0 && outcome.recovered_records == 0));
+  fs::remove_all(dir);
+  return outcome;
+}
+
+/// The deterministic crash matrix: ~35 offsets per trace, three tail
+/// survival shapes each, cycling sync policies and checkpoint settings.
+std::vector<CrashCase> BuildMatrix(const sim::Corpus& corpus) {
+  std::vector<CrashCase> cases;
+  const WalSyncPolicy policies[3] = {WalSyncPolicy::kNone,
+                                     WalSyncPolicy::kInterval,
+                                     WalSyncPolicy::kEvery};
+  for (size_t t = 0; t < corpus.pipelines.size(); ++t) {
+    TraceRecordSource source(corpus.pipelines[t]);
+    const uint64_t n = source.size();
+    EXPECT_GT(n, 40u);
+    const uint64_t step = std::max<uint64_t>(1, n / 35);
+    for (uint64_t offset = 1; offset < n; offset += step) {
+      for (int keep = 0; keep < 3; ++keep) {
+        CrashCase c;
+        c.trace = t;
+        c.offset = offset;
+        c.keep_variant = keep;
+        c.sync = policies[(offset + keep) % 3];
+        // Every third case runs without checkpoints (pure WAL replay).
+        c.checkpoint_interval = (offset % 3 == 0) ? 0 : 16;
+        cases.push_back(c);
+      }
+    }
+  }
+  return cases;
+}
+
+TEST_F(StreamRecoveryTest, HundredsOfCrashOffsetsRecoverByteIdentical) {
+  const std::vector<CrashCase> cases = BuildMatrix(*corpus_);
+  ASSERT_GE(cases.size(), 200u) << "crash matrix too small";
+  const std::string base =
+      (fs::temp_directory_path() / "mlprov_recovery_fuzz").string();
+  for (size_t i = 0; i < cases.size(); ++i) {
+    const CrashOutcome outcome =
+        RunCase(*corpus_, cases[i], base + "_" + std::to_string(i));
+    EXPECT_EQ(outcome.fingerprint, (*expected_)[cases[i].trace])
+        << "case " << i << " trace " << cases[i].trace << " offset "
+        << cases[i].offset << " keep " << cases[i].keep_variant << " sync "
+        << ToString(cases[i].sync);
+    if (cases[i].sync == WalSyncPolicy::kEvery) {
+      // Everything journaled survives a full-loss crash: nothing to
+      // re-feed beyond the crash point itself.
+      EXPECT_EQ(outcome.recovered_records, cases[i].offset);
+    }
+    if (cases[i].checkpoint_interval == 0) {
+      EXPECT_FALSE(outcome.used_checkpoint);
+      EXPECT_EQ(outcome.checkpoint_records, 0u);
+    } else if (cases[i].offset >= 2 * cases[i].checkpoint_interval &&
+               cases[i].sync != WalSyncPolicy::kNone) {
+      EXPECT_TRUE(outcome.used_checkpoint) << "case " << i;
+    }
+  }
+}
+
+TEST_F(StreamRecoveryTest, OutcomesAreIdenticalAtAnyThreadCount) {
+  // A 30-case subset of the matrix, executed under worker pools of 1, 4,
+  // and 8 threads (cases run concurrently, each against its own WAL
+  // directory). Every outcome field must be bit-identical across thread
+  // counts — recovery has no scheduling-dependent behavior.
+  std::vector<CrashCase> cases = BuildMatrix(*corpus_);
+  std::vector<CrashCase> subset;
+  for (size_t i = 0; i < cases.size(); i += cases.size() / 30) {
+    subset.push_back(cases[i]);
+  }
+  const std::string base =
+      (fs::temp_directory_path() / "mlprov_recovery_threads").string();
+
+  std::vector<std::vector<CrashOutcome>> per_thread_count;
+  for (int threads : {1, 4, 8}) {
+    common::SetGlobalThreads(threads);
+    std::vector<CrashOutcome> outcomes(subset.size());
+    common::ParallelFor(subset.size(), [&](size_t i) {
+      outcomes[i] = RunCase(*corpus_, subset[i],
+                            base + "_t" + std::to_string(threads) + "_" +
+                                std::to_string(i));
+    });
+    per_thread_count.push_back(std::move(outcomes));
+  }
+  common::SetGlobalThreads(1);
+
+  for (size_t i = 0; i < subset.size(); ++i) {
+    const CrashOutcome& t1 = per_thread_count[0][i];
+    EXPECT_EQ(t1.fingerprint, (*expected_)[subset[i].trace]);
+    for (size_t tc = 1; tc < per_thread_count.size(); ++tc) {
+      const CrashOutcome& other = per_thread_count[tc][i];
+      EXPECT_EQ(other.fingerprint, t1.fingerprint) << "case " << i;
+      EXPECT_EQ(other.recovered_records, t1.recovered_records)
+          << "case " << i;
+      EXPECT_EQ(other.checkpoint_records, t1.checkpoint_records)
+          << "case " << i;
+      EXPECT_EQ(other.torn_tail_bytes, t1.torn_tail_bytes) << "case " << i;
+      EXPECT_EQ(other.used_checkpoint, t1.used_checkpoint) << "case " << i;
+    }
+  }
+}
+
+TEST_F(StreamRecoveryTest, RepeatedCrashesAccumulateToTheSameResult) {
+  // Crash, partially recover, crash again mid-recovery-resume — three
+  // times — and still finish byte-identical.
+  const std::string dir =
+      (fs::temp_directory_path() / "mlprov_recovery_repeat").string();
+  fs::remove_all(dir);
+  TraceRecordSource source(corpus_->pipelines[0]);
+  const uint64_t n = source.size();
+
+  DurableOptions options;
+  options.wal.dir = dir;
+  options.wal.sync = WalSyncPolicy::kInterval;
+  options.wal.sync_interval_records = 8;
+  options.checkpoint_interval = 16;
+
+  const uint64_t stops[3] = {n / 4, n / 2, 3 * n / 4};
+  for (int round = 0; round < 3; ++round) {
+    auto session = DurableSession::Open(options);
+    ASSERT_TRUE(session.ok()) << session.status();
+    while (session->records() < stops[round]) {
+      const sim::ProvenanceRecord* record = source.Get(session->records());
+      ASSERT_NE(record, nullptr);
+      ASSERT_TRUE(session->Ingest(*record).ok());
+    }
+    const uint64_t unsynced = session->unsynced_wal_bytes();
+    ASSERT_TRUE(session->SimulateCrash(unsynced / 3).ok());
+  }
+
+  auto final_session = DurableSession::Open(options);
+  ASSERT_TRUE(final_session.ok()) << final_session.status();
+  const sim::ProvenanceRecord* record = nullptr;
+  while ((record = source.Get(final_session->records())) != nullptr) {
+    ASSERT_TRUE(final_session->Ingest(*record).ok());
+  }
+  auto result = final_session->Finish();
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(FingerprintSessionResult(*result), (*expected_)[0]);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace mlprov::stream

@@ -1,0 +1,256 @@
+#include "stream/supervisor.h"
+
+#include <cmath>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/failpoints.h"
+#include "metadata/types.h"
+#include "simulator/corpus_generator.h"
+#include "stream/fingerprint.h"
+
+namespace mlprov::stream {
+namespace {
+
+namespace fs = std::filesystem;
+
+sim::CorpusConfig SmallConfig() {
+  sim::CorpusConfig config;
+  config.num_pipelines = 2;
+  config.seed = 5150;
+  config.horizon_days = 40.0;
+  return config;
+}
+
+class StreamSupervisorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus_ = new sim::Corpus(sim::GenerateCorpus(SmallConfig()));
+    ProvenanceSession session;
+    TraceRecordSource source(corpus_->pipelines[0]);
+    const sim::ProvenanceRecord* record = nullptr;
+    for (uint64_t i = 0; (record = source.Get(i)) != nullptr; ++i) {
+      ASSERT_TRUE(session.Ingest(*record).ok());
+    }
+    auto result = session.Finish();
+    ASSERT_TRUE(result.ok()) << result.status();
+    expected_ = FingerprintSessionResult(*result);
+  }
+  static void TearDownTestSuite() {
+    delete corpus_;
+    corpus_ = nullptr;
+  }
+
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("mlprov_sup_" + std::string(::testing::UnitTest::GetInstance()
+                                             ->current_test_info()
+                                             ->name())))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  SupervisorOptions BaseOptions() const {
+    SupervisorOptions options;
+    options.durable.wal.dir = dir_;
+    options.durable.wal.sync = WalSyncPolicy::kInterval;
+    options.durable.wal.sync_interval_records = 8;
+    options.durable.checkpoint_interval = 16;
+    options.seed = 99;
+    return options;
+  }
+
+  static sim::Corpus* corpus_;
+  static uint64_t expected_;
+  std::string dir_;
+};
+
+sim::Corpus* StreamSupervisorTest::corpus_ = nullptr;
+uint64_t StreamSupervisorTest::expected_ = 0;
+
+TEST_F(StreamSupervisorTest, CompletesFirstTryWithoutFaults) {
+  TraceRecordSource source(corpus_->pipelines[0]);
+  SessionSupervisor supervisor(BaseOptions());
+  SupervisorReport report = supervisor.Run(source);
+  ASSERT_TRUE(report.status.ok()) << report.status;
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.attempts, 1);
+  EXPECT_EQ(report.crashes, 0);
+  EXPECT_EQ(report.replayed_records, 0u);
+  EXPECT_FALSE(report.wal_quarantined);
+  ASSERT_TRUE(report.result.has_value());
+  EXPECT_EQ(FingerprintSessionResult(*report.result), expected_);
+}
+
+TEST_F(StreamSupervisorTest, RecoversThroughInjectedCrashes) {
+  auto plan = common::FaultPlan::Parse("session.crash:transient:0.01:3");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  SupervisorOptions options = BaseOptions();
+  options.faults = &*plan;
+  std::vector<double> slept;
+  options.sleep_fn = [&](double seconds) { slept.push_back(seconds); };
+
+  TraceRecordSource source(corpus_->pipelines[0]);
+  SessionSupervisor supervisor(options);
+  SupervisorReport report = supervisor.Run(source);
+  ASSERT_TRUE(report.status.ok()) << report.status;
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.crashes, 3);
+  EXPECT_EQ(report.attempts, 4);
+  EXPECT_EQ(report.backoff_schedule.size(), 3u);
+  EXPECT_EQ(slept, report.backoff_schedule);
+  EXPECT_GT(report.replayed_records, 0u);
+  ASSERT_TRUE(report.result.has_value());
+  // Crash-recovered result is byte-identical to the uninterrupted run.
+  EXPECT_EQ(FingerprintSessionResult(*report.result), expected_);
+
+  // Post-mortems were persisted for each crash.
+  size_t dumps = 0;
+  for (const auto& file :
+       fs::directory_iterator(fs::path(dir_) / "postmortem")) {
+    (void)file;
+    ++dumps;
+  }
+  EXPECT_GT(dumps, 0u);
+}
+
+TEST_F(StreamSupervisorTest, CrashRunsAreDeterministicPerSeed) {
+  auto plan = common::FaultPlan::Parse("session.crash:transient:0.01:2");
+  ASSERT_TRUE(plan.ok());
+  auto run_once = [&](const std::string& dir, uint64_t seed) {
+    fs::remove_all(dir);
+    SupervisorOptions options = BaseOptions();
+    options.durable.wal.dir = dir;
+    options.faults = &*plan;
+    options.seed = seed;
+    TraceRecordSource source(corpus_->pipelines[0]);
+    SessionSupervisor supervisor(options);
+    SupervisorReport report = supervisor.Run(source);
+    fs::remove_all(dir);
+    return report;
+  };
+
+  SupervisorReport a = run_once(dir_ + "_a", 7);
+  SupervisorReport b = run_once(dir_ + "_b", 7);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.attempts, b.attempts);
+  EXPECT_EQ(a.replayed_records, b.replayed_records);
+  EXPECT_EQ(a.backoff_schedule, b.backoff_schedule);
+  ASSERT_TRUE(a.result.has_value());
+  ASSERT_TRUE(b.result.has_value());
+  EXPECT_EQ(FingerprintSessionResult(*a.result),
+            FingerprintSessionResult(*b.result));
+}
+
+TEST_F(StreamSupervisorTest, BackoffIsJitteredExponential) {
+  SupervisorOptions options = BaseOptions();
+  options.backoff_initial_seconds = 0.1;
+  options.backoff_multiplier = 2.0;
+  options.backoff_jitter = 0.5;
+  SessionSupervisor supervisor(options);
+  for (int restart = 0; restart < 6; ++restart) {
+    const double base = 0.1 * std::pow(2.0, restart);
+    const double delay = supervisor.BackoffSeconds(restart);
+    EXPECT_GE(delay, base * 0.75) << restart;
+    EXPECT_LT(delay, base * 1.25) << restart;
+    // Deterministic: same options, same delay.
+    EXPECT_EQ(delay, SessionSupervisor(options).BackoffSeconds(restart));
+  }
+
+  // Jitter desynchronizes different seeds (retry-storm avoidance).
+  SupervisorOptions other = options;
+  other.seed = options.seed + 1;
+  EXPECT_NE(SessionSupervisor(other).BackoffSeconds(3),
+            supervisor.BackoffSeconds(3));
+
+  // jitter = 0 disables: the schedule is exactly exponential.
+  SupervisorOptions plain = options;
+  plain.backoff_jitter = 0.0;
+  EXPECT_DOUBLE_EQ(SessionSupervisor(plain).BackoffSeconds(3), 0.8);
+}
+
+/// A source that substitutes one contract-violating record: an event
+/// referencing nodes that never arrive poisons the session sticky.
+class PoisoningSource : public RecordSource {
+ public:
+  PoisoningSource(const sim::PipelineTrace& trace, uint64_t poison_at)
+      : inner_(trace), poison_at_(poison_at) {
+    bad_.kind = sim::ProvenanceRecord::Kind::kEvent;
+    bad_.event.execution = 999'999'999;
+    bad_.event.artifact = 999'999'999;
+    bad_.event.kind = metadata::EventKind::kInput;
+    bad_.event.time = 0;
+  }
+
+  uint64_t size() const override { return inner_.size(); }
+  const sim::ProvenanceRecord* Get(uint64_t index) override {
+    if (index == poison_at_) return &bad_;
+    return inner_.Get(index);
+  }
+
+ private:
+  TraceRecordSource inner_;
+  uint64_t poison_at_;
+  sim::ProvenanceRecord bad_;
+};
+
+TEST_F(StreamSupervisorTest, PoisonedFeedExhaustsBudgetAndQuarantines) {
+  SupervisorOptions options = BaseOptions();
+  options.max_restarts = 2;
+  options.durable.wal.sync = WalSyncPolicy::kEvery;  // poison hits disk
+  PoisoningSource source(corpus_->pipelines[0], 24);
+  SessionSupervisor supervisor(options);
+  SupervisorReport report = supervisor.Run(source);
+
+  EXPECT_FALSE(report.status.ok());
+  EXPECT_FALSE(report.completed);
+  EXPECT_EQ(report.attempts, 3);
+  // The journaled poison re-poisons replay deterministically: the first
+  // attempt poisons live, every later attempt dies recovering.
+  EXPECT_EQ(report.poisonings, 1);
+  EXPECT_TRUE(report.wal_quarantined);
+  EXPECT_GT(report.quarantined_files, 0u);
+  EXPECT_TRUE(fs::exists(fs::path(dir_) / "quarantine"));
+  EXPECT_FALSE(report.result.has_value());
+
+  // A fresh supervisor over the quarantined directory starts clean and
+  // completes (the poisoned log is out of the way).
+  TraceRecordSource clean(corpus_->pipelines[0]);
+  SessionSupervisor retry(BaseOptions());
+  SupervisorReport second = retry.Run(clean);
+  ASSERT_TRUE(second.status.ok()) << second.status;
+  ASSERT_TRUE(second.result.has_value());
+  EXPECT_EQ(FingerprintSessionResult(*second.result), expected_);
+}
+
+TEST_F(StreamSupervisorTest, ResumesAcrossSupervisorGenerations) {
+  // A crash-killed supervisor (max_fires exhausts its budget) leaves a
+  // durable WAL; the next supervisor generation picks up where it died
+  // instead of starting over.
+  auto plan = common::FaultPlan::Parse("session.crash:transient:0.02:3");
+  ASSERT_TRUE(plan.ok());
+  SupervisorOptions options = BaseOptions();
+  options.max_restarts = 1;  // 2 attempts < 3 injected crashes: dies
+  options.faults = &*plan;
+  TraceRecordSource source(corpus_->pipelines[0]);
+  {
+    SessionSupervisor first(options);
+    SupervisorReport report = first.Run(source);
+    EXPECT_FALSE(report.completed);
+    // Budget exhausted: evidence quarantined.
+    EXPECT_TRUE(report.wal_quarantined);
+  }
+  // Generation two: clean state, same source, completes identically.
+  SessionSupervisor second(BaseOptions());
+  SupervisorReport report = second.Run(source);
+  ASSERT_TRUE(report.status.ok()) << report.status;
+  ASSERT_TRUE(report.result.has_value());
+  EXPECT_EQ(FingerprintSessionResult(*report.result), expected_);
+}
+
+}  // namespace
+}  // namespace mlprov::stream
