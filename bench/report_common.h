@@ -106,6 +106,15 @@ struct Options {
   int64_t checkpoint_interval = 256;
   int max_session_restarts = 3;
   int64_t crash_after_records = 0;
+  /// Sharded-service flags (bench_stream_ingest — see DESIGN.md
+  /// "Sharded provenance service"):
+  ///   --shards=N                arm the sharded phase and sweep shard
+  ///                             counts up to N (0 = off)
+  ///   --shard_queue_capacity=N  per-shard SPSC queue bound, in records
+  ///   --backpressure=P          block (lossless) | shed
+  int shards = 0;
+  int64_t shard_queue_capacity = 1024;
+  std::string backpressure = "block";
 
   static Options Parse(const common::Flags& flags,
                        int default_pipelines = 600) {
@@ -169,6 +178,10 @@ struct Options {
         IntFlagOrDie(flags, "max_session_restarts", 3));
     options.crash_after_records =
         IntFlagOrDie(flags, "crash_after_records", 0);
+    options.shards = static_cast<int>(IntFlagOrDie(flags, "shards", 0));
+    options.shard_queue_capacity =
+        IntFlagOrDie(flags, "shard_queue_capacity", 1024);
+    options.backpressure = flags.GetString("backpressure", "block");
     return options;
   }
 };

@@ -161,6 +161,36 @@ int main(int argc, char** argv) {
                       const stream::SessionHealth& b) {
                      return a.seal_lag_hours > b.seal_lag_hours;
                    });
+  // Fleet row first: the aggregate view of every session gauge family
+  // (session.<name>.*), so a sharded run reads as one service. Counts
+  // sum; the fleet watermark is the *minimum* (the fleet has only
+  // advanced as far as its slowest session) and the lag is the maximum.
+  {
+    uint64_t records = 0, cells = 0, sealed = 0, open_cells = 0;
+    uint64_t reseals = 0, poisoned = 0, recovered = 0;
+    double min_watermark = 0.0, max_lag = 0.0;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const stream::SessionHealth& h = rows[i];
+      records += h.records;
+      cells += h.cells;
+      sealed += h.sealed;
+      open_cells += h.open_cells;
+      reseals += h.reseals;
+      poisoned += h.poisoned ? 1 : 0;
+      recovered += h.recovered ? 1 : 0;
+      const double watermark_h = static_cast<double>(h.watermark) / 3600.0;
+      min_watermark = i == 0 ? watermark_h
+                             : std::min(min_watermark, watermark_h);
+      max_lag = std::max(max_lag, h.seal_lag_hours);
+    }
+    table.AddRow({"FLEET (" + std::to_string(rows.size()) + ")",
+                  std::to_string(records),
+                  common::TextTable::Num(min_watermark, 1),
+                  common::TextTable::Num(max_lag, 1),
+                  std::to_string(cells), std::to_string(sealed),
+                  std::to_string(open_cells), std::to_string(reseals),
+                  std::to_string(poisoned), std::to_string(recovered)});
+  }
   for (const stream::SessionHealth& h : rows) {
     table.AddRow({h.name, std::to_string(h.records),
                   common::TextTable::Num(

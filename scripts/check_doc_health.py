@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Doc-health check: dead intra-repo links and untagged code fences.
+
+Scans the top-level narrative docs (README.md, DESIGN.md, EXPERIMENTS.md,
+ROADMAP.md) for:
+
+  * Markdown links whose target is a repo-relative path that does not
+    exist, or whose #fragment does not match any heading anchor in the
+    target document (GitHub slug rules: lowercase, punctuation stripped,
+    spaces to hyphens, -N suffixes for duplicates).
+  * Fenced code blocks whose opening fence carries no language tag; an
+    untagged fence renders without highlighting and usually means a
+    typo'd or hastily pasted block.
+
+External links (http/https/mailto) are not fetched — this check is
+hermetic and only guards what a repo edit can break.
+
+Usage: scripts/check_doc_health.py [repo-root]   (default: cwd)
+Exits non-zero if any problem is found, listing every offender.
+"""
+
+import os
+import re
+import sys
+
+DOCS = ["README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md"]
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$")
+FENCE_RE = re.compile(r"^(\s*)(`{3,}|~{3,})(.*)$")
+
+
+def slugify(heading, seen):
+    """GitHub-style anchor slug, with -N deduplication."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # drop code spans' backticks
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # inline links
+    slug = text.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    slug = slug.replace(" ", "-")
+    if slug in seen:
+        seen[slug] += 1
+        return f"{slug}-{seen[slug]}"
+    seen[slug] = 0
+    return slug
+
+
+def scan(path):
+    """Returns (anchors, links, untagged_fences) for one markdown file.
+
+    links are (lineno, target) outside code fences; untagged_fences are
+    line numbers of opening fences with no language tag.
+    """
+    anchors = set()
+    links = []
+    untagged = []
+    seen = {}
+    in_fence = False
+    fence_marker = ""
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            fence = FENCE_RE.match(line.rstrip("\n"))
+            if fence:
+                marker, info = fence.group(2), fence.group(3).strip()
+                if not in_fence:
+                    in_fence = True
+                    fence_marker = marker[0] * 3
+                    if not info:
+                        untagged.append(lineno)
+                elif marker.startswith(fence_marker) and not info:
+                    in_fence = False
+                continue
+            if in_fence:
+                continue
+            heading = HEADING_RE.match(line)
+            if heading:
+                anchors.add(slugify(heading.group(2), seen))
+            for match in LINK_RE.finditer(line):
+                links.append((lineno, match.group(1)))
+    return anchors, links, untagged
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    os.chdir(root)
+    docs = [d for d in DOCS if os.path.exists(d)]
+    scanned = {d: scan(d) for d in docs}
+    anchor_cache = {d: scanned[d][0] for d in docs}
+    problems = []
+
+    for doc in docs:
+        _, links, untagged = scanned[doc]
+        for lineno in untagged:
+            problems.append(
+                f"{doc}:{lineno}: code fence without a language tag")
+        for lineno, target in links:
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path, _, fragment = target.partition("#")
+            if path:
+                if not os.path.exists(path):
+                    problems.append(
+                        f"{doc}:{lineno}: dead link — {path} does not exist")
+                    continue
+                anchor_doc = path
+            else:
+                anchor_doc = doc
+            if not fragment or not anchor_doc.endswith(".md"):
+                continue
+            if anchor_doc not in anchor_cache:
+                if not os.path.exists(anchor_doc):
+                    continue  # existence already verified above
+                anchor_cache[anchor_doc] = scan(anchor_doc)[0]
+            if fragment.lower() not in anchor_cache[anchor_doc]:
+                problems.append(
+                    f"{doc}:{lineno}: dead anchor — "
+                    f"{anchor_doc}#{fragment} matches no heading")
+
+    total_links = sum(len(scanned[d][1]) for d in docs)
+    if problems:
+        for p in problems:
+            print(p, file=sys.stderr)
+        print(f"doc-health check FAILED: {len(problems)} problem(s) across "
+              f"{len(docs)} docs", file=sys.stderr)
+        return 1
+    print(f"doc-health check ok: {len(docs)} docs, {total_links} links, "
+          f"all fences tagged")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,12 +1,22 @@
 #!/usr/bin/env bash
 # Docs-consistency check: every command-line flag read anywhere in the
-# codebase must be documented (as --<name>) in README.md or DESIGN.md.
+# codebase must be documented (as --<name>) in README.md or DESIGN.md,
+# and every CMake build option must be mentioned in the docs too.
 #
-# Flag reads are located syntactically: any Flags accessor call of the
-# form Get{Int,Double,String,Bool,IntStrict}("name") or Has("name") in
-# src/, bench/, or examples/. The --threads flag is read indirectly
-# through common::ThreadsFromFlags (its name is a default argument, not
-# a literal at the call site), so it is added explicitly.
+# Flag reads are located syntactically:
+#   * any Flags accessor call of the form
+#     Get{Int,Double,String,Bool,IntStrict}("name") or Has("name") in
+#     src/, bench/, or examples/;
+#   * any IntFlagOrDie(flags, "name", ...) call — the bench harness's
+#     strict-integer wrapper, whose accessor call holds the flag name in
+#     a variable and is therefore invisible to the pattern above.
+# The --threads flag is read indirectly through common::ThreadsFromFlags
+# (its name is a default argument, not a literal at the call site), so
+# it is added explicitly.
+#
+# Build options are located in the top-level CMakeLists.txt as
+# option(MLPROV_* ...) declarations; each must appear by name in
+# README.md or DESIGN.md so a reader can discover the knob.
 #
 # Usage: scripts/check_flag_docs.sh [repo-root]   (default: cwd)
 set -euo pipefail
@@ -20,6 +30,9 @@ flags=$(
       '(GetInt|GetDouble|GetString|GetBool|GetIntStrict|Has)\("[a-z][a-z_0-9]*"' \
       src bench examples 2>/dev/null |
       sed -E 's/.*\("([a-z][a-z_0-9]*)"/\1/'
+    grep -rhoE 'IntFlagOrDie\([a-z_]+, "[a-z][a-z_0-9]*"' \
+      src bench examples 2>/dev/null |
+      sed -E 's/.*"([a-z][a-z_0-9]*)"/\1/'
     echo threads
   } | sort -u
 )
@@ -32,9 +45,21 @@ for flag in $flags; do
   fi
 done
 
-count=$(echo "$flags" | wc -w)
+build_options=$(
+  grep -hoE '^option\(MLPROV_[A-Z_0-9]+' CMakeLists.txt |
+    sed -E 's/^option\(//' | sort -u
+)
+for opt in $build_options; do
+  if ! grep -q -- "$opt" README.md DESIGN.md; then
+    echo "UNDOCUMENTED BUILD OPTION: ${opt} (declared in CMakeLists.txt, absent from README.md and DESIGN.md)" >&2
+    missing=1
+  fi
+done
+
+flag_count=$(echo "$flags" | wc -w)
+option_count=$(echo "$build_options" | wc -w)
 if [ "$missing" -ne 0 ]; then
-  echo "flag-docs check FAILED: document the flags above in README.md or DESIGN.md" >&2
+  echo "flag-docs check FAILED: document the flags/options above in README.md or DESIGN.md" >&2
   exit 1
 fi
-echo "flag-docs check ok: all ${count} flags documented"
+echo "flag-docs check ok: all ${flag_count} flags and ${option_count} build options documented"

@@ -38,6 +38,50 @@ size_t SegmentedCorpus::TotalQuarantined() const {
   return total;
 }
 
+size_t QuarantineTrace(const metadata::MetadataStore& store,
+                       const metadata::ValidationReport& report,
+                       size_t pipeline_index) {
+  // The event graph or node vocabulary cannot be trusted: callers skip
+  // segmentation entirely and count the trainers they would have
+  // anchored graphlets on.
+  const size_t quarantined =
+      store.ExecutionsOfType(metadata::ExecutionType::kTrainer).size();
+#ifndef MLPROV_OBS_NOOP
+  // Quarantine is a flight-recorder trigger: persist what the
+  // validator saw so the post-mortem names the trace and issues
+  // (no-op without a --flight_recorder= directory).
+  if (!obs::FlightRecorderDir().empty()) {
+    obs::FlightRecorder flight("quarantine_p" +
+                               std::to_string(pipeline_index));
+    obs::Json detail = obs::Json::Object();
+    detail.Set("pipeline_index", static_cast<uint64_t>(pipeline_index));
+    detail.Set("quarantined_graphlets", static_cast<uint64_t>(quarantined));
+    obs::Json issues = obs::Json::Array();
+    for (const metadata::TraceIssue& issue : report.issues) {
+      issues.Push(issue.detail);
+    }
+    detail.Set("issues", std::move(issues));
+    flight.NoteError("trace quarantined: " + report.Summary(),
+                     std::move(detail));
+    (void)flight.Dump();
+  }
+#else
+  (void)report;
+  (void)pipeline_index;
+#endif
+  return quarantined;
+}
+
+size_t DropTruncatedGraphlets(const metadata::MetadataStore& store,
+                              std::vector<Graphlet>& graphlets) {
+  auto bad = std::remove_if(
+      graphlets.begin(), graphlets.end(),
+      [&](const Graphlet& g) { return store.InputsOf(g.trainer).empty(); });
+  const size_t dropped = static_cast<size_t>(graphlets.end() - bad);
+  graphlets.erase(bad, graphlets.end());
+  return dropped;
+}
+
 SegmentedCorpus SegmentCorpus(const sim::Corpus& corpus,
                               const SegmentationOptions& options) {
   SegmentedCorpus segmented;
@@ -54,32 +98,7 @@ SegmentedCorpus SegmentCorpus(const sim::Corpus& corpus,
         const metadata::MetadataStore& store = corpus.pipelines[i].store;
         const metadata::ValidationReport report = validator.Validate(store);
         if (report.NeedsQuarantine()) {
-          // The event graph or node vocabulary cannot be trusted: skip
-          // segmentation entirely and count the trainers we would have
-          // anchored graphlets on.
-          sp.quarantined_graphlets =
-              store.ExecutionsOfType(metadata::ExecutionType::kTrainer)
-                  .size();
-#ifndef MLPROV_OBS_NOOP
-          // Quarantine is a flight-recorder trigger: persist what the
-          // validator saw so the post-mortem names the trace and issues
-          // (no-op without a --flight_recorder= directory).
-          if (!obs::FlightRecorderDir().empty()) {
-            obs::FlightRecorder flight("quarantine_p" + std::to_string(i));
-            obs::Json detail = obs::Json::Object();
-            detail.Set("pipeline_index", static_cast<uint64_t>(i));
-            detail.Set("quarantined_graphlets",
-                       static_cast<uint64_t>(sp.quarantined_graphlets));
-            obs::Json issues = obs::Json::Array();
-            for (const metadata::TraceIssue& issue : report.issues) {
-              issues.Push(issue.detail);
-            }
-            detail.Set("issues", std::move(issues));
-            flight.NoteError("trace quarantined: " + report.Summary(),
-                             std::move(detail));
-            (void)flight.Dump();
-          }
-#endif
+          sp.quarantined_graphlets = QuarantineTrace(store, report, i);
           return;
         }
         // Batch segmentation is a replay of the trace through the
@@ -98,17 +117,8 @@ SegmentedCorpus SegmentCorpus(const sim::Corpus& corpus,
           sp.graphlets = SegmentTrace(store, options);
         }
         if (report.truncated_graphlets > 0) {
-          // Drop graphlets whose trainer lost its input events — their
-          // span lineage (and thus every similarity/waste statistic) is
-          // meaningless.
-          auto bad = std::remove_if(
-              sp.graphlets.begin(), sp.graphlets.end(),
-              [&](const Graphlet& g) {
-                return store.InputsOf(g.trainer).empty();
-              });
           sp.quarantined_graphlets =
-              static_cast<size_t>(sp.graphlets.end() - bad);
-          sp.graphlets.erase(bad, sp.graphlets.end());
+              DropTruncatedGraphlets(store, sp.graphlets);
         }
       },
       /*grain=*/1);

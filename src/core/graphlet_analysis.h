@@ -17,6 +17,7 @@
 #include "core/graphlet.h"
 #include "core/segmentation.h"
 #include "dataspan/span_stats.h"
+#include "metadata/trace_validator.h"
 #include "similarity/span_similarity.h"
 #include "simulator/corpus.h"
 
@@ -50,6 +51,23 @@ struct SegmentedCorpus {
 /// "trace.quarantined" counter. Clean traces segment exactly as before.
 SegmentedCorpus SegmentCorpus(const sim::Corpus& corpus,
                               const SegmentationOptions& options = {});
+
+/// Quarantine bookkeeping for one untrustworthy trace, shared between
+/// SegmentCorpus and the sharded provenance service so both paths count
+/// (and post-mortem) corrupt pipelines identically: returns the number
+/// of trainers the trace would have anchored graphlets on, and persists
+/// the validator's findings as a flight-recorder dump
+/// ("quarantine_p<pipeline_index>") when a dump directory is configured.
+size_t QuarantineTrace(const metadata::MetadataStore& store,
+                       const metadata::ValidationReport& report,
+                       size_t pipeline_index);
+
+/// Drops graphlets whose trainer lost its input events — their span
+/// lineage (and thus every similarity/waste statistic) is meaningless.
+/// Returns how many were dropped. Shared by SegmentCorpus and the
+/// sharded service for identical truncation handling.
+size_t DropTruncatedGraphlets(const metadata::MetadataStore& store,
+                              std::vector<Graphlet>& graphlets);
 
 /// Section 4.2 (Table 1): similarity of consecutive graphlets. Values are
 /// histogrammed over the paper's four ranges [0,.25],(.25,.5],(.5,.75],
