@@ -1,8 +1,12 @@
 // Trace explorer: simulate one production pipeline (or load a saved
 // trace with --load=FILE), save/load its MLMD trace, and answer
 // provenance queries — which spans fed a pushed model, what a graphlet
-// cost, how big the trace got. Demonstrates the metadata store,
-// serialization, validation, trace traversal, and segmentation APIs
+// cost, how big the trace got. Interactive closure queries
+// (--query=anc:ID | desc:ID | lineage:ID | window:FROM-TO) run through
+// the provenance index with wall-clock comparison against the BFS
+// recompute; --index_stats prints the index's footprint and its live
+// validation snapshot. Demonstrates the metadata store, serialization,
+// validation, trace traversal, segmentation, and TraceQuery APIs
 // together. Exits non-zero with a clear message on missing or corrupt
 // input.
 #include <cstdio>
@@ -15,6 +19,7 @@
 #include <chrono>
 
 #include "common/flags.h"
+#include "core/provenance_index.h"
 #include "core/segmentation.h"
 #include "metadata/binary_serialization.h"
 #include "metadata/serialization.h"
@@ -27,9 +32,140 @@ using namespace mlprov;  // NOLINT: example brevity
 
 namespace {
 
+// Prints the first few ids of a closure result and the total count.
+template <typename Id>
+void PrintIdList(const char* label, const std::vector<Id>& ids) {
+  std::printf("  %s (%zu):", label, ids.size());
+  size_t shown = 0;
+  for (Id id : ids) {
+    if (shown++ == 12) {
+      std::printf(" …");
+      break;
+    }
+    std::printf(" %lld", static_cast<long long>(id));
+  }
+  std::printf("\n");
+}
+
+double MicrosSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Index-backed interactive queries: builds the provenance index over
+// the store (CatchUp — the one-time cost a streaming session amortizes
+// record by record), answers --query through core::TraceQuery with
+// wall-clock reporting against the TraceView BFS recompute, and prints
+// the index's footprint and validation snapshot under --index_stats.
+// Returns the process exit code (2 on a malformed --query).
+int RunIndexedQueries(const metadata::MetadataStore& store,
+                      const common::Flags& flags) {
+  using Clock = std::chrono::steady_clock;
+  core::ProvenanceIndex index(&store);
+  const auto b0 = Clock::now();
+  index.CatchUp();
+  const double build_us = MicrosSince(b0);
+  core::TraceQuery query(&store, &index);
+  metadata::TraceView view(&store);
+
+  if (flags.GetBool("index_stats", false)) {
+    std::printf("index: built in %.0fus; %.1f KiB of labels over %zu "
+                "executions, %zu trainer(s)\n",
+                build_us, static_cast<double>(index.label_bytes()) / 1024.0,
+                index.num_indexed_executions(), index.num_trainers());
+    std::printf("index validation snapshot: %s\n\n",
+                index.ValidationSnapshot().Summary().c_str());
+  }
+
+  std::string spec = flags.GetString("query", "");
+  if (spec.empty()) {
+    // Default showcase: the full ancestry of the newest trainer.
+    const auto trainers =
+        store.ExecutionsOfType(metadata::ExecutionType::kTrainer);
+    if (trainers.empty()) return 0;
+    spec = "anc:" + std::to_string(trainers.back());
+  }
+  const size_t colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  const std::string arg =
+      colon == std::string::npos ? "" : spec.substr(colon + 1);
+  const long long id = std::strtoll(arg.c_str(), nullptr, 10);
+
+  std::printf("query %s:\n", spec.c_str());
+  if (kind == "anc" || kind == "desc") {
+    const auto q0 = Clock::now();
+    auto indexed = kind == "anc"
+                       ? query.AncestorsOf(id)
+                       : query.DescendantsOf(id);
+    const double indexed_us = MicrosSince(q0);
+    if (!indexed.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   indexed.status().ToString().c_str());
+      return 1;
+    }
+    const auto r0 = Clock::now();
+    const auto recomputed = kind == "anc" ? view.AncestorExecutions(id)
+                                          : view.DescendantExecutions(id);
+    const double recompute_us = MicrosSince(r0);
+    PrintIdList(kind == "anc" ? "ancestor executions"
+                              : "descendant executions",
+                *indexed);
+    std::printf("  indexed %.1fus vs recompute %.1fus (%.1fx); "
+                "identical: %s\n\n",
+                indexed_us, recompute_us,
+                indexed_us > 0.0 ? recompute_us / indexed_us : 0.0,
+                *indexed == recomputed ? "yes" : "NO — BUG");
+    return 0;
+  }
+  if (kind == "lineage") {
+    const auto q0 = Clock::now();
+    auto lineage = query.LineageOf(id);
+    const double indexed_us = MicrosSince(q0);
+    if (!lineage.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   lineage.status().ToString().c_str());
+      return 1;
+    }
+    PrintIdList("producing executions", lineage->producers);
+    PrintIdList("upstream executions", lineage->executions);
+    PrintIdList("upstream artifacts", lineage->artifacts);
+    std::printf("  answered from the index in %.1fus\n\n", indexed_us);
+    return 0;
+  }
+  if (kind == "window") {
+    const size_t dash = arg.find('-');
+    if (dash == std::string::npos) {
+      std::fprintf(stderr,
+                   "error: --query=window takes FROM-TO timestamps\n");
+      return 2;
+    }
+    core::TimeWindowOptions window;
+    window.from = std::strtoll(arg.substr(0, dash).c_str(), nullptr, 10);
+    window.to = std::strtoll(arg.substr(dash + 1).c_str(), nullptr, 10);
+    const auto q0 = Clock::now();
+    auto slice = query.TimeWindowSlice(window);
+    const double indexed_us = MicrosSince(q0);
+    if (!slice.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   slice.status().ToString().c_str());
+      return 1;
+    }
+    PrintIdList("executions overlapping the window", *slice);
+    std::printf("  answered in %.1fus\n\n", indexed_us);
+    return 0;
+  }
+  std::fprintf(stderr,
+               "error: --query must be anc:ID | desc:ID | lineage:ID | "
+               "window:FROM-TO, got \"%s\"\n",
+               spec.c_str());
+  return 2;
+}
+
 // Explores one store: size, graphlets, and the lineage of the last
 // pushed model. Returns the process exit code.
-int ExploreStore(const metadata::MetadataStore& store) {
+int ExploreStore(const metadata::MetadataStore& store,
+                 const common::Flags& flags) {
   metadata::TraceView view(&store);
   std::printf("trace size: %zu nodes in %zu weakly connected "
               "component(s)\n\n",
@@ -84,12 +220,12 @@ int ExploreStore(const metadata::MetadataStore& store) {
       if (exec.ok()) std::printf(" %s", metadata::ToString(exec->type));
     }
     std::printf("\n  cost split: pre-trainer %.1f + trainer %.1f + "
-                "post-trainer %.1f machine-hours\n",
+                "post-trainer %.1f machine-hours\n\n",
                 it->pre_trainer_cost, it->trainer_cost,
                 it->post_trainer_cost);
     break;
   }
-  return 0;
+  return RunIndexedQueries(store, flags);
 }
 
 // Loads a user-supplied trace: strict parse first (the format — text or
@@ -165,7 +301,7 @@ int main(int argc, char** argv) {
         format == metadata::StoreFormat::kBinary ? "binary" : "text",
         load_seconds, loaded->num_executions(), loaded->num_artifacts(),
         loaded->num_events());
-    return ExploreStore(*loaded);
+    return ExploreStore(*loaded, flags);
   }
 
   sim::CorpusConfig corpus_config;
@@ -217,7 +353,7 @@ int main(int argc, char** argv) {
               path.c_str(), format_name.c_str(), loaded->num_executions(),
               loaded->num_artifacts(), loaded->num_events());
 
-  const int code = ExploreStore(trace.store);
+  const int code = ExploreStore(trace.store, flags);
   if (code != 0) return code;
 
   if (!trace_out.empty()) {

@@ -189,22 +189,6 @@ common::StatusOr<WasteDataset> BuildWasteDataset(
     const sim::Corpus& corpus, const SegmentedCorpus& segmented,
     const WasteDatasetOptions& options = {});
 
-/// Deprecated: pre-streaming signature, kept for one release. Forwards
-/// to the WasteDatasetOptions overload with the legacy clamping of the
-/// history window.
-[[deprecated("use the WasteDatasetOptions overload")]]
-inline WasteDataset BuildWasteDataset(const sim::Corpus& corpus,
-                                      const SegmentedCorpus& segmented,
-                                      const FeatureOptions& options) {
-  WasteDatasetOptions wrapped;
-  wrapped.features = options;
-  if (wrapped.features.history_window < 1) {
-    wrapped.features.history_window = 1;
-  }
-  auto result = BuildWasteDataset(corpus, segmented, wrapped);
-  return result.ok() ? std::move(result).value() : WasteDataset{};
-}
-
 }  // namespace mlprov::core
 
 #endif  // MLPROV_CORE_FEATURES_H_

@@ -172,18 +172,6 @@ common::StatusOr<PushDriverStats> ComputePushDrivers(
     const sim::Corpus& corpus, const SegmentedCorpus& segmented,
     const PushDriverOptions& options = {});
 
-/// Deprecated: pre-streaming signature, kept for one release. Forwards
-/// to the PushDriverOptions overload.
-[[deprecated("use the PushDriverOptions overload")]]
-inline PushDriverStats ComputePushDrivers(const sim::Corpus& corpus,
-                                          const SegmentedCorpus& segmented,
-                                          const SimilarityOptions& options) {
-  PushDriverOptions wrapped;
-  wrapped.similarity = options;
-  auto result = ComputePushDrivers(corpus, segmented, wrapped);
-  return result.ok() ? std::move(result).value() : PushDriverStats{};
-}
-
 /// Shared helper: Eq.-3 dataset similarity between two graphlets of the
 /// same pipeline, using (and filling) the calculator's cache.
 double GraphletDatasetSimilarity(const sim::PipelineTrace& trace,

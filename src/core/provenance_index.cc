@@ -1,0 +1,663 @@
+#include "core/provenance_index.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "obs/metrics.h"
+
+namespace mlprov::core {
+
+using metadata::ArtifactId;
+using metadata::ArtifactType;
+using metadata::EventKind;
+using metadata::ExecutionId;
+using metadata::ExecutionType;
+using metadata::MetadataStore;
+
+namespace {
+
+// Type-vocabulary checks mirroring trace_validator.cc (the enums are
+// uint8_t-backed, so only the upper bound can be violated).
+bool ValidArtifactType(ArtifactType type) {
+  return static_cast<int>(type) < metadata::kNumArtifactTypes;
+}
+
+bool ValidExecutionType(ExecutionType type) {
+  return static_cast<int>(type) < metadata::kNumExecutionTypes;
+}
+
+bool ValidEventKind(EventKind kind) {
+  return kind == EventKind::kInput || kind == EventKind::kOutput;
+}
+
+void Note(metadata::ValidationReport& report, metadata::TraceIssueKind kind,
+          int64_t id, std::string detail) {
+  report.issues.push_back(metadata::TraceIssue{kind, id, std::move(detail)});
+  switch (kind) {
+    case metadata::TraceIssueKind::kOrphanArtifact:
+      ++report.orphan_artifacts;
+      break;
+    case metadata::TraceIssueKind::kDanglingEvent:
+      ++report.dangling_events;
+      break;
+    case metadata::TraceIssueKind::kTimeInversion:
+      ++report.time_inversions;
+      break;
+    case metadata::TraceIssueKind::kTruncatedGraphlet:
+      ++report.truncated_graphlets;
+      break;
+    case metadata::TraceIssueKind::kInvalidType:
+      ++report.invalid_types;
+      break;
+  }
+}
+
+}  // namespace
+
+int IdBitset::CountTrailingZeros(uint64_t w) { return std::countr_zero(w); }
+
+bool IdBitset::Set(size_t bit) {
+  const size_t word = bit >> 6;
+  if (word >= words_.size()) words_.resize(word + 1, 0);
+  const uint64_t mask = uint64_t{1} << (bit & 63);
+  if ((words_[word] & mask) != 0) return false;
+  words_[word] |= mask;
+  return true;
+}
+
+bool IdBitset::Test(size_t bit) const {
+  const size_t word = bit >> 6;
+  return word < words_.size() && ((words_[word] >> (bit & 63)) & 1) != 0;
+}
+
+bool IdBitset::UnionWith(const IdBitset& other) {
+  if (other.words_.size() > words_.size()) {
+    words_.resize(other.words_.size(), 0);
+  }
+  bool changed = false;
+  for (size_t i = 0; i < other.words_.size(); ++i) {
+    const uint64_t merged = words_[i] | other.words_[i];
+    changed |= merged != words_[i];
+    words_[i] = merged;
+  }
+  return changed;
+}
+
+ProvenanceIndex::ProvenanceIndex(const MetadataStore* store,
+                                 const ProvenanceIndexOptions& options)
+    : store_(store), options_(options) {}
+
+void ProvenanceIndex::OnArtifact(const metadata::Artifact& artifact) {
+  if (!ValidArtifactType(artifact.type)) ++tallies_.invalid_types;
+  // Events arrive after their endpoints (feed contract), so a freshly
+  // inserted artifact has no adjacency yet; reading the store keeps
+  // this correct even if an event slipped in between.
+  if (store_->ProducersOf(artifact.id).empty() &&
+      store_->ConsumersOf(artifact.id).empty()) {
+    ++tallies_.orphan_artifacts;
+  }
+  ++indexed_artifacts_;
+}
+
+void ProvenanceIndex::OnExecution(const metadata::Execution& execution) {
+  anc_.emplace_back();
+  anc_cut_.emplace_back();
+  tmark_.emplace_back();
+  out_.emplace_back();
+  uint8_t flags = 0;
+  if (execution.type == ExecutionType::kTrainer) flags |= kTrainerFlag;
+  if (execution.type == ExecutionType::kTrainer ||
+      IsSegmentationStop(execution.type)) {
+    flags |= kStopFlag;
+  }
+  exec_flags_.push_back(flags);
+  int32_t ord = -1;
+  if ((flags & kTrainerFlag) != 0) {
+    ord = static_cast<int32_t>(trainers_.size());
+    trainers_.push_back(execution.id);
+  }
+  trainer_ord_.push_back(ord);
+
+  if (!ValidExecutionType(execution.type)) ++tallies_.invalid_types;
+  if (execution.end_time < execution.start_time) ++tallies_.time_inversions;
+  if (execution.type == ExecutionType::kTrainer &&
+      store_->InputsOf(execution.id).empty()) {
+    ++tallies_.truncated_graphlets;
+  }
+  ++indexed_executions_;
+}
+
+void ProvenanceIndex::OnEvent(const metadata::Event& event) {
+  const auto num_executions = static_cast<int64_t>(store_->num_executions());
+  const auto num_artifacts = static_cast<int64_t>(store_->num_artifacts());
+  const bool exec_ok =
+      event.execution >= 1 && event.execution <= num_executions;
+  const bool artifact_ok =
+      event.artifact >= 1 && event.artifact <= num_artifacts;
+
+  if (exec_ok && artifact_ok) {
+    // Mirror the store's adjacency routing exactly: kInput indexes as an
+    // input edge, every other kind (including hostile enum values) as an
+    // output edge. The store has already indexed this event, so degree
+    // transitions read post-insert adjacency sizes.
+    if (store_->ProducersOf(event.artifact).size() +
+            store_->ConsumersOf(event.artifact).size() ==
+        1) {
+      --tallies_.orphan_artifacts;  // first edge healed the orphan
+    }
+    if (event.kind == EventKind::kInput) {
+      if (IsTrainer(event.execution) &&
+          store_->InputsOf(event.execution).size() == 1) {
+        --tallies_.truncated_graphlets;
+      }
+      for (ExecutionId producer : store_->ProducersOf(event.artifact)) {
+        AddEdge(producer, event.execution);
+      }
+    } else {
+      for (ExecutionId consumer : store_->ConsumersOf(event.artifact)) {
+        AddEdge(event.execution, consumer);
+      }
+    }
+  }
+
+  // Validation tallies, mirroring TraceValidator's Scan.
+  if (!exec_ok || !artifact_ok || !ValidEventKind(event.kind)) {
+    ++tallies_.dangling_events;
+  } else if (event.kind == EventKind::kOutput) {
+    const metadata::Execution& producer =
+        store_->executions()[static_cast<size_t>(event.execution) - 1];
+    if (event.time < producer.start_time) ++tallies_.time_inversions;
+  }
+  ++indexed_events_;
+}
+
+void ProvenanceIndex::CatchUp() {
+  const auto& artifacts = store_->artifacts();
+  const auto& executions = store_->executions();
+  const auto& events = store_->events();
+  const bool artifacts_pending = indexed_artifacts_ < artifacts.size();
+  const bool events_pending = indexed_events_ < events.size();
+
+  for (size_t i = indexed_artifacts_; i < artifacts.size(); ++i) {
+    if (!ValidArtifactType(artifacts[i].type)) ++tallies_.invalid_types;
+  }
+  indexed_artifacts_ = artifacts.size();
+
+  const bool executions_pending = indexed_executions_ < executions.size();
+  for (size_t i = indexed_executions_; i < executions.size(); ++i) {
+    const metadata::Execution& e = executions[i];
+    anc_.emplace_back();
+    anc_cut_.emplace_back();
+    tmark_.emplace_back();
+    out_.emplace_back();
+    uint8_t flags = 0;
+    if (e.type == ExecutionType::kTrainer) flags |= kTrainerFlag;
+    if (e.type == ExecutionType::kTrainer || IsSegmentationStop(e.type)) {
+      flags |= kStopFlag;
+    }
+    exec_flags_.push_back(flags);
+    int32_t ord = -1;
+    if ((flags & kTrainerFlag) != 0) {
+      ord = static_cast<int32_t>(trainers_.size());
+      trainers_.push_back(e.id);
+    }
+    trainer_ord_.push_back(ord);
+    if (!ValidExecutionType(e.type)) ++tallies_.invalid_types;
+    if (e.end_time < e.start_time) ++tallies_.time_inversions;
+  }
+  indexed_executions_ = executions.size();
+
+  if (events_pending) {
+    const auto num_executions = static_cast<int64_t>(executions.size());
+    const auto num_artifacts = static_cast<int64_t>(artifacts.size());
+    for (size_t i = indexed_events_; i < events.size(); ++i) {
+      const metadata::Event& ev = events[i];
+      const bool exec_ok =
+          ev.execution >= 1 && ev.execution <= num_executions;
+      const bool artifact_ok =
+          ev.artifact >= 1 && ev.artifact <= num_artifacts;
+      if (!exec_ok || !artifact_ok || !ValidEventKind(ev.kind)) {
+        ++tallies_.dangling_events;
+      } else if (ev.kind == EventKind::kOutput) {
+        const metadata::Execution& producer =
+            executions[static_cast<size_t>(ev.execution) - 1];
+        if (ev.time < producer.start_time) ++tallies_.time_inversions;
+      }
+    }
+    indexed_events_ = events.size();
+    // Edges come from the store's adjacency — the ground truth for which
+    // events were actually indexed (an event inserted leniently before
+    // its endpoint existed never enters adjacency). AddEdge deduplicates,
+    // so re-sweeping known pairs is harmless.
+    for (size_t a = 1; a <= artifacts.size(); ++a) {
+      const auto id = static_cast<ArtifactId>(a);
+      const auto& producers = store_->ProducersOf(id);
+      if (producers.empty()) continue;
+      const auto& consumers = store_->ConsumersOf(id);
+      for (ExecutionId p : producers) {
+        for (ExecutionId c : consumers) AddEdge(p, c);
+      }
+    }
+  }
+  // Degree-dependent tallies (orphans, truncated trainers) cannot be
+  // transition-tracked in a batch, so recount them from adjacency.
+  if (artifacts_pending || executions_pending || events_pending) {
+    RecountDegreeTallies();
+  }
+}
+
+void ProvenanceIndex::RecountDegreeTallies() {
+  size_t orphans = 0;
+  for (const metadata::Artifact& a : store_->artifacts()) {
+    if (store_->ProducersOf(a.id).empty() &&
+        store_->ConsumersOf(a.id).empty()) {
+      ++orphans;
+    }
+  }
+  size_t truncated = 0;
+  for (const metadata::Execution& e : store_->executions()) {
+    if (e.type == ExecutionType::kTrainer && store_->InputsOf(e.id).empty()) {
+      ++truncated;
+    }
+  }
+  tallies_.orphan_artifacts = orphans;
+  tallies_.truncated_graphlets = truncated;
+}
+
+bool ProvenanceIndex::InSync() const {
+  return indexed_artifacts_ == store_->num_artifacts() &&
+         indexed_executions_ == store_->num_executions() &&
+         indexed_events_ == store_->num_events();
+}
+
+void ProvenanceIndex::AddEdge(ExecutionId u, ExecutionId v) {
+  if (u >= v) edges_monotone_ = false;
+  std::vector<ExecutionId>& outs = out_[static_cast<size_t>(u) - 1];
+  for (ExecutionId existing : outs) {
+    if (existing == v) return;
+  }
+  outs.push_back(v);
+  if (ApplyEdge(u, v)) PropagateFrom(v);
+}
+
+bool ProvenanceIndex::ApplyEdge(ExecutionId u, ExecutionId v) {
+  const size_t ui = static_cast<size_t>(u) - 1;
+  const size_t vi = static_cast<size_t>(v) - 1;
+  bool changed = anc_[vi].Set(static_cast<size_t>(u));
+  changed |= anc_[vi].UnionWith(anc_[ui]);
+  const bool cut_source =
+      options_.segmentation.cut_ancestors_at_trainers && IsTrainer(u);
+  if (!cut_source) {
+    changed |= anc_cut_[vi].Set(static_cast<size_t>(u));
+    changed |= anc_cut_[vi].UnionWith(anc_cut_[ui]);
+  }
+  if (!IsStop(v)) {
+    if (IsTrainer(u)) {
+      changed |= tmark_[vi].Set(static_cast<size_t>(trainer_ord_[ui]));
+    } else if (!IsStop(u)) {
+      changed |= tmark_[vi].UnionWith(tmark_[ui]);
+    }
+  }
+  return changed;
+}
+
+void ProvenanceIndex::PropagateFrom(ExecutionId v) {
+  if (out_[static_cast<size_t>(v) - 1].empty()) return;  // feed-order case
+  if (in_worklist_.size() < exec_flags_.size()) {
+    in_worklist_.resize(exec_flags_.size(), 0);
+  }
+  worklist_.clear();
+  worklist_.push_back(v);
+  in_worklist_[static_cast<size_t>(v) - 1] = 1;
+  size_t head = 0;
+  while (head < worklist_.size()) {
+    const ExecutionId u = worklist_[head++];
+    in_worklist_[static_cast<size_t>(u) - 1] = 0;
+    for (ExecutionId w : out_[static_cast<size_t>(u) - 1]) {
+      if (ApplyEdge(u, w) && in_worklist_[static_cast<size_t>(w) - 1] == 0) {
+        in_worklist_[static_cast<size_t>(w) - 1] = 1;
+        worklist_.push_back(w);
+      }
+    }
+  }
+  worklist_.clear();
+}
+
+std::vector<ExecutionId> ProvenanceIndex::Ancestors(ExecutionId exec) const {
+  std::vector<ExecutionId> out;
+  const size_t i = static_cast<size_t>(exec) - 1;
+  if (i >= anc_.size()) return out;
+  anc_[i].ForEachSet([&](size_t bit) {
+    // A label fixpoint on a (corrupt) cyclic store can include the node
+    // itself; the BFS never reports the start node, so drop it.
+    if (static_cast<ExecutionId>(bit) != exec) {
+      out.push_back(static_cast<ExecutionId>(bit));
+    }
+  });
+  return out;  // ForEachSet is ascending — already sorted
+}
+
+std::vector<ArtifactId> ProvenanceIndex::AncestorArtifacts(
+    ExecutionId exec) const {
+  std::vector<ArtifactId> out;
+  const size_t i = static_cast<size_t>(exec) - 1;
+  if (i >= anc_.size()) return out;
+  std::vector<char> seen(store_->num_artifacts() + 1, 0);
+  auto note = [&](ArtifactId a) {
+    if (seen[static_cast<size_t>(a)] == 0) {
+      seen[static_cast<size_t>(a)] = 1;
+      out.push_back(a);
+    }
+  };
+  for (ArtifactId a : store_->InputsOf(exec)) note(a);
+  anc_[i].ForEachSet([&](size_t bit) {
+    const auto ancestor = static_cast<ExecutionId>(bit);
+    if (ancestor == exec) return;
+    for (ArtifactId a : store_->InputsOf(ancestor)) note(a);
+    for (ArtifactId a : store_->OutputsOf(ancestor)) note(a);
+  });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<ExecutionId> ProvenanceIndex::Descendants(
+    ExecutionId exec) const {
+  // Column scan: x descends from exec iff exec is in x's ancestor label.
+  // Forward labels are not maintained (they would cost O(ancestors) per
+  // edge); probing one fixed bit across all rows is cache-friendly and
+  // yields ascending ids for free.
+  std::vector<ExecutionId> out;
+  const auto bit = static_cast<size_t>(exec);
+  for (size_t x = 1; x <= anc_.size(); ++x) {
+    if (static_cast<ExecutionId>(x) != exec && anc_[x - 1].Test(bit)) {
+      out.push_back(static_cast<ExecutionId>(x));
+    }
+  }
+  return out;
+}
+
+bool ProvenanceIndex::IsAncestor(ExecutionId ancestor,
+                                 ExecutionId exec) const {
+  if (ancestor == exec) return false;
+  const size_t i = static_cast<size_t>(exec) - 1;
+  return i < anc_.size() && anc_[i].Test(static_cast<size_t>(ancestor));
+}
+
+std::vector<ExecutionId> ProvenanceIndex::AncestorsCutAtTrainers(
+    ExecutionId exec) const {
+  std::vector<ExecutionId> out;
+  const size_t i = static_cast<size_t>(exec) - 1;
+  if (i >= anc_cut_.size()) return out;
+  anc_cut_[i].ForEachSet([&](size_t bit) {
+    if (static_cast<ExecutionId>(bit) != exec) {
+      out.push_back(static_cast<ExecutionId>(bit));
+    }
+  });
+  return out;
+}
+
+std::vector<ExecutionId> ProvenanceIndex::SegmentationDescendants(
+    ExecutionId trainer) const {
+  std::vector<ExecutionId> out;
+  const size_t i = static_cast<size_t>(trainer) - 1;
+  if (i >= trainer_ord_.size() || trainer_ord_[i] < 0) return out;
+  const auto ord = static_cast<size_t>(trainer_ord_[i]);
+  for (size_t x = 1; x <= tmark_.size(); ++x) {
+    if (tmark_[x - 1].Test(ord)) out.push_back(static_cast<ExecutionId>(x));
+  }
+  return out;
+}
+
+bool ProvenanceIndex::IsSegmentationStop(ExecutionType type) const {
+  if (type == ExecutionType::kTrainer) return true;
+  for (ExecutionType stop : options_.segmentation.descendant_stop) {
+    if (stop == type) return true;
+  }
+  return false;
+}
+
+std::vector<ExecutionId> ProvenanceIndex::TopologicalOrder() const {
+  // Monotone edges ⇒ every dependency points low id → high id ⇒ the
+  // min-heap Kahn order TraceView computes is exactly 1..n (induction:
+  // when 1..k-1 are emitted, k's predecessors are all relaxed and k is
+  // the smallest ready id).
+  if (InSync() && edges_monotone_) {
+    std::vector<ExecutionId> order(store_->num_executions());
+    for (size_t i = 0; i < order.size(); ++i) {
+      order[i] = static_cast<ExecutionId>(i + 1);
+    }
+    return order;
+  }
+  return metadata::TraceView(store_).TopologicalOrder();
+}
+
+metadata::ValidationReport ProvenanceIndex::ValidationSnapshot() const {
+  // Byte-identical re-derivation of TraceValidator's Scan (same order,
+  // same detail strings) so index holders can drop in for Validate().
+  // Property-tested against it at every ingest prefix.
+  metadata::ValidationReport report;
+  const auto num_artifacts = static_cast<int64_t>(store_->num_artifacts());
+  const auto num_executions = static_cast<int64_t>(store_->num_executions());
+
+  for (const metadata::Artifact& a : store_->artifacts()) {
+    if (!ValidArtifactType(a.type)) {
+      Note(report, metadata::TraceIssueKind::kInvalidType, a.id,
+           "artifact type " + std::to_string(static_cast<int>(a.type)));
+    }
+    if (store_->ProducersOf(a.id).empty() &&
+        store_->ConsumersOf(a.id).empty()) {
+      Note(report, metadata::TraceIssueKind::kOrphanArtifact, a.id,
+           "artifact with no producer or consumer");
+    }
+  }
+
+  for (const metadata::Execution& e : store_->executions()) {
+    if (!ValidExecutionType(e.type)) {
+      Note(report, metadata::TraceIssueKind::kInvalidType, e.id,
+           "execution type " + std::to_string(static_cast<int>(e.type)));
+    }
+    if (e.end_time < e.start_time) {
+      Note(report, metadata::TraceIssueKind::kTimeInversion, e.id,
+           "execution ends " +
+               std::to_string(static_cast<uint64_t>(e.start_time) -
+                              static_cast<uint64_t>(e.end_time)) +
+               "s before it starts");
+    }
+    if (e.type == ExecutionType::kTrainer && store_->InputsOf(e.id).empty()) {
+      Note(report, metadata::TraceIssueKind::kTruncatedGraphlet, e.id,
+           "trainer with no input events");
+    }
+  }
+
+  int64_t event_index = 0;
+  for (const metadata::Event& ev : store_->events()) {
+    const bool bad_exec = ev.execution < 1 || ev.execution > num_executions;
+    const bool bad_artifact = ev.artifact < 1 || ev.artifact > num_artifacts;
+    if (bad_exec || bad_artifact || !ValidEventKind(ev.kind)) {
+      Note(report, metadata::TraceIssueKind::kDanglingEvent, event_index,
+           "event (exec " + std::to_string(ev.execution) + ", artifact " +
+               std::to_string(ev.artifact) + ")");
+    } else if (ev.kind == EventKind::kOutput) {
+      const metadata::Execution& producer =
+          store_->executions()[static_cast<size_t>(ev.execution) - 1];
+      if (ev.time < producer.start_time) {
+        Note(report, metadata::TraceIssueKind::kTimeInversion, event_index,
+             "output event precedes its execution's start");
+      }
+    }
+    ++event_index;
+  }
+  MLPROV_COUNTER_ADD("trace.validation_issues", report.issues.size());
+  return report;
+}
+
+size_t ProvenanceIndex::label_bytes() const {
+  size_t total = 0;
+  for (const IdBitset& b : anc_) total += b.capacity_bytes();
+  for (const IdBitset& b : anc_cut_) total += b.capacity_bytes();
+  for (const IdBitset& b : tmark_) total += b.capacity_bytes();
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// TraceQuery
+
+common::Status TraceQuery::CheckExecution(ExecutionId exec) const {
+  if (exec < 1 ||
+      static_cast<size_t>(exec) > store_->num_executions()) {
+    return common::Status::NotFound("execution " + std::to_string(exec) +
+                                    " out of range");
+  }
+  return common::Status::Ok();
+}
+
+common::Status TraceQuery::CheckArtifact(ArtifactId artifact) const {
+  if (artifact < 1 ||
+      static_cast<size_t>(artifact) > store_->num_artifacts()) {
+    return common::Status::NotFound("artifact " + std::to_string(artifact) +
+                                    " out of range");
+  }
+  return common::Status::Ok();
+}
+
+common::Status TraceQuery::CheckInSync() const {
+  if (!index_->InSync()) {
+    return common::Status::FailedPrecondition(
+        "provenance index is behind its store; call CatchUp first");
+  }
+  return common::Status::Ok();
+}
+
+common::StatusOr<std::vector<ExecutionId>> TraceQuery::AncestorsOf(
+    ExecutionId exec) const {
+  MLPROV_RETURN_IF_ERROR(CheckExecution(exec));
+  MLPROV_RETURN_IF_ERROR(CheckInSync());
+  return index_->Ancestors(exec);
+}
+
+common::StatusOr<std::vector<ArtifactId>> TraceQuery::AncestorArtifactsOf(
+    ExecutionId exec) const {
+  MLPROV_RETURN_IF_ERROR(CheckExecution(exec));
+  MLPROV_RETURN_IF_ERROR(CheckInSync());
+  return index_->AncestorArtifacts(exec);
+}
+
+common::StatusOr<std::vector<ExecutionId>> TraceQuery::DescendantsOf(
+    ExecutionId exec, const metadata::TraverseOptions& options) const {
+  MLPROV_RETURN_IF_ERROR(CheckExecution(exec));
+  const bool has_predicate = static_cast<bool>(options.stop);
+  if (!has_predicate && options.stop_types.empty()) {
+    MLPROV_RETURN_IF_ERROR(CheckInSync());
+    return index_->Descendants(exec);
+  }
+  if (!has_predicate) {
+    // The segmentation stop set has a precomputed label column when the
+    // start node is a Trainer; any other stop vocabulary walks the BFS.
+    bool matches = true;
+    for (ExecutionType t : options.stop_types) {
+      if (!index_->IsSegmentationStop(t)) {
+        matches = false;
+        break;
+      }
+    }
+    if (matches) {
+      std::vector<ExecutionType> stops = {ExecutionType::kTrainer};
+      stops.insert(stops.end(),
+                   index_->options().segmentation.descendant_stop.begin(),
+                   index_->options().segmentation.descendant_stop.end());
+      std::sort(stops.begin(), stops.end());
+      stops.erase(std::unique(stops.begin(), stops.end()), stops.end());
+      std::vector<ExecutionType> asked = options.stop_types;
+      std::sort(asked.begin(), asked.end());
+      asked.erase(std::unique(asked.begin(), asked.end()), asked.end());
+      const metadata::Execution& e =
+          store_->executions()[static_cast<size_t>(exec) - 1];
+      if (asked == stops && e.type == ExecutionType::kTrainer) {
+        MLPROV_RETURN_IF_ERROR(CheckInSync());
+        return index_->SegmentationDescendants(exec);
+      }
+    }
+  }
+  // General fallback: the TraceView walk against the store (identical
+  // code path, so results stay byte-identical for any predicate).
+  return metadata::TraceView(store_).DescendantExecutions(exec, options);
+}
+
+common::StatusOr<LineageResult> TraceQuery::LineageOf(
+    ArtifactId artifact) const {
+  MLPROV_RETURN_IF_ERROR(CheckArtifact(artifact));
+  MLPROV_RETURN_IF_ERROR(CheckInSync());
+  LineageResult lineage;
+  lineage.producers = store_->ProducersOf(artifact);
+
+  const size_t n = store_->num_executions();
+  std::vector<char> member(n + 1, 0);    // producers ∪ their ancestors
+  std::vector<char> ancestor(n + 1, 0);  // ⋃ AncestorExecutions(producer)
+  for (ExecutionId producer : lineage.producers) {
+    member[static_cast<size_t>(producer)] = 1;
+    for (ExecutionId a : index_->Ancestors(producer)) {
+      member[static_cast<size_t>(a)] = 1;
+      ancestor[static_cast<size_t>(a)] = 1;
+    }
+  }
+  for (size_t id = 1; id <= n; ++id) {
+    if (member[id] != 0) {
+      lineage.executions.push_back(static_cast<ExecutionId>(id));
+    }
+  }
+
+  std::vector<char> seen(store_->num_artifacts() + 1, 0);
+  seen[static_cast<size_t>(artifact)] = 1;
+  for (ExecutionId producer : lineage.producers) {
+    for (ArtifactId a : store_->InputsOf(producer)) {
+      seen[static_cast<size_t>(a)] = 1;
+    }
+  }
+  for (size_t id = 1; id <= n; ++id) {
+    if (ancestor[id] == 0) continue;
+    const auto exec = static_cast<ExecutionId>(id);
+    for (ArtifactId a : store_->InputsOf(exec)) {
+      seen[static_cast<size_t>(a)] = 1;
+    }
+    for (ArtifactId a : store_->OutputsOf(exec)) {
+      seen[static_cast<size_t>(a)] = 1;
+    }
+  }
+  for (size_t id = 1; id < seen.size(); ++id) {
+    if (seen[id] != 0) lineage.artifacts.push_back(static_cast<ArtifactId>(id));
+  }
+  return lineage;
+}
+
+common::StatusOr<std::vector<ExecutionId>> TraceQuery::GraphletsTouchingSpan(
+    ArtifactId span) const {
+  MLPROV_RETURN_IF_ERROR(CheckArtifact(span));
+  if (graphlets_ == nullptr) {
+    return common::Status::FailedPrecondition(
+        "no graphlet membership provider attached (query through a "
+        "streaming session)");
+  }
+  return graphlets_->TrainersTouchingArtifact(span);
+}
+
+common::StatusOr<std::vector<ExecutionId>> TraceQuery::TimeWindowSlice(
+    const TimeWindowOptions& options) const {
+  if (options.to < options.from) {
+    return common::Status::InvalidArgument(
+        "time window end precedes its start");
+  }
+  std::vector<ExecutionId> out;
+  if (options.to == options.from) return out;  // empty half-open window
+  for (const metadata::Execution& e : store_->executions()) {
+    if (e.start_time < options.to && e.end_time >= options.from) {
+      out.push_back(e.id);
+    }
+  }
+  return out;
+}
+
+std::vector<ExecutionId> TraceQuery::TopologicalOrder() const {
+  return index_->TopologicalOrder();
+}
+
+}  // namespace mlprov::core

@@ -1,0 +1,334 @@
+#ifndef MLPROV_CORE_PROVENANCE_INDEX_H_
+#define MLPROV_CORE_PROVENANCE_INDEX_H_
+
+/// Incremental provenance index + TraceQuery engine (ROADMAP item 2).
+///
+/// metadata::TraceView recomputes ancestor/descendant closures and
+/// topological order from scratch on every call; at millions of
+/// executions that is the next scaling wall. ProvenanceIndex maintains
+/// per-execution reachability labels *incrementally* as records arrive
+/// (the streaming session feeds it one record at a time, exactly like
+/// the StreamingSegmenter), so closure queries decode a bitset instead
+/// of walking the graph — no full recompute on query.
+///
+/// Labeling scheme (one bitset triple per execution, grown lazily):
+///  - anc:      the full ancestor closure — bit u set iff execution u
+///              reaches this execution through output→input edges.
+///  - anc_cut:  ancestors reachable via Trainer-free paths — exactly the
+///              rule-(a) member set of Appendix A segmentation (the
+///              warm-start edge is a cut).
+///  - tmark:    a bitset over *trainer ordinals* — trainer T's bit is
+///              set iff T reaches this execution through a path whose
+///              interior avoids the rule-(c) stop set; never propagated
+///              into stop-typed executions. Decoding one trainer's
+///              column yields its rule-(c) descendant set.
+///
+/// Incremental-maintenance invariant: after every OnArtifact /
+/// OnExecution / OnEvent callback (or CatchUp), the labels equal the
+/// least fixpoint of
+///     anc(v)     = ⋃ over edges u→v of {u} ∪ anc(u)
+///     anc_cut(v) = ⋃ over edges u→v, u not Trainer, of {u} ∪ anc_cut(u)
+///     tmark(v)   = ⋃ over edges u→v, v not stop, of C(u)
+///       where C(u) = {ord(u)} if u is a Trainer, ∅ if u is a non-Trainer
+///       stop, tmark(u) otherwise
+/// over the execution-level edge set {u→v : some artifact is an output
+/// of u and an input of v}, derived from events exactly as the store's
+/// adjacency indexes them. New edges are applied with a worklist
+/// propagation; in feed order (the newest node has no out-edges) the
+/// worklist is empty and maintenance is a handful of bitset unions.
+///
+/// Monotone-edge gate: the index tracks whether every edge goes from a
+/// lower to a higher id (`edges_monotone()`). Monotone edges imply a
+/// DAG, which is what makes label decoding *byte-identical* to the BFS
+/// walks (on a corrupt cyclic store a label fixpoint can reach through
+/// nodes a BFS refuses to expand). Consumers that need byte-identity on
+/// arbitrary stores (the indexed graphlet extraction, topological
+/// order) check the gate and fall back to the BFS when it is off. Every
+/// feed the simulator produces is monotone.
+///
+/// Memory cost per execution: 2 execution-bitsets + 1 trainer-ordinal
+/// bitset ≈ (2·n + t)/8 bytes for a trace of n executions and t
+/// trainers — ~2.5 KB per execution at n = 10 000, a few MB per large
+/// trace. Labels are per-trace and never shared, so under --shards=N
+/// each shard owns exactly the indexes of the pipelines routed to it
+/// (the shard-locality argument: no cross-shard label traffic exists).
+///
+/// The store must outlive the index and may only grow (dense 1-based
+/// ids, the feed-order contract). Mutating repairs (DropInvalidEvents,
+/// ValidateAndRepair) invalidate an already-built index — run them
+/// first, then CatchUp a fresh index.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/segmentation.h"
+#include "metadata/metadata_store.h"
+#include "metadata/trace.h"
+#include "metadata/trace_validator.h"
+#include "metadata/types.h"
+
+namespace mlprov::core {
+
+struct ProvenanceIndexOptions {
+  /// Stop/cut vocabulary for the segmentation-aligned labels (anc_cut,
+  /// tmark). Must match the segmenter's options for indexed extraction
+  /// to be valid.
+  SegmentationOptions segmentation;
+};
+
+/// O(1)-readable issue counters maintained incrementally (the full
+/// ValidationSnapshot report re-derives details from the store). Exact
+/// under the feed-order contract and for whole-store CatchUp; see
+/// ProvenanceIndex::issue_tallies().
+struct IssueTallies {
+  size_t orphan_artifacts = 0;
+  size_t dangling_events = 0;
+  size_t time_inversions = 0;
+  size_t truncated_graphlets = 0;
+  size_t invalid_types = 0;
+};
+
+/// Dense bitset over 1-based node ids, grown lazily. Word layout is
+/// bit = id (bit 0 unused) so decode needs no offset arithmetic.
+class IdBitset {
+ public:
+  /// Sets `bit`; returns true iff it was newly set.
+  bool Set(size_t bit);
+  bool Test(size_t bit) const;
+  /// Unions `other` in; returns true iff any bit changed.
+  bool UnionWith(const IdBitset& other);
+  /// Calls `fn(bit)` for every set bit in ascending order.
+  template <typename Fn>
+  void ForEachSet(Fn&& fn) const {
+    for (size_t i = 0; i < words_.size(); ++i) {
+      uint64_t w = words_[i];
+      while (w != 0) {
+        fn(i * 64 + static_cast<size_t>(CountTrailingZeros(w)));
+        w &= w - 1;
+      }
+    }
+  }
+  size_t capacity_bytes() const {
+    return words_.capacity() * sizeof(uint64_t);
+  }
+
+ private:
+  static int CountTrailingZeros(uint64_t w);
+  std::vector<uint64_t> words_;
+};
+
+class ProvenanceIndex {
+ public:
+  explicit ProvenanceIndex(const metadata::MetadataStore* store,
+                           const ProvenanceIndexOptions& options = {});
+
+  /// Record callbacks, invoked *after* the corresponding store insert,
+  /// in feed order (the same discipline as StreamingSegmenter's).
+  void OnArtifact(const metadata::Artifact& artifact);
+  void OnExecution(const metadata::Execution& execution);
+  void OnEvent(const metadata::Event& event);
+
+  /// Indexes everything the store holds that the index has not seen
+  /// yet. Batch entry point (index a finished store in one call) and
+  /// the recovery path (rebuild after RestoreState). Safe to repeat.
+  void CatchUp();
+
+  /// True when the index has processed every record the store holds.
+  /// Label-decoding queries require this (TraceQuery enforces it).
+  bool InSync() const;
+
+  /// True while every observed edge goes low id → high id (⇒ DAG).
+  bool edges_monotone() const { return edges_monotone_; }
+
+  // ---- label-decode queries (ids are not range-checked here;
+  //      TraceQuery wraps them in a StatusOr surface) ----
+
+  /// Ancestor executions of `exec`, ascending — byte-identical to
+  /// TraceView::AncestorExecutions.
+  std::vector<metadata::ExecutionId> Ancestors(
+      metadata::ExecutionId exec) const;
+  /// Artifacts reachable backwards from `exec`, ascending —
+  /// byte-identical to TraceView::AncestorArtifacts.
+  std::vector<metadata::ArtifactId> AncestorArtifacts(
+      metadata::ExecutionId exec) const;
+  /// Descendant executions (no stop predicate), ascending — a column
+  /// scan over the anc labels.
+  std::vector<metadata::ExecutionId> Descendants(
+      metadata::ExecutionId exec) const;
+  /// True iff `ancestor` reaches `exec` (strict: false when equal).
+  bool IsAncestor(metadata::ExecutionId ancestor,
+                  metadata::ExecutionId exec) const;
+
+  /// Rule-(a) member set for a graphlet anchored at `exec`: ancestors
+  /// via Trainer-free paths, ascending.
+  std::vector<metadata::ExecutionId> AncestorsCutAtTrainers(
+      metadata::ExecutionId exec) const;
+  /// Rule-(c) member set for `trainer`: descendants up to (and
+  /// excluding) the stop set, ascending. Empty for non-Trainers.
+  std::vector<metadata::ExecutionId> SegmentationDescendants(
+      metadata::ExecutionId trainer) const;
+  /// Whether `type` is in the rule-(c) stop set ({Trainer} ∪
+  /// options.segmentation.descendant_stop).
+  bool IsSegmentationStop(metadata::ExecutionType type) const;
+
+  /// Execution topological order, byte-identical to
+  /// TraceView::TopologicalOrder: the monotone gate makes it exactly
+  /// 1..n (the min-heap Kahn order), otherwise falls back to the BFS.
+  std::vector<metadata::ExecutionId> TopologicalOrder() const;
+
+  /// Validation report byte-identical to TraceValidator::Validate on
+  /// the current store (same issue order, same detail strings, same
+  /// "trace.validation_issues" counter bump) — the validator surface
+  /// for index-holding consumers.
+  metadata::ValidationReport ValidationSnapshot() const;
+  const IssueTallies& issue_tallies() const { return tallies_; }
+
+  const metadata::MetadataStore& store() const { return *store_; }
+  const ProvenanceIndexOptions& options() const { return options_; }
+  size_t num_indexed_executions() const { return anc_.size(); }
+  size_t num_trainers() const { return trainers_.size(); }
+  /// Bytes held by the reachability labels (the index's memory cost).
+  size_t label_bytes() const;
+
+ private:
+  bool IsTrainer(metadata::ExecutionId id) const {
+    return (exec_flags_[static_cast<size_t>(id) - 1] & kTrainerFlag) != 0;
+  }
+  bool IsStop(metadata::ExecutionId id) const {
+    return (exec_flags_[static_cast<size_t>(id) - 1] & kStopFlag) != 0;
+  }
+  /// Registers edge u→v (idempotent); applies label deltas and runs the
+  /// worklist propagation if v's labels changed.
+  void AddEdge(metadata::ExecutionId u, metadata::ExecutionId v);
+  /// Unions u's contributions into v per the fixpoint equations.
+  /// Returns true iff any of v's labels changed.
+  bool ApplyEdge(metadata::ExecutionId u, metadata::ExecutionId v);
+  void PropagateFrom(metadata::ExecutionId v);
+  /// Recomputes the degree-dependent tallies (orphans, truncated
+  /// trainers) from the store's adjacency. Used by CatchUp, where
+  /// per-event transitions are not observable.
+  void RecountDegreeTallies();
+
+  static constexpr uint8_t kTrainerFlag = 1;
+  static constexpr uint8_t kStopFlag = 2;
+
+  const metadata::MetadataStore* store_;
+  ProvenanceIndexOptions options_;
+
+  // Labels, parallel to store executions (index = id - 1).
+  std::vector<IdBitset> anc_;
+  std::vector<IdBitset> anc_cut_;
+  std::vector<IdBitset> tmark_;
+  std::vector<uint8_t> exec_flags_;
+  /// Trainer ordinal per execution (-1 for non-Trainers) and its
+  /// inverse; ordinals are the tmark bit positions.
+  std::vector<int32_t> trainer_ord_;
+  std::vector<metadata::ExecutionId> trainers_;
+  /// Deduplicated out-edges (u → consumers of u's outputs).
+  std::vector<std::vector<metadata::ExecutionId>> out_;
+  /// Worklist scratch for propagation (grown lazily, reset per run).
+  std::vector<metadata::ExecutionId> worklist_;
+  std::vector<char> in_worklist_;
+
+  size_t indexed_artifacts_ = 0;
+  size_t indexed_executions_ = 0;
+  size_t indexed_events_ = 0;
+  bool edges_monotone_ = true;
+  IssueTallies tallies_;
+};
+
+/// Live graphlet-membership source for TraceQuery::GraphletsTouchingSpan.
+/// Implemented by stream::StreamingSegmenter over its membership
+/// indexes; memberships reflect each cell's last extraction.
+class GraphletMembershipProvider {
+ public:
+  virtual ~GraphletMembershipProvider() = default;
+  /// Trainer anchors of the graphlets whose membership contains
+  /// `artifact`, ascending and deduplicated.
+  virtual std::vector<metadata::ExecutionId> TrainersTouchingArtifact(
+      metadata::ArtifactId artifact) const = 0;
+};
+
+/// Ancestor closure of one artifact: who made it, and everything that
+/// fed into making it.
+struct LineageResult {
+  /// Executions that produced the artifact, in event order (usually 1).
+  std::vector<metadata::ExecutionId> producers;
+  /// Producers plus all their ancestor executions, ascending.
+  std::vector<metadata::ExecutionId> executions;
+  /// The artifact itself plus every artifact reachable backwards from
+  /// its producers, ascending.
+  std::vector<metadata::ArtifactId> artifacts;
+};
+
+struct TimeWindowOptions {
+  /// Half-open window [from, to): executions whose [start_time,
+  /// end_time] overlaps it are returned.
+  metadata::Timestamp from = 0;
+  metadata::Timestamp to = 0;
+};
+
+/// The unified query surface over a store + its ProvenanceIndex:
+/// options-struct + StatusOr, shared between interactive consumers
+/// (trace_explorer) and the analysis stack. Queries against out-of-range
+/// ids return NotFound; label-decoding queries on an index that has not
+/// caught up with its store return FailedPrecondition. The query object
+/// borrows everything and is cheap to construct per use.
+class TraceQuery {
+ public:
+  TraceQuery(const metadata::MetadataStore* store,
+             const ProvenanceIndex* index,
+             const GraphletMembershipProvider* graphlets = nullptr)
+      : store_(store), index_(index), graphlets_(graphlets) {}
+
+  /// Ancestor executions of `exec`, ascending (byte-identical to
+  /// TraceView::AncestorExecutions).
+  common::StatusOr<std::vector<metadata::ExecutionId>> AncestorsOf(
+      metadata::ExecutionId exec) const;
+
+  /// Ancestor artifacts of `exec`, ascending (byte-identical to
+  /// TraceView::AncestorArtifacts).
+  common::StatusOr<std::vector<metadata::ArtifactId>> AncestorArtifactsOf(
+      metadata::ExecutionId exec) const;
+
+  /// Descendant executions under `options` (byte-identical to
+  /// TraceView::DescendantExecutions with the equivalent stop). Stop-free
+  /// queries and the segmentation stop set decode labels; arbitrary
+  /// predicates run the BFS against the store.
+  common::StatusOr<std::vector<metadata::ExecutionId>> DescendantsOf(
+      metadata::ExecutionId exec,
+      const metadata::TraverseOptions& options = {}) const;
+
+  /// Full backward closure of one artifact.
+  common::StatusOr<LineageResult> LineageOf(
+      metadata::ArtifactId artifact) const;
+
+  /// Trainer anchors of the graphlets touching `span` (any member
+  /// artifact qualifies). Requires a GraphletMembershipProvider — the
+  /// streaming segmenter — else FailedPrecondition.
+  common::StatusOr<std::vector<metadata::ExecutionId>> GraphletsTouchingSpan(
+      metadata::ArtifactId span) const;
+
+  /// Executions whose [start_time, end_time] overlaps [from, to),
+  /// ascending. InvalidArgument when to < from.
+  common::StatusOr<std::vector<metadata::ExecutionId>> TimeWindowSlice(
+      const TimeWindowOptions& options) const;
+
+  /// Topological order (byte-identical to TraceView::TopologicalOrder).
+  std::vector<metadata::ExecutionId> TopologicalOrder() const;
+
+ private:
+  common::Status CheckExecution(metadata::ExecutionId exec) const;
+  common::Status CheckArtifact(metadata::ArtifactId artifact) const;
+  common::Status CheckInSync() const;
+
+  const metadata::MetadataStore* store_;
+  const ProvenanceIndex* index_;
+  const GraphletMembershipProvider* graphlets_;
+};
+
+}  // namespace mlprov::core
+
+#endif  // MLPROV_CORE_PROVENANCE_INDEX_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/datalog.h"
+#include "core/provenance_index.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -145,9 +146,7 @@ Graphlet Finalize(const MetadataStore& store, ExecutionId trainer,
 
 }  // namespace
 
-Graphlet GraphletExtractor::Extract(const MetadataStore& store,
-                                    ExecutionId trainer) {
-  const SegmentationOptions& options = options_;
+void GraphletExtractor::EnsureScratch(const MetadataStore& store) {
   // Grow-only scratch: the streaming segmenter extracts against a store
   // that gains nodes between calls. Fresh slots are zero-initialized,
   // matching the reset-after-use invariant of the existing slots.
@@ -158,28 +157,75 @@ Graphlet GraphletExtractor::Extract(const MetadataStore& store,
   if (artifact_in_.size() < store.num_artifacts() + 1) {
     artifact_in_.resize(store.num_artifacts() + 1, 0);
   }
-  std::vector<char>& exec_in = exec_in_;
-  std::vector<char>& artifact_in = artifact_in_;
-  std::vector<char>& exec_is_descendant = exec_is_descendant_;
-  std::vector<ExecutionId>& touched_execs = touched_execs_;
-  std::vector<ArtifactId>& touched_artifacts = touched_artifacts_;
-  touched_execs.clear();
-  touched_artifacts.clear();
-  auto add_exec = [&](ExecutionId id, bool descendant) {
-    if (exec_in[static_cast<size_t>(id)]) return false;
-    exec_in[static_cast<size_t>(id)] = 1;
-    exec_is_descendant[static_cast<size_t>(id)] = descendant ? 1 : 0;
-    touched_execs.push_back(id);
-    return true;
-  };
-  auto add_artifact = [&](ArtifactId id) {
-    if (artifact_in[static_cast<size_t>(id)]) return false;
-    artifact_in[static_cast<size_t>(id)] = 1;
-    touched_artifacts.push_back(id);
-    return true;
-  };
+  touched_execs_.clear();
+  touched_artifacts_.clear();
+}
 
-  add_exec(trainer, /*descendant=*/false);
+bool GraphletExtractor::AddExec(ExecutionId id, bool descendant) {
+  if (exec_in_[static_cast<size_t>(id)]) return false;
+  exec_in_[static_cast<size_t>(id)] = 1;
+  exec_is_descendant_[static_cast<size_t>(id)] = descendant ? 1 : 0;
+  touched_execs_.push_back(id);
+  return true;
+}
+
+bool GraphletExtractor::AddArtifact(ArtifactId id) {
+  if (artifact_in_[static_cast<size_t>(id)]) return false;
+  artifact_in_[static_cast<size_t>(id)] = 1;
+  touched_artifacts_.push_back(id);
+  return true;
+}
+
+void GraphletExtractor::RunAnalysisClosure(const MetadataStore& store) {
+  // Rule (b): data-analysis/-validation executions over the graphlet's
+  // data spans, chased through their derived artifacts (statistics ->
+  // schema/anomalies).
+  std::vector<ArtifactId> frontier;
+  for (ArtifactId a : touched_artifacts_) {
+    if (store.artifacts()[static_cast<size_t>(a) - 1].type ==
+        ArtifactType::kExamples) {
+      frontier.push_back(a);
+    }
+  }
+  while (!frontier.empty()) {
+    const ArtifactId cur = frontier.back();
+    frontier.pop_back();
+    for (ExecutionId consumer : store.ConsumersOf(cur)) {
+      const ExecutionType type =
+          store.executions()[static_cast<size_t>(consumer) - 1].type;
+      if (!IsDataAnalysisType(type)) continue;
+      if (AddExec(consumer, /*descendant=*/false)) {
+        for (ArtifactId out : store.OutputsOf(consumer)) {
+          if (AddArtifact(out)) frontier.push_back(out);
+        }
+        for (ArtifactId in : store.InputsOf(consumer)) {
+          AddArtifact(in);
+        }
+      }
+    }
+  }
+}
+
+Graphlet GraphletExtractor::FinishExtract(const MetadataStore& store,
+                                          ExecutionId trainer) {
+  Graphlet g =
+      Finalize(store, trainer, exec_in_, artifact_in_, exec_is_descendant_);
+  // Reset scratch flags for the next extraction.
+  for (ExecutionId id : touched_execs_) {
+    exec_in_[static_cast<size_t>(id)] = 0;
+    exec_is_descendant_[static_cast<size_t>(id)] = 0;
+  }
+  for (ArtifactId id : touched_artifacts_) {
+    artifact_in_[static_cast<size_t>(id)] = 0;
+  }
+  return g;
+}
+
+Graphlet GraphletExtractor::Extract(const MetadataStore& store,
+                                    ExecutionId trainer) {
+  const SegmentationOptions& options = options_;
+  EnsureScratch(store);
+  AddExec(trainer, /*descendant=*/false);
 
   // Rule (a): ancestor executions, not traversing through other Trainers
   // (Figure 8: the warm-start edge is a cut; the upstream model artifact
@@ -190,7 +236,7 @@ Graphlet GraphletExtractor::Extract(const MetadataStore& store,
       const ExecutionId cur = frontier.back();
       frontier.pop_back();
       for (ArtifactId input : store.InputsOf(cur)) {
-        add_artifact(input);
+        AddArtifact(input);
         for (ExecutionId producer : store.ProducersOf(input)) {
           const ExecutionType type =
               store.executions()[static_cast<size_t>(producer) - 1].type;
@@ -198,11 +244,11 @@ Graphlet GraphletExtractor::Extract(const MetadataStore& store,
               type == ExecutionType::kTrainer) {
             continue;
           }
-          if (add_exec(producer, /*descendant=*/false)) {
+          if (AddExec(producer, /*descendant=*/false)) {
             frontier.push_back(producer);
             // Ancestors contribute their outputs too.
             for (ArtifactId out : store.OutputsOf(producer)) {
-              add_artifact(out);
+              AddArtifact(out);
             }
           }
         }
@@ -217,7 +263,7 @@ Graphlet GraphletExtractor::Extract(const MetadataStore& store,
       const ExecutionId cur = frontier.back();
       frontier.pop_back();
       for (ArtifactId output : store.OutputsOf(cur)) {
-        add_artifact(output);
+        AddArtifact(output);
         for (ExecutionId consumer : store.ConsumersOf(output)) {
           const ExecutionType type =
               store.executions()[static_cast<size_t>(consumer) - 1].type;
@@ -225,12 +271,12 @@ Graphlet GraphletExtractor::Extract(const MetadataStore& store,
               IsStopType(type, options)) {
             continue;
           }
-          if (add_exec(consumer, /*descendant=*/true)) {
+          if (AddExec(consumer, /*descendant=*/true)) {
             frontier.push_back(consumer);
             // Descendants contribute their other inputs as artifacts
             // (e.g. the evaluation read by the model validator).
             for (ArtifactId in : store.InputsOf(consumer)) {
-              add_artifact(in);
+              AddArtifact(in);
             }
           }
         }
@@ -238,47 +284,42 @@ Graphlet GraphletExtractor::Extract(const MetadataStore& store,
     }
   }
 
-  // Rule (b): data-analysis/-validation executions over the graphlet's
-  // data spans, chased through their derived artifacts (statistics ->
-  // schema/anomalies).
-  {
-    std::vector<ArtifactId> frontier;
-    for (ArtifactId a : touched_artifacts) {
-      if (store.artifacts()[static_cast<size_t>(a) - 1].type ==
-          ArtifactType::kExamples) {
-        frontier.push_back(a);
-      }
-    }
-    while (!frontier.empty()) {
-      const ArtifactId cur = frontier.back();
-      frontier.pop_back();
-      for (ExecutionId consumer : store.ConsumersOf(cur)) {
-        const ExecutionType type =
-            store.executions()[static_cast<size_t>(consumer) - 1].type;
-        if (!IsDataAnalysisType(type)) continue;
-        if (add_exec(consumer, /*descendant=*/false)) {
-          for (ArtifactId out : store.OutputsOf(consumer)) {
-            if (add_artifact(out)) frontier.push_back(out);
-          }
-          for (ArtifactId in : store.InputsOf(consumer)) {
-            add_artifact(in);
-          }
-        }
-      }
-    }
+  RunAnalysisClosure(store);
+  return FinishExtract(store, trainer);
+}
+
+Graphlet GraphletExtractor::ExtractIndexed(const MetadataStore& store,
+                                           ExecutionId trainer,
+                                           const ProvenanceIndex& index) {
+  EnsureScratch(store);
+  AddExec(trainer, /*descendant=*/false);
+
+  // Rule (a) from the index: the Trainer-cut ancestor label. Member
+  // artifacts follow the BFS contract — inputs of every rule-(a) node
+  // (trainer included), outputs of the non-anchor members.
+  const std::vector<ExecutionId> ancestors =
+      index.AncestorsCutAtTrainers(trainer);
+  for (ExecutionId u : ancestors) AddExec(u, /*descendant=*/false);
+  for (ArtifactId a : store.InputsOf(trainer)) AddArtifact(a);
+  for (ExecutionId u : ancestors) {
+    for (ArtifactId a : store.InputsOf(u)) AddArtifact(a);
+    for (ArtifactId a : store.OutputsOf(u)) AddArtifact(a);
   }
 
-  Graphlet g =
-      Finalize(store, trainer, exec_in, artifact_in, exec_is_descendant);
-  // Reset scratch flags for the next extraction.
-  for (ExecutionId id : touched_execs) {
-    exec_in[static_cast<size_t>(id)] = 0;
-    exec_is_descendant[static_cast<size_t>(id)] = 0;
+  // Rule (c) from the index: the trainer's tmark column. Artifacts:
+  // outputs of every rule-(c) node (trainer included), other inputs of
+  // the descendant members.
+  const std::vector<ExecutionId> descendants =
+      index.SegmentationDescendants(trainer);
+  for (ExecutionId d : descendants) AddExec(d, /*descendant=*/true);
+  for (ArtifactId a : store.OutputsOf(trainer)) AddArtifact(a);
+  for (ExecutionId d : descendants) {
+    for (ArtifactId a : store.OutputsOf(d)) AddArtifact(a);
+    for (ArtifactId a : store.InputsOf(d)) AddArtifact(a);
   }
-  for (ArtifactId id : touched_artifacts) {
-    artifact_in[static_cast<size_t>(id)] = 0;
-  }
-  return g;
+
+  RunAnalysisClosure(store);
+  return FinishExtract(store, trainer);
 }
 
 std::vector<Graphlet> SegmentTrace(const MetadataStore& store,

@@ -46,8 +46,7 @@ std::vector<ArtifactId> TraceView::AncestorArtifacts(ExecutionId exec) const {
 }
 
 std::vector<ExecutionId> TraceView::DescendantExecutions(
-    ExecutionId exec,
-    const std::function<bool(const Execution&)>& stop) const {
+    ExecutionId exec, const TraverseOptions& options) const {
   std::vector<ExecutionId> out;
   std::vector<char> visited(store_->num_executions() + 1, 0);
   std::vector<ExecutionId> frontier = {exec};
@@ -61,7 +60,7 @@ std::vector<ExecutionId> TraceView::DescendantExecutions(
         visited[static_cast<size_t>(consumer)] = 1;
         const Execution& e =
             store_->executions()[static_cast<size_t>(consumer) - 1];
-        if (stop && stop(e)) continue;  // excluded and not expanded
+        if (options.Stops(e)) continue;  // excluded and not expanded
         out.push_back(consumer);
         frontier.push_back(consumer);
       }

@@ -9,6 +9,23 @@
 
 namespace mlprov::metadata {
 
+/// Stop conditions for descendant traversals, shared between the batch
+/// TraceView walks and the indexed core::TraceQuery surface so both
+/// take the same options type. An execution is excluded (and not
+/// expanded through) when its type is in `stop_types` or `stop` returns
+/// true; the conditions are OR'd. Default: no stops.
+struct TraverseOptions {
+  std::vector<ExecutionType> stop_types;
+  std::function<bool(const Execution&)> stop;
+
+  bool Stops(const Execution& e) const {
+    for (ExecutionType t : stop_types) {
+      if (t == e.type) return true;
+    }
+    return stop && stop(e);
+  }
+};
+
 /// Read-only graph view over a MetadataStore providing the trace-level
 /// traversals the paper's analyses need: ancestor/descendant closures,
 /// topological order, and connected components. The view does not own the
@@ -34,12 +51,22 @@ class TraceView {
   std::vector<ArtifactId> AncestorArtifacts(ExecutionId exec) const;
 
   /// Descendant executions of `exec`, following output-artifact → consumer
-  /// edges. Traversal does not expand past executions for which `stop`
-  /// returns true (those executions are themselves excluded). This directly
-  /// implements the NOT sc(V) side-condition of the Appendix A datalog.
+  /// edges. Traversal does not expand past executions the options stop at
+  /// (those executions are themselves excluded). This directly implements
+  /// the NOT sc(V) side-condition of the Appendix A datalog.
+  std::vector<ExecutionId> DescendantExecutions(
+      ExecutionId exec, const TraverseOptions& options = {}) const;
+
+  /// Deprecated: pre-TraverseOptions signature, kept for one release.
+  /// Forwards the bare predicate into TraverseOptions::stop.
+  [[deprecated("use the TraverseOptions overload")]]
   std::vector<ExecutionId> DescendantExecutions(
       ExecutionId exec,
-      const std::function<bool(const Execution&)>& stop) const;
+      const std::function<bool(const Execution&)>& stop) const {
+    TraverseOptions options;
+    options.stop = stop;
+    return DescendantExecutions(exec, options);
+  }
 
   /// Executions in topological (dependency) order. For the DAG traces this
   /// library produces, ties are broken by id, which coincides with time.

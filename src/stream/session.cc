@@ -62,7 +62,10 @@ ProvenanceSession::ProvenanceSession(const SessionOptions& options)
     : options_(options),
       flight_(options.name.empty() ? std::string("session") : options.name,
               obs::FlightRecorder::Options{options.flight_capacity}),
+      index_(&store_,
+             core::ProvenanceIndexOptions{options.segmenter.segmentation}),
       segmenter_(&store_, options.segmenter) {
+  if (options_.enable_index) segmenter_.AttachIndex(&index_);
   if (options_.scorer != nullptr) {
     featurizer_.emplace(&store_, &span_stats_,
                         options_.scorer->feature_options());
@@ -139,6 +142,7 @@ Status ProvenanceSession::IngestImpl(const ProvenanceRecord& record) {
       if (context_ != metadata::kInvalidId) {
         MLPROV_RETURN_IF_ERROR(store_.AddToContext(context_, expected));
       }
+      if (options_.enable_index) index_.OnExecution(record.execution);
       segmenter_.OnExecution(record.execution);
       ++counts_.executions;
 #ifndef MLPROV_OBS_NOOP
@@ -177,6 +181,7 @@ Status ProvenanceSession::IngestImpl(const ProvenanceRecord& record) {
       if (record.span_stats != nullptr) {
         span_stats_.emplace(expected, *record.span_stats);
       }
+      if (options_.enable_index) index_.OnArtifact(record.artifact);
       segmenter_.OnArtifact(record.artifact);
       ++counts_.artifacts;
       return Status::Ok();
@@ -189,6 +194,7 @@ Status ProvenanceSession::IngestImpl(const ProvenanceRecord& record) {
             std::to_string(record.event.execution) + ", artifact " +
             std::to_string(record.event.artifact) + "): " + put.message());
       }
+      if (options_.enable_index) index_.OnEvent(record.event);
       segmenter_.OnEvent(record.event);
       ++counts_.events;
       MLPROV_COUNTER_INC("stream.links");
@@ -267,6 +273,9 @@ Status ProvenanceSession::IngestImpl(const metadata::RecordRef& record) {
       if (context_ != metadata::kInvalidId) {
         MLPROV_RETURN_IF_ERROR(store_.AddToContext(context_, expected));
       }
+      if (options_.enable_index) {
+        index_.OnExecution(store_.executions().back());
+      }
       segmenter_.OnExecution(store_.executions().back());
       ++counts_.executions;
       return Status::Ok();
@@ -285,6 +294,7 @@ Status ProvenanceSession::IngestImpl(const metadata::RecordRef& record) {
         MLPROV_RETURN_IF_ERROR(
             store_.AddArtifactToContext(context_, expected));
       }
+      if (options_.enable_index) index_.OnArtifact(store_.artifacts().back());
       segmenter_.OnArtifact(store_.artifacts().back());
       ++counts_.artifacts;
       return Status::Ok();
@@ -297,6 +307,7 @@ Status ProvenanceSession::IngestImpl(const metadata::RecordRef& record) {
             std::to_string(record.event.execution) + ", artifact " +
             std::to_string(record.event.artifact) + "): " + put.message());
       }
+      if (options_.enable_index) index_.OnEvent(record.event);
       segmenter_.OnEvent(record.event);
       ++counts_.events;
       MLPROV_COUNTER_INC("stream.links");

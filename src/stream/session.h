@@ -32,6 +32,7 @@
 #include "common/status.h"
 #include "core/features.h"
 #include "core/graphlet.h"
+#include "core/provenance_index.h"
 #include "dataspan/span_stats.h"
 #include "metadata/binary_serialization.h"
 #include "metadata/metadata_store.h"
@@ -63,6 +64,13 @@ struct SessionOptions {
   /// twice, so exactly one session per trace should opt in (the bench
   /// scoring phase, the causality tests).
   bool emit_flows = false;
+  /// Maintain an incremental core::ProvenanceIndex over the replicated
+  /// store (fed record by record, in lockstep with the segmenter). The
+  /// segmenter then extracts graphlets by decoding the index's labels
+  /// instead of BFS walks, and Query() serves interactive closure
+  /// queries without recomputation. Disable to trade query capability
+  /// for the labels' memory (~(2n + t)/8 bytes per execution).
+  bool enable_index = true;
 };
 
 /// Point-in-time health snapshot of one session — the "is this stream
@@ -174,6 +182,20 @@ class ProvenanceSession : public sim::ProvenanceSink {
   StreamingSegmenter& segmenter() { return segmenter_; }
   const StreamingSegmenter& segmenter() const { return segmenter_; }
 
+  /// The incremental provenance index over the replicated store. Behind
+  /// the store (InSync() false) when enable_index is off — CatchUp()
+  /// brings it current on demand.
+  const core::ProvenanceIndex& index() const { return index_; }
+  core::ProvenanceIndex& index() { return index_; }
+
+  /// The unified query surface over this session's trace: closure /
+  /// lineage / graphlet / time-window queries decoded from the index,
+  /// with the segmenter as the graphlet-membership source. Cheap to
+  /// construct per use; valid while the session lives.
+  core::TraceQuery Query() const {
+    return core::TraceQuery(&store_, &index_, &segmenter_);
+  }
+
   /// Live view of the scorer's settled accounting (final totals are in
   /// the SessionResult).
   const WasteAccounting& waste() const { return waste_; }
@@ -231,7 +253,8 @@ class ProvenanceSession : public sim::ProvenanceSink {
   std::vector<obs::Gauge*> health_gauges_;
   metadata::MetadataStore store_;
   std::unordered_map<metadata::ArtifactId, dataspan::SpanStats> span_stats_;
-  StreamingSegmenter segmenter_;  // observes store_; declared after it
+  core::ProvenanceIndex index_;   // observes store_; declared after it
+  StreamingSegmenter segmenter_;  // observes store_ (and index_)
   metadata::ContextId context_ = metadata::kInvalidId;
   bool finished_ = false;
   bool recovered_ = false;

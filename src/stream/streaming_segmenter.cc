@@ -104,7 +104,14 @@ void StreamingSegmenter::MarkArtifactIncident(ArtifactId id) {
 
 void StreamingSegmenter::ExtractCell(size_t cell_index) {
   Cell& cell = cells_[cell_index];
-  core::Graphlet grown = extractor_.Extract(*store_, cell.trainer);
+  // Index-backed extraction when the attached index is usable; the
+  // monotone gate guards byte-identity on corrupt cyclic stores, and
+  // InSync guards restore windows where the index trails the store.
+  const bool use_index =
+      index_ != nullptr && index_->InSync() && index_->edges_monotone();
+  core::Graphlet grown =
+      use_index ? extractor_.ExtractIndexed(*store_, cell.trainer, *index_)
+                : extractor_.Extract(*store_, cell.trainer);
   ++stats_.extractions;
   MLPROV_COUNTER_INC("stream.extractions");
   // Graphlets are monotone as the store grows, so indexing only the
@@ -189,6 +196,21 @@ std::vector<size_t> StreamingSegmenter::TakeSealed() {
   std::vector<size_t> sealed;
   sealed.swap(newly_sealed_);
   return sealed;
+}
+
+std::vector<ExecutionId> StreamingSegmenter::TrainersTouchingArtifact(
+    ArtifactId artifact) const {
+  std::vector<ExecutionId> trainers;
+  if (artifact >= 1 &&
+      static_cast<size_t>(artifact) < artifact_cells_.size()) {
+    for (uint32_t cell : artifact_cells_[static_cast<size_t>(artifact)]) {
+      trainers.push_back(cells_[cell].trainer);
+    }
+  }
+  std::sort(trainers.begin(), trainers.end());
+  trainers.erase(std::unique(trainers.begin(), trainers.end()),
+                 trainers.end());
+  return trainers;
 }
 
 std::vector<core::Graphlet> StreamingSegmenter::Finish() {

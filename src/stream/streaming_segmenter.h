@@ -40,6 +40,7 @@
 
 #include "common/status.h"
 #include "core/graphlet.h"
+#include "core/provenance_index.h"
 #include "core/segmentation.h"
 #include "metadata/metadata_store.h"
 
@@ -54,7 +55,7 @@ struct StreamingSegmenterOptions {
   double seal_grace_hours = 48.0;
 };
 
-class StreamingSegmenter {
+class StreamingSegmenter : public core::GraphletMembershipProvider {
  public:
   struct Stats {
     size_t cells = 0;
@@ -79,6 +80,24 @@ class StreamingSegmenter {
   void OnExecution(const metadata::Execution& execution);
   void OnArtifact(const metadata::Artifact& artifact);
   void OnEvent(const metadata::Event& event);
+
+  /// Attaches an incremental ProvenanceIndex over the same store (and
+  /// with the same segmentation options). Extractions then decode the
+  /// index's labels instead of re-running the rule-(a)/(c) BFS walks —
+  /// O(members) per extraction — falling back to the BFS automatically
+  /// whenever the index is out of sync or its monotone-edge gate is off
+  /// (byte-identity is preserved either way). The index must be fed in
+  /// lockstep with this segmenter and must outlive it; pass nullptr to
+  /// detach.
+  void AttachIndex(const core::ProvenanceIndex* index) { index_ = index; }
+
+  /// GraphletMembershipProvider: trainer anchors of the cells whose
+  /// last-extracted graphlet contains `artifact`, ascending and
+  /// deduplicated. Exact for sealed history; an unsealed dirty cell
+  /// reflects its last extraction (call Finish() first for an exact
+  /// whole-trace answer).
+  std::vector<metadata::ExecutionId> TrainersTouchingArtifact(
+      metadata::ArtifactId artifact) const override;
 
   /// Cell indices sealed since the last call, in seal order. A resealed
   /// cell is reported again.
@@ -158,6 +177,7 @@ class StreamingSegmenter {
 
   const metadata::MetadataStore* store_;
   StreamingSegmenterOptions options_;
+  const core::ProvenanceIndex* index_ = nullptr;
   metadata::Timestamp grace_seconds_ = 0;
   bool trainer_is_descendant_stop_ = true;
   core::GraphletExtractor extractor_;

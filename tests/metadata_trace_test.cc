@@ -92,19 +92,33 @@ TEST(TraceViewTest, AncestorArtifacts) {
             (std::vector<ArtifactId>{t.span1, t.span2, t.model1}));
 }
 
-TEST(TraceViewTest, DescendantsWithStopPredicate) {
+TEST(TraceViewTest, DescendantsWithStopOptions) {
   SampleTrace t;
   TraceView view(&t.store);
-  auto no_stop = [](const Execution&) { return false; };
-  EXPECT_EQ(view.DescendantExecutions(t.trainer1, no_stop),
+  EXPECT_EQ(view.DescendantExecutions(t.trainer1),
             (std::vector<ExecutionId>{t.pusher}));
   // Gen2 feeds both trainers; stopping at trainers prunes everything below.
-  auto stop_at_trainer = [](const Execution& e) {
+  TraverseOptions stop_at_trainer;
+  stop_at_trainer.stop_types = {ExecutionType::kTrainer};
+  EXPECT_TRUE(view.DescendantExecutions(t.gen2, stop_at_trainer).empty());
+  EXPECT_EQ(view.DescendantExecutions(t.gen1),
+            (std::vector<ExecutionId>{t.trainer1, t.pusher}));
+}
+
+TEST(TraceViewTest, TraverseOptionsPredicateAndTypesAgree) {
+  SampleTrace t;
+  TraceView view(&t.store);
+  TraverseOptions by_type;
+  by_type.stop_types = {ExecutionType::kTrainer};
+  TraverseOptions by_predicate;
+  by_predicate.stop = [](const Execution& e) {
     return e.type == ExecutionType::kTrainer;
   };
-  EXPECT_TRUE(view.DescendantExecutions(t.gen2, stop_at_trainer).empty());
-  EXPECT_EQ(view.DescendantExecutions(t.gen1, no_stop),
-            (std::vector<ExecutionId>{t.trainer1, t.pusher}));
+  for (ExecutionId exec :
+       {t.gen1, t.gen2, t.gen3, t.trainer1, t.trainer2, t.pusher}) {
+    EXPECT_EQ(view.DescendantExecutions(exec, by_type),
+              view.DescendantExecutions(exec, by_predicate));
+  }
 }
 
 TEST(TraceViewTest, TopologicalOrderRespectsDependencies) {
